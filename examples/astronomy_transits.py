@@ -1,0 +1,49 @@
+"""Astronomy: transit dips and supernovae in luminosity series (Fig. 1c).
+
+Astronomers "apply on-the-fly filters" while hunting for planetary
+transits (a dip in brightness) and supernovae (a sharp stellar flare).
+This example exercises filters, pinned locations, and the OPPOSITE
+operator on a synthetic star-survey table.
+
+Run with::
+
+    python examples/astronomy_transits.py
+"""
+
+from repro import ShapeSearch
+from repro.datasets import astronomy_dataset
+from repro.render import render_matches
+
+
+def main() -> None:
+    table, planted = astronomy_dataset(n_stars=120, length=400)
+    session = ShapeSearch(table)
+
+    print("Supernova: 'find me objects with a sharp peak in luminosity' (§2)")
+    matches = session.search(
+        "find me objects with a sharp peak in luminosity",
+        z="object", x="time", y="luminosity", k=2,
+    )
+    print(render_matches(matches))
+    print("   planted:", ", ".join(planted["supernova"]))
+
+    print()
+    print("Planetary transit: flat, dip, recovery, flat — with a filter")
+    matches = session.search(
+        "[p=flat][p=down][p=up][p=flat]",
+        z="object", x="time", y="luminosity", k=4,
+        filters=("luminosity < 150",),
+    )
+    print(render_matches(matches))
+    print("   planted transits:", ", ".join(planted["transit"][:4]), "...")
+
+    print()
+    print("Quiet stars: NOT (not flat) — double negation via the ! operator")
+    matches = session.search(
+        "!(![p=flat])", z="object", x="time", y="luminosity", k=2
+    )
+    print(render_matches(matches))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: search a small dataset with all three query mechanisms.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ShapeSearch, Table
+from repro.render import render_matches
+
+
+def build_table() -> Table:
+    """A toy product-sales table: one trendline per product."""
+    rng = np.random.default_rng(7)
+    shapes = {
+        "alpha": np.concatenate([np.linspace(10, 2, 40), np.linspace(2, 14, 40)]),
+        "bravo": np.linspace(3, 12, 80),
+        "charlie": np.full(80, 6.0),
+        "delta": np.concatenate([np.linspace(4, 12, 40), np.linspace(12, 3, 40)]),
+        "echo": np.concatenate(
+            [np.linspace(5, 9, 25), np.linspace(9, 4, 30), np.linspace(4, 11, 25)]
+        ),
+    }
+    records = []
+    for product, values in shapes.items():
+        noisy = values + rng.normal(0, 0.25, len(values))
+        for month, sales in enumerate(noisy):
+            records.append({"product": product, "month": float(month), "sales": float(sales)})
+    return Table.from_records(records)
+
+
+def main() -> None:
+    session = ShapeSearch(build_table())
+
+    print("1) Regex query: products whose sales fall, then sharply rise")
+    matches = session.search(
+        "[p=down][p=up,m=>>]", z="product", x="month", y="sales", k=2
+    )
+    print(render_matches(matches))
+
+    print()
+    print("2) The same intent in natural language")
+    print("   parsed as:", session.explain("decreasing for some time then rising sharply"))
+    matches = session.search(
+        "decreasing for some time then rising sharply",
+        z="product", x="month", y="sales", k=2,
+    )
+    print(render_matches(matches))
+
+    print()
+    print("3) A sketch (blurry mode): down, then up")
+    pixels = [(float(i), 40.0 - i) for i in range(40)]
+    pixels += [(float(40 + i), float(i)) for i in range(40)]
+    matches = session.search_sketch(
+        pixels, z="product", x="month", y="sales", mode="blurry", k=2
+    )
+    print(render_matches(matches))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Stock-chart screening: the intro's technical patterns (paper §1).
+
+Finds double tops (two peaks — the pattern that "indicates future
+downtrends"), W-shapes, and cups, plus a POSITION query comparing the
+slopes of consecutive phases, over a synthetic daily-price table.
+
+Run with::
+
+    python examples/stock_screening.py
+"""
+
+from repro import ShapeSearch
+from repro.datasets import stock_dataset
+from repro.render import render_matches
+
+
+def main() -> None:
+    table, planted = stock_dataset(n_stocks=80, length=250)
+    session = ShapeSearch(table)
+
+    print("Double top: at least 2 peaks (the paper's [p=up, m={2,}] idiom)")
+    matches = session.search(
+        "[p=up,m={2,}]", z="symbol", x="day", y="price", k=4
+    )
+    print(render_matches(matches))
+    print("   planted:", ", ".join(planted["double-top"] + planted["w-shape"]))
+
+    print()
+    print("W-shape: down, up, down, up")
+    matches = session.search(
+        "[p=down][p=up][p=down][p=up]", z="symbol", x="day", y="price", k=3
+    )
+    print(render_matches(matches))
+    print("   planted:", ", ".join(planted["w-shape"]))
+
+    print()
+    print("Cup: falling, stabilizing, then recovering — via natural language")
+    matches = session.search(
+        "falling then flat then rising", z="symbol", x="day", y="price", k=3
+    )
+    print(render_matches(matches))
+    print("   planted:", ", ".join(planted["cup"]))
+
+    print()
+    print("Momentum check: second rise steeper than the first ([p=up][p=$0,m=>])")
+    matches = session.search(
+        "[p=up][p=$0,m=>]", z="symbol", x="day", y="price", k=3
+    )
+    print(render_matches(matches))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Weather: hemisphere detection with pinned-location queries (paper §1).
+
+"Finding cities where the temperature rises from November to January and
+falls during May to July (e.g., Sydney)" — the intro's example of
+multiple x constraints, plus a user-defined pattern showing the UDP
+extension point.
+
+Run with::
+
+    python examples/weather_seasons.py
+"""
+
+import numpy as np
+
+from repro import ShapeSearch, temporary_udp
+from repro.datasets import weather_dataset
+from repro.render import render_matches
+
+
+def main() -> None:
+    table, planted = weather_dataset(n_cities=48, length=365)
+    session = ShapeSearch(table)
+
+    print("Southern-hemisphere cities: rising Nov→Dec and falling May→Jul")
+    matches = session.search(
+        "[p=up,x.s=305,x.e=360][p=down,x.s=121,x.e=200]",
+        z="city", x="day", y="temperature", k=4,
+    )
+    print(render_matches(matches))
+    print("   planted southern cities:", ", ".join(planted["southern"][:4]), "...")
+
+    print()
+    print("Northern summers: a broad mid-year peak (blurry up-then-down)")
+    matches = session.search(
+        "rising then falling", z="city", x="day", y="temperature", k=3
+    )
+    print(render_matches(matches))
+
+    print()
+    print("UDP: a user-defined 'high-variance season' pattern")
+
+    def volatile(values: np.ndarray, slope: float) -> float:
+        swing = float(np.percentile(values, 95) - np.percentile(values, 5))
+        return min(1.0, swing / 4.0) * 2.0 - 1.0
+
+    with temporary_udp("volatile", volatile):
+        matches = session.search(
+            "[p=udp:volatile]", z="city", x="day", y="temperature", k=2
+        )
+        print(render_matches(matches))
+
+
+if __name__ == "__main__":
+    main()

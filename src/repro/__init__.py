@@ -1,0 +1,54 @@
+"""ShapeSearch: shape-based exploration of trendlines (SIGMOD 2020 repro).
+
+A from-scratch reproduction of Siddiqui et al.'s ShapeSearch system: the
+ShapeQuery algebra, natural-language / regex / sketch front-ends, and
+the optimized fuzzy-segmentation execution engine.
+
+Quickstart::
+
+    from repro import ShapeSearch
+
+    session = ShapeSearch.from_csv("stocks.csv")
+    for match in session.search("up then down then up",
+                                z="symbol", x="day", y="price", k=5):
+        print(match.key, match.score)
+"""
+
+from repro.algebra.printer import to_regex
+from repro.api import ShapeSearch, parse_query
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.executor import Match, ShapeSearchEngine
+from repro.engine.scoring import register_udp, temporary_udp, unregister_udp
+from repro.errors import (
+    AmbiguityError,
+    DataError,
+    ExecutionError,
+    ShapeQuerySyntaxError,
+    ShapeQueryValidationError,
+    ShapeSearchError,
+)
+from repro.parser import parse as parse_regex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ShapeSearch",
+    "parse_query",
+    "parse_regex",
+    "to_regex",
+    "Table",
+    "VisualParams",
+    "Match",
+    "ShapeSearchEngine",
+    "register_udp",
+    "unregister_udp",
+    "temporary_udp",
+    "ShapeSearchError",
+    "ShapeQuerySyntaxError",
+    "ShapeQueryValidationError",
+    "AmbiguityError",
+    "ExecutionError",
+    "DataError",
+    "__version__",
+]

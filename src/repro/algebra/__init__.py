@@ -1,0 +1,49 @@
+"""The ShapeQuery algebra (paper §3): primitives, operators, helpers."""
+
+from repro.algebra.nodes import And, Concat, Node, Opposite, Or, ShapeSegment
+from repro.algebra.normalize import is_normalized, normalize
+from repro.algebra.primitives import (
+    ANY,
+    ANYWHERE,
+    DOWN,
+    EMPTY,
+    FLAT,
+    UP,
+    Iterator,
+    Location,
+    Modifier,
+    Pattern,
+    PositionRef,
+    Quantifier,
+    Sketch,
+)
+from repro.algebra.printer import to_regex
+from repro.algebra.validate import Issue, check, validate
+
+__all__ = [
+    "And",
+    "Concat",
+    "Node",
+    "Opposite",
+    "Or",
+    "ShapeSegment",
+    "normalize",
+    "is_normalized",
+    "ANY",
+    "ANYWHERE",
+    "DOWN",
+    "EMPTY",
+    "FLAT",
+    "UP",
+    "Iterator",
+    "Location",
+    "Modifier",
+    "Pattern",
+    "PositionRef",
+    "Quantifier",
+    "Sketch",
+    "to_regex",
+    "Issue",
+    "check",
+    "validate",
+]

@@ -1,0 +1,158 @@
+"""Fluent construction helpers for ShapeQuery trees.
+
+These are the programmatic equivalent of the regex dialect — convenient
+for tests, examples and user code that builds queries in Python::
+
+    from repro.algebra import builder as q
+
+    query = q.concat(q.up(), q.down(), q.up())          # u ⊗ d ⊗ u
+    query = q.up() >> (q.flat() | (q.down() >> q.up())) # operator sugar
+    query = q.up(x_start=2, x_end=5, sharp=True)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algebra.nodes import And, Concat, Node, Opposite, Or, ShapeSegment
+from repro.algebra.primitives import (
+    Iterator,
+    Location,
+    Modifier,
+    Pattern,
+    PositionRef,
+    Quantifier,
+    Sketch,
+)
+
+
+def location(
+    x_start: Optional[float] = None,
+    x_end: Optional[float] = None,
+    y_start: Optional[float] = None,
+    y_end: Optional[float] = None,
+    window: Optional[float] = None,
+) -> Location:
+    """Build a :class:`Location`; ``window`` builds the ITERATOR form."""
+    iterator = Iterator(window) if window is not None else None
+    return Location(
+        x_start=x_start,
+        x_end=x_end,
+        y_start=y_start,
+        y_end=y_end,
+        iterator=iterator,
+    )
+
+
+def segment(
+    pattern: Optional[Pattern] = None,
+    modifier: Optional[Modifier] = None,
+    sketch: Optional[Sketch] = None,
+    **location_kwargs,
+) -> ShapeSegment:
+    """Build a ShapeSegment from a pattern and location keyword arguments."""
+    return ShapeSegment(
+        pattern=pattern,
+        location=location(**location_kwargs),
+        modifier=modifier,
+        sketch=sketch,
+    )
+
+
+def _directional(kind: str, sharp: bool, gradual: bool, **kwargs) -> ShapeSegment:
+    modifier = kwargs.pop("modifier", None)
+    if sharp and gradual:
+        raise ValueError("a pattern cannot be both sharp and gradual")
+    if sharp:
+        modifier = Modifier(comparison=">>" if kind == "up" else "<<")
+    elif gradual:
+        modifier = Modifier(comparison=">" if kind == "up" else "<")
+    return segment(pattern=Pattern(kind=kind), modifier=modifier, **kwargs)
+
+
+def up(sharp: bool = False, gradual: bool = False, **kwargs) -> ShapeSegment:
+    """``[p=up]`` — optionally sharp (``m=>>``) or gradual (``m=>``)."""
+    return _directional("up", sharp, gradual, **kwargs)
+
+
+def down(sharp: bool = False, gradual: bool = False, **kwargs) -> ShapeSegment:
+    """``[p=down]`` — optionally sharp (``m=<<``) or gradual (``m=<``)."""
+    return _directional("down", sharp, gradual, **kwargs)
+
+
+def flat(**kwargs) -> ShapeSegment:
+    """``[p=flat]``."""
+    return segment(pattern=Pattern(kind="flat"), **kwargs)
+
+
+def any_pattern(**kwargs) -> ShapeSegment:
+    """``[p=*]`` — the wildcard pattern."""
+    return segment(pattern=Pattern(kind="any"), **kwargs)
+
+
+def slope(theta_degrees: float, **kwargs) -> ShapeSegment:
+    """``[p=θ]`` — match a specific slope in degrees."""
+    return segment(pattern=Pattern(kind="slope", theta=theta_degrees), **kwargs)
+
+
+def udp(name: str, **kwargs) -> ShapeSegment:
+    """``[p=udp:name]`` — a registered user-defined pattern."""
+    return segment(pattern=Pattern(kind="udp", udp_name=name), **kwargs)
+
+
+def position(
+    index: Optional[int] = None,
+    relative: Optional[int] = None,
+    comparison: Optional[str] = None,
+    factor: Optional[float] = None,
+    **kwargs,
+) -> ShapeSegment:
+    """``[p=$i, m=cmp]`` — compare this segment's slope to another's."""
+    ref = PositionRef(index=index, relative=relative)
+    modifier = None
+    if comparison is not None:
+        modifier = Modifier(comparison=comparison, factor=factor)
+    return segment(
+        pattern=Pattern(kind="position", reference=ref), modifier=modifier, **kwargs
+    )
+
+
+def nested(query: Node, **kwargs) -> ShapeSegment:
+    """``[p=[...]]`` — a segment whose pattern is a full sub-query."""
+    return segment(pattern=Pattern(kind="nested", nested=query), **kwargs)
+
+
+def sketch(points, **kwargs) -> ShapeSegment:
+    """``[v=(x:y,...)]`` — precise matching against a drawn polyline."""
+    return segment(sketch=Sketch(points=tuple(map(tuple, points))), **kwargs)
+
+
+def repeated(base: ShapeSegment, low: Optional[int] = None, high: Optional[int] = None) -> ShapeSegment:
+    """Attach an occurrence quantifier to a segment (``m={low,high}``)."""
+    return base.with_modifier(Modifier(quantifier=Quantifier(low=low, high=high)))
+
+
+def concat(*children: Node) -> Node:
+    """CONCAT (⊗) the children; a single child passes through."""
+    if len(children) == 1:
+        return children[0]
+    return Concat(tuple(children))
+
+
+def and_(*children: Node) -> Node:
+    """AND (⊙) the children; a single child passes through."""
+    if len(children) == 1:
+        return children[0]
+    return And(tuple(children))
+
+
+def or_(*children: Node) -> Node:
+    """OR (⊕) the children; a single child passes through."""
+    if len(children) == 1:
+        return children[0]
+    return Or(tuple(children))
+
+
+def opposite(child: Node) -> Opposite:
+    """OPPOSITE (!) of a sub-query."""
+    return Opposite(child)

@@ -1,0 +1,242 @@
+"""AST nodes of the ShapeQuery algebra (paper §3.2, Tables 1–2).
+
+A ShapeQuery is a tree whose leaves are :class:`ShapeSegment` (the MATCH
+operator ``[ ]`` bound to a set of primitives) and whose internal nodes
+are the combining operators:
+
+* :class:`Concat` (⊗) — a sequence of sub-shapes over consecutive
+  sub-regions; scored as the mean of its children (Table 6).
+* :class:`And` (⊙) — all sub-shapes over the *same* sub-region; min.
+* :class:`Or` (⊕) — any one sub-shape over the sub-region; max.
+* :class:`Opposite` (!) — negates the child's score.
+
+Nodes are immutable; tree rewrites (normalization, ambiguity fixes)
+produce new trees.  ``children`` of n-ary operators are tuples, so nodes
+are hashable and structurally comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator as TypingIterator
+from typing import Optional, Tuple
+
+from repro.algebra.primitives import (
+    ANYWHERE,
+    Location,
+    Modifier,
+    Pattern,
+    Sketch,
+)
+from repro.errors import ShapeQueryValidationError
+
+
+class Node:
+    """Base class for ShapeQuery AST nodes."""
+
+    def walk(self) -> "TypingIterator[Node]":
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.child_nodes():
+            yield from child.walk()
+
+    def child_nodes(self) -> Tuple["Node", ...]:
+        """Direct children; leaves return an empty tuple."""
+        return ()
+
+    def segments(self) -> "TypingIterator[ShapeSegment]":
+        """All ShapeSegment leaves, left to right."""
+        for node in self.walk():
+            if isinstance(node, ShapeSegment):
+                yield node
+
+    # Operator sugar mirroring the paper's symbols ----------------------
+    def __and__(self, other: "Node") -> "And":
+        """``a & b`` builds AND (⊙)."""
+        return And((self, other))
+
+    def __or__(self, other: "Node") -> "Or":
+        """``a | b`` builds OR (⊕)."""
+        return Or((self, other))
+
+    def __rshift__(self, other: "Node") -> "Concat":
+        """``a >> b`` builds CONCAT (⊗)."""
+        return Concat((self, other))
+
+    def __invert__(self) -> "Opposite":
+        """``~a`` builds OPPOSITE (!)."""
+        return Opposite(self)
+
+
+@dataclass(frozen=True)
+class ShapeSegment(Node):
+    """A single pattern bound to the MATCH operator (paper §3).
+
+    All primitives are optional except that a segment must say *something*
+    (a pattern, a sketch, or at least a location).  ``negated`` marks a
+    leaf-level OPPOSITE produced by normalization.
+    """
+
+    pattern: Optional[Pattern] = None
+    location: Location = ANYWHERE
+    modifier: Optional[Modifier] = None
+    sketch: Optional[Sketch] = None
+    negated: bool = False
+
+    def __post_init__(self):
+        if self.pattern is None and self.sketch is None and self.location.is_empty:
+            raise ShapeQueryValidationError(
+                "a ShapeSegment needs a pattern, a sketch, or a location"
+            )
+        if self.sketch is not None and self.pattern is not None:
+            raise ShapeQueryValidationError(
+                "a ShapeSegment cannot carry both a sketch and a pattern"
+            )
+
+    @property
+    def effective_pattern(self) -> Pattern:
+        """The pattern to score; a bare location matches a line segment.
+
+        Per §3.1, a segment such as ``[x.s=2, x.e=10, y.s=10, y.e=100]``
+        with no explicit pattern matches the straight line between its
+        endpoints — the engine scores it as the wildcard constrained by
+        the location, so here we return ``any``.
+        """
+        if self.pattern is not None:
+            return self.pattern
+        from repro.algebra.primitives import ANY
+
+        return ANY
+
+    @property
+    def is_fuzzy(self) -> bool:
+        """Fuzzy segments have at least one x endpoint free (paper §6)."""
+        return self.location.is_fuzzy
+
+    def with_location(self, location: Location) -> "ShapeSegment":
+        """Copy of this segment with a replaced location."""
+        return ShapeSegment(
+            pattern=self.pattern,
+            location=location,
+            modifier=self.modifier,
+            sketch=self.sketch,
+            negated=self.negated,
+        )
+
+    def with_pattern(self, pattern: Optional[Pattern]) -> "ShapeSegment":
+        """Copy of this segment with a replaced pattern."""
+        return ShapeSegment(
+            pattern=pattern,
+            location=self.location,
+            modifier=self.modifier,
+            sketch=self.sketch,
+            negated=self.negated,
+        )
+
+    def with_modifier(self, modifier: Optional[Modifier]) -> "ShapeSegment":
+        """Copy of this segment with a replaced modifier."""
+        return ShapeSegment(
+            pattern=self.pattern,
+            location=self.location,
+            modifier=modifier,
+            sketch=self.sketch,
+            negated=self.negated,
+        )
+
+    def toggled(self) -> "ShapeSegment":
+        """Copy with the negation flag flipped (OPPOSITE push-down)."""
+        return ShapeSegment(
+            pattern=self.pattern,
+            location=self.location,
+            modifier=self.modifier,
+            sketch=self.sketch,
+            negated=not self.negated,
+        )
+
+
+def _require_children(children: Tuple[Node, ...], operator: str) -> None:
+    if len(children) < 2:
+        raise ShapeQueryValidationError(
+            "{} requires at least two children, got {}".format(operator, len(children))
+        )
+    for child in children:
+        if not isinstance(child, Node):
+            raise ShapeQueryValidationError(
+                "{} children must be ShapeQuery nodes, got {!r}".format(operator, child)
+            )
+
+
+@dataclass(frozen=True)
+class Concat(Node):
+    """CONCAT (⊗): children matched over consecutive sub-regions.
+
+    Score is the arithmetic mean of the children's scores (Table 6); the
+    grouping structure matters, so nested Concats are *not* flattened into
+    their parents (``a⊗(c⊗d)`` weights c and d by 1/4 each, not 1/3).
+    """
+
+    children: Tuple[Node, ...]
+
+    def __post_init__(self):
+        _require_children(self.children, "CONCAT")
+
+    def child_nodes(self) -> Tuple[Node, ...]:
+        return self.children
+
+
+@dataclass(frozen=True)
+class And(Node):
+    """AND (⊙): all children over the same sub-region; score is the min."""
+
+    children: Tuple[Node, ...]
+
+    def __post_init__(self):
+        _require_children(self.children, "AND")
+
+    def child_nodes(self) -> Tuple[Node, ...]:
+        return self.children
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    """OR (⊕): best single child over the sub-region; score is the max."""
+
+    children: Tuple[Node, ...]
+
+    def __post_init__(self):
+        _require_children(self.children, "OR")
+
+    def child_nodes(self) -> Tuple[Node, ...]:
+        return self.children
+
+
+@dataclass(frozen=True)
+class Opposite(Node):
+    """OPPOSITE (!): negates the child's score.
+
+    Normalization (:mod:`repro.algebra.normalize`) pushes this operator to
+    the leaves before execution, so engines never see it.
+    """
+
+    child: Node
+
+    def __post_init__(self):
+        if not isinstance(self.child, Node):
+            raise ShapeQueryValidationError("OPPOSITE requires a ShapeQuery node")
+
+    def child_nodes(self) -> Tuple[Node, ...]:
+        return (self.child,)
+
+
+def count_concat_units(node: Node) -> int:
+    """Number of CONCAT units (ShapeExprs) along the widest chain.
+
+    Used for complexity accounting (paper's ``k``) and sanity limits.
+    """
+    if isinstance(node, Concat):
+        return sum(count_concat_units(child) for child in node.children)
+    if isinstance(node, (And, Or)):
+        return max(count_concat_units(child) for child in node.children)
+    if isinstance(node, Opposite):
+        return count_concat_units(node.child)
+    return 1

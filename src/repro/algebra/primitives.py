@@ -1,0 +1,325 @@
+"""Shape primitives of the ShapeQuery algebra (paper §3.1, Table 1).
+
+A :class:`~repro.algebra.nodes.ShapeSegment` is described by up to five
+primitives:
+
+* :class:`Location` — the endpoints of the sub-region over which the
+  pattern is matched (``x.s``, ``x.e``, ``y.s``, ``y.e``) plus the
+  ITERATOR sub-primitive (``x.s=., x.e=.+w``).
+* :class:`Pattern` — the trend to match: ``up``, ``down``, ``flat``, a
+  slope in degrees, the wildcard ``*``, a POSITION reference ``$i``, a
+  registered user-defined pattern, or a nested ShapeQuery.
+* :class:`Modifier` — refines the match: sharp/gradual comparisons
+  (``>``, ``>>``, ``<``, ``<<``, ``=``, optionally with a numeric factor)
+  or an occurrence :class:`Quantifier` (``{2,5}``, ``{2,}``, ``{,2}``).
+* :class:`Sketch` — a drawn (x, y) polyline for precise matching.
+* POSITION is folded into :class:`Pattern` via :attr:`Pattern.reference`.
+
+All primitive classes are immutable value objects with structural
+equality, so ShapeQuery trees can be hashed, compared and printed
+canonically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ShapeQueryValidationError
+
+#: Pattern kinds supported natively by the scoring engine (Table 5).
+PATTERN_KINDS = ("up", "down", "flat", "any", "empty", "slope", "position", "udp", "nested")
+
+#: Comparison modifier operators (Table 1).
+COMPARISON_OPS = (">", ">>", "<", "<<", "=")
+
+#: Slope targets (degrees) used to score sharp/gradual up/down modifiers.
+SHARP_SLOPE_DEGREES = 75.0
+GRADUAL_SLOPE_DEGREES = 30.0
+
+
+@dataclass(frozen=True)
+class Iterator:
+    """ITERATOR sub-primitive: slide a width-``width`` window (``x.e=.+w``).
+
+    The window is expressed in x-axis units of the trendline; the engine
+    evaluates the pattern over every window position and keeps the best.
+    """
+
+    width: float
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ShapeQueryValidationError(
+                "ITERATOR width must be positive, got {!r}".format(self.width)
+            )
+
+
+@dataclass(frozen=True)
+class Location:
+    """LOCATION primitive: optional endpoints of the matching sub-region.
+
+    Any subset of the four endpoints may be given; a segment with at least
+    one of ``x_start``/``x_end`` missing is *fuzzy* (paper §6) and the
+    engine searches for the best placement.  When :attr:`iterator` is set
+    the x endpoints are interpreted as a sliding window instead.
+    """
+
+    x_start: Optional[float] = None
+    x_end: Optional[float] = None
+    y_start: Optional[float] = None
+    y_end: Optional[float] = None
+    iterator: Optional[Iterator] = None
+
+    def __post_init__(self):
+        if self.iterator is not None and (self.x_start is not None or self.x_end is not None):
+            raise ShapeQueryValidationError(
+                "ITERATOR cannot be combined with fixed x endpoints"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no location information is present at all."""
+        return (
+            self.x_start is None
+            and self.x_end is None
+            and self.y_start is None
+            and self.y_end is None
+            and self.iterator is None
+        )
+
+    @property
+    def is_x_pinned(self) -> bool:
+        """True when both x endpoints are fixed (a non-fuzzy segment)."""
+        return self.x_start is not None and self.x_end is not None
+
+    @property
+    def is_fuzzy(self) -> bool:
+        """True when at least one x endpoint is free (paper §6)."""
+        return self.iterator is None and not self.is_x_pinned
+
+    def x_span(self) -> Optional[Tuple[float, float]]:
+        """The pinned x interval, or None when the segment is fuzzy."""
+        if self.is_x_pinned:
+            return (self.x_start, self.x_end)
+        return None
+
+
+#: A Location with nothing pinned; the common fuzzy case.
+ANYWHERE = Location()
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    """Occurrence quantifier on a pattern: between ``low`` and ``high`` times.
+
+    ``low=None`` means "at most high"; ``high=None`` means "at least low";
+    both set and equal means "exactly".  (Paper §3.1 MODIFIER, §5.2
+    "Scoring quantifiers".)
+    """
+
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    def __post_init__(self):
+        if self.low is None and self.high is None:
+            raise ShapeQueryValidationError("quantifier needs at least one bound")
+        for bound in (self.low, self.high):
+            if bound is not None and bound < 0:
+                raise ShapeQueryValidationError(
+                    "quantifier bounds must be non-negative, got {!r}".format(bound)
+                )
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ShapeQueryValidationError(
+                "quantifier lower bound {} exceeds upper bound {}".format(self.low, self.high)
+            )
+
+    def accepts(self, count: int) -> bool:
+        """Whether ``count`` occurrences satisfy this quantifier."""
+        if self.low is not None and count < self.low:
+            return False
+        if self.high is not None and count > self.high:
+            return False
+        return True
+
+    @property
+    def required(self) -> int:
+        """Minimum number of occurrences that must be present and scored."""
+        return self.low if self.low is not None else 0
+
+
+@dataclass(frozen=True)
+class Modifier:
+    """MODIFIER primitive: a slope comparison or an occurrence quantifier.
+
+    Exactly one of (:attr:`comparison`, :attr:`quantifier`) is set.  A
+    comparison may carry a numeric :attr:`factor` (e.g. ``m = >2`` — at
+    least twice the referenced slope, or ``m = <0.5``).
+    """
+
+    comparison: Optional[str] = None
+    factor: Optional[float] = None
+    quantifier: Optional[Quantifier] = None
+
+    def __post_init__(self):
+        if (self.comparison is None) == (self.quantifier is None):
+            raise ShapeQueryValidationError(
+                "modifier must be either a comparison or a quantifier"
+            )
+        if self.comparison is not None and self.comparison not in COMPARISON_OPS:
+            raise ShapeQueryValidationError(
+                "unknown comparison modifier {!r}".format(self.comparison)
+            )
+        if self.factor is not None and self.comparison not in (">", "<"):
+            raise ShapeQueryValidationError(
+                "numeric factors only apply to '>' and '<' modifiers"
+            )
+        if self.factor is not None and self.factor <= 0:
+            raise ShapeQueryValidationError("modifier factor must be positive")
+
+    @property
+    def is_quantifier(self) -> bool:
+        return self.quantifier is not None
+
+    @classmethod
+    def exactly(cls, count: int) -> "Modifier":
+        """``m = 2`` — the pattern occurs exactly ``count`` times."""
+        return cls(quantifier=Quantifier(low=count, high=count))
+
+    @classmethod
+    def at_least(cls, count: int) -> "Modifier":
+        """``m = {count,}``."""
+        return cls(quantifier=Quantifier(low=count))
+
+    @classmethod
+    def at_most(cls, count: int) -> "Modifier":
+        """``m = {,count}``."""
+        return cls(quantifier=Quantifier(high=count))
+
+    @classmethod
+    def between(cls, low: int, high: int) -> "Modifier":
+        """``m = {low,high}``."""
+        return cls(quantifier=Quantifier(low=low, high=high))
+
+
+@dataclass(frozen=True)
+class PositionRef:
+    """POSITION sub-primitive ``$``: refer to another ShapeSegment's slope.
+
+    ``index`` is an absolute 0-based unit index (``$0``, ``$1``, ...);
+    ``relative`` is −1 for ``$-`` (previous) or +1 for ``$+`` (next).
+    Exactly one of the two is set.
+    """
+
+    index: Optional[int] = None
+    relative: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.index is None) == (self.relative is None):
+            raise ShapeQueryValidationError(
+                "position reference must be absolute ($i) or relative ($-/$+)"
+            )
+        if self.index is not None and self.index < 0:
+            raise ShapeQueryValidationError("position index must be >= 0")
+        if self.relative is not None and self.relative not in (-1, 1):
+            raise ShapeQueryValidationError("relative position must be -1 or +1")
+
+    def resolve(self, own_index: int) -> int:
+        """Absolute unit index this reference points at, given our index."""
+        if self.index is not None:
+            return self.index
+        return own_index + self.relative
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """PATTERN primitive: the trend to match in a VisualSegment.
+
+    :attr:`kind` selects the scorer (Table 5).  ``slope`` kinds carry
+    :attr:`theta` in degrees; ``position`` kinds carry :attr:`reference`;
+    ``udp`` kinds carry :attr:`udp_name` (resolved against the UDP
+    registry at execution time); ``nested`` kinds carry a full sub-query
+    in :attr:`nested` (grammar rule ``P → S``).
+    """
+
+    kind: str = "any"
+    theta: Optional[float] = None
+    reference: Optional[PositionRef] = None
+    udp_name: Optional[str] = None
+    nested: object = None  # a repro.algebra.nodes.Node; typed loosely to avoid a cycle
+
+    def __post_init__(self):
+        if self.kind not in PATTERN_KINDS:
+            raise ShapeQueryValidationError("unknown pattern kind {!r}".format(self.kind))
+        if self.kind == "slope":
+            if self.theta is None:
+                raise ShapeQueryValidationError("slope pattern requires theta (degrees)")
+            if not -90.0 < self.theta < 90.0:
+                raise ShapeQueryValidationError(
+                    "slope theta must lie strictly within (-90, 90) degrees"
+                )
+        if self.kind == "position" and self.reference is None:
+            raise ShapeQueryValidationError("position pattern requires a reference")
+        if self.kind == "udp" and not self.udp_name:
+            raise ShapeQueryValidationError("udp pattern requires a name")
+        if self.kind == "nested" and self.nested is None:
+            raise ShapeQueryValidationError("nested pattern requires a sub-query")
+
+    @property
+    def theta_radians(self) -> float:
+        """Target slope angle in radians (``slope`` kind only)."""
+        return math.radians(self.theta)
+
+    def negated(self) -> "Pattern":
+        """The OPPOSITE of this pattern, for `!` push-down.
+
+        ``up`` ↔ ``down``; a slope flips sign; the engine handles the
+        remaining kinds by negating the computed score, which is flagged
+        at the ShapeSegment level rather than here.
+        """
+        if self.kind == "up":
+            return Pattern(kind="down")
+        if self.kind == "down":
+            return Pattern(kind="up")
+        if self.kind == "slope":
+            return Pattern(kind="slope", theta=-self.theta)
+        return self
+
+
+#: Singleton convenience patterns.
+UP = Pattern(kind="up")
+DOWN = Pattern(kind="down")
+FLAT = Pattern(kind="flat")
+ANY = Pattern(kind="any")
+EMPTY = Pattern(kind="empty")
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """SKETCH primitive ``v``: a drawn polyline in domain coordinates.
+
+    Stored as paired tuples so the dataclass stays hashable; use
+    :meth:`xs`/:meth:`ys` for numpy views.  Matching uses a normalized L2
+    distance (Table 5, configurable to DTW at the API level).
+    """
+
+    points: Tuple[Tuple[float, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if len(self.points) < 2:
+            raise ShapeQueryValidationError("a sketch needs at least two points")
+        xs = [p[0] for p in self.points]
+        if any(b < a for a, b in zip(xs, xs[1:])):
+            raise ShapeQueryValidationError("sketch x values must be non-decreasing")
+
+    def xs(self):
+        """X coordinates as a list (ascending)."""
+        return [p[0] for p in self.points]
+
+    def ys(self):
+        """Y coordinates as a list."""
+        return [p[1] for p in self.points]
+
+    def __len__(self):
+        return len(self.points)

@@ -1,0 +1,115 @@
+"""Canonical textual form of a ShapeQuery.
+
+The printer emits the ASCII regex dialect accepted by
+:mod:`repro.parser.regex_parser`, so ``parse(print(q)) == q`` for any
+query (round-trip property, covered by tests).  The Unicode operator
+symbols of the paper (⊗ ⊙ ⊕) are also understood by the parser but the
+printer always emits the ASCII forms for portability.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.nodes import And, Concat, Node, Opposite, Or, ShapeSegment
+from repro.algebra.primitives import Modifier, Pattern, Quantifier
+
+
+def to_regex(node: Node) -> str:
+    """Render ``node`` in the canonical regex dialect."""
+    return _render(node, parent_priority=0)
+
+
+# Higher binds tighter: OR < AND < CONCAT < unary.
+_PRIORITY = {Or: 1, And: 2, Concat: 3, Opposite: 4, ShapeSegment: 5}
+
+_OPERATOR_GLYPH = {Or: " | ", And: " & "}
+
+
+def _render(node: Node, parent_priority: int) -> str:
+    priority = _PRIORITY[type(node)]
+    if isinstance(node, ShapeSegment):
+        text = _render_segment(node)
+    elif isinstance(node, Opposite):
+        text = "!" + _render(node.child, priority)
+    elif isinstance(node, Concat):
+        text = "".join(_render(child, priority) for child in node.children)
+    else:
+        glyph = _OPERATOR_GLYPH[type(node)]
+        text = glyph.join(_render(child, priority) for child in node.children)
+    if priority < parent_priority or (
+        priority == parent_priority and isinstance(node, (Concat, And, Or))
+    ):
+        # Same-operator nesting keeps parentheses so the parse tree (and,
+        # for CONCAT, the mean weights) round-trips exactly.
+        return "(" + text + ")"
+    return text
+
+
+def _render_segment(segment: ShapeSegment) -> str:
+    parts = []
+    loc = segment.location
+    if loc.iterator is not None:
+        parts.append("x.s=.")
+        parts.append("x.e=.+" + _num(loc.iterator.width))
+    else:
+        if loc.x_start is not None:
+            parts.append("x.s=" + _num(loc.x_start))
+        if loc.x_end is not None:
+            parts.append("x.e=" + _num(loc.x_end))
+    if loc.y_start is not None:
+        parts.append("y.s=" + _num(loc.y_start))
+    if loc.y_end is not None:
+        parts.append("y.e=" + _num(loc.y_end))
+    if segment.sketch is not None:
+        pairs = ",".join(
+            "{}:{}".format(_num(x), _num(y)) for x, y in segment.sketch.points
+        )
+        parts.append("v=({})".format(pairs))
+    if segment.pattern is not None:
+        parts.append("p=" + _render_pattern(segment.pattern))
+    if segment.modifier is not None:
+        parts.append("m=" + _render_modifier(segment.modifier))
+    body = ",".join(parts)
+    text = "[" + body + "]"
+    if segment.negated:
+        text = "!" + text
+    return text
+
+
+def _render_pattern(pattern: Pattern) -> str:
+    if pattern.kind == "slope":
+        return _num(pattern.theta)
+    if pattern.kind == "position":
+        ref = pattern.reference
+        if ref.index is not None:
+            return "$" + str(ref.index)
+        return "$-" if ref.relative == -1 else "$+"
+    if pattern.kind == "udp":
+        return "udp:" + pattern.udp_name
+    if pattern.kind == "nested":
+        return _render(pattern.nested, parent_priority=0)
+    if pattern.kind == "any":
+        return "*"
+    return pattern.kind  # up / down / flat / empty
+
+
+def _render_modifier(modifier: Modifier) -> str:
+    if modifier.comparison is not None:
+        if modifier.factor is not None:
+            return modifier.comparison + _num(modifier.factor)
+        return modifier.comparison
+    return _render_quantifier(modifier.quantifier)
+
+
+def _render_quantifier(quantifier: Quantifier) -> str:
+    if quantifier.low is not None and quantifier.low == quantifier.high:
+        return str(quantifier.low)
+    low = "" if quantifier.low is None else str(quantifier.low)
+    high = "" if quantifier.high is None else str(quantifier.high)
+    return "{" + low + "," + high + "}"
+
+
+def _num(value: float) -> str:
+    """Render a number without a trailing ``.0`` for integral values."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))

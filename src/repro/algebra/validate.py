@@ -1,0 +1,128 @@
+"""Semantic validation of ShapeQuery trees (paper §4, "meaningful ASTs").
+
+Syntactic well-formedness is enforced by the node constructors; this
+module checks cross-primitive consistency — the conditions whose
+violation the paper calls *semantic ambiguities* (e.g. "increasing from
+y=10 to y=5").  :func:`check` returns structured :class:`Issue` records
+(consumed by the NL ambiguity resolver); :func:`validate` raises on the
+first issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.algebra.nodes import Node, ShapeSegment
+from repro.errors import ShapeQueryValidationError
+
+#: Issue codes (stable identifiers, keyed by the resolver and by tests).
+X_ORDER = "x-order"
+Y_CONFLICT = "y-conflict"
+POSITION_RANGE = "position-range"
+POSITION_SELF = "position-self"
+QUANTIFIER_PATTERN = "quantifier-pattern"
+MODIFIER_PATTERN = "modifier-pattern"
+SKETCH_MODIFIER = "sketch-modifier"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding: a code, the segment index, and a message."""
+
+    code: str
+    segment_index: int
+    message: str
+
+    def __str__(self):
+        return "segment {}: {} [{}]".format(self.segment_index, self.message, self.code)
+
+
+def check(node: Node) -> List[Issue]:
+    """Collect all semantic issues in the query (empty list = valid)."""
+    issues: List[Issue] = []
+    segments = list(node.segments())
+    total = len(segments)
+    for index, seg in enumerate(segments):
+        issues.extend(_check_segment(seg, index, total))
+        pattern = seg.pattern
+        if pattern is not None and pattern.kind == "nested":
+            issues.extend(check(pattern.nested))
+    return issues
+
+
+def validate(node: Node) -> None:
+    """Raise :class:`ShapeQueryValidationError` on the first issue found."""
+    issues = check(node)
+    if issues:
+        raise ShapeQueryValidationError(
+            "; ".join(str(issue) for issue in issues)
+        )
+
+
+def _check_segment(seg: ShapeSegment, index: int, total: int) -> List[Issue]:
+    issues: List[Issue] = []
+    loc = seg.location
+    if loc.x_start is not None and loc.x_end is not None and loc.x_start >= loc.x_end:
+        issues.append(
+            Issue(X_ORDER, index, "x.s={} must precede x.e={}".format(loc.x_start, loc.x_end))
+        )
+    pattern = seg.pattern
+    if (
+        pattern is not None
+        and loc.y_start is not None
+        and loc.y_end is not None
+    ):
+        rising = loc.y_end > loc.y_start
+        falling = loc.y_end < loc.y_start
+        if pattern.kind == "up" and falling:
+            issues.append(
+                Issue(Y_CONFLICT, index, "pattern 'up' conflicts with falling y endpoints")
+            )
+        if pattern.kind == "down" and rising:
+            issues.append(
+                Issue(Y_CONFLICT, index, "pattern 'down' conflicts with rising y endpoints")
+            )
+    if pattern is not None and pattern.kind == "position":
+        target = pattern.reference.resolve(index)
+        if target == index:
+            issues.append(Issue(POSITION_SELF, index, "position reference points at itself"))
+        elif not 0 <= target < total:
+            issues.append(
+                Issue(
+                    POSITION_RANGE,
+                    index,
+                    "position reference ${} outside query with {} segments".format(target, total),
+                )
+            )
+    modifier = seg.modifier
+    if modifier is not None:
+        if modifier.is_quantifier and pattern is None:
+            issues.append(
+                Issue(QUANTIFIER_PATTERN, index, "a quantifier needs a pattern to count")
+            )
+        if modifier.is_quantifier and pattern is not None and pattern.kind in ("any", "empty"):
+            issues.append(
+                Issue(
+                    QUANTIFIER_PATTERN,
+                    index,
+                    "quantifier on pattern {!r} is not countable".format(pattern.kind),
+                )
+            )
+        if (
+            not modifier.is_quantifier
+            and pattern is not None
+            and pattern.kind in ("flat", "any", "empty", "nested", "udp")
+        ):
+            issues.append(
+                Issue(
+                    MODIFIER_PATTERN,
+                    index,
+                    "comparison modifier {!r} needs a directional or position pattern".format(
+                        modifier.comparison
+                    ),
+                )
+            )
+    if seg.sketch is not None and modifier is not None:
+        issues.append(Issue(SKETCH_MODIFIER, index, "sketch segments take no modifier"))
+    return issues

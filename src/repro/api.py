@@ -1,0 +1,131 @@
+"""The ShapeSearch session: the front-end/back-end seam of Figure 3.
+
+:class:`ShapeSearch` is what a user of this library holds: load a
+dataset, point at the z/x/y attributes, and search with any of the three
+specification mechanisms — natural language, the regex dialect, or a
+sketch — exactly the interchangeable-input design of §2::
+
+    from repro import ShapeSearch
+
+    session = ShapeSearch.from_csv("genes.csv")
+    matches = session.search(
+        "rising, then going down, and then rising again",
+        z="gene", x="time", y="expression", k=5,
+    )
+
+Strings are parsed as regex first and fall back to natural language, so
+``session.search("[p=up][p=down]")`` and
+``session.search("up then down")`` both work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.algebra.nodes import Node
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.chains import CompiledQuery, compile_query
+from repro.engine.executor import Match, ShapeSearchEngine
+from repro.errors import ShapeQuerySyntaxError
+from repro.nlp.tagger import EntityTagger
+from repro.nlp.translator import translate
+from repro.parser import parse as parse_regex
+from repro.sketch.canvas import Canvas
+from repro.sketch.parser import parse_sketch
+
+QueryLike = Union[str, Node, CompiledQuery]
+
+
+def parse_query(query: QueryLike, tagger: Optional[EntityTagger] = None) -> Node:
+    """Parse any supported query form into a ShapeQuery AST.
+
+    Strings are tried as the regex dialect first; on a syntax error the
+    natural-language pipeline takes over (the paper's interchangeable
+    front-ends).
+    """
+    if isinstance(query, Node):
+        return query
+    if isinstance(query, CompiledQuery):
+        return query.node
+    if not isinstance(query, str):
+        raise ShapeQuerySyntaxError("unsupported query type {!r}".format(type(query)))
+    stripped = query.strip()
+    if stripped.startswith(("[", "(", "!")):
+        return parse_regex(stripped)
+    try:
+        return parse_regex(stripped)
+    except ShapeQuerySyntaxError:
+        return translate(stripped, tagger=tagger).query
+
+
+class ShapeSearch:
+    """An interactive exploration session over one table."""
+
+    def __init__(self, table: Table, engine: Optional[ShapeSearchEngine] = None,
+                 tagger: Optional[EntityTagger] = None):
+        self.table = table
+        self.engine = engine if engine is not None else ShapeSearchEngine()
+        self.tagger = tagger
+
+    # -- loading ------------------------------------------------------------
+    @classmethod
+    def from_csv(cls, path: str, **kwargs) -> "ShapeSearch":
+        """Open a session over a CSV file."""
+        return cls(Table.from_csv(path), **kwargs)
+
+    @classmethod
+    def from_json(cls, path: str, **kwargs) -> "ShapeSearch":
+        """Open a session over a JSON file (list of records)."""
+        return cls(Table.from_json(path), **kwargs)
+
+    @classmethod
+    def from_records(cls, records, **kwargs) -> "ShapeSearch":
+        """Open a session over in-memory records."""
+        return cls(Table.from_records(records), **kwargs)
+
+    @classmethod
+    def from_arrays(cls, **columns) -> "ShapeSearch":
+        """Open a session over keyword column arrays."""
+        return cls(Table.from_arrays(**columns))
+
+    # -- querying ----------------------------------------------------------
+    def search(
+        self,
+        query: QueryLike,
+        z: str,
+        x: str,
+        y: str,
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+    ) -> List[Match]:
+        """Top-k visualizations matching the query (NL, regex, or AST)."""
+        node = parse_query(query, tagger=self.tagger)
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate, bin_width=bin_width
+        )
+        return self.engine.execute(self.table, params, node, k=k)
+
+    def search_sketch(
+        self,
+        pixels: Sequence[Tuple[float, float]],
+        z: str,
+        x: str,
+        y: str,
+        canvas: Optional[Canvas] = None,
+        mode: str = "precise",
+        k: int = 10,
+        filters: Sequence = (),
+    ) -> List[Match]:
+        """Search with a drawn polyline (precise or blurry interpretation)."""
+        node = parse_sketch(pixels, canvas=canvas, mode=mode)
+        params = VisualParams(z=z, x=x, y=y, filters=tuple(filters))
+        return self.engine.execute(self.table, params, node, k=k)
+
+    def explain(self, query: QueryLike) -> str:
+        """The canonical regex form of a query — the correction panel view."""
+        from repro.algebra.printer import to_regex
+
+        return to_regex(parse_query(query, tagger=self.tagger))

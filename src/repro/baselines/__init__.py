@@ -1,0 +1,19 @@
+"""Baselines the paper compares against: DTW, Euclidean, and a VQS tool."""
+
+from repro.baselines.dtw import dtw_distance, dtw_query_distance, rank_by_dtw
+from repro.baselines.euclidean import (
+    euclidean_distance,
+    euclidean_query_distance,
+    rank_by_euclidean,
+)
+from repro.baselines.vqs import VisualQuerySystem
+
+__all__ = [
+    "dtw_distance",
+    "dtw_query_distance",
+    "rank_by_dtw",
+    "euclidean_distance",
+    "euclidean_query_distance",
+    "rank_by_euclidean",
+    "VisualQuerySystem",
+]

@@ -1,0 +1,126 @@
+"""Dynamic Time Warping — the paper's principal baseline (§9, alg (vi)).
+
+A faithful implementation of the classic O(n·m) DTW recurrence with an
+optional Sakoe-Chiba band, on z-normalized series (the standard shape-
+matching configuration the paper cites).  For ranking visualizations
+against a *pattern* query (rather than a drawn trendline), the query is
+first rendered to a piecewise-linear prototype (:func:`query_prototype`)
+and candidates are ranked by ascending DTW distance to it — this is how
+the performance experiments compare DTW's accuracy against the
+ShapeSearch scoring functions (Figures 10 and 12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.chains import Chain, CompiledQuery
+from repro.engine.scoring import znormalize
+from repro.engine.trendline import Trendline
+from repro.engine.units import QuantifierUnit, SlopeUnit
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: Optional[int] = None,
+    normalize: bool = True,
+) -> float:
+    """DTW distance between two series (squared-error local cost).
+
+    ``band`` is the Sakoe-Chiba half-width in samples; None = unbanded.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if normalize:
+        a = znormalize(a)
+        b = znormalize(b)
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return math.inf
+    effective_band = max(n, m) if band is None else max(band, abs(n - m))
+
+    previous = np.full(m + 1, np.inf)
+    previous[0] = 0.0
+    for i in range(1, n + 1):
+        current = np.full(m + 1, np.inf)
+        j_lo = max(1, i - effective_band)
+        j_hi = min(m, i + effective_band)
+        cost = (a[i - 1] - b[j_lo - 1 : j_hi]) ** 2
+        for index, j in enumerate(range(j_lo, j_hi + 1)):
+            current[j] = cost[index] + min(
+                previous[j], previous[j - 1], current[j - 1]
+            )
+        previous = current
+    return float(math.sqrt(previous[m]))
+
+
+def _unit_rise(unit) -> float:
+    """Per-unit vertical displacement used to draw the prototype."""
+    if isinstance(unit, SlopeUnit):
+        if unit.kind == "up":
+            rise = 1.0
+        elif unit.kind == "down":
+            rise = -1.0
+        elif unit.kind == "slope":
+            rise = math.tan(math.radians(unit.theta))
+            rise = max(-3.0, min(3.0, rise))
+        else:  # flat / any / empty
+            rise = 0.0
+        return -rise if unit.negated else rise
+    if isinstance(unit, QuantifierUnit) and unit.kind in ("up", "down"):
+        return 1.0 if unit.kind == "up" else -1.0
+    return 0.0
+
+
+def chain_prototype(chain: Chain, length: int) -> np.ndarray:
+    """Piecewise-linear rendering of one alternative chain."""
+    k = chain.k
+    per_unit = max(2, length // k)
+    values: List[float] = [0.0]
+    level = 0.0
+    for cu in chain.units:
+        rise = _unit_rise(cu.unit)
+        for step in range(1, per_unit):
+            values.append(level + rise * step / (per_unit - 1))
+        level += rise
+    prototype = np.asarray(values, dtype=float)
+    if len(prototype) < length:
+        prototype = np.interp(
+            np.linspace(0, 1, length), np.linspace(0, 1, len(prototype)), prototype
+        )
+    return prototype
+
+
+def query_prototypes(query: CompiledQuery, length: int) -> List[np.ndarray]:
+    """One prototype per alternative chain."""
+    return [chain_prototype(chain, length) for chain in query.chains]
+
+
+def dtw_query_distance(
+    trendline: Trendline, query: CompiledQuery, band: Optional[int] = None
+) -> float:
+    """Min DTW distance from the trendline to any chain prototype."""
+    series = trendline.norm_bin_y
+    best = math.inf
+    for prototype in query_prototypes(query, len(series)):
+        best = min(best, dtw_distance(series, prototype, band=band, normalize=True))
+    return best
+
+
+def rank_by_dtw(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int = 10,
+    band: Optional[int] = None,
+) -> List[Tuple[Trendline, float]]:
+    """Top-k visualizations by ascending DTW distance to the query prototype."""
+    scored = [
+        (trendline, dtw_query_distance(trendline, query, band=band))
+        for trendline in trendlines
+    ]
+    scored.sort(key=lambda item: (item[1], str(item[0].key)))
+    return scored[:k]

@@ -1,0 +1,7 @@
+"""Data substrate: columnar tables, filters, visual parameters (§5.1)."""
+
+from repro.data.filters import Filter, apply_filters, parse_filter
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+
+__all__ = ["Filter", "apply_filters", "parse_filter", "Table", "VisualParams"]

@@ -1,0 +1,143 @@
+"""A small in-memory columnar table (the paper's OLAP substrate, §5.1).
+
+ShapeSearch's execution engine "considers a traditional OLAP data
+exploration setting with dataset D, stored in either a database, or as a
+raw file in CSV or JSON".  This module is that substrate: a columnar
+table with CSV/JSON loading (type-inferred), filtering, group-by and
+sorting — everything EXTRACT needs, with numpy arrays underneath.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+class Table:
+    """Immutable columnar table: column name -> numpy array."""
+
+    def __init__(self, columns: Dict[str, np.ndarray]):
+        if not columns:
+            raise DataError("a table needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise DataError("column lengths differ: {}".format(lengths))
+        self._columns = {name: np.asarray(values) for name, values in columns.items()}
+        self._length = next(iter(lengths.values()))
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_arrays(cls, **columns) -> "Table":
+        """Build from keyword columns of equal length."""
+        return cls({name: np.asarray(values) for name, values in columns.items()})
+
+    @classmethod
+    def from_records(cls, records: Sequence[dict]) -> "Table":
+        """Build from a list of homogeneous dicts."""
+        if not records:
+            raise DataError("no records given")
+        names = list(records[0].keys())
+        columns = {
+            name: _infer_array([record.get(name) for record in records]) for name in names
+        }
+        return cls(columns)
+
+    @classmethod
+    def from_csv(cls, path: str, delimiter: str = ",") -> "Table":
+        """Load a CSV file with header row; numeric columns are inferred."""
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise DataError("CSV file {!r} is empty".format(path)) from None
+            rows = list(reader)
+        if not rows:
+            raise DataError("CSV file {!r} has no data rows".format(path))
+        columns = {}
+        for index, name in enumerate(header):
+            columns[name.strip()] = _infer_array([row[index] for row in rows])
+        return cls(columns)
+
+    @classmethod
+    def from_json(cls, path: str) -> "Table":
+        """Load a JSON file holding a list of records."""
+        with open(path) as handle:
+            records = json.load(handle)
+        if not isinstance(records, list):
+            raise DataError("JSON file {!r} must hold a list of records".format(path))
+        return cls.from_records(records)
+
+    # -- access -------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataError(
+                "unknown column {!r}; available: {}".format(name, self.column_names)
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    # -- relational operations ------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset (by integer indices or boolean mask)."""
+        return Table({name: values[indices] for name, values in self._columns.items()})
+
+    def where(self, mask: np.ndarray) -> "Table":
+        """Row subset by boolean mask."""
+        if len(mask) != self._length:
+            raise DataError("mask length {} != table length {}".format(len(mask), self._length))
+        return self.take(np.asarray(mask, dtype=bool))
+
+    def sort_by(self, *names: str) -> "Table":
+        """Stable multi-key sort (last key least significant, numpy lexsort order)."""
+        keys = [self.column(name) for name in reversed(names)]
+        order = np.lexsort([_sortable(key) for key in keys])
+        return self.take(order)
+
+    def group_by(self, name: str) -> Iterator[Tuple[Hashable, np.ndarray]]:
+        """Yield ``(key, row indices)`` per distinct value, in first-seen order."""
+        values = self.column(name)
+        seen: Dict[Hashable, int] = {}
+        buckets: List[List[int]] = []
+        keys: List[Hashable] = []
+        for index, value in enumerate(values.tolist()):
+            slot = seen.get(value)
+            if slot is None:
+                seen[value] = len(buckets)
+                buckets.append([index])
+                keys.append(value)
+            else:
+                buckets[slot].append(index)
+        for key, bucket in zip(keys, buckets):
+            yield key, np.asarray(bucket)
+
+
+def _infer_array(values: Iterable) -> np.ndarray:
+    """Numeric array when every value parses as float, else object array."""
+    values = list(values)
+    try:
+        return np.array([float(value) for value in values], dtype=float)
+    except (TypeError, ValueError):
+        return np.array(values, dtype=object)
+
+
+def _sortable(values: np.ndarray) -> np.ndarray:
+    """Lexsort-compatible key: object columns sort by string form."""
+    if values.dtype == object:
+        return np.array([str(value) for value in values])
+    return values

@@ -1,0 +1,54 @@
+"""Visual parameters R = (z, x, y, f, b, a) of the paper (§5.1).
+
+``z`` defines the space of candidate visualizations (one trendline per
+distinct value), ``x``/``y`` the axes, ``f`` optional filters, ``b`` an
+optional binning width on the x axis and ``a`` the aggregate used when a
+single x value has multiple y values (the Real-Estate dataset case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.data.filters import Filter, parse_filter
+from repro.errors import DataError
+
+#: Supported aggregation functions for duplicate x values.
+AGGREGATES = ("mean", "sum", "min", "max", "count", "median")
+
+
+@dataclass(frozen=True)
+class VisualParams:
+    """The ``gen(R)`` inputs: which trendlines to generate and how."""
+
+    z: str
+    x: str
+    y: str
+    filters: tuple = ()
+    aggregate: str = "mean"
+    bin_width: Optional[float] = None
+
+    def __post_init__(self):
+        if self.aggregate not in AGGREGATES:
+            raise DataError(
+                "unknown aggregate {!r}; supported: {}".format(self.aggregate, AGGREGATES)
+            )
+        coerced = tuple(
+            parse_filter(item) if isinstance(item, str) else item for item in self.filters
+        )
+        for item in coerced:
+            if not isinstance(item, Filter):
+                raise DataError("not a filter: {!r}".format(item))
+        object.__setattr__(self, "filters", coerced)
+
+    def with_filters(self, *filters: Union[str, Filter]) -> "VisualParams":
+        """Copy with additional filters appended."""
+        return VisualParams(
+            z=self.z,
+            x=self.x,
+            y=self.y,
+            filters=self.filters + tuple(filters),
+            aggregate=self.aggregate,
+            bin_width=self.bin_width,
+        )

@@ -1,0 +1,23 @@
+"""Synthetic datasets: Table 11 suite equivalents and domain generators."""
+
+from repro.datasets.domains import (
+    astronomy_dataset,
+    gene_expression_dataset,
+    stock_dataset,
+    weather_dataset,
+)
+from repro.datasets.suites import SUITES, suite_spec, suite_table, suite_trendlines
+from repro.datasets.synthetic import SHAPE_FAMILIES, mixed_collection
+
+__all__ = [
+    "astronomy_dataset",
+    "gene_expression_dataset",
+    "stock_dataset",
+    "weather_dataset",
+    "SUITES",
+    "suite_spec",
+    "suite_table",
+    "suite_trendlines",
+    "SHAPE_FAMILIES",
+    "mixed_collection",
+]

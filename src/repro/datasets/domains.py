@@ -1,0 +1,195 @@
+"""Domain datasets for the examples and case studies (paper §1, §8).
+
+Each generator plants the motifs the paper describes among realistic
+background series, and returns both the table and the planted keys so
+examples and tests can verify that ShapeSearch queries actually retrieve
+the planted phenomena:
+
+* :func:`gene_expression_dataset` — the genomics case study (§8):
+  treatment responses (sudden expression then gradual decline),
+  stem-cell differentiation plateaus (gbx2/klf5/spry4), an outlier
+  double-peak gene (pvt1).
+* :func:`stock_dataset` — technical patterns from the intro: double
+  top, head-and-shoulders, cup, W-shape.
+* :func:`weather_dataset` — seasonal city temperatures, including
+  southern-hemisphere cities that rise Nov–Jan and fall May–Jul.
+* :func:`astronomy_dataset` — star luminosities with planetary-transit
+  dips and one supernova spike (Figure 1c).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.datasets.synthetic import add_peak, flat, piecewise, random_walk, seasonal
+
+
+def _to_table(series_by_key: Dict[str, np.ndarray], z: str, x: str, y: str) -> Table:
+    zs: List[str] = []
+    xs: List[float] = []
+    ys: List[float] = []
+    for key, series in series_by_key.items():
+        for position, value in enumerate(series):
+            zs.append(key)
+            xs.append(float(position))
+            ys.append(float(value))
+    return Table.from_arrays(**{
+        z: np.array(zs, dtype=object),
+        x: np.array(xs),
+        y: np.array(ys),
+    })
+
+
+def gene_expression_dataset(
+    n_genes: int = 60, length: int = 48, seed: int = 101
+) -> Tuple[Table, Dict[str, List[str]]]:
+    """Mouse-gene-like expression table with the §8 motifs planted.
+
+    Returns ``(table, planted)`` where ``planted`` maps motif names to
+    the gene keys that carry them:
+
+    * ``treatment``  — stable/low, sudden rise, gradual decline;
+    * ``stem-up``    — rise at ~45° then high stable plateau;
+    * ``stem-down``  — start high, gradual decline, low plateau;
+    * ``double-peak`` — two peaks within a short window (the pvt1 outlier).
+    """
+    rng = np.random.default_rng(seed)
+    series: Dict[str, np.ndarray] = {}
+    planted: Dict[str, List[str]] = {
+        "treatment": [],
+        "stem-up": [],
+        "stem-down": [],
+        "double-peak": [],
+    }
+
+    for name in ("gene_tr1", "gene_tr2", "gene_tr3"):
+        low = rng.uniform(0.5, 1.0)
+        peak = rng.uniform(5.0, 7.0)
+        # Stable and low, a sudden burst of expression, then a slow decline
+        # back toward baseline as the treatment's effect subsides (§8-II).
+        profile = piecewise(
+            length,
+            [low, low, low, peak, peak * 0.55, peak * 0.25, low * 1.5],
+            noise=0.12,
+            rng=rng,
+        )
+        series[name] = profile
+        planted["treatment"].append(name)
+
+    for name in ("gbx2", "klf5", "spry4"):
+        high = rng.uniform(4.0, 5.0)
+        profile = piecewise(length, [0.5, high, high, high], noise=0.12, rng=rng)
+        series[name] = profile
+        planted["stem-up"].append(name)
+
+    for name in ("gene_sd1", "gene_sd2"):
+        high = rng.uniform(4.0, 5.0)
+        profile = piecewise(length, [high, high * 0.6, 0.6, 0.5], noise=0.12, rng=rng)
+        series[name] = profile
+        planted["stem-down"].append(name)
+
+    base = flat(length, level=1.0, noise=0.1, rng=rng)
+    pvt1 = add_peak(base, center=length // 3, width=6, height=4.0)
+    pvt1 = add_peak(pvt1, center=length // 3 + 8, width=6, height=4.0)
+    series["pvt1"] = pvt1
+    planted["double-peak"].append("pvt1")
+
+    planted_count = len(series)
+    for index in range(n_genes - planted_count):
+        name = "gene_bg{:03d}".format(index)
+        choice = index % 3
+        if choice == 0:
+            series[name] = flat(length, level=rng.uniform(0.5, 2.0), noise=0.15, rng=rng)
+        elif choice == 1:
+            series[name] = seasonal(
+                length, period=length / 2, amplitude=rng.uniform(0.3, 0.8),
+                phase=rng.uniform(0, 6), noise=0.15, rng=rng,
+            ) + 2.0
+        else:
+            series[name] = random_walk(length, sigma=0.2, rng=rng) + 2.0
+
+    return _to_table(series, z="gene", x="time", y="expression"), planted
+
+
+def stock_dataset(
+    n_stocks: int = 80, length: int = 250, seed: int = 202
+) -> Tuple[Table, Dict[str, List[str]]]:
+    """Daily-price-like table with classic technical patterns planted."""
+    rng = np.random.default_rng(seed)
+    series: Dict[str, np.ndarray] = {}
+    planted: Dict[str, List[str]] = {
+        "double-top": [],
+        "head-shoulders": [],
+        "cup": [],
+        "w-shape": [],
+    }
+
+    for name in ("DTOP_A", "DTOP_B"):
+        series[name] = piecewise(length, [10, 18, 13, 18, 9], noise=0.25, rng=rng)
+        planted["double-top"].append(name)
+    for name in ("HS_A", "HS_B"):
+        series[name] = piecewise(length, [10, 15, 12, 19, 12, 15, 9], noise=0.25, rng=rng)
+        planted["head-shoulders"].append(name)
+    for name in ("CUP_A", "CUP_B"):
+        series[name] = piecewise(length, [16, 9, 8, 9, 16], noise=0.25, rng=rng)
+        planted["cup"].append(name)
+    for name in ("WSHAPE_A", "WSHAPE_B"):
+        series[name] = piecewise(length, [15, 8, 12, 8, 15], noise=0.25, rng=rng)
+        planted["w-shape"].append(name)
+
+    planted_count = len(series)
+    for index in range(n_stocks - planted_count):
+        name = "STK{:03d}".format(index)
+        series[name] = random_walk(length, drift=rng.uniform(-0.02, 0.04), sigma=0.3, rng=rng) + 20
+    return _to_table(series, z="symbol", x="day", y="price"), planted
+
+
+def weather_dataset(
+    n_cities: int = 48, length: int = 365, seed: int = 303
+) -> Tuple[Table, Dict[str, List[str]]]:
+    """City temperatures; southern-hemisphere cities are phase-shifted.
+
+    Planted keys: ``southern`` cities rise Nov–Jan and fall May–Jul (the
+    intro's Sydney example); ``northern`` the inverse.
+    """
+    rng = np.random.default_rng(seed)
+    series: Dict[str, np.ndarray] = {}
+    planted: Dict[str, List[str]] = {"southern": [], "northern": []}
+    for index in range(n_cities):
+        southern = index % 4 == 0
+        name = ("sydney_like{:02d}" if southern else "city{:02d}").format(index)
+        # Northern cities peak mid-year; southern peak at the year edges.
+        phase = np.pi / 2 if southern else -np.pi / 2
+        amplitude = rng.uniform(8, 14)
+        base = rng.uniform(5, 18)
+        profile = base + seasonal(
+            length, period=length, amplitude=amplitude, phase=phase, noise=0.8, rng=rng
+        )
+        series[name] = profile
+        planted["southern" if southern else "northern"].append(name)
+    return _to_table(series, z="city", x="day", y="temperature"), planted
+
+
+def astronomy_dataset(
+    n_stars: int = 120, length: int = 400, seed: int = 404
+) -> Tuple[Table, Dict[str, List[str]]]:
+    """Star luminosities with transit dips and one supernova (Figure 1c)."""
+    rng = np.random.default_rng(seed)
+    series: Dict[str, np.ndarray] = {}
+    planted: Dict[str, List[str]] = {"transit": [], "supernova": []}
+    for index in range(n_stars):
+        name = "star{:03d}".format(index)
+        base = flat(length, level=rng.uniform(80, 120), noise=0.6, rng=rng)
+        if index % 10 == 0:
+            center = int(rng.integers(length // 4, 3 * length // 4))
+            base = add_peak(base, center=center, width=24, height=-rng.uniform(8, 15))
+            planted["transit"].append(name)
+        series[name] = base
+    supernova = flat(length, level=90.0, noise=0.6, rng=rng)
+    supernova = add_peak(supernova, center=length // 2, width=30, height=60.0)
+    series["sn2026a"] = supernova
+    planted["supernova"].append("sn2026a")
+    return _to_table(series, z="object", x="time", y="luminosity"), planted

@@ -1,0 +1,153 @@
+"""Synthetic trendline generators.
+
+The building blocks the dataset suites and the study tasks are made of:
+piecewise-linear trends, seasonal curves, random walks, and motif
+injection (peaks, dips, plateaus).  Everything is driven by an explicit
+``numpy.random.Generator`` so datasets are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def piecewise(
+    n: int,
+    levels: Sequence[float],
+    noise: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A piecewise-linear series through equally spaced ``levels``.
+
+    ``levels`` are the values at the breakpoints (len(levels) − 1 linear
+    pieces).  Gaussian noise of the given σ is added when requested.
+    """
+    if len(levels) < 2:
+        raise ValueError("piecewise needs at least two levels")
+    breakpoints = np.linspace(0, n - 1, len(levels))
+    series = np.interp(np.arange(n), breakpoints, levels)
+    if noise > 0:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        series = series + rng.normal(0.0, noise, n)
+    return series
+
+
+def seasonal(
+    n: int,
+    period: float,
+    amplitude: float = 1.0,
+    phase: float = 0.0,
+    trend: float = 0.0,
+    noise: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sinusoidal seasonality with an optional linear trend."""
+    t = np.arange(n, dtype=float)
+    series = amplitude * np.sin(2 * np.pi * t / period + phase) + trend * t / n
+    if noise > 0:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        series = series + rng.normal(0.0, noise, n)
+    return series
+
+
+def random_walk(
+    n: int,
+    drift: float = 0.0,
+    sigma: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Cumulative-sum random walk with drift (stock-like background)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    steps = rng.normal(drift, sigma, n)
+    return np.cumsum(steps)
+
+
+def flat(
+    n: int, level: float = 0.0, noise: float = 0.0, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """A stable series around ``level``."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return np.full(n, level, dtype=float) + (rng.normal(0.0, noise, n) if noise > 0 else 0.0)
+
+
+def add_peak(
+    series: np.ndarray,
+    center: int,
+    width: int,
+    height: float,
+) -> np.ndarray:
+    """Inject a triangular peak (or dip, with negative height) in place of a copy."""
+    out = np.array(series, dtype=float)
+    n = len(out)
+    lo = max(0, center - width // 2)
+    hi = min(n, center + width // 2 + 1)
+    for i in range(lo, hi):
+        fraction = 1.0 - abs(i - center) / max(1, width // 2)
+        out[i] += height * max(0.0, fraction)
+    return out
+
+
+def add_plateau(series: np.ndarray, start: int, end: int, level: float) -> np.ndarray:
+    """Clamp a copy of the series to ``level`` over ``[start, end)`` (stem-cell motifs)."""
+    out = np.array(series, dtype=float)
+    out[start:end] = level
+    return out
+
+
+#: Shape families used to diversify the dataset suites.  Each entry maps a
+#: name to a factory (n, rng) -> series, covering the pattern taxonomy the
+#: study tasks search over.
+SHAPE_FAMILIES = {
+    "rise": lambda n, rng: piecewise(n, [0, rng.uniform(2, 6)], noise=0.3, rng=rng),
+    "fall": lambda n, rng: piecewise(n, [rng.uniform(2, 6), 0], noise=0.3, rng=rng),
+    "valley": lambda n, rng: piecewise(n, [4, rng.uniform(-1, 1), 4], noise=0.3, rng=rng),
+    "peak": lambda n, rng: piecewise(n, [0, rng.uniform(3, 6), 0], noise=0.3, rng=rng),
+    "rise-fall-rise": lambda n, rng: piecewise(
+        n, [0, rng.uniform(3, 6), rng.uniform(0.5, 2), rng.uniform(4, 8)], noise=0.3, rng=rng
+    ),
+    "fall-rise-fall": lambda n, rng: piecewise(
+        n, [5, rng.uniform(0, 2), rng.uniform(3, 6), 0], noise=0.3, rng=rng
+    ),
+    "double-peak": lambda n, rng: piecewise(
+        n, [0, rng.uniform(3, 5), 1, rng.uniform(3, 5), 0], noise=0.3, rng=rng
+    ),
+    "flat": lambda n, rng: flat(n, level=rng.uniform(-2, 2), noise=0.2, rng=rng),
+    "seasonal": lambda n, rng: seasonal(
+        n,
+        period=n / rng.integers(2, 6),
+        amplitude=rng.uniform(1, 3),
+        phase=rng.uniform(0, 2 * np.pi),
+        noise=0.2,
+        rng=rng,
+    ),
+    "walk": lambda n, rng: random_walk(n, drift=rng.uniform(-0.05, 0.05), sigma=0.5, rng=rng),
+    "flat-rise-fall-flat": lambda n, rng: piecewise(
+        n, [1, 1, rng.uniform(4, 6), 1, 1], noise=0.25, rng=rng
+    ),
+    "ramp-plateau": lambda n, rng: piecewise(
+        n, [0, rng.uniform(3, 6), rng.uniform(3, 6)], noise=0.25, rng=rng
+    ),
+}
+
+
+def mixed_collection(
+    count: int,
+    length: int,
+    seed: int,
+    families: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, np.ndarray]]:
+    """``count`` named series of the given length, cycling over shape families.
+
+    Keys are ``"<family>-<index>"`` so tests and examples can assert on
+    which family a retrieved visualization came from.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(families) if families is not None else list(SHAPE_FAMILIES)
+    collection: List[Tuple[str, np.ndarray]] = []
+    for index in range(count):
+        family = names[index % len(names)]
+        series = SHAPE_FAMILIES[family](length, rng)
+        collection.append(("{}-{:04d}".format(family, index), series))
+    return collection

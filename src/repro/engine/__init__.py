@@ -1,0 +1,21 @@
+"""ShapeSearch execution engine (paper §5–§6)."""
+
+from repro.engine.chains import Chain, ChainUnit, CompiledQuery, compile_query
+from repro.engine.executor import ALGORITHMS, ExecutionStats, Match, ShapeSearchEngine
+from repro.engine.statistics import PrefixStats, SummaryStats
+from repro.engine.trendline import Trendline, build_trendline
+
+__all__ = [
+    "Chain",
+    "ChainUnit",
+    "CompiledQuery",
+    "compile_query",
+    "ALGORITHMS",
+    "ExecutionStats",
+    "Match",
+    "ShapeSearchEngine",
+    "PrefixStats",
+    "SummaryStats",
+    "Trendline",
+    "build_trendline",
+]

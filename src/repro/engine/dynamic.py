@@ -1,0 +1,332 @@
+"""Optimal fuzzy segmentation via dynamic programming (paper §6.1).
+
+Implements the recurrence of Theorem 6.1/6.2 in O(n²k) per alternative
+chain: ``OPT(j, r)`` is the best weighted score of fitting the first
+``j`` fuzzy units of a chain so that they exactly cover the bins
+``[lo, r)``.  Transitions are vectorized over the split point using the
+prefix summarized statistics, so the inner maximization is a numpy
+reduction rather than a Python loop.
+
+Hybrid (partially pinned) chains are handled exactly: x-pinned units are
+scored at their pinned bins, and each maximal run of fuzzy units between
+pins becomes an independent full-cover sub-problem (paper §6's remark
+that hybrid queries reduce to fuzzy segmentation around the non-fuzzy
+VisualSegments).
+
+POSITION references are resolved with a second pass: once boundaries are
+fixed, every unit is re-scored with the fitted slopes of all units in
+context (DESIGN.md §2.7), and the reported per-unit scores always come
+from that final pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.chains import Chain, ChainUnit, CompiledQuery
+from repro.engine.trendline import Trendline
+from repro.engine.units import INFEASIBLE, MIN_SEGMENT_BINS, run_min_length
+
+_NEG_INF = -np.inf
+
+
+@dataclass
+class PlacedUnit:
+    """A unit's final placement: bins ``[start, end)`` and its scores."""
+
+    seg_index: int
+    start: int
+    end: int
+    score: float
+    weight: float
+    slope: float
+
+
+@dataclass
+class ChainSolution:
+    """Result of solving one alternative chain on one trendline."""
+
+    score: float
+    placements: List[PlacedUnit] = field(default_factory=list)
+
+    @property
+    def boundaries(self) -> List[int]:
+        bounds: List[int] = []
+        for placed in self.placements:
+            if not bounds or bounds[-1] != placed.start:
+                bounds.append(placed.start)
+            bounds.append(placed.end)
+        return bounds
+
+
+@dataclass
+class QueryResult:
+    """Best solution across a query's alternative chains."""
+
+    score: float
+    chain_index: int
+    solution: ChainSolution
+
+
+def solve_query(
+    trendline: Trendline,
+    query: CompiledQuery,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+    run_solver=None,
+) -> QueryResult:
+    """Score a compiled query on a trendline: max over alternative chains.
+
+    ``run_solver`` swaps the fuzzy-run algorithm (DP by default; the
+    SegmentTree and greedy engines plug in here).
+    """
+    best: Optional[QueryResult] = None
+    for index, chain in enumerate(query.chains):
+        solution = solve_chain(trendline, chain, lo=lo, hi=hi, run_solver=run_solver)
+        if best is None or solution.score > best.score:
+            best = QueryResult(score=solution.score, chain_index=index, solution=solution)
+    return best
+
+
+def solve_query_over_range(
+    trendline: Trendline, query: CompiledQuery, lo: int, hi: int
+) -> QueryResult:
+    """Entry point for NestedUnit: solve the sub-query inside ``[lo, hi)``."""
+    return solve_query(trendline, query, lo=lo, hi=hi)
+
+
+def solve_chain(
+    trendline: Trendline,
+    chain: Chain,
+    lo: Optional[int] = None,
+    hi: Optional[int] = None,
+    context: Optional[dict] = None,
+    run_solver=None,
+) -> ChainSolution:
+    """Optimally place one chain's units on ``trendline`` bins ``[lo, hi)``."""
+    solver = run_solver if run_solver is not None else _solve_fuzzy_run
+    lo = 0 if lo is None else lo
+    hi = trendline.n_bins if hi is None else hi
+    layout = plan_layout(trendline, chain, lo, hi)
+    if layout is None:
+        return ChainSolution(score=INFEASIBLE)
+
+    placements: List[Optional[Tuple[int, int]]] = [None] * chain.k
+    feasible = True
+    for piece in layout:
+        if piece.kind == "pinned":
+            placements[piece.indices[0]] = (piece.start, piece.end)
+            continue
+        result = solver(
+            trendline,
+            [chain.units[i] for i in piece.indices],
+            piece.start,
+            piece.end,
+            context,
+        )
+        if result is None:
+            feasible = False
+            for i in piece.indices:
+                placements[i] = (piece.start, piece.start)
+            continue
+        for i, bounds in zip(piece.indices, result):
+            placements[i] = bounds
+
+    return _finalize(trendline, chain, placements, context, feasible)
+
+
+def solve_chain_exact_cover(
+    trendline: Trendline,
+    chain: Chain,
+    lo: int,
+    hi: int,
+    context: Optional[dict] = None,
+) -> ChainSolution:
+    """Fit a chain to cover exactly ``[lo, hi)`` (used inside AND units)."""
+    return solve_chain(trendline, chain, lo=lo, hi=hi, context=context)
+
+
+# ---------------------------------------------------------------------------
+# Layout planning: pins split the chain into independent runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LayoutPiece:
+    """A maximal run of fuzzy units (or one pinned unit) and its bin range."""
+
+    kind: str  # "pinned" | "fuzzy"
+    indices: List[int]
+    start: int
+    end: int
+
+
+def plan_layout(
+    trendline: Trendline, chain: Chain, lo: int, hi: int
+) -> Optional[List[LayoutPiece]]:
+    """Split a chain around its x-pinned units.
+
+    Fuzzy runs must exactly cover the space between the surrounding fixed
+    boundaries; a single-sided pin (only x.s or only x.e) fixes one
+    boundary of its unit while the other side stays free, which the DP
+    models by treating the fixed side as a run boundary.
+    """
+    k = chain.k
+    starts: List[Optional[int]] = [None] * k
+    ends: List[Optional[int]] = [None] * k
+    for i, cu in enumerate(chain.units):
+        pin_start, pin_end = cu.unit.resolve_pins(trendline)
+        starts[i], ends[i] = pin_start, pin_end
+
+    pieces: List[LayoutPiece] = []
+    cursor = lo
+    run: List[int] = []
+
+    def flush_run(run_end: int) -> bool:
+        nonlocal cursor
+        if run:
+            pieces.append(LayoutPiece("fuzzy", list(run), cursor, run_end))
+            run.clear()
+        cursor = run_end
+        return True
+
+    for i in range(k):
+        fully_pinned = starts[i] is not None and ends[i] is not None
+        if fully_pinned:
+            if not flush_run(starts[i]):
+                return None
+            pieces.append(LayoutPiece("pinned", [i], starts[i], ends[i]))
+            cursor = ends[i]
+        elif starts[i] is not None:  # start-only pin: fixes the left boundary
+            flush_run(starts[i])
+            run.append(i)
+        elif ends[i] is not None:  # end-only pin: closes the current run
+            run.append(i)
+            flush_run(ends[i])
+        else:
+            run.append(i)
+    flush_run(hi)
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# Fuzzy full-cover DP (Theorem 6.2)
+# ---------------------------------------------------------------------------
+
+
+def _solve_fuzzy_run(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+) -> Optional[List[Tuple[int, int]]]:
+    """Best exact cover of bins ``[lo, hi)`` by the given fuzzy units.
+
+    Returns per-unit ``(start, end)`` placements or None when the range
+    cannot host them (fewer than 2 bins per unit available).
+    """
+    m = len(units)
+    if m == 0:
+        return [] if hi >= lo else None
+    length = hi - lo
+    if length < MIN_SEGMENT_BINS * m:
+        return None
+    min_len = run_min_length(lo, hi, m)
+    if m == 1:
+        return [(lo, hi)]
+
+    # opt[j][r-lo]: best weighted score of units[0..j] covering [lo, r).
+    grid = np.arange(lo, hi + 1)
+    opt = np.full((m, length + 1), _NEG_INF)
+    split = np.zeros((m, length + 1), dtype=int)
+
+    first = units[0]
+    ends = grid[min_len:]
+    opt[0, min_len:] = first.weight * first.unit.score_ends(
+        trendline, lo, ends, context
+    )
+
+    for j in range(1, m):
+        cu = units[j]
+        # Valid split points m for OPT[j][r]: lo + min_len*j <= m <= r - min_len.
+        min_split = lo + min_len * j
+        for r in range(lo + min_len * (j + 1), hi + 1):
+            ms = np.arange(min_split, r - min_len + 1)
+            if len(ms) == 0:
+                continue
+            left = opt[j - 1, ms - lo]
+            right = cu.weight * cu.unit.score_starts(trendline, ms, r, context)
+            candidates = left + right
+            best = int(np.argmax(candidates))
+            if candidates[best] > _NEG_INF:
+                opt[j, r - lo] = candidates[best]
+                split[j, r - lo] = ms[best]
+
+    if not np.isfinite(opt[m - 1, length]):
+        return None
+
+    # Backtrack the boundaries.
+    bounds: List[Tuple[int, int]] = []
+    r = hi
+    for j in range(m - 1, 0, -1):
+        s = int(split[j, r - lo])
+        bounds.append((s, r))
+        r = s
+    bounds.append((lo, r))
+    bounds.reverse()
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Final scoring pass (handles POSITION and reports per-unit detail)
+# ---------------------------------------------------------------------------
+
+
+def _finalize(
+    trendline: Trendline,
+    chain: Chain,
+    placements: List[Optional[Tuple[int, int]]],
+    context: Optional[dict],
+    feasible: bool,
+) -> ChainSolution:
+    slopes = dict(context) if context else {}
+    for cu, bounds in zip(chain.units, placements):
+        if bounds is None or cu.unit.seg_index < 0:
+            continue
+        start, end = bounds
+        if end - start >= MIN_SEGMENT_BINS:
+            slopes[cu.unit.seg_index] = trendline.prefix.slope(start, end)
+
+    placed: List[PlacedUnit] = []
+    total = 0.0
+    for cu, bounds in zip(chain.units, placements):
+        if bounds is None:
+            score = INFEASIBLE
+            start = end = 0
+            slope = 0.0
+        else:
+            start, end = bounds
+            if end - start < MIN_SEGMENT_BINS:
+                score = INFEASIBLE
+                slope = 0.0
+            else:
+                score = cu.unit.score(trendline, start, end, slopes)
+                slope = trendline.prefix.slope(start, end)
+        total += cu.weight * score
+        placed.append(
+            PlacedUnit(
+                seg_index=cu.unit.seg_index,
+                start=start,
+                end=end,
+                score=score,
+                weight=cu.weight,
+                slope=slope,
+            )
+        )
+    if not feasible:
+        total = INFEASIBLE
+    return ChainSolution(score=float(total), placements=placed)

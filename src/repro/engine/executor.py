@@ -1,0 +1,195 @@
+"""The SEGMENT + SCORE stages and the top-k driver (paper §5, Problem 1).
+
+:class:`ShapeSearchEngine` ties the pipeline together: compile the
+ShapeQuery, run EXTRACT/GROUP with the push-down plan, pick a
+segmentation algorithm per candidate visualization (or the two-stage
+collective pruning driver for fuzzy queries), and return the top-k
+matches.  Algorithms:
+
+* ``"dp"`` — optimal dynamic programming, O(n²k) (§6.1);
+* ``"segment-tree"`` — pattern-aware, O(nk⁴) (§6.2), the default;
+* ``"greedy"`` — local-search baseline (§9);
+* ``"exhaustive"`` — the brute-force oracle (tests/small data only).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.algebra.nodes import Node
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.chains import CompiledQuery, compile_query
+from repro.engine.dynamic import QueryResult, solve_query
+from repro.engine.exhaustive import exhaustive_solve_query
+from repro.engine.greedy import greedy_run_solver
+from repro.engine.pipeline import generate_trendlines
+from repro.engine.pruning import PruningReport, is_prunable, prune_and_rank
+from repro.engine.pushdown import eager_discard, plan_pushdown
+from repro.engine.segment_tree import segment_tree_run_solver
+from repro.engine.trendline import Trendline
+from repro.errors import ExecutionError
+
+#: Supported segmentation algorithms.
+ALGORITHMS = ("dp", "segment-tree", "greedy", "exhaustive")
+
+#: Run solvers plugged into :func:`repro.engine.dynamic.solve_chain`.
+_RUN_SOLVERS = {
+    "dp": None,  # dynamic's own DP
+    "segment-tree": segment_tree_run_solver,
+    "greedy": greedy_run_solver,
+}
+
+
+@dataclass
+class Match:
+    """One ranked visualization: who, how well, and where each pattern fit."""
+
+    key: object
+    score: float
+    result: QueryResult
+    trendline: Trendline
+
+    @property
+    def placements(self):
+        """Per-unit (segment index, start bin, end bin, score, slope)."""
+        return self.result.solution.placements
+
+    def __repr__(self):
+        return "Match({!r}, score={:.3f})".format(self.key, self.score)
+
+
+@dataclass
+class ExecutionStats:
+    """What the engine did for one query (inspected by benchmarks)."""
+
+    candidates: int = 0
+    extracted: int = 0
+    eager_discarded: int = 0
+    scored: int = 0
+    pruning: Optional[PruningReport] = None
+
+
+class ShapeSearchEngine:
+    """Back-end execution engine: Problem 1's ``top-k argmax SF(Q, Vi)``."""
+
+    def __init__(
+        self,
+        algorithm: str = "segment-tree",
+        enable_pushdown: bool = True,
+        enable_pruning: bool = False,
+        sample_size: int = 20,
+        sample_points: int = 64,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ExecutionError(
+                "unknown algorithm {!r}; choose from {}".format(algorithm, ALGORITHMS)
+            )
+        self.algorithm = algorithm
+        self.enable_pushdown = enable_pushdown
+        self.enable_pruning = enable_pruning
+        self.sample_size = sample_size
+        self.sample_points = sample_points
+        self.last_stats = ExecutionStats()
+
+    # -- full pipeline -----------------------------------------------------
+    def execute(
+        self,
+        table: Table,
+        params: VisualParams,
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+    ) -> List[Match]:
+        """EXTRACT → GROUP → SEGMENT → SCORE → top-k."""
+        compiled = self._compile(query)
+        plan = plan_pushdown(compiled) if self.enable_pushdown else None
+        normalize_y = not _query_constrains_y(compiled)
+        trendlines = generate_trendlines(table, params, normalize_y, plan)
+        return self.rank(trendlines, compiled, k, extracted_hint=len(trendlines))
+
+    # -- core ranking --------------------------------------------------------
+    def rank(
+        self,
+        trendlines: Sequence[Trendline],
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        extracted_hint: Optional[int] = None,
+    ) -> List[Match]:
+        """Rank pre-built trendlines against a query."""
+        compiled = self._compile(query)
+        stats = ExecutionStats(
+            candidates=len(trendlines),
+            extracted=extracted_hint if extracted_hint is not None else len(trendlines),
+        )
+        self.last_stats = stats
+
+        if (
+            self.enable_pruning
+            and self.algorithm == "segment-tree"
+            and is_prunable(compiled)
+        ):
+            report = PruningReport()
+            ranked = prune_and_rank(
+                list(trendlines),
+                compiled,
+                k,
+                sample_size=self.sample_size,
+                sample_points=self.sample_points,
+                report=report,
+            )
+            stats.pruning = report
+            stats.scored = report.completed
+            return [
+                Match(key=tl.key, score=result.score, result=result, trendline=tl)
+                for tl, result in ranked
+            ]
+
+        heap: List[tuple] = []
+        counter = 0
+        for trendline in trendlines:
+            if self.enable_pushdown and eager_discard(trendline, compiled):
+                stats.eager_discarded += 1
+                continue
+            result = self._solve(trendline, compiled)
+            stats.scored += 1
+            counter += 1
+            item = (result.score, counter, trendline, result)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item[0] > heap[0][0]:
+                heapq.heapreplace(heap, item)
+        ranked = sorted(heap, key=lambda item: (-item[0], str(item[2].key)))
+        return [
+            Match(key=tl.key, score=score, result=result, trendline=tl)
+            for score, _, tl, result in ranked
+        ]
+
+    def score_one(
+        self, trendline: Trendline, query: Union[Node, CompiledQuery]
+    ) -> QueryResult:
+        """Score a single trendline (used by examples and tests)."""
+        return self._solve(trendline, self._compile(query))
+
+    # -- internals --------------------------------------------------------------
+    def _compile(self, query: Union[Node, CompiledQuery]) -> CompiledQuery:
+        if isinstance(query, CompiledQuery):
+            return query
+        if isinstance(query, Node):
+            return compile_query(query)
+        raise ExecutionError("query must be a ShapeQuery AST or CompiledQuery")
+
+    def _solve(self, trendline: Trendline, compiled: CompiledQuery) -> QueryResult:
+        if self.algorithm == "exhaustive":
+            return exhaustive_solve_query(trendline, compiled)
+        return solve_query(trendline, compiled, run_solver=_RUN_SOLVERS[self.algorithm])
+
+
+def _query_constrains_y(query: CompiledQuery) -> bool:
+    """z-score normalization is skipped when the query pins raw y values."""
+    return any(
+        cu.unit.location.y_start is not None or cu.unit.location.y_end is not None
+        for chain in query.chains
+        for cu in chain.units
+    )

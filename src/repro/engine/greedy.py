@@ -1,0 +1,88 @@
+"""Greedy segmentation baseline (paper §9, algorithm (v)).
+
+Starts from equal-sized VisualSegments and hill-climbs: each round
+considers moving every interior boundary to the midpoint of its left or
+right neighbouring segment (the paper's "extend or shrink by half") and
+takes the best improving move, stopping at a local optimum.  Fast —
+O(rounds · k · cost(score)) — but routinely stuck, which is exactly the
+accuracy/latency trade-off Figure 12 reports (< 30% of DP's top-k).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.chains import ChainUnit
+from repro.engine.trendline import Trendline
+from repro.engine.units import MIN_SEGMENT_BINS, run_min_length
+
+#: Hard cap on hill-climbing rounds (each round moves one boundary).
+MAX_ROUNDS = 200
+
+
+def greedy_run_solver(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+) -> Optional[List[Tuple[int, int]]]:
+    """Drop-in run solver for :func:`repro.engine.dynamic.solve_chain`."""
+    m = len(units)
+    if m == 0:
+        return []
+    if hi - lo < MIN_SEGMENT_BINS * m:
+        return None
+    min_len = run_min_length(lo, hi, m)
+    if m == 1:
+        return [(lo, hi)]
+
+    # Equal-sized initial boundaries.
+    boundaries = [lo + round(i * (hi - lo) / m) for i in range(m + 1)]
+    boundaries[0], boundaries[-1] = lo, hi
+    _repair(boundaries, lo, hi, min_len)
+
+    def total(bounds: List[int]) -> float:
+        return sum(
+            cu.weight * cu.unit.score(trendline, bounds[i], bounds[i + 1], context)
+            for i, cu in enumerate(units)
+        )
+
+    current = total(boundaries)
+    for _ in range(MAX_ROUNDS):
+        best_move = None
+        best_score = current
+        for i in range(1, m):
+            left_mid = (boundaries[i - 1] + boundaries[i]) // 2
+            right_mid = (boundaries[i] + boundaries[i + 1]) // 2
+            for candidate in (left_mid, right_mid):
+                if candidate == boundaries[i]:
+                    continue
+                if candidate - boundaries[i - 1] < min_len:
+                    continue
+                if boundaries[i + 1] - candidate < min_len:
+                    continue
+                trial = list(boundaries)
+                trial[i] = candidate
+                score = total(trial)
+                if score > best_score:
+                    best_score = score
+                    best_move = (i, candidate)
+        if best_move is None:
+            break
+        boundaries[best_move[0]] = best_move[1]
+        current = best_score
+
+    return [(boundaries[i], boundaries[i + 1]) for i in range(m)]
+
+
+def _repair(boundaries: List[int], lo: int, hi: int, min_len: int) -> None:
+    """Force the minimum spacing after integer rounding."""
+    for i in range(1, len(boundaries)):
+        if boundaries[i] - boundaries[i - 1] < min_len:
+            boundaries[i] = boundaries[i - 1] + min_len
+    for i in range(len(boundaries) - 2, -1, -1):
+        if boundaries[i + 1] - boundaries[i] < min_len:
+            boundaries[i] = boundaries[i + 1] - min_len
+    boundaries[0] = lo
+    boundaries[-1] = hi

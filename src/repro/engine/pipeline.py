@@ -1,0 +1,115 @@
+"""The EXTRACT and GROUP physical operators (paper §5.3, Figure 5).
+
+EXTRACT selects and aggregates records by the visual parameters
+(z, x, y, filters, aggregation) and streams per-z point sets, sorted on
+x.  GROUP turns each point set into a
+:class:`~repro.engine.trendline.Trendline`: z-score normalization (when
+the query has no raw-y constraints), optional binning by width ``b``,
+and the per-bin summarized statistics of Theorem 5.1.  The push-down
+hooks of §5.4 thread through both operators.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.filters import apply_filters
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.pushdown import PushdownPlan, has_required_data
+from repro.engine.trendline import Trendline, build_trendline
+from repro.errors import DataError
+
+_AGGREGATES = {
+    "mean": np.mean,
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "count": len,
+    "median": np.median,
+}
+
+
+def extract(
+    table: Table,
+    params: VisualParams,
+    plan: Optional[PushdownPlan] = None,
+) -> Iterator[Tuple[Hashable, np.ndarray, np.ndarray]]:
+    """EXTRACT: stream ``(z value, sorted x, aggregated y)`` per group.
+
+    Duplicate x values inside a group are collapsed with the configured
+    aggregate (the paper's Real-Estate case).  Push-down (a) skips groups
+    lacking data in any pinned x span of the query.
+    """
+    for name in (params.z, params.x, params.y):
+        if name not in table:
+            raise DataError(
+                "visual parameter column {!r} not in table (columns: {})".format(
+                    name, table.column_names
+                )
+            )
+    filtered = apply_filters(table, params.filters)
+    aggregate = _AGGREGATES[params.aggregate]
+    for key, indices in filtered.group_by(params.z):
+        x = filtered.column(params.x)[indices].astype(float)
+        y = filtered.column(params.y)[indices].astype(float)
+        order = np.argsort(x, kind="stable")
+        x, y = x[order], y[order]
+        if plan is not None and plan.required_spans and not has_required_data(
+            x, plan.required_spans
+        ):
+            continue
+        unique_x, inverse = np.unique(x, return_inverse=True)
+        if len(unique_x) != len(x):
+            aggregated = np.empty(len(unique_x))
+            for slot in range(len(unique_x)):
+                aggregated[slot] = aggregate(y[inverse == slot])
+            x, y = unique_x, aggregated
+        if len(x) < 2:
+            continue
+        yield key, x, y
+
+
+def group(
+    streams: Iterator[Tuple[Hashable, np.ndarray, np.ndarray]],
+    params: VisualParams,
+    normalize_y: bool = True,
+    plan: Optional[PushdownPlan] = None,
+) -> Iterator[Trendline]:
+    """GROUP: build one Trendline per z value.
+
+    Push-down (c): when the plan says the query is fully pinned, the
+    summarized statistics are materialized only over the union of the
+    pinned x ranges.
+    """
+    for key, x, y in streams:
+        keep_range = None
+        if plan is not None and plan.keep_span is not None:
+            lo_x, hi_x = plan.keep_span
+            lo_bin = int(np.searchsorted(x, lo_x, side="left"))
+            hi_bin = int(np.searchsorted(x, hi_x, side="right"))
+            if params.bin_width is None and hi_bin - lo_bin >= 2:
+                keep_range = (lo_bin, hi_bin)
+        try:
+            yield build_trendline(
+                key,
+                x,
+                y,
+                bin_width=params.bin_width,
+                normalize_y=normalize_y,
+                keep_range=keep_range,
+            )
+        except DataError:
+            continue
+
+
+def generate_trendlines(
+    table: Table,
+    params: VisualParams,
+    normalize_y: bool = True,
+    plan: Optional[PushdownPlan] = None,
+) -> List[Trendline]:
+    """EXTRACT ∘ GROUP: the candidate visualizations ``gen(R)``."""
+    return list(group(extract(table, params, plan), params, normalize_y, plan))

@@ -1,0 +1,98 @@
+"""Early pruning via push-down optimizations (paper §5.4).
+
+Three optimizations move work up the pipeline:
+
+(a) **LOCATION → EXTRACT**: visualizations with no data inside a pinned
+    x range of the query are dropped before GROUP ever sees them.
+(b) **Eager pinned-pattern checks → SEGMENT**: a pinned up/down
+    ShapeSegment is scored first; when every alternative chain has such
+    a segment scoring negative, the visualization is discarded before
+    any fuzzy segmentation happens.
+(c) **Range restriction → GROUP**: when every segment of the query is
+    pinned, summarized statistics are materialized only over the union
+    of the pinned x ranges (raw values are kept for plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.chains import CompiledQuery
+from repro.engine.trendline import Trendline
+from repro.engine.units import SlopeUnit
+
+
+@dataclass
+class PushdownPlan:
+    """Static query analysis shared by the pipeline operators."""
+
+    #: Pinned x spans; EXTRACT requires data inside each (optimization a).
+    required_spans: List[Tuple[float, float]] = field(default_factory=list)
+    #: x span to materialize statistics for, when fully pinned (c).
+    keep_span: Optional[Tuple[float, float]] = None
+    #: Whether any chain carries a pinned directional unit (enables b).
+    has_eager_checks: bool = False
+
+
+def plan_pushdown(query: CompiledQuery) -> PushdownPlan:
+    """Derive the push-down plan from a compiled query."""
+    plan = PushdownPlan()
+    spans: List[Tuple[float, float]] = []
+    fully_pinned = True
+    for chain in query.chains:
+        for cu in chain.units:
+            loc = cu.unit.location
+            if loc.is_x_pinned:
+                spans.append((loc.x_start, loc.x_end))
+                if isinstance(cu.unit, SlopeUnit) and cu.unit.kind in ("up", "down"):
+                    plan.has_eager_checks = True
+            else:
+                fully_pinned = False
+    # Deduplicate while preserving order.
+    seen = set()
+    for span in spans:
+        if span not in seen:
+            seen.add(span)
+            plan.required_spans.append(span)
+    if fully_pinned and spans:
+        plan.keep_span = (min(s for s, _ in spans), max(e for _, e in spans))
+    return plan
+
+
+def has_required_data(x_values: np.ndarray, spans: List[Tuple[float, float]]) -> bool:
+    """Push-down (a): does the group have data inside every pinned span?"""
+    for lo, hi in spans:
+        inside = (x_values >= lo) & (x_values <= hi)
+        if not inside.any():
+            return False
+    return True
+
+
+def eager_discard(trendline: Trendline, query: CompiledQuery) -> bool:
+    """Push-down (b): can this visualization be discarded before segmentation?
+
+    A chain *fails* when one of its pinned up/down segments scores
+    negative at its pinned bins; the visualization is discarded only if
+    every alternative chain fails (chains without pinned directional
+    segments never fail here).
+    """
+    any_chain_viable = False
+    for chain in query.chains:
+        chain_fails = False
+        for cu in chain.units:
+            unit = cu.unit
+            if not (isinstance(unit, SlopeUnit) and unit.kind in ("up", "down")):
+                continue
+            if not unit.location.is_x_pinned:
+                continue
+            start, end = unit.resolve_pins(trendline)
+            if unit.score(trendline, start, end) <= 0.0:
+                chain_fails = True
+                break
+        if not chain_fails:
+            any_chain_viable = True
+            break
+    return not any_chain_viable

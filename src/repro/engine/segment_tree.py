@@ -1,0 +1,215 @@
+"""The SegmentTree pattern-aware segmentation algorithm (paper §6.2).
+
+A balanced binary tree is (logically) laid over the bins of the
+visualization; leaves span 2–3 bins.  At every node the algorithm keeps,
+for each contiguous *subchain* ``[i..j]`` of the query's units, the best
+placement whose segments exactly cover the node's range — the paper's
+per-node ShapeExpr tables of Figure 7.  A parent node combines its
+children's tables two ways:
+
+* **adjacent** — left ``[i..m]`` next to right ``[m+1..j]``;
+* **merge** — left ``[i..m]`` with right ``[m..j]``: the shared unit
+  ``m`` spans the node boundary, so its two partial segments are merged
+  and the unit is *re-scored* over the union via the summarized
+  statistics (the duplicate-resolution rule the paper walks through at
+  node 5 of Figure 7, resolved by maximum score per Closure).
+
+Under the paper's Closure assumption (a break point found in a smaller
+region stays a break point in enclosing regions) the root's ``[0..k−1]``
+entry is optimal; without it the result is an approximation whose
+accuracy Figure 12 measures against the DP oracle.  Node work is
+O(n·k³) — linear in the trendline length (Theorem 6.3; the paper quotes
+the coarser O(n·k⁴) bound from the k²×k² cross product).
+
+The tree is built bottom-up one level at a time
+(:class:`IncrementalSegmentTree`), which is what the two-stage pruning
+driver (§6.3) exploits: it advances all candidate visualizations in
+rounds and prunes between levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.chains import ChainUnit
+from repro.engine.trendline import Trendline
+from repro.engine.units import MIN_SEGMENT_BINS, run_min_length
+
+#: A table entry: (weighted score sum, per-unit placements, per-unit scores).
+Entry = Tuple[float, Tuple[Tuple[int, int], ...], Tuple[float, ...]]
+
+#: A node table: subchain (i, j) -> best Entry.
+Table = Dict[Tuple[int, int], Entry]
+
+
+def leaf_ranges(lo: int, hi: int, size: int = MIN_SEGMENT_BINS) -> List[Tuple[int, int]]:
+    """Chop ``[lo, hi)`` into ``size``-bin leaves; the last absorbs a remainder.
+
+    The leaf size doubles as the minimum unit width: every placement the
+    tree produces is a union of leaves, so sizing leaves at the
+    perceptual minimum (:func:`repro.engine.units.run_min_length`)
+    enforces it structurally.
+    """
+    ranges: List[Tuple[int, int]] = []
+    position = lo
+    while hi - position >= 2 * size:
+        ranges.append((position, position + size))
+        position += size
+    ranges.append((position, hi))
+    return ranges
+
+
+class IncrementalSegmentTree:
+    """Level-wise bottom-up construction of the SegmentTree tables."""
+
+    def __init__(
+        self,
+        trendline: Trendline,
+        units: List[ChainUnit],
+        lo: int,
+        hi: int,
+        context: Optional[dict] = None,
+        leaf_size: Optional[int] = None,
+    ):
+        self.trendline = trendline
+        self.units = units
+        self.context = context
+        self.min_len = run_min_length(lo, hi, max(1, len(units)))
+        if leaf_size is None:
+            # Finer than the minimum unit width so break points stay close
+            # to DP's; the width floor is enforced on interior placements
+            # during combination instead (boundary placements keep growing
+            # through merges at higher levels).
+            leaf_size = max(MIN_SEGMENT_BINS, self.min_len // 2)
+        self.ranges = leaf_ranges(lo, hi, leaf_size)
+        self.tables = [
+            self._leaf_table(l, r) for l, r in self.ranges
+        ]
+
+    @property
+    def done(self) -> bool:
+        return len(self.tables) <= 1
+
+    def step(self) -> None:
+        """Combine one level: adjacent node pairs become parent nodes."""
+        if self.done:
+            return
+        final = len(self.tables) == 2
+        new_tables: List[Table] = []
+        new_ranges: List[Tuple[int, int]] = []
+        for i in range(0, len(self.tables) - 1, 2):
+            new_tables.append(
+                self._combine(self.tables[i], self.tables[i + 1], final=final)
+            )
+            new_ranges.append((self.ranges[i][0], self.ranges[i + 1][1]))
+        if len(self.tables) % 2 == 1:
+            new_tables.append(self.tables[-1])
+            new_ranges.append(self.ranges[-1])
+        self.tables = new_tables
+        self.ranges = new_ranges
+
+    def run(self) -> Optional[Entry]:
+        """Build to the root and return the full-chain entry (or None)."""
+        while not self.done:
+            self.step()
+        return self.tables[0].get((0, len(self.units) - 1)) if self.tables else None
+
+    # -- internals ---------------------------------------------------------
+    def _leaf_table(self, lo: int, hi: int) -> Table:
+        table: Table = {}
+        placement = ((lo, hi),)
+        for i, cu in enumerate(self.units):
+            score = cu.unit.score(self.trendline, lo, hi, self.context)
+            table[(i, i)] = (cu.weight * score, placement, (score,))
+        return table
+
+    def _combine(self, left: Table, right: Table, final: bool = False) -> Table:
+        """Combine two sibling tables; ``final`` marks the root combine,
+        where boundary placements can no longer grow and entries meeting
+        the width floor on *every* placement are preferred."""
+        trendline = self.trendline
+        units = self.units
+        context = self.context
+        out: Table = {}
+        strict: Table = {}
+
+        def offer(key, entry):
+            current = out.get(key)
+            if current is None or entry[0] > current[0]:
+                out[key] = entry
+            if final:
+                places = entry[1]
+                if (
+                    places[0][1] - places[0][0] >= self.min_len
+                    and places[-1][1] - places[-1][0] >= self.min_len
+                ):
+                    best = strict.get(key)
+                    if best is None or entry[0] > best[0]:
+                        strict[key] = entry
+
+        right_by_start: Dict[int, List[Tuple[int, Entry]]] = {}
+        for (i2, j), entry in right.items():
+            right_by_start.setdefault(i2, []).append((j, entry))
+
+        min_len = self.min_len
+        for (i, m), (l_wsum, l_place, l_scores) in left.items():
+            # Adjacent: [i..m] ⊗ [m+1..j].  A placement that becomes
+            # *interior* here is final and must meet the width floor.
+            left_last_ok = i == m or l_place[-1][1] - l_place[-1][0] >= min_len
+            for j, (r_wsum, r_place, r_scores) in right_by_start.get(m + 1, ()):
+                if not left_last_ok:
+                    break
+                if m + 1 < j and r_place[0][1] - r_place[0][0] < min_len:
+                    continue
+                offer((i, j), (l_wsum + r_wsum, l_place + r_place, l_scores + r_scores))
+
+            # Merge: the shared unit m spans the node boundary.
+            for j, (r_wsum, r_place, r_scores) in right_by_start.get(m, ()):
+                cu = units[m]
+                a = l_place[-1][0]
+                b = r_place[0][1]
+                if i < m and m < j and b - a < min_len:
+                    continue
+                merged_score = cu.unit.score(trendline, a, b, context)
+                wsum = (
+                    l_wsum
+                    - cu.weight * l_scores[-1]
+                    + r_wsum
+                    - cu.weight * r_scores[0]
+                    + cu.weight * merged_score
+                )
+                offer(
+                    (i, j),
+                    (
+                        wsum,
+                        l_place[:-1] + ((a, b),) + r_place[1:],
+                        l_scores[:-1] + (merged_score,) + r_scores[1:],
+                    ),
+                )
+        if final:
+            # Width-floor-compliant entries win at the root; entries with
+            # an undersized boundary survive only as fallbacks.
+            out.update(strict)
+        return out
+
+
+def segment_tree_run_solver(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+) -> Optional[List[Tuple[int, int]]]:
+    """Drop-in run solver for :func:`repro.engine.dynamic.solve_chain`."""
+    m = len(units)
+    if m == 0:
+        return []
+    if hi - lo < MIN_SEGMENT_BINS * m:
+        return None
+    if m == 1:
+        return [(lo, hi)]
+    tree = IncrementalSegmentTree(trendline, units, lo, hi, context)
+    entry = tree.run()
+    if entry is None:
+        return None
+    return list(entry[1])

@@ -1,0 +1,168 @@
+"""Summarized statistics and additive line fitting (paper §5.3, Theorem 5.1).
+
+The GROUP operator reduces each trendline to per-bin *summarized
+statistics* — the five numbers ``Σx, Σy, Σx·y, Σx², n`` — which are
+sufficient to fit a least-squares line over any contiguous union of bins
+without revisiting the raw points (Theorem 5.1, "Additivity").  This
+module provides:
+
+* :class:`SummaryStats` — the five numbers with merge (+) and the
+  regression formulas for slope and intercept.
+* :class:`PrefixStats` — cumulative arrays over the bins of a trendline,
+  so that the statistics of any half-open bin range ``[l, r)`` are two
+  array lookups and a subtraction, and slopes for *many* ranges can be
+  computed in one vectorized expression (used by the DP engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Degenerate-denominator guard for the slope formula.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """The five summarized statistics of a VisualSegment (paper §5.3)."""
+
+    n: float
+    sx: float
+    sy: float
+    sxy: float
+    sxx: float
+
+    @classmethod
+    def of(cls, x: np.ndarray, y: np.ndarray) -> "SummaryStats":
+        """Statistics of raw points (used in tests and leaf construction)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return cls(
+            n=float(len(x)),
+            sx=float(x.sum()),
+            sy=float(y.sum()),
+            sxy=float((x * y).sum()),
+            sxx=float((x * x).sum()),
+        )
+
+    def __add__(self, other: "SummaryStats") -> "SummaryStats":
+        """Merge two adjacent VisualSegments (Theorem 5.1)."""
+        return SummaryStats(
+            n=self.n + other.n,
+            sx=self.sx + other.sx,
+            sy=self.sy + other.sy,
+            sxy=self.sxy + other.sxy,
+            sxx=self.sxx + other.sxx,
+        )
+
+    def slope(self) -> float:
+        """Least-squares slope; 0.0 for degenerate segments (all x equal)."""
+        denominator = self.n * self.sxx - self.sx * self.sx
+        if abs(denominator) < _EPS:
+            return 0.0
+        return (self.n * self.sxy - self.sx * self.sy) / denominator
+
+    def intercept(self) -> float:
+        """Least-squares intercept δ = (Σy − θ·Σx) / n."""
+        if self.n < _EPS:
+            return 0.0
+        return (self.sy - self.slope() * self.sx) / self.n
+
+
+class PrefixStats:
+    """Cumulative summarized statistics over the bins of one trendline.
+
+    ``prefix[i]`` holds the sums over all raw points that fall in bins
+    ``0..i-1``; a bin may summarize one raw point (the default) or many
+    (when GROUP bins by width ``b``).  Range queries use half-open bin
+    intervals ``[l, r)``.
+    """
+
+    __slots__ = ("count", "sx", "sy", "sxy", "sxx", "bins")
+
+    def __init__(self, bin_x_sums, bin_y_sums, bin_xy_sums, bin_xx_sums, bin_counts):
+        self.bins = len(bin_counts)
+        zero = np.zeros(1)
+        self.count = np.concatenate([zero, np.cumsum(bin_counts, dtype=float)])
+        self.sx = np.concatenate([zero, np.cumsum(bin_x_sums, dtype=float)])
+        self.sy = np.concatenate([zero, np.cumsum(bin_y_sums, dtype=float)])
+        self.sxy = np.concatenate([zero, np.cumsum(bin_xy_sums, dtype=float)])
+        self.sxx = np.concatenate([zero, np.cumsum(bin_xx_sums, dtype=float)])
+
+    @classmethod
+    def from_points(cls, x: np.ndarray, y: np.ndarray) -> "PrefixStats":
+        """One bin per raw point."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        return cls(x, y, x * y, x * x, np.ones(len(x)))
+
+    @classmethod
+    def from_binned(cls, x: np.ndarray, y: np.ndarray, bin_index: np.ndarray) -> "PrefixStats":
+        """Bins given by a non-decreasing integer bin index per raw point."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        bins = int(bin_index[-1]) + 1 if len(bin_index) else 0
+        counts = np.bincount(bin_index, minlength=bins)
+        return cls(
+            np.bincount(bin_index, weights=x, minlength=bins),
+            np.bincount(bin_index, weights=y, minlength=bins),
+            np.bincount(bin_index, weights=x * y, minlength=bins),
+            np.bincount(bin_index, weights=x * x, minlength=bins),
+            counts,
+        )
+
+    def range(self, l: int, r: int) -> SummaryStats:
+        """Summarized statistics of bins ``[l, r)``."""
+        return SummaryStats(
+            n=float(self.count[r] - self.count[l]),
+            sx=float(self.sx[r] - self.sx[l]),
+            sy=float(self.sy[r] - self.sy[l]),
+            sxy=float(self.sxy[r] - self.sxy[l]),
+            sxx=float(self.sxx[r] - self.sxx[l]),
+        )
+
+    def slope(self, l: int, r: int) -> float:
+        """Fitted slope of bins ``[l, r)`` (allocation-free scalar path)."""
+        n = self.count[r] - self.count[l]
+        sx = self.sx[r] - self.sx[l]
+        sy = self.sy[r] - self.sy[l]
+        sxy = self.sxy[r] - self.sxy[l]
+        sxx = self.sxx[r] - self.sxx[l]
+        denominator = n * sxx - sx * sx
+        if abs(denominator) < _EPS:
+            return 0.0
+        return float((n * sxy - sx * sy) / denominator)
+
+    def slopes_for_ends(self, l: int, rs: np.ndarray) -> np.ndarray:
+        """Vectorized slopes of ``[l, r)`` for each ``r`` in ``rs``."""
+        return self._slopes(np.full(len(rs), l), np.asarray(rs))
+
+    def slopes_for_starts(self, ls: np.ndarray, r: int) -> np.ndarray:
+        """Vectorized slopes of ``[l, r)`` for each ``l`` in ``ls``."""
+        ls = np.asarray(ls)
+        return self._slopes(ls, np.full(len(ls), r))
+
+    def slope_matrix(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Slopes for the full cross product ``starts × ends``.
+
+        Entry ``[i, j]`` is the slope of ``[starts[i], ends[j])``; invalid
+        ranges (fewer than two points) come out as 0 and must be masked by
+        the caller.
+        """
+        l = np.asarray(starts)[:, None]
+        r = np.asarray(ends)[None, :]
+        return self._slopes(l, r)
+
+    def _slopes(self, l, r):
+        n = self.count[r] - self.count[l]
+        sx = self.sx[r] - self.sx[l]
+        sy = self.sy[r] - self.sy[l]
+        sxy = self.sxy[r] - self.sxy[l]
+        sxx = self.sxx[r] - self.sxx[l]
+        denominator = n * sxx - sx * sx
+        numerator = n * sxy - sx * sy
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slopes = np.where(np.abs(denominator) < _EPS, 0.0, numerator / np.where(denominator == 0, 1.0, denominator))
+        return slopes

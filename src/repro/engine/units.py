@@ -1,0 +1,547 @@
+"""Compiled scoreable units: the leaves the segmentation engines place.
+
+A ShapeQuery is compiled (:mod:`repro.engine.chains`) into *alternative
+chains* of :class:`CompiledUnit` objects.  Each unit knows how to score
+itself over a half-open bin range ``[l, r)`` of a
+:class:`~repro.engine.trendline.Trendline`; slope-based units also
+provide vectorized row evaluation, which is what makes the DP engine
+O(n²k) instead of O(n³k).
+
+Unit taxonomy (mirroring the PATTERN values of Table 1):
+
+* :class:`SlopeUnit` — up/down/flat/θ/any/empty, vectorized.
+* :class:`LineUnit` — a bare-location segment matched against the
+  straight line between its (y.s, y.e) endpoints.
+* :class:`QuantifierUnit` — occurrence-quantified pattern (``m={2,}``).
+* :class:`PositionUnit` — ``$i`` slope comparison (two-pass, §DESIGN 2.7).
+* :class:`SketchUnit` — precise polyline matching (``v=...``).
+* :class:`UdpUnit` — registered user-defined pattern.
+* :class:`NestedUnit` — a full sub-query as a pattern (``p=[...]``).
+* :class:`WindowUnit` — ITERATOR wrapper: best placement of a fixed-width
+  window of the wrapped unit inside the allotted region.
+* :class:`AndUnit` — AND (⊙) of branches over one shared region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algebra.primitives import Location, Quantifier
+from repro.engine import scoring
+from repro.engine.trendline import Trendline
+
+#: Relative tolerance (fraction of the trendline's y span) for matching
+#: y.s / y.e location constraints.
+Y_TOLERANCE = 0.1
+
+#: Score assigned when a LOCATION constraint is not satisfied (paper §5.2).
+INFEASIBLE = -1.0
+
+#: Minimum number of bins a VisualSegment may span (a line needs 2 points).
+MIN_SEGMENT_BINS = 2
+
+#: Perceptual minimum width of a fuzzy VisualSegment, as a fraction of the
+#: region being segmented.  The paper's GROUP operator bins at pixel
+#: granularity (b = x range / pixels), which implicitly stops a "pattern"
+#: from living inside a couple of samples; without such a floor,
+#: z-normalized noise offers near-vertical 2-bin segments that score ±1
+#: and let flat noise beat genuinely shaped trendlines (DESIGN.md §2).
+MIN_SEGMENT_FRACTION = 0.1
+
+#: Absolute cap on the proportional minimum (long trendlines may still
+#: contain legitimately narrow phases, e.g. a supernova spike).
+MIN_SEGMENT_CAP = 10
+
+
+def run_min_length(lo: int, hi: int, units_count: int) -> int:
+    """Minimum bins per unit when fuzzily segmenting ``[lo, hi)``."""
+    proportional = int(round((hi - lo) * MIN_SEGMENT_FRACTION))
+    length = max(MIN_SEGMENT_BINS, min(MIN_SEGMENT_CAP, proportional))
+    fit = (hi - lo) // max(1, units_count)
+    return max(MIN_SEGMENT_BINS, min(length, fit))
+
+#: Context mapping a segment's AST index to its fitted slope (pass 2).
+SlopeContext = Dict[int, float]
+
+
+class CompiledUnit:
+    """Base class; concrete units override :meth:`score` at minimum."""
+
+    #: AST-wide ShapeSegment index (for POSITION references); −1 for AND.
+    seg_index: int = -1
+    #: Leaf-level OPPOSITE flag (normalization pushed `!` down to here).
+    negated: bool = False
+    #: Location constraints in raw domain coordinates.
+    location: Location = Location()
+    #: Whether score_ends/score_starts are true vectorized fast paths.
+    vectorized: bool = False
+    #: Whether final scoring needs a second pass with fitted slopes.
+    has_position: bool = False
+
+    # -- pinning -----------------------------------------------------------
+    def resolve_pins(self, trendline: Trendline) -> Tuple[Optional[int], Optional[int]]:
+        """Map x.s/x.e constraints to (start bin, end bin) for this trendline.
+
+        Either side may be None (fuzzy).  The end bin is exclusive.
+        """
+        loc = self.location
+        start = end = None
+        if loc.x_start is not None:
+            start = trendline.x_to_bin(loc.x_start)
+        if loc.x_end is not None:
+            end = trendline.x_to_bin(loc.x_end) + 1
+        return start, end
+
+    # -- feasibility (y constraints) ----------------------------------------
+    def _y_feasible(self, trendline: Trendline, l: int, r: int) -> bool:
+        loc = self.location
+        if loc.y_start is None and loc.y_end is None:
+            return True
+        span = float(trendline.y.max() - trendline.y.min()) or 1.0
+        tolerance = Y_TOLERANCE * span
+        if loc.y_start is not None and abs(trendline.bin_y[l] - loc.y_start) > tolerance:
+            return False
+        if loc.y_end is not None and abs(trendline.bin_y[r - 1] - loc.y_end) > tolerance:
+            return False
+        return True
+
+    def _signed(self, value):
+        return -value if self.negated else value
+
+    # -- scoring -------------------------------------------------------------
+    def score(
+        self,
+        trendline: Trendline,
+        l: int,
+        r: int,
+        context: Optional[SlopeContext] = None,
+    ) -> float:
+        raise NotImplementedError
+
+    def score_ends(
+        self,
+        trendline: Trendline,
+        l: int,
+        rs: np.ndarray,
+        context: Optional[SlopeContext] = None,
+    ) -> np.ndarray:
+        """Scores of ``[l, r)`` for every ``r`` in ``rs`` (default: loop)."""
+        return np.array([self.score(trendline, l, int(r), context) for r in rs])
+
+    def score_starts(
+        self,
+        trendline: Trendline,
+        ls: np.ndarray,
+        r: int,
+        context: Optional[SlopeContext] = None,
+    ) -> np.ndarray:
+        """Scores of ``[l, r)`` for every ``l`` in ``ls`` (default: loop)."""
+        return np.array([self.score(trendline, int(l), r, context) for l in ls])
+
+    # -- pruning bounds (Table 7) ---------------------------------------------
+    def window_bounds(
+        self, trendline: Trendline, window: int
+    ) -> Tuple[float, float]:
+        """(lower, upper) bound on this unit's final score, from a grid of
+        ``window``-bin segments (Theorem 6.4); conservative default."""
+        return (-1.0, 1.0)
+
+
+class SlopeUnit(CompiledUnit):
+    """up / down / flat / θ / any / empty — pure functions of the fitted slope."""
+
+    vectorized = True
+
+    def __init__(
+        self,
+        kind: str,
+        theta: Optional[float] = None,
+        location: Location = Location(),
+        negated: bool = False,
+        seg_index: int = -1,
+    ):
+        self.kind = kind
+        self.theta = theta
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        label = self.kind if self.theta is None else "θ={}".format(self.theta)
+        return "SlopeUnit({}{})".format("!" if self.negated else "", label)
+
+    def _from_slopes(self, slopes):
+        return self._signed(scoring.pattern_score(self.kind, slopes, self.theta))
+
+    def _scalar_from_slope(self, slope: float) -> float:
+        """Pure-float scoring path (the SegmentTree's hot loop)."""
+        kind = self.kind
+        if kind == "up":
+            value = 2.0 * math.atan(slope) / math.pi
+        elif kind == "down":
+            value = -2.0 * math.atan(slope) / math.pi
+        elif kind == "flat":
+            value = 1.0 - abs(4.0 * math.atan(slope) / math.pi)
+        elif kind == "slope":
+            target = math.radians(self.theta)
+            deviation = abs(math.atan(slope) - target)
+            value = 1.0 - 2.0 * deviation / (math.pi / 2.0 + abs(target))
+        elif kind == "any":
+            value = 1.0
+        else:  # empty
+            value = -1.0
+        return -value if self.negated else value
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        return self._scalar_from_slope(trendline.prefix.slope(l, r))
+
+    def score_ends(self, trendline, l, rs, context=None):
+        rs = np.asarray(rs)
+        slopes = trendline.prefix.slopes_for_ends(l, rs)
+        values = self._from_slopes(slopes)
+        values = np.where(rs - l < MIN_SEGMENT_BINS, INFEASIBLE, values)
+        return self._apply_y_mask(trendline, np.full(len(rs), l), rs, values)
+
+    def score_starts(self, trendline, ls, r, context=None):
+        ls = np.asarray(ls)
+        slopes = trendline.prefix.slopes_for_starts(ls, r)
+        values = self._from_slopes(slopes)
+        values = np.where(r - ls < MIN_SEGMENT_BINS, INFEASIBLE, values)
+        return self._apply_y_mask(trendline, ls, np.full(len(ls), r), values)
+
+    def _apply_y_mask(self, trendline, ls, rs, values):
+        loc = self.location
+        if loc.y_start is None and loc.y_end is None:
+            return values
+        span = float(trendline.y.max() - trendline.y.min()) or 1.0
+        tolerance = Y_TOLERANCE * span
+        feasible = np.ones(len(values), dtype=bool)
+        if loc.y_start is not None:
+            feasible &= np.abs(trendline.bin_y[ls] - loc.y_start) <= tolerance
+        if loc.y_end is not None:
+            feasible &= np.abs(trendline.bin_y[rs - 1] - loc.y_end) <= tolerance
+        return np.where(feasible, values, INFEASIBLE)
+
+    #: Safety margin added to Table 7 bounds.  The paper's triangle-law
+    #: argument is exact for chord (endpoint) slopes; a *regression* slope
+    #: of a union can exceed the per-node extremes slightly when node
+    #: means disagree (two flat nodes at different levels fit a sloped
+    #: line), so the bounds are widened before being used for pruning.
+    BOUNDS_MARGIN = 0.05
+
+    def bounds_from_slopes(self, slopes: np.ndarray) -> Tuple[float, float]:
+        """Table 7 score bounds given the fitted slopes of a level's nodes.
+
+        The unit's final segment is a contiguous union of those nodes, so
+        its fitted slope is (approximately) a convex combination of
+        theirs; for up/down the score is monotone in the slope, and for
+        flat/θ=x the score can additionally peak at 1 when the node
+        slopes straddle the target (Theorem 6.4).
+        """
+        if self.kind in ("any", "empty"):
+            value = 1.0 if self.kind == "any" else -1.0
+            value = -value if self.negated else value
+            return (value, value)
+        scores = self._from_slopes(slopes)
+        lower, upper = float(scores.min()), float(scores.max())
+        target = 0.0 if self.kind == "flat" else (
+            math.tan(math.radians(self.theta)) if self.kind == "slope" else None
+        )
+        if target is not None and float(slopes.min()) < target < float(slopes.max()):
+            if self.negated:
+                lower = -1.0
+            else:
+                upper = 1.0
+        if self.location.y_start is not None or self.location.y_end is not None:
+            lower = -1.0
+        lower = max(-1.0, lower - self.BOUNDS_MARGIN)
+        upper = min(1.0, upper + self.BOUNDS_MARGIN)
+        return (lower, upper)
+
+    def window_bounds(self, trendline, window):
+        n = trendline.n_bins
+        if n < MIN_SEGMENT_BINS:
+            return (-1.0, 1.0)
+        starts = np.arange(0, max(1, n - MIN_SEGMENT_BINS + 1), window)
+        ends = np.minimum(np.maximum(starts + window, starts + MIN_SEGMENT_BINS), n)
+        valid = ends - starts >= MIN_SEGMENT_BINS
+        if not valid.any():
+            return (-1.0, 1.0)
+        slopes = trendline.prefix._slopes(starts[valid], ends[valid])
+        return self.bounds_from_slopes(np.asarray(slopes))
+
+
+class LineUnit(CompiledUnit):
+    """A bare-location segment: match the straight line (y.s → y.e) (§3.1)."""
+
+    def __init__(self, location: Location, negated: bool = False, seg_index: int = -1):
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "LineUnit(y {}→{})".format(self.location.y_start, self.location.y_end)
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS:
+            return INFEASIBLE
+        loc = self.location
+        y_start = loc.y_start if loc.y_start is not None else trendline.bin_y[l]
+        y_end = loc.y_end if loc.y_end is not None else trendline.bin_y[r - 1]
+        reference = np.linspace(
+            trendline.normalize_y_value(y_start),
+            trendline.normalize_y_value(y_end),
+            r - l,
+        )
+        actual = trendline.segment_values(l, r)
+        rmse = math.sqrt(float(np.mean((actual - reference) ** 2)))
+        value = 1.0 - 2.0 * min(rmse, scoring.SKETCH_RMSE_CAP) / scoring.SKETCH_RMSE_CAP
+        return self._signed(value)
+
+
+class QuantifierUnit(CompiledUnit):
+    """A pattern with an occurrence quantifier (``m={low,high}``, §5.2)."""
+
+    def __init__(
+        self,
+        kind: str,
+        quantifier: Quantifier,
+        theta: Optional[float] = None,
+        udp_name: Optional[str] = None,
+        location: Location = Location(),
+        negated: bool = False,
+        seg_index: int = -1,
+    ):
+        self.kind = kind
+        self.theta = theta
+        self.udp_name = udp_name
+        self.quantifier = quantifier
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "QuantifierUnit({} x{})".format(self.udp_name or self.kind, self.quantifier)
+
+    def _wanted_class(self):
+        """Run direction that counts as an occurrence; None = any run."""
+        if self.kind == "up":
+            return 1
+        if self.kind == "down":
+            return -1
+        if self.kind == "flat":
+            return 0
+        if self.kind == "slope":
+            if self.theta > 0:
+                return 1
+            if self.theta < 0:
+                return -1
+            return 0
+        return None  # udp: every run is a candidate
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        values = trendline.norm_bin_y[l:r]
+        min_points = max(2, (r - l) // 20)
+        runs = scoring.classified_runs(values, min_points=min_points)
+        wanted = self._wanted_class()
+        run_scores = []
+        for a, b, cls in runs:
+            if wanted is not None and cls != wanted:
+                continue
+            slope = trendline.prefix.slope(l + a, l + b)
+            if self.udp_name is not None:
+                function = scoring.get_udp(self.udp_name)
+                run_scores.append(float(function(values[a:b], slope)))
+            else:
+                run_scores.append(float(scoring.pattern_score(self.kind, slope, self.theta)))
+        return self._signed(
+            scoring.quantifier_score(
+                self.quantifier,
+                run_scores,
+                positive_threshold=scoring.QUANTIFIER_POSITIVE_THRESHOLD,
+            )
+        )
+
+
+class PositionUnit(CompiledUnit):
+    """``p=$i`` — compare this segment's slope to segment i's (two-pass)."""
+
+    has_position = True
+
+    def __init__(
+        self,
+        reference_index: int,
+        comparison: Optional[str],
+        factor: Optional[float] = None,
+        location: Location = Location(),
+        negated: bool = False,
+        seg_index: int = -1,
+    ):
+        self.reference_index = reference_index
+        self.comparison = comparison
+        self.factor = factor
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "PositionUnit(${} {})".format(self.reference_index, self.comparison or "=")
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        if context is None or self.reference_index not in context:
+            # Pass 1: the reference is not yet placed; stay neutral so the
+            # surrounding units drive the segmentation (DESIGN.md §2.7).
+            return 0.0
+        slope = trendline.prefix.slope(l, r)
+        value = scoring.position_score(
+            slope, context[self.reference_index], self.comparison, self.factor
+        )
+        return self._signed(value)
+
+
+class SketchUnit(CompiledUnit):
+    """``v=(x:y,...)`` — precise matching against a drawn polyline."""
+
+    def __init__(self, sketch, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+        self.sketch = sketch
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "SketchUnit({} pts)".format(len(self.sketch))
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        return self._signed(
+            scoring.sketch_score(trendline.segment_values(l, r), np.asarray(self.sketch.ys()))
+        )
+
+
+class UdpUnit(CompiledUnit):
+    """``p=udp:name`` — a registered user-defined pattern (black box)."""
+
+    def __init__(self, name: str, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+        self.name = name
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "UdpUnit({})".format(self.name)
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        function = scoring.get_udp(self.name)
+        value = float(
+            function(trendline.segment_values(l, r), trendline.prefix.slope(l, r))
+        )
+        return self._signed(float(np.clip(value, -1.0, 1.0)))
+
+
+class NestedUnit(CompiledUnit):
+    """``p=[...]`` — a full sub-query matched within the allotted region."""
+
+    def __init__(self, compiled_query, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+        self.compiled_query = compiled_query
+        self.location = location
+        self.negated = negated
+        self.seg_index = seg_index
+
+    def __repr__(self):
+        return "NestedUnit({} chains)".format(len(self.compiled_query.chains))
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
+            return INFEASIBLE
+        from repro.engine.dynamic import solve_query_over_range
+
+        result = solve_query_over_range(trendline, self.compiled_query, l, r)
+        return self._signed(result.score)
+
+
+class WindowUnit(CompiledUnit):
+    """ITERATOR: best fixed-width window of the wrapped unit (``x.e=.+w``)."""
+
+    def __init__(self, base: CompiledUnit, width: float, location: Location = Location()):
+        self.base = base
+        self.width = width
+        self.location = location
+        self.seg_index = base.seg_index
+        self.negated = False  # negation lives on the base unit
+        self.has_position = base.has_position
+
+    def __repr__(self):
+        return "WindowUnit({!r}, w={})".format(self.base, self.width)
+
+    def window_bins(self, trendline: Trendline) -> int:
+        """Window width converted from raw x units to a bin count."""
+        spacing = float(np.mean(np.diff(trendline.bin_x))) or 1.0
+        return max(MIN_SEGMENT_BINS, int(round(self.width / spacing)))
+
+    def score(self, trendline, l, r, context=None):
+        w = self.window_bins(trendline)
+        if r - l < w:
+            return INFEASIBLE
+        starts = np.arange(l, r - w + 1)
+        if self.base.vectorized:
+            slopes = trendline.prefix._slopes(starts, starts + w)
+            values = self.base._from_slopes(slopes)
+        else:
+            values = np.array(
+                [self.base.score(trendline, int(s), int(s + w), context) for s in starts]
+            )
+        return float(values.max())
+
+
+class AndUnit(CompiledUnit):
+    """AND (⊙): every branch must match the same region; score = min.
+
+    Each branch is a list of alternative chains (OR inside AND); a branch
+    containing CONCAT is fitted to cover exactly ``[l, r)`` with an
+    exact-cover DP.
+    """
+
+    def __init__(self, branches: List[List["Chain"]], location: Location = Location()):
+        self.branches = branches
+        self.location = location
+
+    def __repr__(self):
+        return "AndUnit({} branches)".format(len(self.branches))
+
+    @property
+    def has_position(self):
+        return any(
+            unit.unit.has_position
+            for branch in self.branches
+            for chain in branch
+            for unit in chain.units
+        )
+
+    def score(self, trendline, l, r, context=None):
+        if r - l < MIN_SEGMENT_BINS:
+            return INFEASIBLE
+        from repro.engine.dynamic import solve_chain_exact_cover
+
+        branch_scores = []
+        for branch in self.branches:
+            best = INFEASIBLE
+            for chain in branch:
+                if len(chain.units) == 1:
+                    value = chain.units[0].unit.score(trendline, l, r, context)
+                else:
+                    value = solve_chain_exact_cover(trendline, chain, l, r, context).score
+                best = max(best, value)
+            branch_scores.append(best)
+        return scoring.and_scores(branch_scores)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ShapeSearch reproduction.
+
+Every error raised by this package derives from :class:`ShapeSearchError`,
+so callers can catch one type at the API boundary.  The subclasses mirror
+the pipeline stages of the paper: query specification (parsing), query
+validation (semantic checks and ambiguity resolution), and execution.
+"""
+
+from __future__ import annotations
+
+
+class ShapeSearchError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ShapeQuerySyntaxError(ShapeSearchError):
+    """A regex/NL/sketch query could not be parsed into a ShapeQuery.
+
+    Carries the offending position so front-ends can underline it.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        super().__init__(message)
+        self.position = position
+        self.text = text
+
+    def __str__(self):
+        base = super().__str__()
+        if self.position is None or self.text is None:
+            return base
+        pointer = " " * self.position + "^"
+        return "{}\n  {}\n  {}".format(base, self.text, pointer)
+
+
+class ShapeQueryValidationError(ShapeSearchError):
+    """A parsed ShapeQuery is syntactically well-formed but not meaningful.
+
+    Examples: ``x.s > x.e`` on a segment, a POSITION reference to a
+    non-existent ShapeSegment, or a quantifier without a pattern.
+    """
+
+
+class AmbiguityError(ShapeSearchError):
+    """The ambiguity resolver could not produce a consistent ShapeQuery."""
+
+
+class ExecutionError(ShapeSearchError):
+    """The execution engine could not evaluate a ShapeQuery."""
+
+
+class DataError(ShapeSearchError):
+    """The data substrate was asked for something it cannot provide.
+
+    Examples: unknown column names in visual parameters, an empty group
+    after filtering, or malformed CSV/JSON input.
+    """
+
+
+class UnknownPatternError(ShapeQueryValidationError):
+    """A user-defined pattern (udp) name is not registered."""

@@ -1,0 +1,20 @@
+"""Natural-language front-end: tagging, CRF, ambiguity resolution (§4)."""
+
+from repro.nlp.ambiguity import ProtoSegment, Resolution, resolve
+from repro.nlp.crf import LinearChainCRF
+from repro.nlp.tagger import EntityTagger, TaggedWord, default_crf, train_default_crf
+from repro.nlp.translator import Translation, parse_natural_language, translate
+
+__all__ = [
+    "ProtoSegment",
+    "Resolution",
+    "resolve",
+    "LinearChainCRF",
+    "EntityTagger",
+    "TaggedWord",
+    "default_crf",
+    "train_default_crf",
+    "Translation",
+    "parse_natural_language",
+    "translate",
+]

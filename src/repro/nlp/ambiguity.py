@@ -1,0 +1,201 @@
+"""Rule-based ambiguity resolution (paper §4, Table 4).
+
+The translator first groups entities between operators into
+:class:`ProtoSegment` records; this module then applies the paper's
+transformation rules until the proto query is consistent:
+
+1. *Multiple p in one segment* — move the extra pattern into an adjacent
+   segment that lacks one, else split into two OR-ed segments.
+2. *m without p* — move the modifier to an adjacent segment with a
+   pattern but no modifier, else drop it.
+3. *Conflicting l and p* — reinterpret reversed x endpoints as y values
+   when that matches the pattern's direction, else swap the endpoints.
+4. *Overlapping consecutive segments under ⊗* — move x to y when y is
+   free, else turn the CONCAT into an AND.
+
+Each applied rule is recorded in the resolution log so the front-end
+correction panel can show users what was assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.algebra.primitives import Quantifier
+
+
+@dataclass
+class ProtoSegment:
+    """A pre-AST ShapeSegment: entity values grouped between operators."""
+
+    patterns: List[str] = field(default_factory=list)
+    modifier: Optional[str] = None  # "sharp" | "gradual"
+    quantifier: Optional[Quantifier] = None
+    x_start: Optional[float] = None
+    x_end: Optional[float] = None
+    y_start: Optional[float] = None
+    y_end: Optional[float] = None
+    window: Optional[float] = None
+    negated: bool = False
+    #: True when the location numbers came without an explicit axis word.
+    axis_ambiguous: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.patterns
+            and self.modifier is None
+            and self.quantifier is None
+            and self.x_start is None
+            and self.x_end is None
+            and self.y_start is None
+            and self.y_end is None
+            and self.window is None
+        )
+
+
+@dataclass
+class Resolution:
+    """Outcome of ambiguity resolution: cleaned protos, operators, log."""
+
+    segments: List[ProtoSegment]
+    operators: List[str]  # between consecutive segments: "SEQ" | "OR" | "AND"
+    log: List[str] = field(default_factory=list)
+
+
+def resolve(segments: List[ProtoSegment], operators: List[str]) -> Resolution:
+    """Apply the Table 4 rules; returns cleaned structures plus a log."""
+    segments = [seg for seg in segments]
+    operators = list(operators)
+    log: List[str] = []
+
+    _drop_empty(segments, operators, log)
+    _fix_multiple_patterns(segments, operators, log)
+    _fix_dangling_modifiers(segments, operators, log)
+    _fix_location_conflicts(segments, log)
+    _fix_overlaps(segments, operators, log)
+    _drop_empty(segments, operators, log)
+    return Resolution(segments=segments, operators=operators, log=log)
+
+
+def _drop_empty(segments, operators, log) -> None:
+    index = 0
+    while index < len(segments):
+        if segments[index].empty:
+            segments.pop(index)
+            if operators:
+                operators.pop(index if index < len(operators) else len(operators) - 1)
+            log.append("dropped empty segment {}".format(index))
+        else:
+            index += 1
+    # Normalize the operator count to len(segments) - 1.
+    while len(operators) > max(0, len(segments) - 1):
+        operators.pop()
+    while len(operators) < max(0, len(segments) - 1):
+        operators.append("SEQ")
+
+
+def _fix_multiple_patterns(segments, operators, log) -> None:
+    index = 0
+    while index < len(segments):
+        segment = segments[index]
+        while len(segment.patterns) > 1:
+            extra = segment.patterns.pop()  # keep the first, rehome the rest
+            neighbor = _adjacent_without_pattern(segments, index)
+            if neighbor is not None:
+                segments[neighbor].patterns.append(extra)
+                log.append(
+                    "moved extra pattern {!r} from segment {} to {}".format(extra, index, neighbor)
+                )
+            else:
+                # Split: new OR-ed segment right after this one (Table 4 row 1).
+                new_segment = ProtoSegment(patterns=[extra])
+                segments.insert(index + 1, new_segment)
+                operators.insert(index, "OR")
+                log.append(
+                    "split extra pattern {!r} of segment {} into an OR branch".format(extra, index)
+                )
+        index += 1
+
+
+def _adjacent_without_pattern(segments, index) -> Optional[int]:
+    for neighbor in (index + 1, index - 1):
+        if 0 <= neighbor < len(segments) and not segments[neighbor].patterns:
+            return neighbor
+    return None
+
+
+def _fix_dangling_modifiers(segments, operators, log) -> None:
+    for index, segment in enumerate(segments):
+        if segment.modifier is None or segment.patterns:
+            continue
+        moved = False
+        for neighbor in (index - 1, index + 1):
+            if 0 <= neighbor < len(segments) and segments[neighbor].patterns and (
+                segments[neighbor].modifier is None
+            ):
+                segments[neighbor].modifier = segment.modifier
+                log.append(
+                    "moved modifier {!r} from segment {} to {}".format(
+                        segment.modifier, index, neighbor
+                    )
+                )
+                moved = True
+                break
+        segment.modifier = None
+        if not moved:
+            log.append("ignored dangling modifier at segment {}".format(index))
+
+
+def _fix_location_conflicts(segments, log) -> None:
+    for index, segment in enumerate(segments):
+        pattern = segment.patterns[0] if segment.patterns else None
+        # Reversed x endpoints: either the user meant y values, or the
+        # endpoints should swap (Table 4 row 3).
+        if segment.x_start is not None and segment.x_end is not None and (
+            segment.x_start > segment.x_end
+        ):
+            if segment.axis_ambiguous and pattern == "down":
+                segment.y_start, segment.y_end = segment.x_start, segment.x_end
+                segment.x_start = segment.x_end = None
+                log.append("reinterpreted reversed x endpoints of segment {} as y".format(index))
+            else:
+                segment.x_start, segment.x_end = segment.x_end, segment.x_start
+                log.append("swapped reversed x endpoints of segment {}".format(index))
+        # y endpoints conflicting with the pattern direction swap.
+        if segment.y_start is not None and segment.y_end is not None:
+            rising = segment.y_end > segment.y_start
+            if pattern == "down" and rising and not segment.axis_ambiguous:
+                segment.y_start, segment.y_end = segment.y_end, segment.y_start
+                log.append("swapped y endpoints of segment {} to match 'down'".format(index))
+            if pattern == "up" and not rising:
+                segment.y_start, segment.y_end = segment.y_end, segment.y_start
+                log.append("swapped y endpoints of segment {} to match 'up'".format(index))
+
+
+def _fix_overlaps(segments, operators, log) -> None:
+    for index in range(len(segments) - 1):
+        left, right = segments[index], segments[index + 1]
+        if operators[index] != "SEQ":
+            continue
+        if left.x_end is None or right.x_start is None:
+            continue
+        if right.x_start < left.x_end:
+            if left.y_start is None and right.y_start is None and left.axis_ambiguous:
+                left.y_start, left.y_end = left.x_start, left.x_end
+                right.y_start, right.y_end = right.x_start, right.x_end
+                left.x_start = left.x_end = None
+                right.x_start = right.x_end = None
+                log.append(
+                    "reinterpreted overlapping x ranges of segments {}–{} as y".format(
+                        index, index + 1
+                    )
+                )
+            else:
+                operators[index] = "AND"
+                log.append(
+                    "replaced CONCAT between overlapping segments {}–{} with AND".format(
+                        index, index + 1
+                    )
+                )

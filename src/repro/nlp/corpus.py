@@ -1,0 +1,145 @@
+"""Tagged NL training corpus (the paper's 250 Mechanical-Turk queries).
+
+The paper collected and hand-tagged 250 crowd-sourced descriptions of
+trendline patterns.  Offline, this module *generates* an equivalent
+corpus: templated sentences covering the phrasing families the paper
+lists (sequences, sharp/gradual modifiers, quantifiers, locations,
+widths, disjunction, negation), expanded with synonym and noise-word
+variation under a fixed seed.  Each item is ``(tokens, labels)`` with
+labels from the entity set of :mod:`repro.nlp.lexicon` plus ``"O"``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.nlp.pos import tokenize
+
+TaggedSentence = Tuple[List[str], List[str]]
+
+#: Slot fillers: (surface form, label).
+_UP = [("rising", "PATTERN"), ("increasing", "PATTERN"), ("going up", "PATTERN"),
+       ("growing", "PATTERN"), ("climbing", "PATTERN"), ("recovering", "PATTERN")]
+_DOWN = [("falling", "PATTERN"), ("decreasing", "PATTERN"), ("going down", "PATTERN"),
+         ("dropping", "PATTERN"), ("declining", "PATTERN")]
+_FLAT = [("flat", "PATTERN"), ("stable", "PATTERN"), ("constant", "PATTERN"),
+         ("steady", "PATTERN"), ("stabilizing", "PATTERN")]
+_PEAK = [("peak", "PATTERN"), ("spike", "PATTERN"), ("peaks", "PATTERN"), ("spikes", "PATTERN")]
+_VALLEY = [("dip", "PATTERN"), ("valley", "PATTERN"), ("dips", "PATTERN")]
+_SHARP = [("sharply", "MODIFIER"), ("steeply", "MODIFIER"), ("rapidly", "MODIFIER"),
+          ("suddenly", "MODIFIER"), ("sharp", "MODIFIER")]
+_GRADUAL = [("gradually", "MODIFIER"), ("slowly", "MODIFIER"), ("gently", "MODIFIER"),
+            ("slightly", "MODIFIER")]
+_SEQ = [("then", "OP_SEQ"), ("and then", "OP_SEQ"), ("followed by", "OP_SEQ"),
+        ("next", "OP_SEQ"), ("after that", "OP_SEQ"), ("finally", "OP_SEQ")]
+_OR = [("or", "OP_OR")]
+_NOT = [("not", "OP_NOT"), ("without", "OP_NOT")]
+_SUBJECT = ["show me genes that are", "find stocks that are", "find cities where temperature is",
+            "objects with luminosity", "i want trends that are", "search for products whose sales are",
+            "genes", "stocks", "find me visualizations"]
+_NOISE_TAIL = ["", "over time", "in the data", "during the year"]
+
+_NUMBERS = ["2", "3", "4", "5", "6", "10", "two", "three"]
+_UNITS = [("months", "WIDTH"), ("weeks", "WIDTH"), ("days", "WIDTH"), ("points", "WIDTH")]
+
+
+def _emit(parts: List[Tuple[str, str]]) -> TaggedSentence:
+    """Expand multi-word fillers to tokens, propagating the label."""
+    tokens: List[str] = []
+    labels: List[str] = []
+    for text, label in parts:
+        for token in tokenize(text):
+            tokens.append(token)
+            labels.append(label)
+    return tokens, labels
+
+
+def _noise(text: str) -> List[Tuple[str, str]]:
+    return [(text, "O")] if text else []
+
+
+def build_corpus(seed: int = 5, min_size: int = 250) -> List[TaggedSentence]:
+    """Generate a deterministic tagged corpus of at least ``min_size`` queries."""
+    rng = random.Random(seed)
+    corpus: List[TaggedSentence] = []
+
+    def add(parts):
+        corpus.append(_emit([p for p in parts if p]))
+
+    while len(corpus) < min_size:
+        subject = rng.choice(_SUBJECT)
+        tail = rng.choice(_NOISE_TAIL)
+        up = rng.choice(_UP)
+        down = rng.choice(_DOWN)
+        flat = rng.choice(_FLAT)
+        seq1, seq2 = rng.choice(_SEQ), rng.choice(_SEQ)
+        template = len(corpus) % 14
+
+        if template == 0:  # simple sequence: up then down
+            add(_noise(subject) + [up, seq1, down] + _noise(tail))
+        elif template == 1:  # three-pattern sequence (the genomics query)
+            add(_noise(subject) + [up, seq1, down, seq2, up] + _noise(tail))
+        elif template == 2:  # sharp modifier before pattern
+            sharp = rng.choice(_SHARP)
+            add(_noise(subject) + [sharp, up, seq1, down] + _noise(tail))
+        elif template == 3:  # modifier after pattern
+            gradual = rng.choice(_GRADUAL)
+            add(_noise(subject) + [up, gradual, seq1, flat] + _noise(tail))
+        elif template == 4:  # quantifier: rising at least 2 times
+            number = rng.choice(_NUMBERS)
+            add(
+                _noise(subject)
+                + [up, ("at", "O"), ("least", "QUANT"), (number, "NUM"), ("times", "QUANT")]
+                + _noise(tail)
+            )
+        elif template == 5:  # quantifier with peaks: 2 peaks
+            peak = rng.choice(_PEAK)
+            number = rng.choice(_NUMBERS)
+            add(_noise(subject) + [("with", "O"), (number, "NUM"), peak] + _noise(tail))
+        elif template == 6:  # location: rising from 2 to 5
+            a, b = sorted(rng.sample([2, 3, 5, 8, 10, 20], 2))
+            add(
+                _noise(subject)
+                + [up, ("from", "LOC"), (str(a), "NUM"), ("to", "LOC"), (str(b), "NUM")]
+                + _noise(tail)
+            )
+        elif template == 7:  # width: maximum rise over 3 months
+            number = rng.choice(_NUMBERS)
+            unit = rng.choice(_UNITS)
+            add(
+                _noise(subject)
+                + [up, ("within", "WIDTH"), (number, "NUM"), unit]
+                + _noise(tail)
+            )
+        elif template == 8:  # disjunction: either stabilized or decreased
+            add(
+                _noise(subject)
+                + [up, seq1, ("either", "O"), flat, ("or", "OP_OR"), down]
+                + _noise(tail)
+            )
+        elif template == 9:  # negation: not flat
+            negation = rng.choice(_NOT)
+            add(_noise(subject) + [negation, flat] + _noise(tail))
+        elif template == 10:  # dip/valley
+            valley = rng.choice(_VALLEY)
+            add(_noise(subject) + [("with", "O"), ("a", "O"), valley, ("in", "O"), ("the", "O"), ("middle", "O")])
+        elif template == 11:  # sharp peak (the supernova query)
+            sharp = rng.choice(_SHARP)
+            peak = rng.choice(_PEAK)
+            add(_noise("find me objects with a") + [sharp, peak] + _noise("in luminosity"))
+        elif template == 12:  # long mixed query with punctuation
+            add(
+                _noise(subject)
+                + [up, (",", "O"), seq1, down, (",", "O"), ("and", "O"), seq2, up]
+                + _noise(tail)
+            )
+        else:  # flat then rise sharply between locations
+            sharp = rng.choice(_SHARP)
+            a, b = sorted(rng.sample([1, 4, 6, 12], 2))
+            add(
+                _noise(subject)
+                + [flat, seq1, up, sharp, ("between", "LOC"), (str(a), "NUM"),
+                   ("and", "O"), (str(b), "NUM")]
+            )
+    return corpus

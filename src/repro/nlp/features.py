@@ -1,0 +1,122 @@
+"""Feature extraction for the entity CRF (paper §4, Table 3).
+
+For a token at position ``i`` (over the full token list, noise words
+included as context), the extracted feature families mirror Table 3:
+
+* POS tags of the token and its neighbours;
+* neighbouring word identities (±1, ±2);
+* synonym-predicted entities of the token and neighbours, with bucketed
+  distances to the nearest predicted entity on either side;
+* distances to space/time prepositions on either side;
+* distances to punctuation and to and/or/and-then conjunctions;
+* miscellaneous: distance to x/y markers, suffix tests ``ends(ing)`` /
+  ``ends(ly)``, bucketed query length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.nlp import lexicon
+from repro.nlp.pos import pos_tags
+
+#: Prepositions that usually introduce a location along the x axis.
+SPACE_PREPOSITIONS = {"from", "to", "between", "at", "until", "till"}
+#: Prepositions that usually introduce a duration/window.
+TIME_PREPOSITIONS = {"during", "within", "over", "for", "in"}
+_CONJUNCTION_AND = {"and"}
+_CONJUNCTION_OR = {"or"}
+_PUNCTUATION = {",", ";", "."}
+
+
+def _bucket(distance: Optional[int]) -> str:
+    if distance is None:
+        return "none"
+    if distance <= 3:
+        return str(distance)
+    return ">3"
+
+
+def _nearest(predicate, tokens: List[str], i: int, direction: int) -> Optional[int]:
+    """Distance to the nearest token satisfying ``predicate``; None if absent."""
+    j = i + direction
+    while 0 <= j < len(tokens):
+        if predicate(tokens[j]):
+            return abs(j - i)
+        j += direction
+    return None
+
+
+def extract_features(tokens: List[str]) -> List[List[str]]:
+    """Per-token feature sets for a tokenized query (lowercased words)."""
+    words = [token.lower() for token in tokens]
+    tags = pos_tags(tokens)
+    predicted = [lexicon.predict_entity(word) for word in words]
+    n = len(words)
+    length_bucket = "short" if n <= 6 else ("medium" if n <= 12 else "long")
+
+    features: List[List[str]] = []
+    for i, word in enumerate(words):
+        row: List[str] = []
+        # Word identity and neighbours (Table 3 "Words").
+        row.append("word={}".format(word))
+        for offset, name in ((-1, "word-"), (1, "word+"), (-2, "word--"), (2, "word++")):
+            j = i + offset
+            row.append("{}={}".format(name, words[j] if 0 <= j < n else "<pad>"))
+        # POS tags.
+        row.append("pos={}".format(tags[i]))
+        row.append("pos-={}".format(tags[i - 1] if i > 0 else "<pad>"))
+        row.append("pos+={}".format(tags[i + 1] if i + 1 < n else "<pad>"))
+        # Predicted entities (synonym bootstrap).
+        row.append("pred={}".format(predicted[i] or "none"))
+        row.append("pred-={}".format(predicted[i - 1] if i > 0 else "none"))
+        row.append("pred+={}".format(predicted[i + 1] if i + 1 < n else "none"))
+        row.append(
+            "d(pred-)={}".format(
+                _bucket(_nearest(lambda w: lexicon.predict_entity(w) is not None, words, i, -1))
+            )
+        )
+        row.append(
+            "d(pred+)={}".format(
+                _bucket(_nearest(lambda w: lexicon.predict_entity(w) is not None, words, i, 1))
+            )
+        )
+        # Space/time prepositions.
+        row.append(
+            "d(space-)={}".format(_bucket(_nearest(lambda w: w in SPACE_PREPOSITIONS, words, i, -1)))
+        )
+        row.append(
+            "d(space+)={}".format(_bucket(_nearest(lambda w: w in SPACE_PREPOSITIONS, words, i, 1)))
+        )
+        row.append(
+            "d(time-)={}".format(_bucket(_nearest(lambda w: w in TIME_PREPOSITIONS, words, i, -1)))
+        )
+        row.append(
+            "d(time+)={}".format(_bucket(_nearest(lambda w: w in TIME_PREPOSITIONS, words, i, 1)))
+        )
+        # Punctuation and conjunction distances.
+        row.append(
+            "d(punct-)={}".format(_bucket(_nearest(lambda w: w in _PUNCTUATION, words, i, -1)))
+        )
+        row.append(
+            "d(punct+)={}".format(_bucket(_nearest(lambda w: w in _PUNCTUATION, words, i, 1)))
+        )
+        row.append(
+            "d(and+)={}".format(_bucket(_nearest(lambda w: w in _CONJUNCTION_AND, words, i, 1)))
+        )
+        row.append(
+            "d(or-)={}".format(_bucket(_nearest(lambda w: w in _CONJUNCTION_OR, words, i, -1)))
+        )
+        then_next = _nearest(lambda w: w == "then", words, i, 1)
+        and_next = _nearest(lambda w: w in _CONJUNCTION_AND, words, i, 1)
+        and_then = then_next if (then_next is not None and and_next == then_next - 1) else None
+        row.append("d(and-then+)={}".format(_bucket(and_then)))
+        # Miscellaneous.
+        row.append("d(x)={}".format(_bucket(_nearest(lambda w: w == "x", words, i, 1))))
+        row.append("d(y)={}".format(_bucket(_nearest(lambda w: w == "y", words, i, 1))))
+        row.append("d(next)={}".format(_bucket(_nearest(lambda w: w == "next", words, i, 1))))
+        row.append("ends(ing)={}".format(word.endswith("ing")))
+        row.append("ends(ly)={}".format(word.endswith("ly")))
+        row.append("len={}".format(length_bucket))
+        features.append(row)
+    return features

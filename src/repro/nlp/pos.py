@@ -1,0 +1,109 @@
+"""A lightweight rule-based part-of-speech tagger (paper §4).
+
+The paper's noise/non-noise classifier keys off POS tags: determiners,
+prepositions and stop-words are likely noise, while nouns, adjectives,
+adverbs, numbers, transition words and conjunctions likely carry shape
+entities.  Full statistical POS tagging is unnecessary for this closed
+domain, so the tagger combines a curated lexicon with suffix heuristics
+— the same features CRFsuite-based taggers would bootstrap from.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+#: Coarse tag set (subset of the Penn tags the paper's features need).
+TAGS = ("NOUN", "VERB", "ADJ", "ADV", "NUM", "DET", "PREP", "CONJ", "PRON", "PUNCT", "OTHER")
+
+_DETERMINERS = {"a", "an", "the", "this", "that", "these", "those", "some", "any", "all", "each", "every"}
+_PREPOSITIONS = {
+    "in", "on", "at", "by", "for", "with", "within", "from", "to", "until", "till",
+    "between", "over", "during", "of", "across", "around", "near", "after", "before",
+}
+_CONJUNCTIONS = {"and", "or", "but", "then", "while", "whereas", "either", "neither", "nor"}
+_PRONOUNS = {"i", "me", "my", "we", "us", "our", "you", "your", "it", "its", "they", "them", "their", "which", "whose"}
+_VERBS = {
+    "is", "are", "was", "were", "be", "been", "show", "find", "search", "want",
+    "rise", "rises", "rose", "fall", "falls", "fell", "increase", "increases",
+    "increased", "decrease", "decreases", "decreased", "grow", "grows", "grew",
+    "drop", "drops", "dropped", "climb", "climbs", "climbed", "decline",
+    "declines", "declined", "stabilize", "stabilizes", "stabilized", "stay",
+    "stays", "stayed", "remain", "remains", "remained", "peak", "peaks",
+    "peaked", "dip", "dips", "dipped", "spike", "spikes", "spiked", "recover",
+    "recovers", "recovered", "plateau", "plateaus",
+}
+_ADVERBS = {
+    "sharply", "steeply", "quickly", "rapidly", "suddenly", "gradually",
+    "slowly", "gently", "slightly", "steadily", "first", "finally", "again",
+    "twice", "once", "thrice", "least", "most", "never", "always", "not",
+}
+_ADJECTIVES = {
+    "sharp", "steep", "quick", "rapid", "sudden", "gradual", "slow", "gentle",
+    "slight", "steady", "flat", "stable", "constant", "high", "low", "increasing",
+    "decreasing", "rising", "falling", "growing", "declining", "upward", "downward",
+}
+_NOUNS = {
+    "gene", "genes", "stock", "stocks", "city", "cities", "trend", "trends",
+    "pattern", "patterns", "peak", "peaks", "valley", "valleys", "dip", "dips",
+    "spike", "spikes", "plateau", "shape", "shapes", "expression", "temperature",
+    "luminosity", "price", "prices", "month", "months", "week", "weeks", "day",
+    "days", "point", "points", "window", "span", "times", "slope", "uptrend",
+    "downtrend", "head", "shoulders", "top", "bottom", "start", "end",
+}
+
+_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?$")
+_NUMBER_WORDS = {
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+    "nine", "ten", "eleven", "twelve",
+}
+_PUNCT_RE = re.compile(r"^[,.;:!?()\[\]{}]+$")
+
+
+def tag_word(word: str) -> str:
+    """POS tag for one lowercase token."""
+    lower = word.lower()
+    if _PUNCT_RE.match(lower):
+        return "PUNCT"
+    if _NUMBER_RE.match(lower) or lower in _NUMBER_WORDS:
+        return "NUM"
+    if lower in _DETERMINERS:
+        return "DET"
+    if lower in _PREPOSITIONS:
+        return "PREP"
+    if lower in _CONJUNCTIONS:
+        return "CONJ"
+    if lower in _PRONOUNS:
+        return "PRON"
+    if lower in _ADVERBS:
+        return "ADV"
+    if lower in _ADJECTIVES:
+        return "ADJ"
+    if lower in _VERBS:
+        return "VERB"
+    if lower in _NOUNS:
+        return "NOUN"
+    # Suffix heuristics for open-vocabulary words.
+    if lower.endswith("ly"):
+        return "ADV"
+    if lower.endswith("ing") or lower.endswith("ed"):
+        return "VERB"
+    if lower.endswith("s") and len(lower) > 3:
+        return "NOUN"
+    return "NOUN" if lower.isalpha() else "OTHER"
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a query into word and punctuation tokens."""
+    return re.findall(r"[A-Za-z_]+|-?\d+(?:\.\d+)?|[,.;:!?()\[\]{}]", text)
+
+
+def pos_tags(tokens: List[str]) -> List[str]:
+    """POS tags for a token list."""
+    return [tag_word(token) for token in tokens]
+
+
+def tag(text: str) -> List[Tuple[str, str]]:
+    """Tokenize and tag a raw query string."""
+    tokens = tokenize(text)
+    return list(zip(tokens, pos_tags(tokens)))

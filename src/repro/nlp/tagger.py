@@ -1,0 +1,110 @@
+"""Shape-entity tagging pipeline (paper §4).
+
+Two stages, as in the paper: a noise/non-noise decision and an entity
+labeller.  Here the two are fused into one sequence model — ``O`` (noise)
+is simply one of the CRF's labels — trained on the generated corpus of
+:mod:`repro.nlp.corpus`.  A pure rule-based mode (synonym lexicon only)
+is available for tests and for environments where the one-off training
+cost is unwanted; the CRF is trained lazily on first use and cached per
+process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.nlp import lexicon
+from repro.nlp.corpus import build_corpus
+from repro.nlp.crf import LinearChainCRF
+from repro.nlp.features import extract_features
+from repro.nlp.pos import tokenize
+
+#: CRF label space: the entity labels plus noise.
+LABELS = list(lexicon.ENTITY_LABELS) + ["O"]
+
+_MODEL_LOCK = threading.Lock()
+_MODEL: Optional[LinearChainCRF] = None
+
+
+@dataclass(frozen=True)
+class TaggedWord:
+    """One non-noise token with its entity label and source position."""
+
+    word: str
+    index: int
+    label: str
+
+
+#: Pre-trained weights shipped with the package (regenerate with
+#: ``python -m repro.nlp.tagger``).
+_WEIGHTS_PATH = os.path.join(os.path.dirname(__file__), "crf_weights.npz")
+
+
+def train_default_crf(
+    min_size: int = 250, l2: float = 0.05, max_iterations: int = 50
+) -> LinearChainCRF:
+    """Train the entity CRF on the generated corpus (used by the cache)."""
+    corpus = build_corpus(min_size=min_size)
+    sequences = [extract_features(tokens) for tokens, _ in corpus]
+    labels = [label_sequence for _, label_sequence in corpus]
+    model = LinearChainCRF(LABELS, l2=l2, max_iterations=max_iterations)
+    model.fit(sequences, labels)
+    return model
+
+
+def default_crf() -> LinearChainCRF:
+    """The process-wide CRF: shipped weights if present, else train once."""
+    global _MODEL
+    if _MODEL is None:
+        with _MODEL_LOCK:
+            if _MODEL is None:
+                if os.path.exists(_WEIGHTS_PATH):
+                    _MODEL = LinearChainCRF.load(_WEIGHTS_PATH)
+                else:
+                    _MODEL = train_default_crf()
+    return _MODEL
+
+
+class EntityTagger:
+    """Tokenize a query and label its shape entities.
+
+    ``mode="crf"`` uses the trained sequence model with a lexicon
+    fallback for tokens the CRF marks as noise but the synonym lists
+    recognize (the paper's bootstrap in reverse); ``mode="rule"`` uses
+    the lexicon alone.
+    """
+
+    def __init__(self, mode: str = "crf"):
+        if mode not in ("crf", "rule"):
+            raise ValueError("mode must be 'crf' or 'rule'")
+        self.mode = mode
+
+    def tag(self, text: str) -> Tuple[List[str], List[TaggedWord]]:
+        """Return (all tokens, entity-labelled non-noise words)."""
+        tokens = tokenize(text)
+        if not tokens:
+            return [], []
+        if self.mode == "crf":
+            labels = default_crf().predict(extract_features(tokens))
+        else:
+            labels = [lexicon.predict_entity(token) or "O" for token in tokens]
+        tagged: List[TaggedWord] = []
+        for index, (token, label) in enumerate(zip(tokens, labels)):
+            if label == "O" and self.mode == "crf":
+                # Lexicon fallback for high-confidence synonym hits.
+                fallback = lexicon.predict_entity(token)
+                if fallback in ("PATTERN", "OP_NOT", "NUM"):
+                    label = fallback
+            if label != "O":
+                tagged.append(TaggedWord(word=token.lower(), index=index, label=label))
+        return tokens, tagged
+
+
+if __name__ == "__main__":  # pragma: no cover - weight regeneration entry point
+    print("training entity CRF on the generated corpus ...")
+    trained = train_default_crf()
+    trained.save(_WEIGHTS_PATH)
+    print("saved weights to", _WEIGHTS_PATH)

@@ -1,0 +1,314 @@
+"""Natural-language → ShapeQuery translation (paper §4).
+
+The pipeline: entity tagging (:mod:`repro.nlp.tagger`), a left-to-right
+scan that groups primitives between operator entities into
+:class:`~repro.nlp.ambiguity.ProtoSegment` records, value resolution for
+PATTERN/MODIFIER words (edit distance, then semantic-network fallback —
+the paper's two-tier scheme), Table 4 ambiguity resolution, and finally
+AST construction with OR binding tighter than the CONCAT sequence.
+
+Compound shape nouns expand structurally: a *peak* is up⊗down and a
+*valley* down⊗up; a quantified peak ("two peaks") becomes an
+occurrence-quantified up pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.algebra.nodes import And, Concat, Node, Or, ShapeSegment
+from repro.algebra.primitives import (
+    Iterator,
+    Location,
+    Modifier,
+    Pattern,
+    Quantifier,
+)
+from repro.algebra.validate import validate
+from repro.errors import AmbiguityError, ShapeQuerySyntaxError
+from repro.nlp import lexicon, semantics
+from repro.nlp.ambiguity import ProtoSegment, Resolution, resolve
+from repro.nlp.tagger import EntityTagger, TaggedWord
+
+#: Above this normalized edit distance the semantic network takes over.
+_EDIT_THRESHOLD = 0.1
+
+
+@dataclass
+class Translation:
+    """The parsed query plus everything the correction panel displays."""
+
+    query: Node
+    segments: List[ProtoSegment]
+    operators: List[str]
+    log: List[str] = field(default_factory=list)
+
+
+def parse_natural_language(text: str, tagger: Optional[EntityTagger] = None) -> Node:
+    """Translate an NL query to a validated ShapeQuery AST."""
+    return translate(text, tagger=tagger).query
+
+
+def translate(text: str, tagger: Optional[EntityTagger] = None) -> Translation:
+    """Full translation, keeping the intermediate structures."""
+    tagger = tagger if tagger is not None else EntityTagger()
+    _, tagged = tagger.tag(text)
+    if not tagged:
+        raise ShapeQuerySyntaxError("no shape entities recognized in {!r}".format(text))
+    segments, operators = _scan(tagged)
+    resolution = resolve(segments, operators)
+    if not resolution.segments:
+        raise AmbiguityError("query {!r} resolved to no ShapeSegments".format(text))
+    query = _build_ast(resolution)
+    validate(query)
+    return Translation(
+        query=query,
+        segments=resolution.segments,
+        operators=resolution.operators,
+        log=resolution.log,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scan: tagged entities -> proto segments + operators
+# ---------------------------------------------------------------------------
+
+
+def _scan(tagged: List[TaggedWord]) -> Tuple[List[ProtoSegment], List[str]]:
+    segments: List[ProtoSegment] = [ProtoSegment()]
+    operators: List[str] = []
+    pending_location: Optional[str] = None  # "start" | "end" | "both" | "window"
+    pending_number: Optional[float] = None
+    pending_quant: Optional[str] = None  # "at-least" | "at-most"
+    negate_next = False
+    last_operator_index: Optional[int] = None
+
+    def current() -> ProtoSegment:
+        return segments[-1]
+
+    def open_segment(op: str, index: int) -> None:
+        nonlocal last_operator_index, pending_location, pending_quant
+        # Merge multi-token operators ("and then", "followed by").
+        if last_operator_index is not None and index - last_operator_index <= 1 and (
+            current().empty
+        ):
+            operators[-1] = op if op != "SEQ" else operators[-1]
+            last_operator_index = index
+            return
+        segments.append(ProtoSegment())
+        operators.append(op)
+        last_operator_index = index
+        pending_location = None
+        pending_quant = None
+
+    for position, word in enumerate(tagged):
+        label = word.label
+        if label == "LOC" and word.word == "at":
+            # "at least 2 times" — the LOC reading of "at" yields to the
+            # quantifier when the next entity is a QUANT marker.
+            following = tagged[position + 1] if position + 1 < len(tagged) else None
+            if following is not None and following.label == "QUANT":
+                continue
+        if label == "PATTERN":
+            value = _resolve_pattern(word.word)
+            if value is None:
+                continue
+            segment = current()
+            if negate_next:
+                segment.negated = True
+            if pending_number is not None and value.startswith("compound:"):
+                # "two peaks" — quantified occurrence of the compound's rise.
+                segment.quantifier = Quantifier(
+                    low=int(pending_number), high=int(pending_number)
+                )
+            segment.patterns.append(value)
+            negate_next = False
+            pending_number = None
+        elif label == "MODIFIER":
+            value, distance = lexicon.resolve_modifier_value(word.word)
+            if distance > _EDIT_THRESHOLD:
+                value = semantics.semantic_value(word.word, "modifier") or value
+            current().modifier = value
+        elif label == "QUANT":
+            value, _ = lexicon.resolve_quant_value(word.word)
+            if value in ("once", "twice", "thrice"):
+                count = {"once": 1, "twice": 2, "thrice": 3}[value]
+                current().quantifier = Quantifier(low=count, high=count)
+            elif value in ("at-least", "at-most"):
+                pending_quant = value
+            elif value == "times" and pending_number is not None:
+                count = int(pending_number)
+                if pending_quant == "at-least":
+                    current().quantifier = Quantifier(low=count)
+                elif pending_quant == "at-most":
+                    current().quantifier = Quantifier(high=count)
+                else:
+                    current().quantifier = Quantifier(low=count, high=count)
+                pending_number = None
+                pending_quant = None
+        elif label == "LOC":
+            if word.word in ("from", "starting"):
+                pending_location = "start"
+            elif word.word in ("to", "until", "till", "ending"):
+                pending_location = "end"
+            elif word.word == "between":
+                pending_location = "both"
+            elif word.word == "at":
+                pending_location = "start"
+        elif label == "WIDTH":
+            if pending_number is not None:
+                current().window = pending_number
+                pending_number = None
+                pending_location = None
+            else:
+                pending_location = "window"
+        elif label == "NUM":
+            number = lexicon.parse_number_word(word.word)
+            if number is None:
+                continue
+            segment = current()
+            if pending_location == "start":
+                segment.x_start = number
+                segment.axis_ambiguous = True
+                pending_location = None
+            elif pending_location == "end":
+                segment.x_end = number
+                segment.axis_ambiguous = True
+                pending_location = None
+            elif pending_location == "both":
+                segment.x_start = number
+                segment.axis_ambiguous = True
+                pending_location = "end"
+            elif pending_location == "window":
+                segment.window = number
+                pending_location = None
+            elif pending_quant is not None:
+                count = int(number)
+                if pending_quant == "at-least":
+                    segment.quantifier = Quantifier(low=count)
+                else:
+                    segment.quantifier = Quantifier(high=count)
+                pending_quant = None
+            else:
+                pending_number = number
+        elif label == "OP_SEQ":
+            open_segment("SEQ", word.index)
+        elif label == "OP_OR":
+            open_segment("OR", word.index)
+        elif label == "OP_AND":
+            open_segment("AND", word.index)
+        elif label == "OP_NOT":
+            negate_next = True
+    return segments, operators
+
+
+#: Directional helper verbs: part of a pattern phrase ("going down") but
+#: carrying no direction themselves — the companion word decides.
+_HELPER_VERBS = frozenset({"going", "moving", "getting", "trending", "heading"})
+
+
+def _resolve_pattern(word: str) -> Optional[str]:
+    if word in _HELPER_VERBS:
+        return None
+    value, distance = lexicon.resolve_pattern_value(word)
+    if distance <= _EDIT_THRESHOLD:
+        return value
+    return semantics.semantic_value(word, "pattern") or value
+
+
+# ---------------------------------------------------------------------------
+# AST construction
+# ---------------------------------------------------------------------------
+
+
+def _build_ast(resolution: Resolution) -> Node:
+    nodes = [_segment_to_node(segment) for segment in resolution.segments]
+    operators = resolution.operators
+
+    # OR binds tighter than the implicit CONCAT sequence; AND likewise.
+    grouped: List[Node] = [nodes[0]]
+    for op, node in zip(operators, nodes[1:]):
+        if op == "OR":
+            previous = grouped.pop()
+            if isinstance(previous, Or):
+                grouped.append(Or(previous.children + (node,)))
+            else:
+                grouped.append(Or((previous, node)))
+        elif op == "AND":
+            previous = grouped.pop()
+            if isinstance(previous, And):
+                grouped.append(And(previous.children + (node,)))
+            else:
+                grouped.append(And((previous, node)))
+        else:
+            grouped.append(node)
+    if len(grouped) == 1:
+        return grouped[0]
+    return Concat(tuple(grouped))
+
+
+def _segment_to_node(proto: ProtoSegment) -> Node:
+    pattern_value = proto.patterns[0] if proto.patterns else None
+
+    location = Location(
+        x_start=proto.x_start,
+        x_end=proto.x_end,
+        y_start=proto.y_start,
+        y_end=proto.y_end,
+        iterator=Iterator(proto.window) if proto.window is not None else None,
+    )
+
+    modifier: Optional[Modifier] = None
+    if proto.quantifier is not None:
+        modifier = Modifier(quantifier=proto.quantifier)
+    elif proto.modifier is not None and pattern_value in ("up", "down"):
+        if proto.modifier == "sharp":
+            modifier = Modifier(comparison=">>" if pattern_value == "up" else "<<")
+        else:
+            modifier = Modifier(comparison=">" if pattern_value == "up" else "<")
+
+    if pattern_value is None:
+        segment = ShapeSegment(pattern=None, location=location, modifier=modifier)
+        return segment
+
+    if pattern_value.startswith("compound:"):
+        return _compound_to_node(pattern_value, proto, location, modifier)
+
+    segment = ShapeSegment(
+        pattern=Pattern(kind=pattern_value),
+        location=location,
+        modifier=modifier,
+        negated=proto.negated,
+    )
+    return segment
+
+
+def _compound_to_node(
+    value: str, proto: ProtoSegment, location: Location, modifier: Optional[Modifier]
+) -> Node:
+    first, second = ("up", "down") if value == "compound:peak" else ("down", "up")
+    if proto.quantifier is not None:
+        # "two peaks": count occurrences of the leading trend.
+        return ShapeSegment(
+            pattern=Pattern(kind=first),
+            location=location,
+            modifier=Modifier(quantifier=proto.quantifier),
+            negated=proto.negated,
+        )
+    sharp = proto.modifier == "sharp"
+    first_modifier = None
+    second_modifier = None
+    if sharp:
+        first_modifier = Modifier(comparison=">>" if first == "up" else "<<")
+        second_modifier = Modifier(comparison=">>" if second == "up" else "<<")
+    head = ShapeSegment(
+        pattern=Pattern(kind=first),
+        location=location,
+        modifier=first_modifier,
+        negated=proto.negated,
+    )
+    tail = ShapeSegment(
+        pattern=Pattern(kind=second), modifier=second_modifier, negated=proto.negated
+    )
+    return Concat((head, tail))

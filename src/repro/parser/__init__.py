@@ -1,0 +1,6 @@
+"""Regex front-end: lexer and CFG parser for the ShapeQuery dialect."""
+
+from repro.parser.lexer import Token, tokenize
+from repro.parser.regex_parser import parse
+
+__all__ = ["Token", "tokenize", "parse"]

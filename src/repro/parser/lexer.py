@@ -1,0 +1,96 @@
+"""Tokenizer for the ShapeQuery regex dialect (paper §3, Table 2).
+
+The dialect is ASCII-first but the paper's Unicode operator glyphs are
+accepted as aliases:
+
+=========  =======================  =========================
+Operator   ASCII                    Unicode alias
+=========  =======================  =========================
+CONCAT     adjacency or ``->``      ``⊗``
+AND        ``&``                    ``⊙``
+OR         ``|``                    ``⊕``
+OPPOSITE   ``!``                    ``¬``
+=========  =======================  =========================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ShapeQuerySyntaxError
+
+#: Token specification, ordered so longer lexemes win.
+_TOKEN_SPEC = [
+    ("WS", r"\s+"),
+    ("KEY", r"[xy]\.[se]"),
+    ("ARROW", r"->|⊗"),
+    ("AND", r"&|⊙"),
+    ("OR", r"\||⊕"),
+    ("BANG", r"!|¬"),
+    ("GTGT", r">>"),
+    ("LTLT", r"<<"),
+    ("GT", r">"),
+    ("LT", r"<"),
+    ("DOLLARNUM", r"\$\d+"),
+    ("DOLLARPREV", r"\$-"),
+    ("DOLLARNEXT", r"\$\+"),
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("DOTPLUS", r"\.\+"),
+    ("DOT", r"\."),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("EQ", r"="),
+    ("STAR", r"\*"),
+]
+
+_MASTER = re.compile("|".join("(?P<{}>{})".format(name, pattern) for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (for error pointers)."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self):
+        return "Token({}, {!r}, @{})".format(self.kind, self.text, self.position)
+
+
+#: Sentinel kind appended at the end of every token stream.
+EOF = "EOF"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, raising on any unrecognized character."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _MASTER.match(text, position)
+        if match is None:
+            raise ShapeQuerySyntaxError(
+                "unexpected character {!r}".format(text[position]),
+                position=position,
+                text=text,
+            )
+        kind = match.lastgroup
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(Token(EOF, "", len(text)))
+    return tokens
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Generator form of :func:`tokenize`."""
+    return iter(tokenize(text))

@@ -1,0 +1,305 @@
+"""Recursive-descent parser for the ShapeQuery regex dialect.
+
+Implements the context-free grammar of Table 2 with conventional
+precedence (OR < AND < CONCAT < OPPOSITE), where CONCAT is written by
+adjacency (``[p=up][p=down]``), ``->`` or ``⊗``::
+
+    query   := or
+    or      := and   (('|' | '⊕') and)*
+    and     := chain (('&' | '⊙') chain)*
+    chain   := unary (('->' | '⊗')? unary)*
+    unary   := ('!' | '¬') unary | '(' query ')' | segment
+    segment := '[' entry (',' entry)* ']'
+    entry   := key '=' value
+
+Same-level OR/AND chains build a single n-ary node (min/max are
+associative); a CONCAT chain likewise builds one n-ary node so that the
+Table 6 mean weights every unit equally — parenthesized sub-chains stay
+nested and are weighted as a group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algebra.nodes import And, Concat, Node, Opposite, Or, ShapeSegment
+from repro.algebra.primitives import (
+    Iterator,
+    Location,
+    Modifier,
+    Pattern,
+    PositionRef,
+    Quantifier,
+    Sketch,
+)
+from repro.errors import ShapeQuerySyntaxError, ShapeQueryValidationError
+from repro.parser.lexer import EOF, Token, tokenize
+
+#: Named pattern words accepted after ``p=``.
+_PATTERN_WORDS = {"up": "up", "down": "down", "flat": "flat", "empty": "empty"}
+
+
+def parse(text: str) -> Node:
+    """Parse a regex-dialect ShapeQuery string into an AST."""
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # Token-stream helpers ----------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise self.error("expected {} but found {!r}".format(kind, token.text or "end of query"))
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def error(self, message: str) -> ShapeQuerySyntaxError:
+        return ShapeQuerySyntaxError(message, position=self.peek().position, text=self.text)
+
+    # Grammar ------------------------------------------------------------
+    def parse(self) -> Node:
+        node = self.parse_or()
+        if self.peek().kind != EOF:
+            raise self.error("trailing input after query")
+        return node
+
+    def parse_or(self) -> Node:
+        children = [self.parse_and()]
+        while self.accept("OR"):
+            children.append(self.parse_and())
+        return children[0] if len(children) == 1 else Or(tuple(children))
+
+    def parse_and(self) -> Node:
+        children = [self.parse_chain()]
+        while self.accept("AND"):
+            children.append(self.parse_chain())
+        return children[0] if len(children) == 1 else And(tuple(children))
+
+    def parse_chain(self) -> Node:
+        children = [self.parse_unary()]
+        while True:
+            if self.accept("ARROW"):
+                children.append(self.parse_unary())
+            elif self.peek().kind in ("LBRACKET", "LPAREN", "BANG"):
+                children.append(self.parse_unary())
+            else:
+                break
+        return children[0] if len(children) == 1 else Concat(tuple(children))
+
+    def parse_unary(self) -> Node:
+        if self.accept("BANG"):
+            return Opposite(self.parse_unary())
+        if self.accept("LPAREN"):
+            node = self.parse_or()
+            self.expect("RPAREN")
+            return node
+        return self.parse_segment()
+
+    # Segments -----------------------------------------------------------
+    def parse_segment(self) -> ShapeSegment:
+        self.expect("LBRACKET")
+        fields = {
+            "x_start": None,
+            "x_end": None,
+            "y_start": None,
+            "y_end": None,
+            "iterator": None,
+            "pattern": None,
+            "modifier": None,
+            "sketch": None,
+        }
+        while True:
+            self.parse_entry(fields)
+            if not self.accept("COMMA"):
+                break
+        self.expect("RBRACKET")
+        try:
+            location = Location(
+                x_start=fields["x_start"],
+                x_end=fields["x_end"],
+                y_start=fields["y_start"],
+                y_end=fields["y_end"],
+                iterator=fields["iterator"],
+            )
+            return ShapeSegment(
+                pattern=fields["pattern"],
+                location=location,
+                modifier=fields["modifier"],
+                sketch=fields["sketch"],
+            )
+        except ShapeQueryValidationError as exc:
+            raise self.error(str(exc)) from exc
+
+    def parse_entry(self, fields: dict) -> None:
+        token = self.peek()
+        if token.kind == "KEY":
+            self.parse_location_entry(fields)
+        elif token.kind == "IDENT" and token.text == "p":
+            self.advance()
+            self.expect("EQ")
+            fields["pattern"] = self.parse_pattern_value()
+        elif token.kind == "IDENT" and token.text == "m":
+            self.advance()
+            self.expect("EQ")
+            fields["modifier"] = self.parse_modifier_value()
+        elif token.kind == "IDENT" and token.text == "v":
+            self.advance()
+            self.expect("EQ")
+            fields["sketch"] = self.parse_sketch_value()
+        else:
+            raise self.error(
+                "expected a segment entry (x.s/x.e/y.s/y.e/p/m/v) but found {!r}".format(
+                    token.text or "end of query"
+                )
+            )
+
+    def parse_location_entry(self, fields: dict) -> None:
+        key = self.advance().text
+        self.expect("EQ")
+        slot = {"x.s": "x_start", "x.e": "x_end", "y.s": "y_start", "y.e": "y_end"}[key]
+        if self.peek().kind == "DOT" and key == "x.s":
+            self.advance()
+            # The matching "x.e=.+w" entry supplies the window width.
+            fields["x_start"] = None
+            fields["_iterator_start"] = True
+            return
+        if self.peek().kind == "DOTPLUS" and key == "x.e":
+            self.advance()
+            width = self.parse_number("iterator width")
+            try:
+                fields["iterator"] = Iterator(width)
+            except ShapeQueryValidationError as exc:
+                raise self.error(str(exc)) from exc
+            return
+        fields[slot] = self.parse_number("a {} coordinate".format(key))
+
+    def parse_pattern_value(self) -> Pattern:
+        token = self.peek()
+        try:
+            if token.kind == "IDENT" and token.text in _PATTERN_WORDS:
+                self.advance()
+                return Pattern(kind=_PATTERN_WORDS[token.text])
+            if token.kind == "STAR":
+                self.advance()
+                return Pattern(kind="any")
+            if token.kind == "NUMBER":
+                return Pattern(kind="slope", theta=self.parse_number("a slope"))
+            if token.kind == "DOLLARNUM":
+                self.advance()
+                return Pattern(kind="position", reference=PositionRef(index=int(token.text[1:])))
+            if token.kind == "DOLLARPREV":
+                self.advance()
+                return Pattern(kind="position", reference=PositionRef(relative=-1))
+            if token.kind == "DOLLARNEXT":
+                self.advance()
+                return Pattern(kind="position", reference=PositionRef(relative=1))
+            if token.kind == "IDENT" and token.text == "udp":
+                self.advance()
+                self.expect("COLON")
+                name = self.expect("IDENT").text
+                return Pattern(kind="udp", udp_name=name)
+            if token.kind in ("LBRACKET", "LPAREN", "BANG"):
+                nested = self.parse_nested_query()
+                return Pattern(kind="nested", nested=nested)
+        except ShapeQueryValidationError as exc:
+            raise self.error(str(exc)) from exc
+        raise self.error("expected a pattern value but found {!r}".format(token.text))
+
+    def parse_nested_query(self) -> Node:
+        # A nested query runs until the enclosing segment's ',' or ']'.
+        # parse_or naturally stops there because neither token can start
+        # or continue an expression.
+        return self.parse_or()
+
+    def parse_modifier_value(self) -> Modifier:
+        token = self.peek()
+        try:
+            if token.kind == "GTGT":
+                self.advance()
+                return Modifier(comparison=">>")
+            if token.kind == "LTLT":
+                self.advance()
+                return Modifier(comparison="<<")
+            if token.kind == "GT":
+                self.advance()
+                factor = self.maybe_number()
+                return Modifier(comparison=">", factor=factor)
+            if token.kind == "LT":
+                self.advance()
+                factor = self.maybe_number()
+                return Modifier(comparison="<", factor=factor)
+            if token.kind == "EQ":
+                self.advance()
+                return Modifier(comparison="=")
+            if token.kind == "NUMBER":
+                count = self.parse_count("an occurrence count")
+                return Modifier(quantifier=Quantifier(low=count, high=count))
+            if token.kind == "LBRACE":
+                return Modifier(quantifier=self.parse_quantifier())
+        except ShapeQueryValidationError as exc:
+            raise self.error(str(exc)) from exc
+        raise self.error("expected a modifier value but found {!r}".format(token.text))
+
+    def parse_quantifier(self) -> Quantifier:
+        self.expect("LBRACE")
+        low = None
+        high = None
+        if self.peek().kind == "NUMBER":
+            low = self.parse_count("a quantifier lower bound")
+        self.expect("COMMA")
+        if self.peek().kind == "NUMBER":
+            high = self.parse_count("a quantifier upper bound")
+        self.expect("RBRACE")
+        return Quantifier(low=low, high=high)
+
+    def parse_sketch_value(self) -> Sketch:
+        self.expect("LPAREN")
+        points = []
+        while True:
+            x = self.parse_number("a sketch x value")
+            self.expect("COLON")
+            y = self.parse_number("a sketch y value")
+            points.append((x, y))
+            if not self.accept("COMMA"):
+                break
+        self.expect("RPAREN")
+        try:
+            return Sketch(points=tuple(points))
+        except ShapeQueryValidationError as exc:
+            raise self.error(str(exc)) from exc
+
+    # Scalars --------------------------------------------------------------
+    def parse_number(self, what: str) -> float:
+        token = self.peek()
+        if token.kind != "NUMBER":
+            raise self.error("expected {} but found {!r}".format(what, token.text))
+        self.advance()
+        return float(token.text)
+
+    def maybe_number(self) -> Optional[float]:
+        if self.peek().kind == "NUMBER":
+            return self.parse_number("a factor")
+        return None
+
+    def parse_count(self, what: str) -> int:
+        value = self.parse_number(what)
+        if value != int(value) or value < 0:
+            raise self.error("{} must be a non-negative integer".format(what))
+        return int(value)

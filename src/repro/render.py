@@ -1,0 +1,76 @@
+"""Terminal rendering of trendlines and match results.
+
+A stand-in for the results panel (Figure 2 Box 4): Unicode sparklines of
+each matched trendline with the fitted ShapeSegment boundaries and
+per-segment scores — the "green fitted lines" study participants relied
+on to trust the matches (§7.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.engine.executor import Match
+from repro.engine.trendline import Trendline
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """A Unicode sparkline of a series, resampled to ``width`` characters."""
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return ""
+    if len(values) != width:
+        positions = np.linspace(0, 1, width)
+        source = np.linspace(0, 1, len(values))
+        values = np.interp(positions, source, values)
+    low, high = float(values.min()), float(values.max())
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[0] * width
+    indices = np.clip(((values - low) / span) * (len(_BLOCKS) - 1), 0, len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(i))] for i in indices)
+
+
+def render_trendline(trendline: Trendline, width: int = 60) -> str:
+    """One-line sparkline of a trendline with its key."""
+    return "{:>16}  {}".format(str(trendline.key)[:16], sparkline(trendline.bin_y, width))
+
+
+def render_match(match: Match, width: int = 60) -> str:
+    """Sparkline plus the fitted segmentation of one match."""
+    lines: List[str] = []
+    lines.append(
+        "{:>16}  {}  score={:+.3f}".format(
+            str(match.key)[:16], sparkline(match.trendline.bin_y, width), match.score
+        )
+    )
+    n = match.trendline.n_bins
+    details = []
+    for placed in match.placements:
+        if placed.end <= placed.start:
+            continue
+        details.append(
+            "seg{} [{}..{}) score {:+.2f}".format(
+                placed.seg_index if placed.seg_index >= 0 else "?",
+                placed.start,
+                placed.end,
+                placed.score,
+            )
+        )
+    if details and n > 0:
+        marker = [" "] * width
+        for placed in match.placements:
+            position = int(placed.start / n * (width - 1))
+            marker[position] = "|"
+        lines.append("{:>16}  {}".format("", "".join(marker)))
+        lines.append("{:>16}  {}".format("", "; ".join(details)))
+    return "\n".join(lines)
+
+
+def render_matches(matches: List[Match], width: int = 60) -> str:
+    """Render a full results panel."""
+    return "\n".join(render_match(match, width) for match in matches)

@@ -1,0 +1,7 @@
+"""Sketch front-end: canvas mapping, simplification, translation."""
+
+from repro.sketch.canvas import Canvas
+from repro.sketch.parser import parse_sketch
+from repro.sketch.simplify import rdp, segment_directions
+
+__all__ = ["Canvas", "parse_sketch", "rdp", "segment_directions"]

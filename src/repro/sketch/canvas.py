@@ -1,0 +1,58 @@
+"""Canvas-to-domain coordinate mapping for sketched queries (paper §2, §3.1).
+
+The front-end reports a drawn polyline in pixel coordinates (origin at
+the canvas's top-left, y growing downward).  ShapeSearch "automatically
+translates the pixel values of the user-drawn sketch to the domain
+values of the X and Y attributes"; :class:`Canvas` is that transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Canvas:
+    """A drawing surface bound to a domain viewport.
+
+    ``width``/``height`` are the canvas size in pixels; the ``x_*``/``y_*``
+    fields give the data-domain rectangle the canvas displays.
+    """
+
+    width: int
+    height: int
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self):
+        if self.width <= 0 or self.height <= 0:
+            raise DataError("canvas size must be positive")
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise DataError("canvas viewport must have positive extent")
+
+    def to_domain(self, pixels: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+        """Map pixel points to domain points (flipping the y axis)."""
+        points: List[Tuple[float, float]] = []
+        for px, py in pixels:
+            if not (0 <= px <= self.width and 0 <= py <= self.height):
+                raise DataError(
+                    "pixel ({}, {}) outside the {}x{} canvas".format(px, py, self.width, self.height)
+                )
+            x = self.x_min + (px / self.width) * (self.x_max - self.x_min)
+            y = self.y_max - (py / self.height) * (self.y_max - self.y_min)
+            points.append((x, y))
+        return points
+
+    def to_pixels(self, points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+        """Inverse mapping (used to echo fitted results back to the canvas)."""
+        pixels: List[Tuple[float, float]] = []
+        for x, y in points:
+            px = (x - self.x_min) / (self.x_max - self.x_min) * self.width
+            py = (self.y_max - y) / (self.y_max - self.y_min) * self.height
+            pixels.append((px, py))
+        return pixels

@@ -1,0 +1,61 @@
+"""Sketch → ShapeQuery translation (paper §2 Box 2a, §3.1 SKETCH).
+
+Two interpretations of a drawn polyline, as in the paper:
+
+* **precise** — the sketch becomes a single ``v=...`` ShapeSegment
+  matched by normalized L2 (or DTW at the VQS baseline level): "returns
+  visualizations that precisely match the drawn trends";
+* **blurry** — the sketch is simplified into line segments
+  (:mod:`repro.sketch.simplify`) and each piece becomes an up/down/flat
+  ShapeSegment of a CONCAT chain, giving sketches the same fuzzy
+  semantics as NL/regex queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.algebra.nodes import Concat, Node, ShapeSegment
+from repro.algebra.primitives import Pattern, Sketch
+from repro.errors import ShapeQuerySyntaxError
+from repro.sketch.canvas import Canvas
+from repro.sketch.simplify import segment_directions
+
+#: RDP tolerance in normalized sketch coordinates.
+DEFAULT_EPSILON = 0.18
+
+
+def parse_sketch(
+    pixels: Sequence[Tuple[float, float]],
+    canvas: Optional[Canvas] = None,
+    mode: str = "precise",
+    epsilon: float = DEFAULT_EPSILON,
+) -> Node:
+    """Translate a drawn polyline into a ShapeQuery.
+
+    ``pixels`` are canvas coordinates when ``canvas`` is given, already-
+    domain coordinates otherwise.  ``mode`` selects precise or blurry
+    interpretation.
+    """
+    if mode not in ("precise", "blurry"):
+        raise ShapeQuerySyntaxError("sketch mode must be 'precise' or 'blurry'")
+    points = canvas.to_domain(pixels) if canvas is not None else [tuple(p) for p in pixels]
+    if len(points) < 2:
+        raise ShapeQuerySyntaxError("a sketch needs at least two points")
+    points = sorted(points, key=lambda p: p[0])
+
+    if mode == "precise":
+        return ShapeSegment(sketch=Sketch(points=tuple(points)))
+
+    directions = segment_directions(points, epsilon)
+    if not directions:
+        raise ShapeQuerySyntaxError("the sketch is too short to segment")
+    segments = []
+    for pattern_word, theta in directions:
+        if pattern_word == "flat":
+            segments.append(ShapeSegment(pattern=Pattern(kind="flat")))
+        else:
+            segments.append(ShapeSegment(pattern=Pattern(kind=pattern_word)))
+    if len(segments) == 1:
+        return segments[0]
+    return Concat(tuple(segments))

@@ -1,0 +1,83 @@
+"""Polyline simplification for blurry sketch interpretation (paper §5.2).
+
+"We represent complex non-linear shapes using multiple line segments
+that ShapeSearch can automatically infer from the user-drawn sketch."
+The inference here is Ramer–Douglas–Peucker simplification followed by a
+slope classification of each retained segment into the algebra's pattern
+vocabulary (up / down / flat / θ).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+
+def perpendicular_distance(point: Point, start: Point, end: Point) -> float:
+    """Distance from ``point`` to the line through ``start``–``end``."""
+    (px, py), (sx, sy), (ex, ey) = point, start, end
+    dx, dy = ex - sx, ey - sy
+    norm = math.hypot(dx, dy)
+    if norm < 1e-12:
+        return math.hypot(px - sx, py - sy)
+    return abs(dy * px - dx * py + ex * sy - ey * sx) / norm
+
+
+def rdp(points: Sequence[Point], epsilon: float) -> List[Point]:
+    """Ramer–Douglas–Peucker: keep points deviating more than ``epsilon``."""
+    points = list(points)
+    if len(points) < 3:
+        return points
+    distances = [
+        perpendicular_distance(points[i], points[0], points[-1])
+        for i in range(1, len(points) - 1)
+    ]
+    index = int(np.argmax(distances)) + 1
+    if distances[index - 1] > epsilon:
+        left = rdp(points[: index + 1], epsilon)
+        right = rdp(points[index:], epsilon)
+        return left[:-1] + right
+    return [points[0], points[-1]]
+
+
+def classify_slope(
+    slope: float, flat_threshold_degrees: float = 10.0
+) -> str:
+    """Map a normalized slope to a pattern word (up/down/flat)."""
+    angle = math.degrees(math.atan(slope))
+    if abs(angle) <= flat_threshold_degrees:
+        return "flat"
+    return "up" if angle > 0 else "down"
+
+
+def segment_directions(
+    points: Sequence[Point], epsilon: float
+) -> List[Tuple[str, float]]:
+    """Simplify a polyline and classify each piece.
+
+    Returns ``(pattern, theta_degrees)`` per simplified segment, with
+    coordinates normalized (x to [0,1] overall, y z-scored) before slope
+    measurement so the classification matches the engine's scoring space.
+    """
+    points = list(points)
+    if len(points) < 2:
+        return []
+    xs = np.array([p[0] for p in points], dtype=float)
+    ys = np.array([p[1] for p in points], dtype=float)
+    x_span = xs[-1] - xs[0]
+    y_std = ys.std() or 1.0
+    if x_span <= 0:
+        return []
+    normalized = list(zip((xs - xs[0]) / x_span, (ys - ys.mean()) / y_std))
+    simplified = rdp(normalized, epsilon)
+    directions: List[Tuple[str, float]] = []
+    for (x0, y0), (x1, y1) in zip(simplified, simplified[1:]):
+        if x1 - x0 <= 1e-9:
+            continue
+        slope = (y1 - y0) / (x1 - x0)
+        directions.append((classify_slope(slope), math.degrees(math.atan(slope))))
+    return directions

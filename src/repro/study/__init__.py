@@ -1,0 +1,18 @@
+"""Simulated user-study harness (Tables 8/10, Figure 9a)."""
+
+from repro.study.harness import METHODS, StudyResult, run_method, run_study
+from repro.study.metrics import kth_score_deviation, study_accuracy, topk_overlap
+from repro.study.tasks import TASK_CODES, Task, build_tasks
+
+__all__ = [
+    "METHODS",
+    "StudyResult",
+    "run_method",
+    "run_study",
+    "kth_score_deviation",
+    "study_accuracy",
+    "topk_overlap",
+    "TASK_CODES",
+    "Task",
+    "build_tasks",
+]

@@ -1,0 +1,279 @@
+"""The seven pattern-matching task categories of the user study (Table 10).
+
+Each :class:`Task` instantiates one row of Table 10 on synthetic data
+with *programmatic ground truth*: the generator plants fully relevant
+series (relevance 5), partially relevant variants (1–4) and distractors
+(0), so the study's accuracy metric — sum of relevances retrieved over
+the best achievable sum (§7.1) — is computable without human raters.
+Every task carries both a ShapeSearch query (regex dialect) and a
+reference sketch series for the VQS baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+import numpy as np
+
+from repro.datasets.synthetic import flat, piecewise, random_walk, seasonal
+from repro.engine.trendline import Trendline, build_trendline
+
+#: Task codes in Table 10 order.
+TASK_CODES = ("ET", "SQ", "SP", "WS", "MXY", "TC", "CS")
+
+
+@dataclass
+class Task:
+    """One study task: data, query, reference sketch, ground truth."""
+
+    code: str
+    name: str
+    query: str
+    sketch: np.ndarray
+    trendlines: List[Trendline]
+    relevance: Dict[Hashable, float]
+    k: int = 5
+
+    def best_achievable(self) -> float:
+        """Sum of the k highest ground-truth relevances."""
+        return sum(sorted(self.relevance.values(), reverse=True)[: self.k])
+
+
+def _collection(series_by_key: Dict[str, np.ndarray]) -> List[Trendline]:
+    lines = []
+    for key, series in series_by_key.items():
+        x = np.arange(len(series), dtype=float)
+        lines.append(build_trendline(key, x, series))
+    return lines
+
+
+def build_tasks(seed: int = 42, length: int = 120, distractors: int = 30) -> List[Task]:
+    """Instantiate all seven Table 10 tasks."""
+    rng = np.random.default_rng(seed)
+    tasks = [
+        _exact_trend(rng, length, distractors),
+        _sequence(rng, length, distractors),
+        _sub_pattern(rng, length, distractors),
+        _width_specific(rng, length, distractors),
+        _multiple_xy(rng, length, distractors),
+        _trend_characterization(rng, length, distractors),
+        _complex_shape(rng, length, distractors),
+    ]
+    return tasks
+
+
+def _distractor(rng, length: int, index: int) -> np.ndarray:
+    """Structured non-matching shapes.
+
+    Distractors must be *shapes the engine also sees as shapes* — after
+    z-normalization a flat noisy line amplifies to full-scale jitter that
+    genuinely contains up/flat/down sub-trends, which would make the
+    ground truth wrong in the engine's (and a viewer's) perceptual space.
+    Monotone rises/falls and single valleys stay distinct from every
+    task's target pattern.
+    """
+    kind = index % 3
+    if kind == 0:
+        return piecewise(length, [0, rng.uniform(2, 5)], noise=0.15, rng=rng)
+    if kind == 1:
+        return piecewise(length, [rng.uniform(2, 5), 0], noise=0.15, rng=rng)
+    return piecewise(length, [4, rng.uniform(-1, 1), 4], noise=0.15, rng=rng)
+
+
+def _add_distractors(series, relevance, rng, length, count):
+    for index in range(count):
+        key = "bg{:03d}".format(index)
+        series[key] = _distractor(rng, length, index)
+        relevance[key] = 0.0
+
+
+def _exact_trend(rng, length, distractors) -> Task:
+    """ET: find shapes precisely similar to a reference trendline."""
+    reference = seasonal(length, period=length, amplitude=2.0, phase=0.4, noise=0.0)
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "match{}".format(index)
+        series[key] = reference + rng.normal(0, 0.12, length)
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "near{}".format(index)
+        series[key] = seasonal(length, period=length, amplitude=2.0, phase=0.4 + 0.5, noise=0.15, rng=rng)
+        relevance[key] = 2.0
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch_query = ",".join(
+        "{}:{}".format(i, round(float(v), 3)) for i, v in enumerate(reference[:: max(1, length // 24)])
+    )
+    return Task(
+        code="ET",
+        name="Exact Trend Matching",
+        query="[v=({})]".format(sketch_query),
+        sketch=reference,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _sequence(rng, length, distractors) -> Task:
+    """SQ: rise, flat, fall — a sequence of trend changes."""
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "seq{}".format(index)
+        series[key] = piecewise(length, [0, rng.uniform(3, 5), rng.uniform(3, 5), 0], noise=0.25, rng=rng)
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "part{}".format(index)  # rise then fall, no plateau
+        series[key] = piecewise(length, [0, rng.uniform(3, 5), 0], noise=0.25, rng=rng)
+        relevance[key] = 2.5
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = piecewise(length, [0, 4, 4, 0])
+    return Task(
+        code="SQ",
+        name="Sequence Matching",
+        query="[p=up][p=flat][p=down]",
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _sub_pattern(rng, length, distractors) -> Task:
+    """SP: a frequently occurring motif — two peaks over the span."""
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "twin{}".format(index)
+        series[key] = piecewise(
+            length, [0, rng.uniform(3, 5), 1, rng.uniform(3, 5), 0], noise=0.2, rng=rng
+        )
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "single{}".format(index)
+        series[key] = piecewise(length, [0, rng.uniform(3, 5), 0], noise=0.2, rng=rng)
+        relevance[key] = 1.5
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = piecewise(length, [0, 4, 1, 4, 0])
+    return Task(
+        code="SP",
+        name="Sub-pattern Matching",
+        query="[p=up,m=2]",
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _width_specific(rng, length, distractors) -> Task:
+    """WS: sharpest rise confined to a ~quarter-length window."""
+    window = length // 4
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "burst{}".format(index)
+        start = int(rng.integers(10, length - window - 10))
+        profile = flat(length, level=0.0, noise=0.15, rng=rng)
+        profile[start : start + window] += np.linspace(0, 4, window)
+        profile[start + window :] += 4
+        series[key] = profile
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "slowrise{}".format(index)  # same rise spread over the whole span
+        series[key] = piecewise(length, [0, 4], noise=0.15, rng=rng)
+        relevance[key] = 1.0
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = np.concatenate([np.zeros(length // 2), np.linspace(0, 4, window), np.full(length - length // 2 - window, 4.0)])
+    return Task(
+        code="WS",
+        name="Width-specific Matching",
+        # "Maximum rise over a window" (the paper's §3.1 iterator example).
+        query="[x.s=.,x.e=.+{},p=up]".format(window),
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _multiple_xy(rng, length, distractors) -> Task:
+    """MXY: rising inside one x range, falling inside a later one."""
+    a, b, c = length // 6, length // 2, 5 * length // 6
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "window{}".format(index)
+        profile = flat(length, level=1.0, noise=0.15, rng=rng)
+        profile[a:b] = np.linspace(1, 4, b - a) + rng.normal(0, 0.1, b - a)
+        profile[b:c] = np.linspace(4, 1, c - b) + rng.normal(0, 0.1, c - b)
+        profile[c:] = 1.0 + rng.normal(0, 0.1, length - c)
+        series[key] = profile
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "shifted{}".format(index)  # the same motif but shifted early
+        profile = flat(length, level=1.0, noise=0.15, rng=rng)
+        profile[: b - a] = np.linspace(1, 4, b - a)
+        profile[b - a : b] = np.linspace(4, 1, a)
+        series[key] = profile
+        relevance[key] = 1.5
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = np.concatenate([
+        np.ones(a), np.linspace(1, 4, b - a), np.linspace(4, 1, c - b), np.ones(length - c)
+    ])
+    return Task(
+        code="MXY",
+        name="Multiple X/Y Constraints",
+        query="[p=up,x.s={},x.e={}][p=down,x.s={},x.e={}]".format(a, b, b, c),
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _trend_characterization(rng, length, distractors) -> Task:
+    """TC: the 'typical' seasonal year — one broad peak mid-span."""
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(5):
+        key = "typical{}".format(index)
+        series[key] = piecewise(length, [0, rng.uniform(3.5, 4.5), 0], noise=0.3, rng=rng)
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "skewed{}".format(index)
+        series[key] = piecewise(length, [0, rng.uniform(3.5, 4.5), 2.5], noise=0.3, rng=rng)
+        relevance[key] = 2.0
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = piecewise(length, [0, 4, 0])
+    return Task(
+        code="TC",
+        name="Trend Characterization",
+        query="[p=up][p=down]",
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )
+
+
+def _complex_shape(rng, length, distractors) -> Task:
+    """CS: the W (double-bottom) technical pattern."""
+    series: Dict[str, np.ndarray] = {}
+    relevance: Dict[Hashable, float] = {}
+    for index in range(4):
+        key = "wshape{}".format(index)
+        series[key] = piecewise(
+            length, [4, rng.uniform(0.5, 1.5), 3, rng.uniform(0.5, 1.5), 4], noise=0.2, rng=rng
+        )
+        relevance[key] = 5.0
+    for index in range(3):
+        key = "vshape{}".format(index)
+        series[key] = piecewise(length, [4, rng.uniform(0.5, 1.5), 4], noise=0.2, rng=rng)
+        relevance[key] = 2.0
+    _add_distractors(series, relevance, rng, length, distractors)
+    sketch = piecewise(length, [4, 1, 3, 1, 4])
+    return Task(
+        code="CS",
+        name="Complex Shape Matching",
+        query="[p=down][p=up][p=down][p=up]",
+        sketch=sketch,
+        trendlines=_collection(series),
+        relevance=relevance,
+    )

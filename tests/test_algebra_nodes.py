@@ -1,0 +1,121 @@
+"""Unit tests for AST nodes and operator composition (paper §3.2)."""
+
+import pytest
+
+from repro.algebra import builder as q
+from repro.algebra.nodes import (
+    And,
+    Concat,
+    Opposite,
+    Or,
+    ShapeSegment,
+    count_concat_units,
+)
+from repro.algebra.primitives import Location, Pattern
+from repro.errors import ShapeQueryValidationError
+
+
+class TestShapeSegment:
+    def test_needs_some_content(self):
+        with pytest.raises(ShapeQueryValidationError):
+            ShapeSegment()
+
+    def test_location_only_segment_allowed(self):
+        seg = ShapeSegment(location=Location(x_start=1, x_end=4))
+        assert seg.effective_pattern.kind == "any"
+
+    def test_sketch_and_pattern_conflict(self):
+        from repro.algebra.primitives import Sketch
+
+        with pytest.raises(ShapeQueryValidationError):
+            ShapeSegment(pattern=Pattern(kind="up"), sketch=Sketch(points=((0, 0), (1, 1))))
+
+    def test_with_helpers_produce_copies(self):
+        seg = q.up()
+        pinned = seg.with_location(Location(x_start=0, x_end=5))
+        assert pinned is not seg
+        assert pinned.location.is_x_pinned and seg.location.is_empty
+        toggled = seg.toggled()
+        assert toggled.negated and not seg.negated
+
+    def test_fuzzy_flag(self):
+        assert q.up().is_fuzzy
+        assert not q.up(x_start=0, x_end=5).is_fuzzy
+
+
+class TestOperators:
+    def test_nary_operators_require_two_children(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Concat((q.up(),))
+        with pytest.raises(ShapeQueryValidationError):
+            Or((q.up(),))
+        with pytest.raises(ShapeQueryValidationError):
+            And((q.up(),))
+
+    def test_operator_sugar(self):
+        a, b = q.up(), q.down()
+        assert isinstance(a >> b, Concat)
+        assert isinstance(a | b, Or)
+        assert isinstance(a & b, And)
+        assert isinstance(~a, Opposite)
+
+    def test_walk_preorder(self):
+        tree = q.up() >> (q.flat() | q.down())
+        kinds = [type(node).__name__ for node in tree.walk()]
+        assert kinds == ["Concat", "ShapeSegment", "Or", "ShapeSegment", "ShapeSegment"]
+
+    def test_segments_left_to_right(self):
+        tree = q.concat(q.up(), q.or_(q.flat(), q.down()), q.slope(45))
+        kinds = [seg.pattern.kind for seg in tree.segments()]
+        assert kinds == ["up", "flat", "down", "slope"]
+
+
+class TestBuilder:
+    def test_single_child_passthrough(self):
+        seg = q.up()
+        assert q.concat(seg) is seg
+        assert q.or_(seg) is seg
+        assert q.and_(seg) is seg
+
+    def test_sharp_and_gradual(self):
+        assert q.up(sharp=True).modifier.comparison == ">>"
+        assert q.down(sharp=True).modifier.comparison == "<<"
+        assert q.up(gradual=True).modifier.comparison == ">"
+        with pytest.raises(ValueError):
+            q.up(sharp=True, gradual=True)
+
+    def test_repeated(self):
+        seg = q.repeated(q.up(), low=2)
+        assert seg.modifier.quantifier.low == 2
+
+    def test_window(self):
+        seg = q.up(window=5)
+        assert seg.location.iterator.width == 5
+
+    def test_position_builder(self):
+        seg = q.position(index=0, comparison="<")
+        assert seg.pattern.kind == "position"
+        assert seg.modifier.comparison == "<"
+
+    def test_nested_builder(self):
+        inner = q.up() >> q.down()
+        seg = q.nested(inner, x_start=2, x_end=10)
+        assert seg.pattern.kind == "nested"
+        assert seg.pattern.nested is inner
+
+
+class TestCountConcatUnits:
+    def test_plain_chain(self):
+        assert count_concat_units(q.up() >> q.down() >> q.up()) == 3
+        assert count_concat_units(q.concat(q.up(), q.down(), q.up())) == 3
+
+    def test_or_takes_max(self):
+        tree = q.or_(q.up(), q.concat(q.down(), q.up(), q.flat()))
+        assert count_concat_units(tree) == 3
+
+    def test_nested_mixture(self):
+        tree = q.concat(q.up(), q.or_(q.flat(), q.concat(q.down(), q.up())))
+        assert count_concat_units(tree) == 3
+
+    def test_opposite_transparent(self):
+        assert count_concat_units(q.opposite(q.concat(q.up(), q.down()))) == 2

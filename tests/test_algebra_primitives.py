@@ -1,0 +1,167 @@
+"""Unit tests for the shape primitives (paper §3.1, Table 1)."""
+
+import pytest
+
+from repro.algebra.primitives import (
+    ANYWHERE,
+    Iterator,
+    Location,
+    Modifier,
+    Pattern,
+    PositionRef,
+    Quantifier,
+    Sketch,
+)
+from repro.errors import ShapeQueryValidationError
+
+
+class TestLocation:
+    def test_empty_location_is_fuzzy(self):
+        assert ANYWHERE.is_empty
+        assert ANYWHERE.is_fuzzy
+        assert not ANYWHERE.is_x_pinned
+
+    def test_pinned_location(self):
+        loc = Location(x_start=2, x_end=10)
+        assert loc.is_x_pinned
+        assert not loc.is_fuzzy
+        assert loc.x_span() == (2, 10)
+
+    def test_partial_pin_is_fuzzy(self):
+        assert Location(x_start=2).is_fuzzy
+        assert Location(x_end=10).is_fuzzy
+        assert Location(x_start=2).x_span() is None
+
+    def test_y_only_location_not_empty(self):
+        loc = Location(y_start=10, y_end=100)
+        assert not loc.is_empty
+        assert loc.is_fuzzy
+
+    def test_iterator_conflicts_with_x_pins(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Location(x_start=1, iterator=Iterator(3))
+
+    def test_iterator_width_must_be_positive(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Iterator(0)
+        with pytest.raises(ShapeQueryValidationError):
+            Iterator(-2)
+
+
+class TestQuantifier:
+    def test_exactly(self):
+        q = Quantifier(low=2, high=2)
+        assert q.accepts(2)
+        assert not q.accepts(1)
+        assert not q.accepts(3)
+        assert q.required == 2
+
+    def test_at_least(self):
+        q = Quantifier(low=2)
+        assert q.accepts(2) and q.accepts(7)
+        assert not q.accepts(1)
+
+    def test_at_most(self):
+        q = Quantifier(high=2)
+        assert q.accepts(0) and q.accepts(2)
+        assert not q.accepts(3)
+        assert q.required == 0
+
+    def test_between(self):
+        q = Quantifier(low=2, high=5)
+        assert q.accepts(3)
+        assert not q.accepts(6)
+
+    def test_requires_a_bound(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Quantifier()
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Quantifier(low=5, high=2)
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Quantifier(low=-1)
+
+
+class TestModifier:
+    def test_comparison_and_quantifier_are_exclusive(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Modifier()
+        with pytest.raises(ShapeQueryValidationError):
+            Modifier(comparison=">", quantifier=Quantifier(low=1))
+
+    def test_factory_helpers(self):
+        assert Modifier.exactly(2).quantifier == Quantifier(low=2, high=2)
+        assert Modifier.at_least(3).quantifier == Quantifier(low=3)
+        assert Modifier.at_most(1).quantifier == Quantifier(high=1)
+        assert Modifier.between(1, 4).quantifier == Quantifier(low=1, high=4)
+
+    def test_unknown_comparison_rejected(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Modifier(comparison="~=")
+
+    def test_factor_only_on_single_comparisons(self):
+        Modifier(comparison=">", factor=2.0)
+        with pytest.raises(ShapeQueryValidationError):
+            Modifier(comparison=">>", factor=2.0)
+        with pytest.raises(ShapeQueryValidationError):
+            Modifier(comparison=">", factor=-1.0)
+
+
+class TestPattern:
+    def test_slope_requires_theta_in_range(self):
+        Pattern(kind="slope", theta=45)
+        with pytest.raises(ShapeQueryValidationError):
+            Pattern(kind="slope")
+        with pytest.raises(ShapeQueryValidationError):
+            Pattern(kind="slope", theta=90)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Pattern(kind="wiggly")
+
+    def test_negation_mirrors_directional_patterns(self):
+        assert Pattern(kind="up").negated() == Pattern(kind="down")
+        assert Pattern(kind="down").negated() == Pattern(kind="up")
+        assert Pattern(kind="slope", theta=30).negated() == Pattern(kind="slope", theta=-30)
+        assert Pattern(kind="flat").negated() == Pattern(kind="flat")
+
+    def test_position_requires_reference(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Pattern(kind="position")
+        Pattern(kind="position", reference=PositionRef(index=0))
+
+
+class TestPositionRef:
+    def test_absolute_and_relative_are_exclusive(self):
+        with pytest.raises(ShapeQueryValidationError):
+            PositionRef()
+        with pytest.raises(ShapeQueryValidationError):
+            PositionRef(index=0, relative=1)
+
+    def test_resolution(self):
+        assert PositionRef(index=3).resolve(7) == 3
+        assert PositionRef(relative=-1).resolve(2) == 1
+        assert PositionRef(relative=1).resolve(2) == 3
+
+    def test_relative_must_be_unit(self):
+        with pytest.raises(ShapeQueryValidationError):
+            PositionRef(relative=2)
+
+
+class TestSketch:
+    def test_needs_two_points(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Sketch(points=((1, 2),))
+
+    def test_x_must_be_non_decreasing(self):
+        with pytest.raises(ShapeQueryValidationError):
+            Sketch(points=((2, 1), (1, 2)))
+
+    def test_accessors(self):
+        sketch = Sketch(points=((0, 1), (1, 3), (2, 2)))
+        assert sketch.xs() == [0, 1, 2]
+        assert sketch.ys() == [1, 3, 2]
+        assert len(sketch) == 3

@@ -1,0 +1,150 @@
+"""Tests for the session API (Figure 3 seam) and the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro import ShapeSearch, parse_query
+from repro.algebra.nodes import Concat, ShapeSegment
+from repro.data.table import Table
+from repro.engine.executor import ShapeSearchEngine
+from repro.errors import ShapeQuerySyntaxError
+from repro.nlp.tagger import EntityTagger
+from repro.render import render_match, render_matches, render_trendline, sparkline
+
+from tests.conftest import make_trendline
+
+
+def _table():
+    zs, xs, ys = [], [], []
+    shapes = {
+        "peak": np.concatenate([np.linspace(0, 9, 15), np.linspace(9, 0, 15)]),
+        "rise": np.linspace(0, 9, 30),
+        "fall": np.linspace(9, 0, 30),
+    }
+    for key, values in shapes.items():
+        for index, value in enumerate(values):
+            zs.append(key)
+            xs.append(float(index))
+            ys.append(float(value))
+    return Table.from_arrays(z=np.array(zs, dtype=object), x=np.array(xs), y=np.array(ys))
+
+
+@pytest.fixture
+def session(rule_tagger):
+    return ShapeSearch(_table(), tagger=rule_tagger)
+
+
+class TestParseQuery:
+    def test_regex_string(self):
+        node = parse_query("[p=up][p=down]")
+        assert isinstance(node, Concat)
+
+    def test_nl_fallback(self, rule_tagger):
+        node = parse_query("rising then falling", tagger=rule_tagger)
+        assert isinstance(node, Concat)
+
+    def test_ast_passthrough(self):
+        from repro.algebra import builder as q
+
+        node = q.up()
+        assert parse_query(node) is node
+
+    def test_bracket_strings_must_be_regex(self, rule_tagger):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse_query("[p=wiggly]", tagger=rule_tagger)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse_query(42)
+
+
+class TestSession:
+    def test_regex_search(self, session):
+        matches = session.search("[p=up][p=down]", z="z", x="x", y="y", k=1)
+        assert matches[0].key == "peak"
+
+    def test_nl_search(self, session):
+        matches = session.search("rising then falling", z="z", x="x", y="y", k=1)
+        assert matches[0].key == "peak"
+
+    def test_sketch_search_precise(self, session):
+        pixels = [(float(i), float(i)) for i in range(30)]
+        matches = session.search_sketch(pixels, z="z", x="x", y="y", k=1)
+        assert matches[0].key == "rise"
+
+    def test_sketch_search_blurry(self, session):
+        points = [(float(i), float(i)) for i in range(15)]
+        points += [(float(15 + i), float(14 - i)) for i in range(15)]
+        matches = session.search_sketch(points, z="z", x="x", y="y", mode="blurry", k=1)
+        assert matches[0].key == "peak"
+
+    def test_filters(self, session):
+        matches = session.search(
+            "[p=up]", z="z", x="x", y="y", k=3, filters=("z != rise",)
+        )
+        assert all(match.key != "rise" for match in matches)
+
+    def test_explain(self, session):
+        assert session.explain("rising then falling") == "[p=up][p=down]"
+
+    def test_from_records(self):
+        records = [
+            {"z": "a", "x": float(i), "y": float(i)} for i in range(10)
+        ] + [{"z": "b", "x": float(i), "y": float(9 - i)} for i in range(10)]
+        session = ShapeSearch.from_records(records)
+        matches = session.search("[p=up]", z="z", x="x", y="y", k=1)
+        assert matches[0].key == "a"
+
+    def test_from_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        rows = ["z,x,y"] + ["a,{},{}".format(i, i) for i in range(10)]
+        path.write_text("\n".join(rows) + "\n")
+        session = ShapeSearch.from_csv(str(path))
+        assert session.search("[p=up]", z="z", x="x", y="y", k=1)
+
+    def test_custom_engine(self):
+        engine = ShapeSearchEngine(algorithm="dp")
+        session = ShapeSearch(_table(), engine=engine)
+        assert session.search("[p=down]", z="z", x="x", y="y", k=1)[0].key == "fall"
+
+
+class TestRender:
+    def test_sparkline_shape(self):
+        line = sparkline(np.linspace(0, 1, 100), width=40)
+        assert len(line) == 40
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_constant(self):
+        assert sparkline(np.full(10, 3.0), width=10) == "▁" * 10
+
+    def test_sparkline_empty(self):
+        assert sparkline(np.array([])) == ""
+
+    def test_render_trendline(self):
+        tl = make_trendline(np.linspace(0, 5, 30), key="demo")
+        text = render_trendline(tl)
+        assert "demo" in text
+
+    def test_render_match_includes_segments(self):
+        from repro.algebra import builder as q
+
+        tl = make_trendline(
+            np.concatenate([np.linspace(0, 5, 15), np.linspace(5, 0, 15)]), key="peak"
+        )
+        engine = ShapeSearchEngine()
+        match = engine.rank([tl], q.up() >> q.down(), k=1)[0]
+        text = render_match(match)
+        assert "score=" in text
+        assert "seg0" in text and "seg1" in text
+
+    def test_render_matches_multi(self):
+        from repro.algebra import builder as q
+
+        lines = [
+            make_trendline(np.linspace(0, 5, 20), key="a"),
+            make_trendline(np.linspace(5, 0, 20), key="b"),
+        ]
+        engine = ShapeSearchEngine()
+        matches = engine.rank(lines, q.up(), k=2)
+        text = render_matches(matches)
+        assert text.count("score=") == 2

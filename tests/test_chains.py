@@ -1,0 +1,155 @@
+"""Tests for query flattening into weighted alternative chains."""
+
+import pytest
+
+from repro.algebra import builder as q
+from repro.engine.chains import compile_query
+from repro.engine.units import (
+    AndUnit,
+    NestedUnit,
+    PositionUnit,
+    QuantifierUnit,
+    SketchUnit,
+    SlopeUnit,
+    UdpUnit,
+    WindowUnit,
+)
+from repro.errors import ExecutionError, ShapeQueryValidationError
+
+
+class TestFlattening:
+    def test_single_segment(self):
+        compiled = compile_query(q.up())
+        assert len(compiled.chains) == 1
+        assert compiled.chains[0].k == 1
+        assert compiled.chains[0].units[0].weight == 1.0
+
+    def test_flat_concat_weights(self):
+        compiled = compile_query(q.concat(q.up(), q.down(), q.up()))
+        weights = [cu.weight for cu in compiled.chains[0].units]
+        assert weights == [pytest.approx(1 / 3)] * 3
+
+    def test_paper_nested_example(self):
+        """a ⊗ (b ⊕ (c ⊗ d)) → chains [a½ b½] and [a½ c¼ d¼] (Figure 7)."""
+        tree = q.concat(q.up(), q.or_(q.flat(), q.concat(q.down(), q.up())))
+        compiled = compile_query(tree)
+        assert len(compiled.chains) == 2
+        first, second = compiled.chains
+        assert [cu.weight for cu in first.units] == [pytest.approx(0.5)] * 2
+        assert [cu.weight for cu in second.units] == [
+            pytest.approx(0.5),
+            pytest.approx(0.25),
+            pytest.approx(0.25),
+        ]
+
+    def test_chain_weights_sum_to_one(self):
+        tree = q.concat(
+            q.up(),
+            q.or_(q.flat(), q.concat(q.down(), q.up())),
+            q.or_(q.up(), q.down()),
+        )
+        compiled = compile_query(tree)
+        assert len(compiled.chains) == 4
+        for chain in compiled.chains:
+            assert sum(cu.weight for cu in chain.units) == pytest.approx(1.0)
+
+    def test_or_of_concats(self):
+        tree = q.or_(q.concat(q.up(), q.down()), q.concat(q.down(), q.up(), q.flat()))
+        compiled = compile_query(tree)
+        assert sorted(chain.k for chain in compiled.chains) == [2, 3]
+
+    def test_and_becomes_single_unit(self):
+        tree = q.and_(q.repeated(q.up(), low=2), q.repeated(q.down(), high=1))
+        compiled = compile_query(tree)
+        assert compiled.chains[0].k == 1
+        assert isinstance(compiled.chains[0].units[0].unit, AndUnit)
+
+    def test_segment_indices_are_global(self):
+        tree = q.concat(q.up(), q.or_(q.flat(), q.down()), q.position(index=0, comparison="<"))
+        compiled = compile_query(tree)
+        for chain in compiled.chains:
+            last = chain.units[-1].unit
+            assert isinstance(last, PositionUnit)
+            assert last.reference_index == 0
+
+    def test_alternative_explosion_guarded(self):
+        choice = q.or_(q.up(), q.down())
+        tree = q.concat(*[choice for _ in range(8)])  # 2^8 = 256 alternatives
+        with pytest.raises(ExecutionError):
+            compile_query(tree)
+
+    def test_opposite_is_normalized_away(self):
+        compiled = compile_query(q.opposite(q.up()))
+        unit = compiled.chains[0].units[0].unit
+        assert isinstance(unit, SlopeUnit)
+        assert unit.kind == "down"
+
+    def test_validation_runs(self):
+        bad = q.up(x_start=10, x_end=2)
+        with pytest.raises(ShapeQueryValidationError):
+            compile_query(bad)
+
+
+class TestSegmentCompilation:
+    def test_slope_with_sharp_modifier(self):
+        compiled = compile_query(q.up(sharp=True))
+        unit = compiled.chains[0].units[0].unit
+        assert unit.kind == "slope"
+        assert unit.theta == 75.0
+
+    def test_quantifier_unit(self):
+        compiled = compile_query(q.repeated(q.up(), low=2))
+        assert isinstance(compiled.chains[0].units[0].unit, QuantifierUnit)
+
+    def test_sketch_unit(self):
+        compiled = compile_query(q.sketch([(0, 1), (5, 3)]))
+        assert isinstance(compiled.chains[0].units[0].unit, SketchUnit)
+
+    def test_udp_unit(self):
+        compiled = compile_query(q.udp("spike"))
+        assert isinstance(compiled.chains[0].units[0].unit, UdpUnit)
+
+    def test_window_wraps_base(self):
+        compiled = compile_query(q.up(window=5))
+        unit = compiled.chains[0].units[0].unit
+        assert isinstance(unit, WindowUnit)
+        assert isinstance(unit.base, SlopeUnit)
+
+    def test_nested_unit(self):
+        compiled = compile_query(q.nested(q.concat(q.up(), q.down())))
+        unit = compiled.chains[0].units[0].unit
+        assert isinstance(unit, NestedUnit)
+        assert len(unit.compiled_query.chains) == 1
+
+    def test_bare_location_with_y_is_line_unit(self):
+        from repro.engine.units import LineUnit
+
+        compiled = compile_query(q.segment(x_start=2, x_end=10, y_start=10, y_end=100))
+        assert isinstance(compiled.chains[0].units[0].unit, LineUnit)
+
+    def test_factor_modifier_on_up(self):
+        from repro.algebra.primitives import Modifier, Pattern
+        from repro.algebra.nodes import ShapeSegment
+
+        seg = ShapeSegment(pattern=Pattern(kind="up"), modifier=Modifier(comparison=">", factor=2.0))
+        compiled = compile_query(seg)
+        unit = compiled.chains[0].units[0].unit
+        assert unit.kind == "slope"
+        assert unit.theta == pytest.approx(63.434948822)
+
+
+class TestCompiledQueryProperties:
+    def test_k_is_max_chain_length(self):
+        tree = q.or_(q.up(), q.concat(q.down(), q.up(), q.flat()))
+        assert compile_query(tree).k == 3
+
+    def test_has_position(self):
+        assert compile_query(
+            q.concat(q.up(), q.position(index=0, comparison="<"))
+        ).has_position
+        assert not compile_query(q.up()).has_position
+
+    def test_pinned_units_listing(self):
+        tree = q.concat(q.up(x_start=0, x_end=5), q.down())
+        compiled = compile_query(tree)
+        assert len(compiled.pinned_units()) == 1

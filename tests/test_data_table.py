@@ -1,0 +1,168 @@
+"""Tests for the columnar table substrate and filters (§5.1)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.filters import Filter, apply_filters, parse_filter
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.errors import DataError
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        table = Table.from_arrays(a=[1, 2, 3], b=["x", "y", "z"])
+        assert len(table) == 3
+        assert set(table.column_names) == {"a", "b"}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Table.from_arrays(a=[1, 2], b=[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            Table({})
+
+    def test_from_records(self):
+        table = Table.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert list(table.column("a")) == [1.0, 2.0]
+        assert table.column("b").dtype == object
+
+    def test_from_csv(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("z,x,y\na,0,1.5\na,1,2.5\nb,0,3.0\n")
+        table = Table.from_csv(str(path))
+        assert len(table) == 3
+        assert table.column("x").dtype == float
+        assert table.column("z").dtype == object
+
+    def test_from_csv_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            Table.from_csv(str(path))
+
+    def test_from_json(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps([{"a": 1, "b": 2}, {"a": 3, "b": 4}]))
+        table = Table.from_json(str(path))
+        assert list(table.column("a")) == [1.0, 3.0]
+
+    def test_from_json_requires_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(DataError):
+            Table.from_json(str(path))
+
+
+class TestOperations:
+    def _table(self):
+        return Table.from_arrays(
+            z=np.array(["b", "a", "b", "a"], dtype=object),
+            x=np.array([1.0, 0.0, 0.0, 1.0]),
+            y=np.array([10.0, 20.0, 30.0, 40.0]),
+        )
+
+    def test_unknown_column(self):
+        with pytest.raises(DataError) as excinfo:
+            self._table().column("nope")
+        assert "available" in str(excinfo.value)
+
+    def test_contains(self):
+        assert "z" in self._table()
+        assert "w" not in self._table()
+
+    def test_where_mask(self):
+        table = self._table()
+        subset = table.where(table.column("y") > 15)
+        assert len(subset) == 3
+
+    def test_where_length_mismatch(self):
+        with pytest.raises(DataError):
+            self._table().where(np.array([True]))
+
+    def test_sort_by_multiple_keys(self):
+        table = self._table().sort_by("z", "x")
+        assert list(table.column("z")) == ["a", "a", "b", "b"]
+        assert list(table.column("x")) == [0.0, 1.0, 0.0, 1.0]
+
+    def test_group_by_first_seen_order(self):
+        groups = list(self._table().group_by("z"))
+        assert [key for key, _ in groups] == ["b", "a"]
+        assert list(groups[0][1]) == [0, 2]
+
+
+class TestFilters:
+    def _table(self):
+        return Table.from_arrays(
+            name=np.array(["a", "b", "c"], dtype=object),
+            value=np.array([1.0, 5.0, 9.0]),
+        )
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("==", 5.0, ["b"]),
+            ("!=", 5.0, ["a", "c"]),
+            (">", 4.0, ["b", "c"]),
+            (">=", 5.0, ["b", "c"]),
+            ("<", 5.0, ["a"]),
+            ("<=", 5.0, ["a", "b"]),
+            ("between", (2, 8), ["b"]),
+        ],
+    )
+    def test_comparison_ops(self, op, value, expected):
+        table = self._table()
+        mask = Filter("value", op, value).mask(table)
+        assert list(table.column("name")[mask]) == expected
+
+    def test_in_op(self):
+        table = self._table()
+        mask = Filter("name", "in", ("a", "c")).mask(table)
+        assert list(table.column("name")[mask]) == ["a", "c"]
+
+    def test_unknown_op(self):
+        with pytest.raises(DataError):
+            Filter("value", "~", 1)
+
+    def test_parse_filter(self):
+        parsed = parse_filter("value >= 5")
+        assert parsed == Filter("value", ">=", 5.0)
+        assert parse_filter("name == b") == Filter("name", "==", "b")
+        assert parse_filter("luminosity < 90").op == "<"
+        assert parse_filter("x = 3") == Filter("x", "==", 3.0)
+
+    def test_parse_filter_rejects_garbage(self):
+        with pytest.raises(DataError):
+            parse_filter("???")
+
+    def test_apply_filters_conjunction(self):
+        table = self._table()
+        result = apply_filters(table, [parse_filter("value > 1"), parse_filter("value < 9")])
+        assert list(result.column("name")) == ["b"]
+
+    def test_apply_no_filters(self):
+        table = self._table()
+        assert apply_filters(table, []) is table
+
+
+class TestVisualParams:
+    def test_string_filters_coerced(self):
+        params = VisualParams(z="z", x="x", y="y", filters=("y > 5",))
+        assert isinstance(params.filters[0], Filter)
+
+    def test_bad_aggregate(self):
+        with pytest.raises(DataError):
+            VisualParams(z="z", x="x", y="y", aggregate="mode")
+
+    def test_with_filters(self):
+        params = VisualParams(z="z", x="x", y="y")
+        extended = params.with_filters("y > 5")
+        assert len(extended.filters) == 1
+        assert len(params.filters) == 0
+
+    def test_bad_filter_type(self):
+        with pytest.raises(DataError):
+            VisualParams(z="z", x="x", y="y", filters=(42,))

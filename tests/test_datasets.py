@@ -1,0 +1,122 @@
+"""Tests for the synthetic dataset suites and domain generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.domains import (
+    astronomy_dataset,
+    gene_expression_dataset,
+    stock_dataset,
+    weather_dataset,
+)
+from repro.datasets.suites import SUITES, suite_spec, suite_table, suite_trendlines
+from repro.datasets.synthetic import (
+    SHAPE_FAMILIES,
+    add_peak,
+    mixed_collection,
+    piecewise,
+    seasonal,
+)
+from repro.errors import DataError
+
+
+class TestSynthetic:
+    def test_piecewise_endpoints(self):
+        series = piecewise(50, [0, 10, 0])
+        assert series[0] == pytest.approx(0)
+        assert series[24] == pytest.approx(10, abs=0.5)
+        assert series[-1] == pytest.approx(0)
+
+    def test_piecewise_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            piecewise(10, [1])
+
+    def test_seasonal_period(self):
+        series = seasonal(100, period=50, amplitude=1.0)
+        assert series[0] == pytest.approx(series[50], abs=1e-6)
+
+    def test_add_peak(self):
+        base = np.zeros(50)
+        peaked = add_peak(base, center=25, width=10, height=5.0)
+        assert peaked[25] == pytest.approx(5.0)
+        assert peaked[0] == 0.0
+        assert base[25] == 0.0  # original untouched
+
+    def test_mixed_collection_deterministic(self):
+        a = mixed_collection(10, 50, seed=1)
+        b = mixed_collection(10, 50, seed=1)
+        for (ka, va), (kb, vb) in zip(a, b):
+            assert ka == kb
+            assert np.array_equal(va, vb)
+
+    def test_mixed_collection_family_keys(self):
+        collection = mixed_collection(len(SHAPE_FAMILIES), 40, seed=0)
+        families = {key.rsplit("-", 1)[0] for key, _ in collection}
+        assert families == set(SHAPE_FAMILIES)
+
+
+class TestSuites:
+    def test_table11_cardinalities(self):
+        expected = {
+            "weather": (144, 366),
+            "worms": (258, 900),
+            "50words": (905, 270),
+            "realestate": (1777, 138),
+            "haptics": (463, 1092),
+        }
+        for name, (count, length) in expected.items():
+            spec = suite_spec(name)
+            assert (spec.visualizations, spec.length) == (count, length)
+
+    def test_unknown_suite(self):
+        with pytest.raises(DataError):
+            suite_spec("imaginary")
+
+    def test_scaled_down_trendlines(self):
+        lines = suite_trendlines("weather", max_visualizations=10, max_length=50)
+        assert len(lines) == 10
+        assert all(tl.n_bins == 50 for tl in lines)
+
+    def test_queries_parse(self):
+        from repro.parser import parse
+
+        for spec in SUITES.values():
+            for query in spec.fuzzy_queries:
+                parse(query)
+            parse(spec.non_fuzzy_query)
+
+    def test_realestate_table_has_duplicate_x(self):
+        table = suite_table("realestate", max_visualizations=2, max_length=10)
+        assert len(table) == 2 * 10 * 3
+
+    def test_suite_table_runs_through_pipeline(self):
+        from repro.data.visual_params import VisualParams
+        from repro.engine.pipeline import generate_trendlines
+
+        table = suite_table("weather", max_visualizations=4, max_length=30)
+        lines = generate_trendlines(table, VisualParams(z="z", x="x", y="y"))
+        assert len(lines) == 4
+
+
+class TestDomains:
+    def test_gene_dataset_planted_keys(self):
+        table, planted = gene_expression_dataset(n_genes=30, length=36)
+        genes = set(table.column("gene").tolist())
+        for keys in planted.values():
+            assert set(keys) <= genes
+        assert "pvt1" in genes and "gbx2" in genes
+
+    def test_stock_dataset(self):
+        table, planted = stock_dataset(n_stocks=20, length=60)
+        assert set(planted) == {"double-top", "head-shoulders", "cup", "w-shape"}
+        assert len(set(table.column("symbol").tolist())) == 20
+
+    def test_weather_dataset_phases(self):
+        table, planted = weather_dataset(n_cities=8, length=120)
+        assert planted["southern"]
+        assert planted["northern"]
+
+    def test_astronomy_dataset(self):
+        table, planted = astronomy_dataset(n_stars=20, length=100)
+        assert planted["supernova"] == ["sn2026a"]
+        assert len(planted["transit"]) >= 1

@@ -1,0 +1,196 @@
+"""Tests for NL → ShapeQuery translation and ambiguity resolution (§4)."""
+
+import pytest
+
+from repro.algebra.nodes import Concat, Opposite, Or, ShapeSegment
+from repro.algebra.primitives import Quantifier
+from repro.algebra.printer import to_regex
+from repro.errors import ShapeQuerySyntaxError
+from repro.nlp.ambiguity import ProtoSegment, resolve
+from repro.nlp.translator import parse_natural_language, translate
+
+
+@pytest.fixture
+def tagger(rule_tagger):
+    return rule_tagger
+
+
+class TestBasicTranslation:
+    def test_paper_genomics_query(self, tagger):
+        node = parse_natural_language(
+            "show me genes that are rising, then going down, and then increasing",
+            tagger=tagger,
+        )
+        assert to_regex(node) == "[p=up][p=down][p=up]"
+
+    def test_sharp_peak_query(self, tagger):
+        node = parse_natural_language(
+            "find me objects with a sharp peak in luminosity", tagger=tagger
+        )
+        assert to_regex(node) == "[p=up,m=>>][p=down,m=<<]"
+
+    def test_quantifier_at_least(self, tagger):
+        node = parse_natural_language("rising at least 2 times", tagger=tagger)
+        assert to_regex(node) == "[p=up,m={2,}]"
+
+    def test_quantifier_at_most(self, tagger):
+        node = parse_natural_language("falling at most 2 times", tagger=tagger)
+        assert to_regex(node) == "[p=down,m={,2}]"
+
+    def test_quantifier_twice(self, tagger):
+        node = parse_natural_language("rising twice", tagger=tagger)
+        assert to_regex(node) == "[p=up,m=2]"
+
+    def test_counted_peaks(self, tagger):
+        node = parse_natural_language("genes with 2 peaks", tagger=tagger)
+        assert to_regex(node) == "[p=up,m=2]"
+
+    def test_location_from_to(self, tagger):
+        node = parse_natural_language(
+            "increasing from 2 to 5 and then falling", tagger=tagger
+        )
+        assert to_regex(node) == "[x.s=2,x.e=5,p=up][p=down]"
+
+    def test_disjunction_groups_tightly(self, tagger):
+        node = parse_natural_language(
+            "first increasing and then either stabilizing or decreasing", tagger=tagger
+        )
+        assert to_regex(node) == "[p=up]([p=flat] | [p=down])"
+
+    def test_negation(self, tagger):
+        node = parse_natural_language("not flat", tagger=tagger)
+        assert isinstance(node, Opposite) or (
+            isinstance(node, ShapeSegment) and node.negated
+        )
+
+    def test_window(self, tagger):
+        node = parse_natural_language(
+            "maximum rise in temperature within 3 months", tagger=tagger
+        )
+        assert to_regex(node) == "[x.s=.,x.e=.+3,p=up]"
+
+    def test_modifier_before_and_after_pattern(self, tagger):
+        before = parse_natural_language("sharply rising then falling", tagger=tagger)
+        after = parse_natural_language("rising sharply then falling", tagger=tagger)
+        assert to_regex(before) == to_regex(after) == "[p=up,m=>>][p=down]"
+
+    def test_no_entities_raises(self, tagger):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse_natural_language("hello world nothing here", tagger=tagger)
+
+    def test_typo_robustness(self, tagger):
+        node = parse_natural_language("incresing then decreasing", tagger=tagger)
+        assert to_regex(node) == "[p=up][p=down]"
+
+    def test_translation_exposes_log(self, tagger):
+        result = translate("rising falling then flat", tagger=tagger)
+        assert isinstance(result.log, list)
+        assert isinstance(result.query, (Concat, Or, ShapeSegment))
+
+
+class TestCrfMode:
+    """The shipped CRF weights must reproduce the rule-mode translations."""
+
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            (
+                "show me genes that are rising, then going down, and then increasing",
+                "[p=up][p=down][p=up]",
+            ),
+            ("find me objects with a sharp peak in luminosity", "[p=up,m=>>][p=down,m=<<]"),
+            ("rising at least 2 times", "[p=up,m={2,}]"),
+            (
+                "first increasing and then either stabilizing or decreasing",
+                "[p=up]([p=flat] | [p=down])",
+            ),
+        ],
+    )
+    def test_crf_translations(self, query, expected):
+        node = parse_natural_language(query)  # default tagger = CRF
+        assert to_regex(node) == expected
+
+
+class TestAmbiguityRules:
+    def test_multiple_patterns_move_to_empty_neighbour(self):
+        segments = [
+            ProtoSegment(patterns=["up", "down"]),
+            ProtoSegment(modifier="sharp"),
+        ]
+        resolution = resolve(segments, ["SEQ"])
+        assert [seg.patterns for seg in resolution.segments] == [["up"], ["down"]]
+        assert any("moved extra pattern" in line for line in resolution.log)
+
+    def test_multiple_patterns_split_into_or(self):
+        segments = [ProtoSegment(patterns=["up", "down"]), ProtoSegment(patterns=["flat"])]
+        resolution = resolve(segments, ["SEQ"])
+        assert len(resolution.segments) == 3
+        assert resolution.operators[0] == "OR"
+
+    def test_dangling_modifier_moves(self):
+        segments = [
+            ProtoSegment(patterns=["up", "down"]),
+            ProtoSegment(modifier="sharp"),
+        ]
+        resolution = resolve(segments, ["SEQ"])
+        assert resolution.segments[1].modifier == "sharp"
+
+    def test_dangling_modifier_dropped_when_no_home(self):
+        segments = [ProtoSegment(modifier="sharp")]
+        resolution = resolve(segments, [])
+        assert not resolution.segments  # nothing left after dropping
+
+    def test_reversed_x_swapped(self):
+        segments = [ProtoSegment(patterns=["up"], x_start=8, x_end=4)]
+        resolution = resolve(segments, [])
+        seg = resolution.segments[0]
+        assert (seg.x_start, seg.x_end) == (4, 8)
+
+    def test_reversed_x_reinterpreted_as_y_for_down(self):
+        segments = [
+            ProtoSegment(patterns=["down"], x_start=8, x_end=0, axis_ambiguous=True)
+        ]
+        resolution = resolve(segments, [])
+        seg = resolution.segments[0]
+        assert seg.x_start is None
+        assert (seg.y_start, seg.y_end) == (8, 0)
+
+    def test_overlap_becomes_and(self):
+        segments = [
+            ProtoSegment(patterns=["up"], x_start=4, x_end=8),
+            ProtoSegment(patterns=["down"], x_start=6, x_end=10),
+        ]
+        resolution = resolve(segments, ["SEQ"])
+        assert resolution.operators[0] == "AND"
+
+    def test_empty_segments_dropped(self):
+        segments = [ProtoSegment(patterns=["up"]), ProtoSegment(), ProtoSegment(patterns=["down"])]
+        resolution = resolve(segments, ["SEQ", "SEQ"])
+        assert len(resolution.segments) == 2
+        assert resolution.operators == ["SEQ"]
+
+    def test_y_conflict_swapped_for_down(self):
+        segments = [ProtoSegment(patterns=["down"], y_start=1, y_end=9)]
+        resolution = resolve(segments, [])
+        seg = resolution.segments[0]
+        assert seg.y_start == 9 and seg.y_end == 1
+
+
+class TestEndToEndNlSearch:
+    def test_nl_query_drives_engine(self, tagger):
+        import numpy as np
+
+        from repro.engine.executor import ShapeSearchEngine
+        from tests.conftest import make_trendline
+
+        rng = np.random.default_rng(3)
+        collection = [
+            make_trendline(
+                np.concatenate([np.linspace(0, 9, 20), np.linspace(9, 1, 20)]), key="peaked"
+            ),
+            make_trendline(rng.normal(0, 1, 40).cumsum(), key="walk"),
+            make_trendline(np.linspace(0, 9, 40), key="rise"),
+        ]
+        node = parse_natural_language("rising and then falling", tagger=tagger)
+        matches = ShapeSearchEngine().rank(collection, node, k=1)
+        assert matches[0].key == "peaked"

@@ -1,0 +1,193 @@
+"""Tests for the regex dialect lexer and CFG parser (paper Table 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra import builder as q
+from repro.algebra.nodes import And, Concat, Opposite, Or, ShapeSegment
+from repro.algebra.printer import to_regex
+from repro.errors import ShapeQuerySyntaxError
+from repro.parser import parse, tokenize
+
+
+class TestLexer:
+    def test_tokenizes_segment(self):
+        kinds = [t.kind for t in tokenize("[p=up]")]
+        assert kinds == ["LBRACKET", "IDENT", "EQ", "IDENT", "RBRACKET", "EOF"]
+
+    def test_location_keys(self):
+        kinds = [t.kind for t in tokenize("x.s=2,y.e=-3.5")]
+        assert kinds == ["KEY", "EQ", "NUMBER", "COMMA", "KEY", "EQ", "NUMBER", "EOF"]
+
+    def test_unicode_operators(self):
+        kinds = [t.kind for t in tokenize("⊗⊙⊕¬")]
+        assert kinds == ["ARROW", "AND", "OR", "BANG", "EOF"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ShapeQuerySyntaxError) as excinfo:
+            tokenize("[p=up] @")
+        assert excinfo.value.position == 7
+
+    def test_position_tokens(self):
+        kinds = [t.kind for t in tokenize("$0 $- $+")]
+        assert kinds == ["DOLLARNUM", "DOLLARPREV", "DOLLARNEXT", "EOF"]
+
+
+class TestSegments:
+    def test_simple_pattern(self):
+        node = parse("[p=up]")
+        assert isinstance(node, ShapeSegment)
+        assert node.pattern.kind == "up"
+
+    def test_all_pattern_words(self):
+        for word, kind in [("up", "up"), ("down", "down"), ("flat", "flat"), ("empty", "empty")]:
+            assert parse("[p={}]".format(word)).pattern.kind == kind
+        assert parse("[p=*]").pattern.kind == "any"
+
+    def test_slope_pattern(self):
+        node = parse("[p=45]")
+        assert node.pattern.kind == "slope"
+        assert node.pattern.theta == 45
+        assert parse("[p=-20]").pattern.theta == -20
+
+    def test_location_entries(self):
+        node = parse("[x.s=2,x.e=10,y.s=10,y.e=100]")
+        loc = node.location
+        assert (loc.x_start, loc.x_end, loc.y_start, loc.y_end) == (2, 10, 10, 100)
+
+    def test_iterator(self):
+        node = parse("[x.s=.,x.e=.+3,p=up]")
+        assert node.location.iterator.width == 3
+
+    def test_position_patterns(self):
+        assert parse("[p=$0]").pattern.reference.index == 0
+        assert parse("[p=$-]").pattern.reference.relative == -1
+        assert parse("[p=$+]").pattern.reference.relative == 1
+
+    def test_udp_pattern(self):
+        node = parse("[p=udp:spike]")
+        assert node.pattern.kind == "udp"
+        assert node.pattern.udp_name == "spike"
+
+    def test_sketch_vector(self):
+        node = parse("[v=(2:10,3:14,10:100)]")
+        assert node.sketch.points == ((2, 10), (3, 14), (10, 100))
+
+    def test_nested_pattern(self):
+        node = parse("[x.s=2,x.e=10,p=[p=up][p=down]]")
+        assert node.pattern.kind == "nested"
+        assert isinstance(node.pattern.nested, Concat)
+
+    def test_modifiers(self):
+        assert parse("[p=up,m=>>]").modifier.comparison == ">>"
+        assert parse("[p=down,m=<<]").modifier.comparison == "<<"
+        assert parse("[p=up,m=>2]").modifier.factor == 2
+        assert parse("[p=up,m==]").modifier.comparison == "="
+        assert parse("[p=up,m=2]").modifier.quantifier.low == 2
+        assert parse("[p=up,m={2,5}]").modifier.quantifier.high == 5
+        assert parse("[p=up,m={2,}]").modifier.quantifier.high is None
+        assert parse("[p=up,m={,2}]").modifier.quantifier.low is None
+
+
+class TestOperators:
+    def test_adjacency_is_concat(self):
+        node = parse("[p=up][p=down][p=up]")
+        assert isinstance(node, Concat)
+        assert len(node.children) == 3
+
+    def test_explicit_concat_forms(self):
+        assert parse("[p=up]->[p=down]") == parse("[p=up][p=down]")
+        assert parse("[p=up]⊗[p=down]") == parse("[p=up][p=down]")
+
+    def test_or_and_aliases(self):
+        assert isinstance(parse("[p=up]|[p=down]"), Or)
+        assert isinstance(parse("[p=up]⊕[p=down]"), Or)
+        assert isinstance(parse("[p=up]&[p=down]"), And)
+        assert isinstance(parse("[p=up]⊙[p=down]"), And)
+
+    def test_opposite(self):
+        node = parse("![p=flat]")
+        assert isinstance(node, Opposite)
+
+    def test_precedence_or_lowest(self):
+        node = parse("[p=up][p=down]|[p=flat]")
+        assert isinstance(node, Or)
+        assert isinstance(node.children[0], Concat)
+
+    def test_grouping_parentheses(self):
+        node = parse("[p=up]([p=flat]|([p=down][p=up]))")
+        assert isinstance(node, Concat)
+        assert isinstance(node.children[1], Or)
+
+    def test_paper_example_query(self):
+        text = "[p=up,x.s=50,x.e=100][p=down][p=up]"
+        node = parse(text)
+        segments = list(node.segments())
+        assert segments[0].location.is_x_pinned
+        assert segments[1].is_fuzzy
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "[p=up",
+            "[p=]",
+            "[p=up]]",
+            "[q=up]",
+            "[p=up,m=]",
+            "[x.s=a]",
+            "[p=up]|",
+            "([p=up]",
+            "[v=(1:2,]",
+            "[m={5,2},p=up]",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ShapeQuerySyntaxError) as excinfo:
+            parse("[p=up][p=wiggly]")
+        assert excinfo.value.position is not None
+        assert "wiggly" in str(excinfo.value)
+
+
+def ast_strategy():
+    """Random ASTs for round-trip testing."""
+    leaves = st.one_of(
+        st.sampled_from([q.up(), q.down(), q.flat(), q.any_pattern(), q.slope(45), q.slope(-20)]),
+        st.just(q.up(x_start=2, x_end=8)),
+        st.just(q.repeated(q.up(), low=2)),
+        st.just(q.up(sharp=True)),
+        st.just(q.flat(y_start=1, y_end=1)),
+        st.just(q.up(window=4)),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(lambda c: Concat(tuple(c))),
+            st.lists(children, min_size=2, max_size=3).map(lambda c: Or(tuple(c))),
+            st.lists(children, min_size=2, max_size=3).map(lambda c: And(tuple(c))),
+        ),
+        max_leaves=5,
+    )
+
+
+class TestRoundTrip:
+    @given(ast_strategy())
+    def test_parse_inverts_printer(self, tree):
+        assert parse(to_regex(tree)) == tree
+
+    def test_round_trip_nested(self):
+        text = "[x.s=2,x.e=10,p=[p=up][p=down]]"
+        node = parse(text)
+        assert parse(to_regex(node)) == node
+
+    def test_round_trip_sketch(self):
+        text = "[v=(0:1,1:5,2:2)]"
+        node = parse(text)
+        assert parse(to_regex(node)) == node

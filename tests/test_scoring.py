@@ -1,0 +1,204 @@
+"""Tests for the perceptual scoring functions (paper §5.2, Tables 5–6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algebra.primitives import Quantifier
+from repro.engine import scoring
+from repro.errors import UnknownPatternError
+
+slopes = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestPatternScores:
+    def test_up_anchor_values(self):
+        assert scoring.up_score(0.0) == pytest.approx(0.0)
+        assert scoring.up_score(1.0) == pytest.approx(0.5)  # 45 degrees
+        assert scoring.up_score(1e9) == pytest.approx(1.0, abs=1e-6)
+        assert scoring.up_score(-1e9) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_down_is_mirror_of_up(self):
+        for slope in (-3.0, -0.5, 0.0, 0.5, 3.0):
+            assert scoring.down_score(slope) == pytest.approx(-scoring.up_score(slope))
+
+    def test_flat_anchor_values(self):
+        assert scoring.flat_score(0.0) == pytest.approx(1.0)
+        assert scoring.flat_score(1e9) == pytest.approx(-1.0, abs=1e-6)
+        assert scoring.flat_score(-1e9) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_theta_peaks_at_target(self):
+        assert scoring.theta_score(math.tan(math.radians(45)), 45) == pytest.approx(1.0)
+        below = scoring.theta_score(math.tan(math.radians(30)), 45)
+        above = scoring.theta_score(math.tan(math.radians(60)), 45)
+        assert below < 1.0 and above < 1.0
+
+    def test_theta_monotone_decrease_with_deviation(self):
+        target = 30
+        deviations = [0, 10, 25, 50, 80]
+        values = [
+            scoring.theta_score(math.tan(math.radians(target + d if target + d < 90 else 89)), target)
+            for d in deviations
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    @given(slopes)
+    def test_all_scores_bounded(self, slope):
+        for kind, theta in [("up", None), ("down", None), ("flat", None), ("slope", 45)]:
+            value = float(scoring.pattern_score(kind, slope, theta))
+            assert -1.0 <= value <= 1.0
+
+    @given(slopes)
+    def test_up_monotone_in_slope(self, slope):
+        assert scoring.up_score(slope + 0.5) > scoring.up_score(slope)
+
+    def test_any_and_empty(self):
+        assert float(scoring.pattern_score("any", 3.0)) == 1.0
+        assert float(scoring.pattern_score("empty", 3.0)) == -1.0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(UnknownPatternError):
+            scoring.pattern_score("wiggle", 0.0)
+
+    def test_diminishing_returns(self):
+        """Equal slope increments matter less at steeper slopes (tan⁻¹ law)."""
+        low_gain = scoring.up_score(1.0) - scoring.up_score(0.5)
+        high_gain = scoring.up_score(5.5) - scoring.up_score(5.0)
+        assert low_gain > high_gain
+
+
+class TestSharpenedKinds:
+    def test_sharp_up_targets_75(self):
+        kind, theta = scoring.sharpened_kind("up", ">>")
+        assert (kind, theta) == ("slope", 75.0)
+
+    def test_gradual_down_targets_minus_30(self):
+        kind, theta = scoring.sharpened_kind("down", "<")
+        assert (kind, theta) == ("slope", -30.0)
+
+    def test_non_directional_passthrough(self):
+        assert scoring.sharpened_kind("flat", ">>") == ("flat", None)
+
+
+class TestOperatorScores:
+    def test_table6_definitions(self):
+        values = [0.2, -0.4, 0.9]
+        assert scoring.concat_scores(values) == pytest.approx(np.mean(values))
+        assert scoring.and_scores(values) == pytest.approx(-0.4)
+        assert scoring.or_scores(values) == pytest.approx(0.9)
+        assert scoring.opposite_score(0.3) == pytest.approx(-0.3)
+
+    @given(st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False), min_size=1, max_size=6))
+    def test_boundedness_property(self, values):
+        """Property 5.1: operator outputs stay within child extremes."""
+        low, high = min(values), max(values)
+        for combine in (scoring.concat_scores, scoring.and_scores, scoring.or_scores):
+            assert low - 1e-9 <= combine(values) <= high + 1e-9
+
+
+class TestPositionScores:
+    def test_equality_rewards_similar_slopes(self):
+        assert scoring.position_score(1.0, 1.0, "=") == pytest.approx(1.0)
+        assert scoring.position_score(5.0, -5.0, "=") < 0.5
+
+    def test_greater_than(self):
+        assert scoring.position_score(2.0, 1.0, ">") > 0
+        assert scoring.position_score(0.5, 1.0, ">") < 0
+
+    def test_factor(self):
+        assert scoring.position_score(2.5, 1.0, ">", factor=2.0) > 0
+        assert scoring.position_score(1.5, 1.0, ">", factor=2.0) < 0
+
+    def test_sharp_margin(self):
+        assert scoring.position_score(1.2, 1.0, ">") > 0
+        assert scoring.position_score(1.2, 1.0, ">>") < 0
+        assert scoring.position_score(2.5, 1.0, ">>") > 0
+
+    def test_less_than_mirrors(self):
+        assert scoring.position_score(0.5, 1.0, "<") > 0
+        assert scoring.position_score(2.0, 1.0, "<") < 0
+
+
+class TestSketchScore:
+    def test_identical_series_scores_one(self):
+        series = np.sin(np.linspace(0, 6, 50))
+        assert scoring.sketch_score(series, series) == pytest.approx(1.0)
+
+    def test_opposite_series_scores_low(self):
+        series = np.linspace(0, 1, 50)
+        assert scoring.sketch_score(series, -series) < 0
+
+    def test_resamples_different_lengths(self):
+        series = np.linspace(0, 1, 50)
+        sketch = np.linspace(0, 1, 7)
+        assert scoring.sketch_score(series, sketch) == pytest.approx(1.0, abs=0.05)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = rng.normal(0, 1, 30), rng.normal(0, 1, 30)
+            assert -1.0 <= scoring.sketch_score(a, b) <= 1.0
+
+
+class TestDirectionalRuns:
+    def test_clean_two_runs(self):
+        values = np.concatenate([np.linspace(0, 5, 10), np.linspace(5, 0, 10)])
+        runs = scoring.directional_runs(values)
+        assert len(runs) == 2
+        assert runs[0][0] == 0 and runs[-1][1] == len(values)
+
+    def test_short_wiggles_are_merged(self):
+        values = np.linspace(0, 10, 40)
+        values[20] -= 0.5  # a one-sample dip
+        runs = scoring.directional_runs(values, min_points=4)
+        assert len(runs) == 1
+
+    def test_covers_whole_series(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(0, 1, 60)
+        runs = scoring.directional_runs(values)
+        assert runs[0][0] == 0
+        assert runs[-1][1] == 60
+        # Consecutive runs share exactly their junction point.
+        for (a, b), (c, d) in zip(runs, runs[1:]):
+            assert c == b - 1
+
+
+class TestQuantifierScore:
+    def test_at_least_satisfied(self):
+        quantifier = Quantifier(low=2)
+        score = scoring.quantifier_score(quantifier, [0.9, 0.7, -0.5])
+        assert score == pytest.approx((0.9 + 0.7) / 2)
+
+    def test_at_least_violated(self):
+        assert scoring.quantifier_score(Quantifier(low=3), [0.9, 0.7]) == -1.0
+
+    def test_at_most_violated(self):
+        assert scoring.quantifier_score(Quantifier(high=1), [0.9, 0.7]) == -1.0
+
+    def test_at_most_trivially_satisfied(self):
+        assert scoring.quantifier_score(Quantifier(high=2), []) == 1.0
+
+    def test_at_most_with_occurrences(self):
+        score = scoring.quantifier_score(Quantifier(high=2), [0.6, 0.4])
+        assert score == pytest.approx(0.5)
+
+    def test_exactly(self):
+        quantifier = Quantifier(low=2, high=2)
+        assert scoring.quantifier_score(quantifier, [0.8, 0.6]) == pytest.approx(0.7)
+        assert scoring.quantifier_score(quantifier, [0.8]) == -1.0
+        assert scoring.quantifier_score(quantifier, [0.8, 0.6, 0.5]) == -1.0
+
+
+class TestUdpRegistry:
+    def test_register_and_get(self):
+        with scoring.temporary_udp("spike", lambda values, slope: 0.5):
+            assert scoring.get_udp("spike")(None, 0) == 0.5
+        with pytest.raises(UnknownPatternError):
+            scoring.get_udp("spike")
+
+    def test_unregister_ignores_missing(self):
+        scoring.unregister_udp("never-registered")

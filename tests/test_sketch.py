@@ -1,0 +1,112 @@
+"""Tests for the sketch front-end (canvas, RDP, translation)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.nodes import Concat, ShapeSegment
+from repro.errors import DataError, ShapeQuerySyntaxError
+from repro.sketch.canvas import Canvas
+from repro.sketch.parser import parse_sketch
+from repro.sketch.simplify import perpendicular_distance, rdp, segment_directions
+
+
+class TestCanvas:
+    def _canvas(self):
+        return Canvas(width=100, height=50, x_min=0, x_max=10, y_min=0, y_max=100)
+
+    def test_corner_mapping(self):
+        canvas = self._canvas()
+        # Top-left pixel = (x_min, y_max); bottom-right = (x_max, y_min).
+        assert canvas.to_domain([(0, 0)]) == [(0.0, 100.0)]
+        assert canvas.to_domain([(100, 50)]) == [(10.0, 0.0)]
+
+    def test_round_trip(self):
+        canvas = self._canvas()
+        points = [(2.5, 30.0), (7.0, 80.0)]
+        pixels = canvas.to_pixels(points)
+        back = canvas.to_domain(pixels)
+        for (x0, y0), (x1, y1) in zip(points, back):
+            assert x0 == pytest.approx(x1)
+            assert y0 == pytest.approx(y1)
+
+    def test_out_of_canvas_rejected(self):
+        with pytest.raises(DataError):
+            self._canvas().to_domain([(200, 10)])
+
+    def test_degenerate_canvas_rejected(self):
+        with pytest.raises(DataError):
+            Canvas(width=0, height=10, x_min=0, x_max=1, y_min=0, y_max=1)
+        with pytest.raises(DataError):
+            Canvas(width=10, height=10, x_min=1, x_max=1, y_min=0, y_max=1)
+
+
+class TestRdp:
+    def test_straight_line_collapses(self):
+        points = [(float(i), 2.0 * i) for i in range(20)]
+        assert rdp(points, epsilon=0.01) == [points[0], points[-1]]
+
+    def test_corner_preserved(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]
+        assert rdp(points, epsilon=0.1) == points
+
+    def test_perpendicular_distance(self):
+        assert perpendicular_distance((0.0, 1.0), (-1.0, 0.0), (1.0, 0.0)) == pytest.approx(1.0)
+        # Degenerate segment falls back to point distance.
+        assert perpendicular_distance((3.0, 4.0), (0.0, 0.0), (0.0, 0.0)) == pytest.approx(5.0)
+
+
+class TestSegmentDirections:
+    def test_up_down(self):
+        points = [(float(i), float(i)) for i in range(10)]
+        points += [(float(10 + i), float(9 - i)) for i in range(10)]
+        directions = [d for d, _ in segment_directions(points, epsilon=0.1)]
+        assert directions == ["up", "down"]
+
+    def test_flat_detection(self):
+        points = [(float(i), 0.0 if i < 10 else (i - 10.0)) for i in range(20)]
+        directions = [d for d, _ in segment_directions(points, epsilon=0.05)]
+        assert directions[0] == "flat" or directions == ["up"]
+
+    def test_too_short(self):
+        assert segment_directions([(0, 0)], epsilon=0.1) == []
+
+
+class TestParseSketch:
+    def test_precise_mode_builds_sketch_segment(self):
+        node = parse_sketch([(0, 1), (1, 5), (2, 3)], mode="precise")
+        assert isinstance(node, ShapeSegment)
+        assert node.sketch is not None
+        assert len(node.sketch) == 3
+
+    def test_blurry_mode_builds_concat(self):
+        points = [(float(i), float(i)) for i in range(10)]
+        points += [(float(10 + i), float(9 - i)) for i in range(10)]
+        node = parse_sketch(points, mode="blurry")
+        assert isinstance(node, Concat)
+        kinds = [seg.pattern.kind for seg in node.segments()]
+        assert kinds == ["up", "down"]
+
+    def test_blurry_single_direction(self):
+        points = [(float(i), 2.0 * i) for i in range(10)]
+        node = parse_sketch(points, mode="blurry")
+        assert isinstance(node, ShapeSegment)
+        assert node.pattern.kind == "up"
+
+    def test_canvas_pixels_translated(self):
+        canvas = Canvas(width=100, height=100, x_min=0, x_max=10, y_min=0, y_max=10)
+        # Pixel y grows downward: drawing from bottom-left to top-right rises.
+        node = parse_sketch([(0, 100), (100, 0)], canvas=canvas, mode="precise")
+        ys = node.sketch.ys()
+        assert ys[0] < ys[-1]
+
+    def test_unsorted_points_are_sorted(self):
+        node = parse_sketch([(2, 3), (0, 1), (1, 5)], mode="precise")
+        assert node.sketch.xs() == [0, 1, 2]
+
+    def test_bad_mode(self):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse_sketch([(0, 0), (1, 1)], mode="fuzzy")
+
+    def test_too_few_points(self):
+        with pytest.raises(ShapeQuerySyntaxError):
+            parse_sketch([(0, 0)], mode="precise")

@@ -1,0 +1,117 @@
+"""Tests for summarized statistics and Theorem 5.1 additivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.statistics import PrefixStats, SummaryStats
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def series_strategy(min_size=4, max_size=30):
+    return st.lists(finite, min_size=min_size, max_size=max_size)
+
+
+class TestSummaryStats:
+    def test_matches_polyfit(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 40)
+        y = 3.0 * x + 1.0 + rng.normal(0, 0.1, 40)
+        stats = SummaryStats.of(x, y)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert stats.slope() == pytest.approx(slope, rel=1e-9)
+        assert stats.intercept() == pytest.approx(intercept, rel=1e-9)
+
+    def test_degenerate_slope_is_zero(self):
+        stats = SummaryStats.of(np.array([2.0, 2.0]), np.array([1.0, 5.0]))
+        assert stats.slope() == 0.0
+
+    @given(series_strategy())
+    def test_additivity_theorem(self, values):
+        """Theorem 5.1: merged statistics fit the same line as raw points."""
+        y = np.asarray(values)
+        x = np.linspace(0, 1, len(y))
+        split = len(y) // 2
+        left = SummaryStats.of(x[:split], y[:split])
+        right = SummaryStats.of(x[split:], y[split:])
+        merged = left + right
+        direct = SummaryStats.of(x, y)
+        assert merged.n == direct.n
+        assert merged.slope() == pytest.approx(direct.slope(), rel=1e-6, abs=1e-6)
+        assert merged.intercept() == pytest.approx(direct.intercept(), rel=1e-6, abs=1e-6)
+
+    @given(series_strategy(min_size=6))
+    def test_three_way_merge_associative(self, values):
+        y = np.asarray(values)
+        x = np.arange(len(y), dtype=float)
+        a, b = len(y) // 3, 2 * len(y) // 3
+        s1 = SummaryStats.of(x[:a], y[:a])
+        s2 = SummaryStats.of(x[a:b], y[a:b])
+        s3 = SummaryStats.of(x[b:], y[b:])
+        left_first = (s1 + s2) + s3
+        right_first = s1 + (s2 + s3)
+        assert left_first.slope() == pytest.approx(right_first.slope(), abs=1e-9)
+
+
+class TestPrefixStats:
+    def test_range_equals_direct(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(20, dtype=float)
+        y = rng.normal(0, 1, 20)
+        prefix = PrefixStats.from_points(x, y)
+        stats = prefix.range(5, 15)
+        direct = SummaryStats.of(x[5:15], y[5:15])
+        assert stats.slope() == pytest.approx(direct.slope(), abs=1e-9)
+        assert stats.n == 10
+
+    def test_scalar_slope_matches_range(self):
+        rng = np.random.default_rng(2)
+        x = np.arange(30, dtype=float)
+        y = rng.normal(0, 1, 30)
+        prefix = PrefixStats.from_points(x, y)
+        for l, r in [(0, 30), (3, 9), (10, 12)]:
+            assert prefix.slope(l, r) == pytest.approx(prefix.range(l, r).slope(), abs=1e-9)
+
+    def test_vectorized_slopes_match_scalar(self):
+        rng = np.random.default_rng(3)
+        x = np.arange(25, dtype=float)
+        y = rng.normal(0, 2, 25)
+        prefix = PrefixStats.from_points(x, y)
+        ends = np.arange(5, 25)
+        vectorized = prefix.slopes_for_ends(2, ends)
+        for value, r in zip(vectorized, ends):
+            assert value == pytest.approx(prefix.slope(2, int(r)), abs=1e-9)
+        starts = np.arange(0, 18)
+        vectorized = prefix.slopes_for_starts(starts, 20)
+        for value, l in zip(vectorized, starts):
+            assert value == pytest.approx(prefix.slope(int(l), 20), abs=1e-9)
+
+    def test_slope_matrix(self):
+        rng = np.random.default_rng(4)
+        x = np.arange(15, dtype=float)
+        y = rng.normal(0, 1, 15)
+        prefix = PrefixStats.from_points(x, y)
+        starts = np.array([0, 3, 6])
+        ends = np.array([9, 12, 15])
+        matrix = prefix.slope_matrix(starts, ends)
+        for i, l in enumerate(starts):
+            for j, r in enumerate(ends):
+                assert matrix[i, j] == pytest.approx(prefix.slope(int(l), int(r)), abs=1e-9)
+
+    def test_binned_prefix(self):
+        x = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        bin_index = np.array([0, 0, 1, 1, 2, 2])
+        prefix = PrefixStats.from_binned(x, y, bin_index)
+        assert prefix.bins == 3
+        stats = prefix.range(0, 3)
+        direct = SummaryStats.of(x, y)
+        assert stats.slope() == pytest.approx(direct.slope(), abs=1e-12)
+
+    def test_empty_range(self):
+        prefix = PrefixStats.from_points(np.arange(5.0), np.arange(5.0))
+        stats = prefix.range(2, 2)
+        assert stats.n == 0
+        assert stats.slope() == 0.0

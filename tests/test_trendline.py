@@ -1,0 +1,128 @@
+"""Tests for the Trendline model and the GROUP-side transforms."""
+
+import numpy as np
+import pytest
+
+from repro.engine.trendline import build_trendline
+from repro.errors import DataError
+
+from tests.conftest import make_trendline
+
+
+class TestBuild:
+    def test_basic_shape(self):
+        tl = make_trendline(np.linspace(0, 9, 10))
+        assert tl.n_bins == 10
+        assert len(tl.bin_x) == 10
+        assert tl.prefix.bins == 10
+
+    def test_rejects_short_series(self):
+        with pytest.raises(DataError):
+            build_trendline("k", [0.0], [1.0])
+
+    def test_rejects_unsorted_x(self):
+        with pytest.raises(DataError):
+            build_trendline("k", [0.0, 2.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(DataError):
+            build_trendline("k", [0.0, 1.0], [1.0])
+
+    def test_rejects_single_x_value(self):
+        with pytest.raises(DataError):
+            build_trendline("k", [1.0, 1.0], [1.0, 2.0])
+
+    def test_z_score_normalization(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        tl = make_trendline(values)
+        assert tl.norm_bin_y.mean() == pytest.approx(0.0, abs=1e-12)
+        assert tl.norm_bin_y.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_normalization_disabled(self):
+        tl = build_trendline("k", np.arange(4.0), np.array([1.0, 2.0, 3.0, 4.0]), normalize_y=False)
+        assert tl.y_mean == 0.0 and tl.y_std == 1.0
+        assert np.allclose(tl.norm_bin_y, [1, 2, 3, 4])
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        tl = make_trendline(np.full(10, 3.0))
+        assert np.allclose(tl.norm_bin_y, 0.0)
+
+    def test_full_trendline_slope_is_scale_free(self):
+        """x→[0,1], y z-scored: doubling both scales leaves slopes alone."""
+        base = build_trendline("a", np.arange(20.0), np.linspace(0, 5, 20))
+        scaled = build_trendline("b", np.arange(20.0) * 7, np.linspace(0, 5, 20) * 100)
+        assert base.prefix.slope(0, 20) == pytest.approx(scaled.prefix.slope(0, 20))
+
+
+class TestBinning:
+    def test_bin_width_groups_points(self):
+        x = np.arange(12, dtype=float)
+        y = np.arange(12, dtype=float)
+        tl = build_trendline("k", x, y, bin_width=3.0)
+        assert tl.n_bins == 4
+        assert tl.bin_y[0] == pytest.approx(1.0)  # mean of 0,1,2
+
+    def test_binned_stats_preserve_slope(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100, dtype=float)
+        y = 2.0 * x + rng.normal(0, 1, 100)
+        fine = build_trendline("f", x, y)
+        coarse = build_trendline("c", x, y, bin_width=5.0)
+        assert fine.prefix.slope(0, 100) == pytest.approx(
+            coarse.prefix.slope(0, coarse.n_bins), rel=1e-9
+        )
+
+
+class TestXToBin:
+    def test_exact_hits(self):
+        tl = make_trendline(np.arange(10.0))
+        assert tl.x_to_bin(0.0) == 0
+        assert tl.x_to_bin(7.0) == 7
+        assert tl.x_to_bin(9.0) == 9
+
+    def test_nearest_neighbour(self):
+        tl = make_trendline(np.arange(10.0))
+        assert tl.x_to_bin(3.4) == 3
+        assert tl.x_to_bin(3.6) == 4
+
+    def test_clamping(self):
+        tl = make_trendline(np.arange(10.0))
+        assert tl.x_to_bin(-5.0) == 0
+        assert tl.x_to_bin(50.0) == 9
+        with pytest.raises(DataError):
+            tl.x_to_bin(50.0, clamp=False)
+
+
+class TestKeepRange:
+    def test_restricts_statistics(self):
+        tl = build_trendline("k", np.arange(20.0), np.arange(20.0), keep_range=(5, 15))
+        assert tl.offset == 5
+        assert tl.n_bins == 10
+        assert len(tl.bin_x) == 10
+        assert tl.bin_x[0] == 5.0
+
+    def test_raw_values_kept_in_full(self):
+        tl = build_trendline("k", np.arange(20.0), np.arange(20.0), keep_range=(5, 15))
+        assert len(tl.x) == 20
+
+    def test_too_narrow_range_rejected(self):
+        with pytest.raises(DataError):
+            build_trendline("k", np.arange(20.0), np.arange(20.0), keep_range=(5, 6))
+
+
+class TestSegmentAccess:
+    def test_segment_values_are_normalized(self):
+        tl = make_trendline(np.arange(10.0))
+        values = tl.segment_values(2, 6)
+        assert len(values) == 4
+        assert np.allclose(values, tl.norm_bin_y[2:6])
+
+    def test_segment_raw(self):
+        tl = make_trendline(np.arange(10.0) * 2)
+        xs, ys = tl.segment_raw(1, 4)
+        assert list(ys) == [2.0, 4.0, 6.0]
+
+    def test_normalize_y_value_round_trip(self):
+        tl = make_trendline(np.array([2.0, 4.0, 6.0, 8.0]))
+        normalized = tl.normalize_y_value(6.0)
+        assert normalized == pytest.approx((6.0 - tl.y_mean) / tl.y_std)

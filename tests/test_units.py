@@ -1,0 +1,210 @@
+"""Tests for the compiled scoreable units (engine leaves)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra.primitives import Location, Quantifier, Sketch
+from repro.engine.chains import Chain, ChainUnit
+from repro.engine.scoring import temporary_udp
+from repro.engine.units import (
+    INFEASIBLE,
+    AndUnit,
+    LineUnit,
+    PositionUnit,
+    QuantifierUnit,
+    SketchUnit,
+    SlopeUnit,
+    UdpUnit,
+    WindowUnit,
+)
+
+from tests.conftest import make_trendline
+
+
+class TestSlopeUnit:
+    def test_up_on_rise(self, rising_line):
+        unit = SlopeUnit("up")
+        assert unit.score(rising_line, 0, rising_line.n_bins) > 0.5
+
+    def test_down_on_rise_is_negative(self, rising_line):
+        unit = SlopeUnit("down")
+        assert unit.score(rising_line, 0, rising_line.n_bins) < -0.5
+
+    def test_negated_flips_sign(self, rising_line):
+        plain = SlopeUnit("up").score(rising_line, 0, 50)
+        negated = SlopeUnit("up", negated=True).score(rising_line, 0, 50)
+        assert negated == pytest.approx(-plain)
+
+    def test_too_short_segment_infeasible(self, rising_line):
+        assert SlopeUnit("up").score(rising_line, 3, 4) == INFEASIBLE
+
+    def test_scalar_matches_vectorized(self, noisy_up_down_up):
+        unit = SlopeUnit("flat")
+        rs = np.arange(5, 40)
+        vector = unit.score_ends(noisy_up_down_up, 2, rs)
+        for value, r in zip(vector, rs):
+            assert value == pytest.approx(unit.score(noisy_up_down_up, 2, int(r)), abs=1e-9)
+        ls = np.arange(0, 30)
+        vector = unit.score_starts(noisy_up_down_up, ls, 40)
+        for value, l in zip(vector, ls):
+            assert value == pytest.approx(unit.score(noisy_up_down_up, int(l), 40), abs=1e-9)
+
+    def test_theta_unit(self):
+        tl = make_trendline(np.linspace(0, 1, 30))
+        unit = SlopeUnit("slope", theta=45)
+        # Full-range slope in normalized coordinates is deterministic.
+        assert -1.0 <= unit.score(tl, 0, 30) <= 1.0
+
+    def test_y_constraint_gates_score(self):
+        tl = make_trendline(np.linspace(0, 10, 30))
+        good = SlopeUnit("up", location=Location(y_start=0.0, y_end=10.0))
+        bad = SlopeUnit("up", location=Location(y_start=9.0))
+        assert good.score(tl, 0, 30) > 0
+        assert bad.score(tl, 0, 30) == INFEASIBLE
+
+    def test_y_mask_vectorized_matches_scalar(self):
+        tl = make_trendline(np.linspace(0, 10, 30))
+        unit = SlopeUnit("up", location=Location(y_end=10.0))
+        rs = np.arange(5, 31)
+        vector = unit.score_ends(tl, 0, rs)
+        for value, r in zip(vector, rs):
+            assert value == pytest.approx(unit.score(tl, 0, int(r)), abs=1e-9)
+
+    def test_resolve_pins(self):
+        tl = make_trendline(np.arange(20.0))
+        unit = SlopeUnit("up", location=Location(x_start=5, x_end=10))
+        assert unit.resolve_pins(tl) == (5, 11)
+        fuzzy = SlopeUnit("up")
+        assert fuzzy.resolve_pins(tl) == (None, None)
+
+    def test_bounds_contain_union_scores(self):
+        """Table 7: any union of grid windows scores within the bounds."""
+        rng = np.random.default_rng(9)
+        tl = make_trendline(rng.normal(0, 1, 64).cumsum())
+        for kind, theta in [("up", None), ("down", None), ("flat", None), ("slope", 30)]:
+            unit = SlopeUnit(kind, theta=theta)
+            low, high = unit.window_bounds(tl, 8)
+            for start in range(0, 64 - 8, 8):
+                for end in range(start + 8, 65, 8):
+                    score = unit.score(tl, start, end)
+                    assert low - 1e-9 <= score <= high + 1e-9
+
+
+class TestLineUnit:
+    def test_matches_straight_line(self):
+        tl = make_trendline(np.linspace(10, 100, 40))
+        unit = LineUnit(location=Location(y_start=10, y_end=100))
+        assert unit.score(tl, 0, 40) > 0.9
+
+    def test_penalizes_wrong_shape(self):
+        tl = make_trendline(np.concatenate([np.linspace(0, 10, 20), np.linspace(10, 0, 20)]))
+        unit = LineUnit(location=Location(y_start=0, y_end=0))
+        straight = LineUnit(location=Location(y_start=0, y_end=10))
+        assert unit.score(tl, 0, 40) < 0.9 or straight.score(tl, 0, 40) < 0.9
+
+
+class TestQuantifierUnit:
+    def _double_peak(self):
+        y = np.concatenate([
+            np.linspace(0, 5, 15), np.linspace(5, 1, 15),
+            np.linspace(1, 6, 15), np.linspace(6, 0, 15),
+        ])
+        return make_trendline(y, key="dp")
+
+    def test_two_rises_satisfies_exactly_two(self):
+        tl = self._double_peak()
+        unit = QuantifierUnit("up", Quantifier(low=2, high=2))
+        assert unit.score(tl, 0, tl.n_bins) > 0.5
+
+    def test_three_rises_required_fails(self):
+        tl = self._double_peak()
+        unit = QuantifierUnit("up", Quantifier(low=3))
+        assert unit.score(tl, 0, tl.n_bins) == INFEASIBLE
+
+    def test_at_most_one_fall_fails_on_two(self):
+        tl = self._double_peak()
+        unit = QuantifierUnit("down", Quantifier(high=1))
+        assert unit.score(tl, 0, tl.n_bins) == INFEASIBLE
+
+    def test_at_most_trivial_pass(self, rising_line):
+        unit = QuantifierUnit("down", Quantifier(high=1))
+        assert unit.score(rising_line, 0, 50) > 0 or unit.score(rising_line, 0, 50) == 1.0
+
+    def test_udp_quantifier(self):
+        tl = self._double_peak()
+        with temporary_udp("always", lambda values, slope: 0.9):
+            unit = QuantifierUnit("udp", Quantifier(low=1), udp_name="always")
+            assert unit.score(tl, 0, tl.n_bins) == pytest.approx(0.9)
+
+
+class TestPositionUnit:
+    def test_neutral_without_context(self, rising_line):
+        unit = PositionUnit(reference_index=0, comparison="<")
+        assert unit.score(rising_line, 0, 50) == 0.0
+
+    def test_scores_with_context(self, rising_line):
+        unit = PositionUnit(reference_index=0, comparison="<")
+        slope = rising_line.prefix.slope(0, 50)
+        stronger = {0: slope * 3}
+        weaker = {0: slope / 3}
+        assert unit.score(rising_line, 0, 50, stronger) > 0
+        assert unit.score(rising_line, 0, 50, weaker) < 0
+
+    def test_has_position_flag(self):
+        assert PositionUnit(reference_index=0, comparison="=").has_position
+
+
+class TestSketchUnit:
+    def test_matching_sketch_scores_high(self, rising_line):
+        sketch = Sketch(points=((0, 0), (25, 5), (49, 10)))
+        unit = SketchUnit(sketch)
+        assert unit.score(rising_line, 0, 50) > 0.8
+
+    def test_opposite_sketch_scores_low(self, rising_line):
+        sketch = Sketch(points=((0, 10), (25, 5), (49, 0)))
+        unit = SketchUnit(sketch)
+        assert unit.score(rising_line, 0, 50) < 0
+
+
+class TestUdpUnit:
+    def test_udp_called_and_clipped(self, rising_line):
+        with temporary_udp("big", lambda values, slope: 5.0):
+            unit = UdpUnit("big")
+            assert unit.score(rising_line, 0, 50) == 1.0
+
+    def test_negated_udp(self, rising_line):
+        with temporary_udp("half", lambda values, slope: 0.5):
+            unit = UdpUnit("half", negated=True)
+            assert unit.score(rising_line, 0, 50) == pytest.approx(-0.5)
+
+
+class TestWindowUnit:
+    def test_finds_best_window(self):
+        y = np.concatenate([np.zeros(20), np.linspace(0, 8, 10), np.full(20, 8.0)])
+        tl = make_trendline(y, key="burst")
+        unit = WindowUnit(SlopeUnit("up"), width=10)
+        whole = SlopeUnit("up").score(tl, 0, tl.n_bins)
+        windowed = unit.score(tl, 0, tl.n_bins)
+        assert windowed > whole
+
+    def test_window_wider_than_region_infeasible(self, rising_line):
+        unit = WindowUnit(SlopeUnit("up"), width=100)
+        assert unit.score(rising_line, 0, 10) == INFEASIBLE
+
+
+class TestAndUnit:
+    def test_min_of_branches(self, rising_line):
+        up = Chain((ChainUnit(SlopeUnit("up"), 1.0),))
+        flat = Chain((ChainUnit(SlopeUnit("flat"), 1.0),))
+        unit = AndUnit([[up], [flat]])
+        up_score = SlopeUnit("up").score(rising_line, 0, 50)
+        flat_score = SlopeUnit("flat").score(rising_line, 0, 50)
+        assert unit.score(rising_line, 0, 50) == pytest.approx(min(up_score, flat_score))
+
+    def test_branch_with_concat_chain(self, up_down_up):
+        chain = Chain(
+            (ChainUnit(SlopeUnit("up"), 0.5), ChainUnit(SlopeUnit("down"), 0.5))
+        )
+        unit = AndUnit([[chain]])
+        score = unit.score(up_down_up, 0, 40)
+        assert score > 0.5  # up then down fits the first two thirds
