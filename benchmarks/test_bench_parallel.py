@@ -1,0 +1,170 @@
+"""Parallel execution and result caching: the repo's first perf trajectory.
+
+Three measurements on the Figure 13 scaling suites:
+
+* **sharded ranking** — sequential vs ``workers=N`` (thread and process
+  backends) on one fuzzy query over the 50words collection, asserting
+  byte-identical top-k and recording the speedup;
+* **result caching** — cold vs warm ``execute`` over the same table and
+  query, recording the latency ratio and the cache hit rate;
+* **batch amortization** — ``execute_many`` over all of a suite's fuzzy
+  queries vs issuing them one at a time on a fresh engine.
+
+Speedups are *recorded*, not asserted: thread-backend gains depend on
+how much of the inner loop releases the GIL, and process-backend gains
+pay a pickling toll, both of which vary by machine.  Correctness —
+identical results for any worker count, and cache hits on repeats — is
+asserted unconditionally.
+"""
+
+import time
+
+import pytest
+
+from repro.data.visual_params import VisualParams
+from repro.datasets.suites import SUITES, suite_table
+from repro.engine.executor import ShapeSearchEngine
+from repro.engine.parallel import default_workers
+from repro.parser import parse
+
+from benchmarks.conftest import fuzzy_query, print_table
+
+_RESULTS = {}
+
+#: At least two workers so the sharded path (not the inline fallback) is
+#: measured even on single-core CI boxes; capped at four for fairness.
+WORKERS = max(2, min(4, default_workers()))
+PARAMS = VisualParams(z="z", x="x", y="y")
+
+
+def _signature(matches):
+    return [(m.key, m.score) for m in matches]
+
+
+@pytest.mark.parametrize("mode", ["sequential", "thread", "process"])
+def test_parallel_speedup(benchmark, suites, mode):
+    trendlines = suites("50words")
+    query = fuzzy_query("50words")
+
+    if mode == "sequential":
+        engine = ShapeSearchEngine()
+    else:
+        engine = ShapeSearchEngine(workers=WORKERS, backend=mode)
+
+    def run():
+        return engine.rank(trendlines, query, k=10)
+
+    started = time.perf_counter()
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[("rank", mode)] = time.perf_counter() - started
+    _RESULTS[("matches", mode)] = _signature(matches)
+    engine.close()
+
+
+def test_parallel_results_byte_identical(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sequential = _RESULTS.get(("matches", "sequential"))
+    if sequential is None:
+        pytest.skip("speedup benchmarks did not run")
+    assert _RESULTS[("matches", "thread")] == sequential
+    assert _RESULTS[("matches", "process")] == sequential
+
+
+def test_cache_hit_rate(benchmark):
+    table = suite_table("weather", max_visualizations=30, max_length=120)
+    query = parse(SUITES["weather"].fuzzy_queries[0])
+    engine = ShapeSearchEngine(cache=True)
+
+    def cold():
+        return engine.execute(table, PARAMS, query, k=10)
+
+    started = time.perf_counter()
+    first = benchmark.pedantic(cold, rounds=1, iterations=1)
+    _RESULTS[("cache", "cold")] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    second = engine.execute(table, PARAMS, query, k=10)
+    _RESULTS[("cache", "warm")] = time.perf_counter() - started
+
+    assert _signature(first) == _signature(second)
+    assert engine.last_stats.trendline_cache_hit and engine.last_stats.plan_cache_hit
+    stats = engine.cache.stats
+    assert stats.hits >= 2  # one trendline hit + one plan hit on the repeat
+    _RESULTS[("cache", "hit_rate")] = stats.hit_rate
+
+
+def test_batch_amortization(benchmark):
+    table = suite_table("weather", max_visualizations=30, max_length=120)
+    queries = [parse(text) for text in SUITES["weather"].fuzzy_queries]
+
+    def one_at_a_time():
+        return [
+            ShapeSearchEngine().execute(table, PARAMS, query, k=10) for query in queries
+        ]
+
+    started = time.perf_counter()
+    individual = benchmark.pedantic(one_at_a_time, rounds=1, iterations=1)
+    _RESULTS[("batch", "individual")] = time.perf_counter() - started
+
+    engine = ShapeSearchEngine()
+    started = time.perf_counter()
+    batched = engine.execute_many(table, PARAMS, queries, k=10)
+    _RESULTS[("batch", "batched")] = time.perf_counter() - started
+
+    assert [_signature(r) for r in batched] == [_signature(r) for r in individual]
+
+
+def test_parallel_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if ("rank", "sequential") not in _RESULTS:
+        pytest.skip("parallel benchmarks did not run")
+    sequential = _RESULTS[("rank", "sequential")]
+    rows = []
+    for mode in ("sequential", "thread", "process"):
+        elapsed = _RESULTS[("rank", mode)]
+        rows.append(
+            [
+                mode,
+                1 if mode == "sequential" else WORKERS,
+                "{:.3f}s".format(elapsed),
+                "{:.2f}x".format(sequential / max(elapsed, 1e-9)),
+            ]
+        )
+    print_table(
+        "Parallel ranking: 50words suite, fuzzy query, k=10",
+        ["backend", "workers", "runtime", "speedup"],
+        rows,
+    )
+    print_table(
+        "Result caching: weather suite, repeated query",
+        ["cold", "warm", "warm/cold", "cache hit rate"],
+        [
+            [
+                "{:.3f}s".format(_RESULTS[("cache", "cold")]),
+                "{:.3f}s".format(_RESULTS[("cache", "warm")]),
+                "{:.2f}".format(
+                    _RESULTS[("cache", "warm")] / max(_RESULTS[("cache", "cold")], 1e-9)
+                ),
+                "{:.1%}".format(_RESULTS[("cache", "hit_rate")]),
+            ]
+        ],
+    )
+    print_table(
+        "Batch amortization: weather suite, {} fuzzy queries".format(
+            len(SUITES["weather"].fuzzy_queries)
+        ),
+        ["one at a time", "execute_many", "ratio"],
+        [
+            [
+                "{:.3f}s".format(_RESULTS[("batch", "individual")]),
+                "{:.3f}s".format(_RESULTS[("batch", "batched")]),
+                "{:.2f}".format(
+                    _RESULTS[("batch", "batched")]
+                    / max(_RESULTS[("batch", "individual")], 1e-9)
+                ),
+            ]
+        ],
+    )
+    # The warm path skips EXTRACT/GROUP and compilation entirely; even
+    # with ranking dominating it should never be meaningfully slower.
+    assert _RESULTS[("cache", "warm")] <= _RESULTS[("cache", "cold")] * 1.5

@@ -18,7 +18,9 @@ from repro.algebra.printer import to_regex
 from repro.api import ShapeSearch, parse_query
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
-from repro.engine.executor import Match, ShapeSearchEngine
+from repro.engine.cache import CacheStats, EngineCache, LRUCache
+from repro.engine.executor import ExecutionStats, Match, ShapeSearchEngine
+from repro.engine.parallel import ParallelEngine, WorkerPool
 from repro.engine.scoring import register_udp, temporary_udp, unregister_udp
 from repro.errors import (
     AmbiguityError,
@@ -41,6 +43,12 @@ __all__ = [
     "VisualParams",
     "Match",
     "ShapeSearchEngine",
+    "ParallelEngine",
+    "WorkerPool",
+    "EngineCache",
+    "LRUCache",
+    "CacheStats",
+    "ExecutionStats",
     "register_udp",
     "unregister_udp",
     "temporary_udp",

@@ -60,13 +60,34 @@ def parse_query(query: QueryLike, tagger: Optional[EntityTagger] = None) -> Node
 
 
 class ShapeSearch:
-    """An interactive exploration session over one table."""
+    """An interactive exploration session over one table.
+
+    ``workers``/``cache`` configure the default engine: ``workers`` > 1
+    shards candidate scoring across a pool (see
+    :mod:`repro.engine.parallel`), and ``cache=True`` keeps generated
+    trendlines and compiled plans across searches so repeated
+    interactive queries skip EXTRACT/GROUP entirely.  Both are ignored
+    when an explicit ``engine`` is passed.
+    """
 
     def __init__(self, table: Table, engine: Optional[ShapeSearchEngine] = None,
-                 tagger: Optional[EntityTagger] = None):
+                 tagger: Optional[EntityTagger] = None,
+                 workers: Optional[int] = 1, cache=None):
         self.table = table
-        self.engine = engine if engine is not None else ShapeSearchEngine()
+        self.engine = engine if engine is not None else ShapeSearchEngine(
+            workers=workers, cache=cache
+        )
         self.tagger = tagger
+
+    def close(self) -> None:
+        """Release the engine's worker pools (safe to call repeatedly)."""
+        self.engine.close()
+
+    def __enter__(self) -> "ShapeSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- loading ------------------------------------------------------------
     @classmethod
@@ -100,13 +121,43 @@ class ShapeSearch:
         filters: Sequence = (),
         aggregate: str = "mean",
         bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> List[Match]:
-        """Top-k visualizations matching the query (NL, regex, or AST)."""
+        """Top-k visualizations matching the query (NL, regex, or AST).
+
+        ``workers`` overrides the engine's worker count for this call
+        (results are identical for any worker count).
+        """
         node = parse_query(query, tagger=self.tagger)
         params = VisualParams(
             z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate, bin_width=bin_width
         )
-        return self.engine.execute(self.table, params, node, k=k)
+        return self.engine.execute(self.table, params, node, k=k, workers=workers)
+
+    def search_many(
+        self,
+        queries: Sequence[QueryLike],
+        z: str,
+        x: str,
+        y: str,
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
+    ) -> List[List[Match]]:
+        """Batch search: one result list per query, in order.
+
+        Compilation is amortized across the batch and EXTRACT/GROUP runs
+        once per distinct push-down effect (once total for all-fuzzy
+        batches), so issuing ten variations of a query costs little more
+        than issuing one.
+        """
+        nodes = [parse_query(query, tagger=self.tagger) for query in queries]
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate, bin_width=bin_width
+        )
+        return self.engine.execute_many(self.table, params, nodes, k=k, workers=workers)
 
     def search_sketch(
         self,

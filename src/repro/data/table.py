@@ -19,7 +19,12 @@ from repro.errors import DataError
 
 
 class Table:
-    """Immutable columnar table: column name -> numpy array."""
+    """Immutable columnar table: column name -> numpy array.
+
+    Columns are exposed as read-only views, so the immutability is
+    enforced, not just promised — the result cache fingerprints a table
+    once and relies on its contents never changing in place.
+    """
 
     def __init__(self, columns: Dict[str, np.ndarray]):
         if not columns:
@@ -27,7 +32,25 @@ class Table:
         lengths = {name: len(values) for name, values in columns.items()}
         if len(set(lengths.values())) != 1:
             raise DataError("column lengths differ: {}".format(lengths))
-        self._columns = {name: np.asarray(values) for name, values in columns.items()}
+        self._columns = {}
+        for name, values in columns.items():
+            # Private read-only storage: any input whose buffer a caller
+            # could still write through — a writable ndarray, a view, or
+            # an array wrapping an external buffer (memoryview, __array__
+            # providers) — is copied, so mutating the source can never
+            # reach the table and cached fingerprints can never go
+            # stale.  Fresh allocations (asarray of a plain sequence)
+            # and already-immutable arrays (columns of another Table)
+            # are shared without copying.
+            arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+            if (
+                arr.base is not None
+                or not arr.flags.owndata
+                or (isinstance(values, np.ndarray) and arr.flags.writeable)
+            ):
+                arr = arr.copy()
+            arr.setflags(write=False)
+            self._columns[name] = arr
         self._length = next(iter(lengths.values()))
 
     # -- construction -----------------------------------------------------
@@ -95,7 +118,15 @@ class Table:
     # -- relational operations ------------------------------------------------
     def take(self, indices: np.ndarray) -> "Table":
         """Row subset (by integer indices or boolean mask)."""
-        return Table({name: values[indices] for name, values in self._columns.items()})
+        columns = {}
+        for name, values in self._columns.items():
+            selected = values[indices]
+            if selected.base is None:
+                # Advanced indexing made a fresh private copy; lock it
+                # here so the constructor shares instead of re-copying.
+                selected.setflags(write=False)
+            columns[name] = selected
+        return Table(columns)
 
     def where(self, mask: np.ndarray) -> "Table":
         """Row subset by boolean mask."""
@@ -131,9 +162,12 @@ def _infer_array(values: Iterable) -> np.ndarray:
     """Numeric array when every value parses as float, else object array."""
     values = list(values)
     try:
-        return np.array([float(value) for value in values], dtype=float)
+        result = np.array([float(value) for value in values], dtype=float)
     except (TypeError, ValueError):
-        return np.array(values, dtype=object)
+        result = np.array(values, dtype=object)
+    # Freshly built and never exposed: lock it so Table shares it as-is.
+    result.setflags(write=False)
+    return result
 
 
 def _sortable(values: np.ndarray) -> np.ndarray:

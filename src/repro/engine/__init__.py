@@ -1,7 +1,9 @@
 """ShapeSearch execution engine (paper §5–§6)."""
 
+from repro.engine.cache import CacheStats, EngineCache, LRUCache
 from repro.engine.chains import Chain, ChainUnit, CompiledQuery, compile_query
 from repro.engine.executor import ALGORITHMS, ExecutionStats, Match, ShapeSearchEngine
+from repro.engine.parallel import BACKENDS, ParallelEngine, WorkerPool
 from repro.engine.statistics import PrefixStats, SummaryStats
 from repro.engine.trendline import Trendline, build_trendline
 
@@ -11,9 +13,15 @@ __all__ = [
     "CompiledQuery",
     "compile_query",
     "ALGORITHMS",
+    "BACKENDS",
     "ExecutionStats",
     "Match",
     "ShapeSearchEngine",
+    "ParallelEngine",
+    "WorkerPool",
+    "EngineCache",
+    "LRUCache",
+    "CacheStats",
     "PrefixStats",
     "SummaryStats",
     "Trendline",

@@ -1,0 +1,223 @@
+"""Result caching for interactive exploration sessions.
+
+ShapeSearch's workload is interactive: an analyst iterates on queries
+over the *same* table and visual parameters, so most of EXTRACT/GROUP
+and query compilation is repeated work.  This module provides the two
+caches the engine consults:
+
+* a **trendline cache** keyed on ``(table fingerprint, VisualParams,
+  normalize_y, plan key)`` — repeated searches over the same data skip
+  EXTRACT/GROUP entirely;
+* a **plan cache** keyed on the canonicalized query text (the printer's
+  regex dialect, so ``"up then down"`` in natural language and
+  ``"[p=up][p=down]"`` share one entry) — repeated queries skip
+  normalize/validate/flatten compilation.
+
+Both sit on a thread-safe :class:`LRUCache` with hit/miss accounting, so
+the benchmarks can report hit rates and sessions stay bounded in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache (reported by benchmarks)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self):
+        return "CacheStats(hits={}, misses={}, hit_rate={:.1%})".format(
+            self.hits, self.misses, self.hit_rate
+        )
+
+
+class LRUCache:
+    """A small thread-safe least-recently-used map with stats.
+
+    ``get`` promotes the entry to most-recently-used; ``put`` evicts the
+    oldest entry once ``capacity`` is exceeded.  All operations take an
+    internal lock so concurrent searches on one session are safe.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1, got {}".format(capacity))
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key`` (counted as hit/miss), or ``default``."""
+        with self._lock:
+            value = self._entries.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def table_fingerprint(table: Table) -> str:
+    """A content digest of a table, stable across processes.
+
+    Tables expose read-only columns, so the digest is computed once and
+    memoized on the instance (in-place mutation raises rather than
+    staleing the memo).  Column names, dtypes and raw bytes all
+    contribute: a table built with a renamed column, a changed value, or
+    reordered rows gets a different fingerprint and misses the cache.
+    """
+    cached = getattr(table, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha1()
+    for name in table.column_names:
+        values = table.column(name)
+        digest.update(name.encode("utf-8"))
+        digest.update(str(values.dtype).encode("utf-8"))
+        if values.dtype == object:
+            for value in values.tolist():
+                digest.update(repr(value).encode("utf-8"))
+        else:
+            digest.update(values.tobytes())
+    fingerprint = digest.hexdigest()
+    try:
+        table._fingerprint = fingerprint
+    except AttributeError:  # __slots__-style tables: just recompute
+        pass
+    return fingerprint
+
+
+def canonical_query_text(node) -> str:
+    """The canonicalized regex form used as the plan-cache key.
+
+    Every front-end (natural language, regex dialect, sketch) reduces to
+    one ShapeQuery AST; printing it in the canonical dialect gives a key
+    under which equivalent phrasings share one compiled plan.
+    """
+    from repro.algebra.printer import to_regex
+
+    return to_regex(node)
+
+
+def trendline_cache_key(
+    table: Table,
+    params: VisualParams,
+    normalize_y: bool,
+    plan_key: Optional[Tuple] = None,
+) -> Tuple:
+    """Cache key for one generated trendline collection.
+
+    ``plan_key`` captures any push-down effects on generation (required
+    spans / keep span); it is ``None`` for the common fuzzy-query case,
+    so all fuzzy queries over the same data share one entry.
+    """
+    return (table_fingerprint(table), params, bool(normalize_y), plan_key)
+
+
+def plan_fingerprint(plan) -> Optional[Tuple]:
+    """Key of a push-down plan's generation-visible effects (or None).
+
+    Only ``required_spans`` and ``keep_span`` change what EXTRACT/GROUP
+    produce; plans without them generate identical trendlines and map to
+    the shared ``None`` key.
+    """
+    if plan is None:
+        return None
+    required = tuple(plan.required_spans) if plan.required_spans else ()
+    keep = tuple(plan.keep_span) if plan.keep_span is not None else None
+    if not required and keep is None:
+        return None
+    return (required, keep)
+
+
+@dataclass
+class EngineCache:
+    """The engine-level cache pair: generated trendlines + compiled plans.
+
+    Pass ``cache=EngineCache()`` (or simply ``cache=True``) to
+    :class:`~repro.engine.executor.ShapeSearchEngine` /
+    :class:`~repro.api.ShapeSearch`; share one instance across engines to
+    share the cached work.
+    """
+
+    trendlines: LRUCache = field(default_factory=lambda: LRUCache(capacity=32))
+    plans: LRUCache = field(default_factory=lambda: LRUCache(capacity=256))
+
+    @classmethod
+    def with_capacity(cls, trendlines: int = 32, plans: int = 256) -> "EngineCache":
+        return cls(
+            trendlines=LRUCache(capacity=trendlines), plans=LRUCache(capacity=plans)
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        """Combined hit/miss accounting across both caches."""
+        combined = CacheStats(
+            hits=self.trendlines.stats.hits + self.plans.stats.hits,
+            misses=self.trendlines.stats.misses + self.plans.stats.misses,
+            evictions=self.trendlines.stats.evictions + self.plans.stats.evictions,
+        )
+        return combined
+
+    def clear(self) -> None:
+        self.trendlines.clear()
+        self.plans.clear()
+
+
+def coerce_cache(cache) -> Optional[EngineCache]:
+    """Normalize the ``cache=`` option: None/False off, True fresh, or own."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return EngineCache()
+    if isinstance(cache, EngineCache):
+        return cache
+    raise TypeError(
+        "cache must be None, a bool, or an EngineCache, got {!r}".format(type(cache))
+    )

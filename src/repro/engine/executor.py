@@ -10,37 +10,44 @@ matches.  Algorithms:
 * ``"segment-tree"`` — pattern-aware, O(nk⁴) (§6.2), the default;
 * ``"greedy"`` — local-search baseline (§9);
 * ``"exhaustive"`` — the brute-force oracle (tests/small data only).
+
+Scaling knobs (beyond the paper): ``workers=`` shards the candidate
+collection across a :class:`~repro.engine.parallel.WorkerPool` and
+merges per-shard top-k heaps, and ``cache=`` plugs in an
+:class:`~repro.engine.cache.EngineCache` so repeated interactive queries
+skip EXTRACT/GROUP and query compilation entirely.  Top-k selection uses
+the total order *(score desc, candidate position asc)* so results are
+identical for any worker count.
 """
 
 from __future__ import annotations
 
-import heapq
+import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.nodes import Node
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
+from repro.engine.cache import (
+    EngineCache,
+    canonical_query_text,
+    coerce_cache,
+    plan_fingerprint,
+    trendline_cache_key,
+)
 from repro.engine.chains import CompiledQuery, compile_query
-from repro.engine.dynamic import QueryResult, solve_query
-from repro.engine.exhaustive import exhaustive_solve_query
-from repro.engine.greedy import greedy_run_solver
+from repro.engine.dynamic import QueryResult
 from repro.engine.pipeline import generate_trendlines
 from repro.engine.pruning import PruningReport, is_prunable, prune_and_rank
-from repro.engine.pushdown import eager_discard, plan_pushdown
-from repro.engine.segment_tree import segment_tree_run_solver
+from repro.engine.pushdown import plan_pushdown
 from repro.engine.trendline import Trendline
 from repro.errors import ExecutionError
 
-#: Supported segmentation algorithms.
+#: Supported segmentation algorithms (dispatch lives in
+#: :data:`repro.engine.parallel.RUN_SOLVERS`, the single table shared by
+#: the sequential, sharded and score_one paths).
 ALGORITHMS = ("dp", "segment-tree", "greedy", "exhaustive")
-
-#: Run solvers plugged into :func:`repro.engine.dynamic.solve_chain`.
-_RUN_SOLVERS = {
-    "dp": None,  # dynamic's own DP
-    "segment-tree": segment_tree_run_solver,
-    "greedy": greedy_run_solver,
-}
 
 
 @dataclass
@@ -63,12 +70,21 @@ class Match:
 
 @dataclass
 class ExecutionStats:
-    """What the engine did for one query (inspected by benchmarks)."""
+    """What the engine did for one query (inspected by benchmarks).
+
+    Stats are built per call and returned by
+    :meth:`ShapeSearchEngine.rank_with_stats`; the engine's
+    ``last_stats`` attribute only ever holds a *completed* snapshot, so
+    concurrent calls on one engine never observe each other's counters.
+    """
 
     candidates: int = 0
     extracted: int = 0
     eager_discarded: int = 0
     scored: int = 0
+    shards: int = 0
+    trendline_cache_hit: bool = False
+    plan_cache_hit: bool = False
     pruning: Optional[PruningReport] = None
 
 
@@ -82,6 +98,10 @@ class ShapeSearchEngine:
         enable_pruning: bool = False,
         sample_size: int = 20,
         sample_points: int = 64,
+        workers: int = 1,
+        backend: str = "thread",
+        chunk_size: Optional[int] = None,
+        cache=None,
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
@@ -92,7 +112,61 @@ class ShapeSearchEngine:
         self.enable_pruning = enable_pruning
         self.sample_size = sample_size
         self.sample_points = sample_points
+        self.workers = self._check_workers(workers)
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.cache: Optional[EngineCache] = coerce_cache(cache)
         self.last_stats = ExecutionStats()
+        self._pools: dict = {}
+        self._pool_lock = threading.Lock()
+        if backend not in ("thread", "process"):
+            raise ExecutionError(
+                "unknown backend {!r}; choose from ('thread', 'process')".format(backend)
+            )
+
+    @staticmethod
+    def _check_workers(workers) -> int:
+        if workers is None:
+            from repro.engine.parallel import default_workers
+
+            return default_workers()
+        workers = int(workers)
+        if workers < 1:
+            raise ExecutionError("workers must be >= 1, got {}".format(workers))
+        return workers
+
+    # -- worker pool -------------------------------------------------------
+    def _resolve_pool(self, workers: Optional[int]):
+        """A persistent pool for the requested worker count.
+
+        Pools are memoized per count so repeated per-call ``workers=``
+        overrides (interactive sessions flipping between sequential and
+        parallel) reuse warm pools instead of spawning and tearing one
+        down per query — which for the process backend would dominate
+        interactive latency.
+        """
+        from repro.engine.parallel import WorkerPool
+
+        count = self.workers if workers is None else self._check_workers(workers)
+        with self._pool_lock:
+            pool = self._pools.get(count)
+            if pool is None:
+                pool = WorkerPool(count, self.backend)
+                self._pools[count] = pool
+            return pool
+
+    def close(self) -> None:
+        """Shut down all worker pools (no-op when none was created)."""
+        with self._pool_lock:
+            pools, self._pools = list(self._pools.values()), {}
+        for pool in pools:
+            pool.shutdown()
+
+    def __enter__(self) -> "ShapeSearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- full pipeline -----------------------------------------------------
     def execute(
@@ -101,13 +175,89 @@ class ShapeSearchEngine:
         params: VisualParams,
         query: Union[Node, CompiledQuery],
         k: int = 10,
+        workers: Optional[int] = None,
     ) -> List[Match]:
         """EXTRACT → GROUP → SEGMENT → SCORE → top-k."""
-        compiled = self._compile(query)
+        matches, stats = self.execute_with_stats(table, params, query, k, workers=workers)
+        self.last_stats = stats
+        return matches
+
+    def execute_with_stats(
+        self,
+        table: Table,
+        params: VisualParams,
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[Match], ExecutionStats]:
+        """Like :meth:`execute`, returning this call's private stats."""
+        stats = ExecutionStats()
+        compiled = self._compile(query, stats)
         plan = plan_pushdown(compiled) if self.enable_pushdown else None
         normalize_y = not _query_constrains_y(compiled)
-        trendlines = generate_trendlines(table, params, normalize_y, plan)
-        return self.rank(trendlines, compiled, k, extracted_hint=len(trendlines))
+        trendlines = self._trendlines(table, params, normalize_y, plan, stats)
+        stats.extracted = len(trendlines)
+        matches = self._rank_into(trendlines, compiled, k, stats, workers=workers, plan=plan)
+        return matches, stats
+
+    def execute_many(
+        self,
+        table: Table,
+        params: VisualParams,
+        queries: Sequence[Union[Node, CompiledQuery]],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> List[List[Match]]:
+        """Batch execution: amortize compilation and EXTRACT/GROUP.
+
+        See :meth:`execute_many_with_stats` for the per-query counters.
+        """
+        results, stats_list = self.execute_many_with_stats(
+            table, params, queries, k, workers=workers
+        )
+        if stats_list:
+            self.last_stats = stats_list[-1]
+        return results
+
+    def execute_many_with_stats(
+        self,
+        table: Table,
+        params: VisualParams,
+        queries: Sequence[Union[Node, CompiledQuery]],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Match]], List[ExecutionStats]]:
+        """Batch execution with one private :class:`ExecutionStats` per query.
+
+        All queries are compiled first (through the plan cache when one
+        is configured), then trendline generation runs once per distinct
+        ``(normalize_y, push-down effect)`` combination — for the common
+        all-fuzzy batch that is a single EXTRACT/GROUP pass shared by
+        every query.  A query that reused the batch's earlier generation
+        work reports ``trendline_cache_hit=True``.
+        """
+        stats_list: List[ExecutionStats] = [ExecutionStats() for _ in queries]
+        compiled_list = [
+            self._compile(query, stats) for query, stats in zip(queries, stats_list)
+        ]
+        generated: dict = {}
+        results: List[List[Match]] = []
+        for compiled, stats in zip(compiled_list, stats_list):
+            plan = plan_pushdown(compiled) if self.enable_pushdown else None
+            normalize_y = not _query_constrains_y(compiled)
+            memo_key = (normalize_y, plan_fingerprint(plan))
+            if memo_key in generated:
+                stats.trendline_cache_hit = True
+            else:
+                generated[memo_key] = self._trendlines(
+                    table, params, normalize_y, plan, stats
+                )
+            trendlines = generated[memo_key]
+            stats.extracted = len(trendlines)
+            results.append(
+                self._rank_into(trendlines, compiled, k, stats, workers=workers, plan=plan)
+            )
+        return results, stats_list
 
     # -- core ranking --------------------------------------------------------
     def rank(
@@ -116,20 +266,63 @@ class ShapeSearchEngine:
         query: Union[Node, CompiledQuery],
         k: int = 10,
         extracted_hint: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> List[Match]:
         """Rank pre-built trendlines against a query."""
-        compiled = self._compile(query)
-        stats = ExecutionStats(
-            candidates=len(trendlines),
-            extracted=extracted_hint if extracted_hint is not None else len(trendlines),
+        matches, stats = self.rank_with_stats(
+            trendlines, query, k, extracted_hint=extracted_hint, workers=workers
         )
         self.last_stats = stats
+        return matches
 
-        if (
+    def rank_with_stats(
+        self,
+        trendlines: Sequence[Trendline],
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        extracted_hint: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[Match], ExecutionStats]:
+        """Rank with per-call stats (safe under concurrent use)."""
+        stats = ExecutionStats()
+        compiled = self._compile(query, stats)
+        stats.extracted = extracted_hint if extracted_hint is not None else len(trendlines)
+        matches = self._rank_into(trendlines, compiled, k, stats, workers=workers)
+        return matches, stats
+
+    def _rank_into(
+        self,
+        trendlines: Sequence[Trendline],
+        compiled: CompiledQuery,
+        k: int,
+        stats: ExecutionStats,
+        workers: Optional[int] = None,
+        plan=None,
+    ) -> List[Match]:
+        """Rank ``trendlines`` into ``stats``, returning the matches.
+
+        ``plan`` is the already-derived push-down plan when the caller
+        has one (the execute paths); the rank paths derive it here, once
+        per call rather than once per shard.
+        """
+        stats.candidates = len(trendlines)
+
+        effective_workers = self.workers if workers is None else self._check_workers(workers)
+        use_pruning = (
             self.enable_pruning
             and self.algorithm == "segment-tree"
             and is_prunable(compiled)
-        ):
+        )
+        if plan is None and self.enable_pushdown:
+            plan = plan_pushdown(compiled)
+        has_eager_checks = plan.has_eager_checks if plan is not None else False
+
+        if effective_workers > 1:
+            return self._rank_parallel(
+                trendlines, compiled, k, stats, workers, use_pruning, has_eager_checks
+            )
+
+        if use_pruning:
             report = PruningReport()
             ranked = prune_and_rank(
                 list(trendlines),
@@ -141,30 +334,68 @@ class ShapeSearchEngine:
             )
             stats.pruning = report
             stats.scored = report.completed
-            return [
-                Match(key=tl.key, score=result.score, result=result, trendline=tl)
-                for tl, result in ranked
-            ]
+            return _to_matches(
+                [
+                    (result.score, index, trendline, result)
+                    for index, (trendline, result) in enumerate(ranked)
+                ]
+            )
 
-        heap: List[tuple] = []
-        counter = 0
-        for trendline in trendlines:
-            if self.enable_pushdown and eager_discard(trendline, compiled):
-                stats.eager_discarded += 1
-                continue
-            result = self._solve(trendline, compiled)
-            stats.scored += 1
-            counter += 1
-            item = (result.score, counter, trendline, result)
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif item[0] > heap[0][0]:
-                heapq.heapreplace(heap, item)
-        ranked = sorted(heap, key=lambda item: (-item[0], str(item[2].key)))
-        return [
-            Match(key=tl.key, score=score, result=result, trendline=tl)
-            for score, _, tl, result in ranked
-        ]
+        # The sequential path is one shard covering the whole collection —
+        # the same loop and total order as parallel execution, so
+        # ``workers=1`` and ``workers=N`` cannot drift apart.
+        from repro.engine.parallel import score_shard
+
+        shard = score_shard(
+            trendlines,
+            0,
+            compiled,
+            k,
+            algorithm=self.algorithm,
+            enable_pushdown=self.enable_pushdown,
+            has_eager_checks=has_eager_checks,
+        )
+        stats.scored += shard.scored
+        stats.eager_discarded += shard.eager_discarded
+        return _to_matches(shard.items)
+
+    def _rank_parallel(
+        self,
+        trendlines: Sequence[Trendline],
+        compiled: CompiledQuery,
+        k: int,
+        stats: ExecutionStats,
+        workers: Optional[int],
+        use_pruning: bool,
+        has_eager_checks: bool,
+    ) -> List[Match]:
+        from repro.engine.parallel import parallel_prune_items, parallel_rank_items
+
+        pool = self._resolve_pool(workers)
+        if use_pruning:
+            items = parallel_prune_items(
+                trendlines,
+                compiled,
+                k,
+                pool,
+                sample_size=self.sample_size,
+                sample_points=self.sample_points,
+                chunk_size=self.chunk_size,
+                stats=stats,
+            )
+        else:
+            items = parallel_rank_items(
+                trendlines,
+                compiled,
+                k,
+                pool,
+                algorithm=self.algorithm,
+                enable_pushdown=self.enable_pushdown,
+                chunk_size=self.chunk_size,
+                stats=stats,
+                has_eager_checks=has_eager_checks,
+            )
+        return _to_matches(items)
 
     def score_one(
         self, trendline: Trendline, query: Union[Node, CompiledQuery]
@@ -173,17 +404,65 @@ class ShapeSearchEngine:
         return self._solve(trendline, self._compile(query))
 
     # -- internals --------------------------------------------------------------
-    def _compile(self, query: Union[Node, CompiledQuery]) -> CompiledQuery:
+    def _compile(
+        self, query: Union[Node, CompiledQuery], stats: Optional[ExecutionStats] = None
+    ) -> CompiledQuery:
         if isinstance(query, CompiledQuery):
             return query
         if isinstance(query, Node):
+            if self.cache is not None:
+                key = canonical_query_text(query)
+                compiled = self.cache.plans.get(key)
+                if compiled is not None:
+                    if stats is not None:
+                        stats.plan_cache_hit = True
+                    return compiled
+                compiled = compile_query(query)
+                self.cache.plans.put(key, compiled)
+                return compiled
             return compile_query(query)
         raise ExecutionError("query must be a ShapeQuery AST or CompiledQuery")
 
+    def _trendlines(
+        self,
+        table: Table,
+        params: VisualParams,
+        normalize_y: bool,
+        plan,
+        stats: ExecutionStats,
+    ) -> List[Trendline]:
+        """EXTRACT ∘ GROUP, through the trendline cache when configured."""
+        if self.cache is None:
+            return generate_trendlines(table, params, normalize_y, plan)
+        key = trendline_cache_key(table, params, normalize_y, plan_fingerprint(plan))
+        trendlines = self.cache.trendlines.get(key)
+        if trendlines is not None:
+            stats.trendline_cache_hit = True
+            return trendlines
+        trendlines = generate_trendlines(table, params, normalize_y, plan)
+        self.cache.trendlines.put(key, trendlines)
+        return trendlines
+
     def _solve(self, trendline: Trendline, compiled: CompiledQuery) -> QueryResult:
-        if self.algorithm == "exhaustive":
-            return exhaustive_solve_query(trendline, compiled)
-        return solve_query(trendline, compiled, run_solver=_RUN_SOLVERS[self.algorithm])
+        from repro.engine.parallel import solve_one
+
+        return solve_one(trendline, compiled, self.algorithm)
+
+
+def _to_matches(items) -> List[Match]:
+    """Present ranked ``(score, position, trendline, result)`` items as
+    Matches in (score desc, str(key) asc) order.
+
+    Every engine path — sequential, sharded, pruned — builds its final
+    Match list here, so the presentation tie-break cannot drift between
+    paths.  (The *selection* orders live upstream: (score, position) in
+    the shard heaps/merge, (score, key) inside the pruning drivers.)
+    """
+    ranked = sorted(items, key=lambda item: (-item[0], str(item[2].key)))
+    return [
+        Match(key=trendline.key, score=score, result=result, trendline=trendline)
+        for score, _, trendline, result in ranked
+    ]
 
 
 def _query_constrains_y(query: CompiledQuery) -> bool:

@@ -1,0 +1,355 @@
+"""Parallel batch execution: shard candidates across a worker pool.
+
+The SEGMENT + SCORE loop of :class:`~repro.engine.executor.ShapeSearchEngine`
+is embarrassingly parallel across candidate visualizations: each
+trendline is scored independently and only the top-k survive.  This
+module shards a candidate collection into chunks, scores each chunk on a
+``concurrent.futures`` pool (thread or process backend), and merges the
+per-shard top-k heaps deterministically.
+
+Determinism contract: every candidate carries its global position in
+the input collection, shards keep their local top-k under the total
+order *(score desc, position asc)*, and the merge re-applies the same
+order — so ``workers=N`` returns byte-identical results to ``workers=1``
+for any N and any chunk size, including exact score ties.
+
+Backend notes: the ``"thread"`` backend is the safe default (shared
+memory, custom UDPs visible, modest speedup since the inner numpy
+kernels release the GIL only briefly); the ``"process"`` backend gives
+real multi-core scaling for large collections at the cost of pickling
+the shards (on platforms with ``fork`` start, custom UDPs registered
+before the first search are inherited by the workers).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.chains import CompiledQuery
+from repro.engine.dynamic import QueryResult, solve_query
+from repro.engine.exhaustive import exhaustive_solve_query
+from repro.engine.greedy import greedy_run_solver
+from repro.engine.pruning import PruningReport, prune_and_rank
+from repro.engine.pushdown import eager_upper_bound, plan_pushdown
+from repro.engine.segment_tree import segment_tree_run_solver
+from repro.engine.trendline import Trendline
+from repro.errors import ExecutionError
+
+#: Supported worker-pool backends.
+BACKENDS = ("thread", "process")
+
+#: Shards per worker when no explicit chunk size is given — a few chunks
+#: per worker lets the pool balance uneven shard costs.
+_CHUNKS_PER_WORKER = 4
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers=None``: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ShardResult:
+    """One shard's local top-k plus its slice of the execution counters.
+
+    ``items`` hold ``(score, global position, trendline, result)`` so the
+    merge can re-establish the global candidate order; the counters are
+    summed into the caller's :class:`ExecutionStats` — per-shard stats
+    are never shared, which is what makes concurrent execution safe.
+    """
+
+    items: List[Tuple[float, int, Trendline, QueryResult]] = field(default_factory=list)
+    scored: int = 0
+    eager_discarded: int = 0
+    pruning: Optional[PruningReport] = None
+
+
+#: Run solvers by algorithm name — the single dispatch table; the
+#: executor's sequential and score_one paths route through solve_one too.
+RUN_SOLVERS = {
+    "dp": None,  # dynamic's own DP
+    "segment-tree": segment_tree_run_solver,
+    "greedy": greedy_run_solver,
+}
+
+
+def solve_one(trendline: Trendline, query: CompiledQuery, algorithm: str) -> QueryResult:
+    """Score one candidate with the named algorithm."""
+    if algorithm == "exhaustive":
+        return exhaustive_solve_query(trendline, query)
+    return solve_query(trendline, query, run_solver=RUN_SOLVERS[algorithm])
+
+
+def score_shard(
+    trendlines: Sequence[Trendline],
+    base_position: int,
+    query: CompiledQuery,
+    k: int,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    has_eager_checks: Optional[bool] = None,
+) -> ShardResult:
+    """Score one shard and keep its local top-k.
+
+    The local heap uses the same total order as the merge —
+    *(score desc, global position asc)* — so a candidate in the global
+    top-k is always in its shard's local top-k, and ties at the boundary
+    resolve identically no matter how candidates were sharded.
+
+    Eager discarding (push-down (b)) tests the candidate's optimistic
+    bound against the *shard-local* top-k floor — still exact (a shard
+    hands over a strict superset of its global-top-k members), though
+    the ``eager_discarded`` counter can differ across worker counts
+    since each shard's floor tightens independently.
+    """
+    shard = ShardResult()
+    if has_eager_checks is None:
+        has_eager_checks = enable_pushdown and plan_pushdown(query).has_eager_checks
+    check_eager = enable_pushdown and has_eager_checks
+    heap: List[tuple] = []  # min-heap on (score, -position): worst kept item on top
+    for offset, trendline in enumerate(trendlines):
+        position = base_position + offset
+        if (
+            check_eager
+            and len(heap) == k
+            and eager_upper_bound(trendline, query) <= heap[0][0]
+        ):
+            shard.eager_discarded += 1
+            continue
+        result = solve_one(trendline, query, algorithm)
+        shard.scored += 1
+        item = (result.score, -position, trendline, result)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item[:2] > heap[0][:2]:
+            heapq.heapreplace(heap, item)
+    shard.items = [
+        (score, -neg_position, trendline, result)
+        for score, neg_position, trendline, result in heap
+    ]
+    return shard
+
+
+def prune_shard(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int,
+    sample_size: int,
+    sample_points: int,
+) -> ShardResult:
+    """Run the two-stage collective pruning driver on one shard.
+
+    Pruning is exact (candidates are discarded only when their upper
+    bound is provably below the shard's top-k floor), so each shard's
+    top-k is a superset of its contribution to the global top-k and the
+    merge stays correct.
+    """
+    report = PruningReport()
+    ranked = prune_and_rank(
+        list(trendlines),
+        query,
+        k,
+        sample_size=sample_size,
+        sample_points=sample_points,
+        report=report,
+    )
+    shard = ShardResult(pruning=report, scored=report.completed)
+    shard.items = [
+        (result.score, position, trendline, result)
+        for position, (trendline, result) in enumerate(ranked)
+    ]
+    return shard
+
+
+def merge_shard_results(
+    shards: Sequence[ShardResult], k: int
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Global top-k from per-shard top-k heaps, under the shared order."""
+    merged = [item for shard in shards for item in shard.items]
+    merged.sort(key=lambda item: (-item[0], item[1]))
+    return merged[:k]
+
+
+def make_chunks(
+    trendlines: Sequence[Trendline], workers: int, chunk_size: Optional[int] = None
+) -> List[Tuple[int, Sequence[Trendline]]]:
+    """Split candidates into ``(base position, chunk)`` shards."""
+    count = len(trendlines)
+    if count == 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-count // (workers * _CHUNKS_PER_WORKER)))
+    if chunk_size < 1:
+        raise ExecutionError("chunk_size must be >= 1, got {}".format(chunk_size))
+    return [
+        (start, trendlines[start : start + chunk_size])
+        for start in range(0, count, chunk_size)
+    ]
+
+
+class WorkerPool:
+    """A lazily created, reusable ``concurrent.futures`` pool."""
+
+    def __init__(self, workers: Optional[int] = None, backend: str = "thread"):
+        if backend not in BACKENDS:
+            raise ExecutionError(
+                "unknown backend {!r}; choose from {}".format(backend, BACKENDS)
+            )
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ExecutionError("workers must be >= 1, got {}".format(self.workers))
+        self.backend = backend
+        self._pool = None
+        self._lock = threading.Lock()
+
+    def _ensure(self):
+        with self._lock:
+            if self._pool is None:
+                if self.backend == "process":
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                else:
+                    self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def map(self, fn, *iterables) -> List:
+        """Apply ``fn`` across iterables, inline when ``workers == 1``."""
+        if self.workers == 1:
+            return [fn(*args) for args in zip(*iterables)]
+        return list(self._ensure().map(fn, *iterables))
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def parallel_rank_items(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int,
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    chunk_size: Optional[int] = None,
+    stats=None,
+    has_eager_checks: Optional[bool] = None,
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Shard, score and merge: the parallel SEGMENT+SCORE inner loop.
+
+    Returns the global top-k items; ``stats`` (an ``ExecutionStats``)
+    receives the aggregated shard counters when provided.
+    """
+    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
+    if has_eager_checks is None:
+        has_eager_checks = enable_pushdown and plan_pushdown(query).has_eager_checks
+    shards = pool.map(
+        score_shard,
+        [chunk for _base, chunk in chunks],
+        [base for base, _chunk in chunks],
+        [query] * len(chunks),
+        [k] * len(chunks),
+        [algorithm] * len(chunks),
+        [enable_pushdown] * len(chunks),
+        [has_eager_checks] * len(chunks),
+    )
+    if stats is not None:
+        stats.shards = len(chunks)
+        for shard in shards:
+            stats.scored += shard.scored
+            stats.eager_discarded += shard.eager_discarded
+    return merge_shard_results(shards, k)
+
+
+def parallel_prune_items(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int,
+    pool: WorkerPool,
+    sample_size: int = 20,
+    sample_points: int = 64,
+    chunk_size: Optional[int] = None,
+    stats=None,
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Shard the collective-pruning driver and merge the exact top-k."""
+    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
+    shards = pool.map(
+        prune_shard,
+        [chunk for _base, chunk in chunks],
+        [query] * len(chunks),
+        [k] * len(chunks),
+        [sample_size] * len(chunks),
+        [sample_points] * len(chunks),
+    )
+    report = PruningReport()
+    for shard in shards:
+        if shard.pruning is not None:
+            report.candidates += shard.pruning.candidates
+            report.sampled += shard.pruning.sampled
+            report.pruned += shard.pruning.pruned
+            report.completed += shard.pruning.completed
+            report.rounds = max(report.rounds, shard.pruning.rounds)
+    if stats is not None:
+        stats.shards = len(chunks)
+        stats.pruning = report
+        stats.scored = report.completed
+    # The pruning path ranks by (score desc, key asc) — keep that order.
+    merged = [item for shard in shards for item in shard.items]
+    merged.sort(key=lambda item: (-item[0], str(item[2].key)))
+    return merged[:k]
+
+
+from repro.engine.executor import ShapeSearchEngine  # noqa: E402  (after helpers)
+
+
+class ParallelEngine(ShapeSearchEngine):
+    """A :class:`ShapeSearchEngine` configured for parallel, cached batches.
+
+    Defaults differ from the base engine where scale wants them to:
+    ``workers=None`` resolves to one worker per core, and ``cache=True``
+    turns on the trendline/plan caches so interactive sessions skip
+    repeated EXTRACT/GROUP and compilation.  Everything else — the
+    algorithms, push-down, pruning, the batch :meth:`execute_many` API —
+    is inherited.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    worker pool deterministically::
+
+        with ParallelEngine(workers=8, backend="process") as engine:
+            matches = engine.execute(table, params, query, k=10)
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "segment-tree",
+        enable_pushdown: bool = True,
+        enable_pruning: bool = False,
+        sample_size: int = 20,
+        sample_points: int = 64,
+        workers: Optional[int] = None,
+        backend: str = "thread",
+        chunk_size: Optional[int] = None,
+        cache=True,
+    ):
+        super().__init__(
+            algorithm=algorithm,
+            enable_pushdown=enable_pushdown,
+            enable_pruning=enable_pruning,
+            sample_size=sample_size,
+            sample_points=sample_points,
+            workers=workers,
+            backend=backend,
+            chunk_size=chunk_size,
+            cache=cache,
+        )

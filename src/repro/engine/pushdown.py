@@ -72,12 +72,19 @@ def has_required_data(x_values: np.ndarray, spans: List[Tuple[float, float]]) ->
 
 
 def eager_discard(trendline: Trendline, query: CompiledQuery) -> bool:
-    """Push-down (b): can this visualization be discarded before segmentation?
+    """Push-down (b): the paper's eager pinned-pattern predicate.
 
     A chain *fails* when one of its pinned up/down segments scores
     negative at its pinned bins; the visualization is discarded only if
     every alternative chain fails (chains without pinned directional
     segments never fail here).
+
+    .. note:: As a hard filter this can produce top-k *false negatives*
+       (a candidate with one contradicted pinned segment may still
+       out-score the k-th best candidate overall), so the execution
+       engine instead uses :func:`eager_upper_bound` against its running
+       top-k floor — same early exit, provably exact.  This predicate is
+       kept as the paper-faithful formulation.
     """
     any_chain_viable = False
     for chain in query.chains:
@@ -96,3 +103,45 @@ def eager_discard(trendline: Trendline, query: CompiledQuery) -> bool:
             any_chain_viable = True
             break
     return not any_chain_viable
+
+
+def eager_upper_bound(trendline: Trendline, query: CompiledQuery) -> float:
+    """Optimistic score bound from pinned directional segments (exact (b)).
+
+    Every pinned up/down SlopeUnit's final placement is fixed at its
+    ``resolve_pins`` bins, so its exact contribution is known before any
+    fuzzy segmentation runs; every other unit in a chain of statically
+    bounded unit types (slope/line scores never exceed 1.0) contributes
+    at most its weight.  The query bound is the max over chains.  Chains
+    containing unit types without a static bound (UDPs, windows, AND
+    groups, ...) yield ``inf`` — never discarded on their account.
+
+    The caller discards a candidate only when this bound cannot beat its
+    current top-k floor, which preserves the exact top-k: unlike
+    :func:`eager_discard`, a contradicted pinned segment alone is not
+    disqualifying.
+    """
+    from repro.engine.units import LineUnit
+
+    best = -float("inf")
+    any_pinned_directional = False
+    for chain in query.chains:
+        if not all(isinstance(cu.unit, (SlopeUnit, LineUnit)) for cu in chain.units):
+            return float("inf")
+        chain_bound = 0.0
+        for cu in chain.units:
+            unit = cu.unit
+            if (
+                isinstance(unit, SlopeUnit)
+                and unit.kind in ("up", "down")
+                and unit.location.is_x_pinned
+            ):
+                any_pinned_directional = True
+                start, end = unit.resolve_pins(trendline)
+                chain_bound += cu.weight * min(1.0, unit.score(trendline, start, end))
+            else:
+                chain_bound += cu.weight
+        best = max(best, chain_bound)
+    if not any_pinned_directional:
+        return float("inf")
+    return best

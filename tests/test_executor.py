@@ -115,11 +115,18 @@ class TestExecute:
         assert matches[0].trendline.y_std == 1.0
 
     def test_eager_discard_stats(self):
+        # Floor-aware eager discard: with k=1 the heap fills after the
+        # first candidate and the contradicted falling trendline "b"
+        # (pinned 'up' scores negative) can be skipped without solving.
         engine = ShapeSearchEngine()
         params = VisualParams(z="z", x="x", y="y")
         tree = q.concat(q.up(x_start=0, x_end=14), q.down())
-        engine.execute(self._table(), params, tree, k=3)
+        engine.execute(self._table(), params, tree, k=1)
         assert engine.last_stats.eager_discarded >= 1
+        assert (
+            engine.last_stats.scored + engine.last_stats.eager_discarded
+            == engine.last_stats.candidates
+        )
 
     def test_pushdown_toggle(self):
         plain = ShapeSearchEngine(enable_pushdown=False)
@@ -133,3 +140,49 @@ class TestExecute:
 class TestAlgorithmsConstant:
     def test_algorithm_list(self):
         assert set(ALGORITHMS) == {"dp", "segment-tree", "greedy", "exhaustive"}
+
+
+class TestStatsIsolation:
+    """Stats are per-call: concurrent ranks can't see each other's counters."""
+
+    def test_rank_with_stats_returns_private_stats(self):
+        engine = ShapeSearchEngine()
+        collection = _collection()
+        _, stats_a = engine.rank_with_stats(collection, QUERY, k=2)
+        _, stats_b = engine.rank_with_stats(collection[:3], QUERY, k=2)
+        assert stats_a.candidates == 5 and stats_a.scored == 5
+        assert stats_b.candidates == 3 and stats_b.scored == 3
+        # The first call's stats object was not mutated by the second.
+        assert stats_a is not stats_b
+        assert stats_a.scored == 5
+
+    def test_concurrent_ranks_do_not_share_counters(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = ShapeSearchEngine()
+        small = _collection()[:2]
+        large = _collection()
+
+        def run(trendlines):
+            _, stats = engine.rank_with_stats(trendlines, QUERY, k=2)
+            return len(trendlines), stats
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(run, small if index % 2 == 0 else large)
+                for index in range(12)
+            ]
+            for future in futures:
+                expected, stats = future.result()
+                assert stats.candidates == expected
+                assert stats.scored == expected
+
+    def test_last_stats_is_completed_snapshot(self):
+        engine = ShapeSearchEngine()
+        engine.rank(_collection(), QUERY, k=2)
+        snapshot = engine.last_stats
+        assert snapshot.candidates == 5 and snapshot.scored == 5
+        engine.rank(_collection()[:3], QUERY, k=2)
+        # The old snapshot object is immutable history, not a live view.
+        assert snapshot.scored == 5
+        assert engine.last_stats.scored == 3

@@ -1,0 +1,252 @@
+"""Unit tests for the parallel batch execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import builder as q
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.chains import compile_query
+from repro.engine.executor import ExecutionStats, ShapeSearchEngine
+from repro.engine.parallel import (
+    BACKENDS,
+    ParallelEngine,
+    WorkerPool,
+    default_workers,
+    make_chunks,
+    merge_shard_results,
+    parallel_rank_items,
+    score_shard,
+)
+from repro.errors import ExecutionError
+
+from tests.conftest import make_trendline
+
+QUERY = compile_query(q.concat(q.up(), q.down()))
+
+
+def _collection(count=12, seed=5, points=30):
+    rng = np.random.default_rng(seed)
+    return [
+        make_trendline(rng.normal(0, 1, points).cumsum(), key="p{:02d}".format(index))
+        for index in range(count)
+    ]
+
+
+class TestChunking:
+    def test_chunks_cover_collection_in_order(self):
+        trendlines = _collection(10)
+        chunks = make_chunks(trendlines, workers=3, chunk_size=4)
+        assert [base for base, _ in chunks] == [0, 4, 8]
+        flattened = [tl for _, chunk in chunks for tl in chunk]
+        assert [tl.key for tl in flattened] == [tl.key for tl in trendlines]
+
+    def test_default_chunk_size_scales_with_workers(self):
+        chunks = make_chunks(_collection(100), workers=4)
+        assert 1 < len(chunks) <= 100
+        assert sum(len(chunk) for _, chunk in chunks) == 100
+
+    def test_empty_collection(self):
+        assert make_chunks([], workers=4) == []
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ExecutionError):
+            make_chunks(_collection(4), workers=2, chunk_size=0)
+
+
+class TestShardScoring:
+    def test_shard_keeps_local_top_k(self):
+        trendlines = _collection(10)
+        shard = score_shard(trendlines, 0, QUERY, k=3)
+        assert len(shard.items) == 3
+        assert shard.scored == 10
+
+    def test_global_positions_offset(self):
+        trendlines = _collection(4)
+        shard = score_shard(trendlines, base_position=100, query=QUERY, k=10)
+        positions = sorted(position for _, position, _, _ in shard.items)
+        assert positions == [100, 101, 102, 103]
+
+    def test_merge_equals_sequential_selection(self):
+        trendlines = _collection(20)
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=5)
+        shards = [
+            score_shard(chunk, base, QUERY, k=5)
+            for base, chunk in make_chunks(trendlines, workers=4, chunk_size=3)
+        ]
+        merged = merge_shard_results(shards, k=5)
+        merged_sorted = sorted(merged, key=lambda item: (-item[0], str(item[2].key)))
+        assert [(m.key, m.score) for m in sequential] == [
+            (tl.key, score) for score, _, tl, _ in merged_sorted
+        ]
+
+    def test_eager_discard_counted_in_shards(self):
+        # k=1 fills each shard-local heap immediately, so the floor-aware
+        # eager check can skip the contradicted falling candidates.
+        pinned = compile_query(q.concat(q.up(x_start=0, x_end=20), q.down()))
+        peak = np.concatenate([np.linspace(0, 9, 21), np.linspace(9, 0, 9)])
+        collection = []
+        for shard_index in range(2):
+            # Each shard leads with a genuine up-then-down match, so the
+            # shard floor is high and the contradicted falling candidates
+            # (pinned 'up' scores negative) are provably hopeless.
+            collection.append(make_trendline(peak, key="peak{}".format(shard_index)))
+            collection.extend(
+                make_trendline(np.linspace(9, 0, 30), key="fall{}-{}".format(shard_index, i))
+                for i in range(3)
+            )
+        stats = ExecutionStats()
+        pool = WorkerPool(workers=2)
+        try:
+            parallel_rank_items(collection, pinned, 1, pool, chunk_size=4, stats=stats)
+        finally:
+            pool.shutdown()
+        assert stats.eager_discarded >= 2
+        assert stats.scored + stats.eager_discarded == 8
+        assert stats.shards == 2
+
+
+class TestWorkerPool:
+    def test_backends_constant(self):
+        assert set(BACKENDS) == {"thread", "process"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError):
+            WorkerPool(workers=2, backend="fiber")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ExecutionError):
+            WorkerPool(workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+        assert WorkerPool().workers == default_workers()
+
+    def test_single_worker_runs_inline(self):
+        pool = WorkerPool(workers=1)
+        assert pool.map(lambda value: value * 2, [1, 2, 3]) == [2, 4, 6]
+        assert pool._pool is None  # never materialized a pool
+
+    def test_context_manager_shuts_down(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(len, [[1], [1, 2]]) == [1, 2]
+            assert pool._pool is not None
+        assert pool._pool is None
+
+
+class TestProcessBackend:
+    def test_process_results_match_sequential(self):
+        trendlines = _collection(10)
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=4)
+        with ShapeSearchEngine(workers=2, backend="process") as engine:
+            parallel = engine.rank(trendlines, QUERY, k=4)
+        assert [(m.key, m.score) for m in sequential] == [
+            (m.key, m.score) for m in parallel
+        ]
+
+
+class TestParallelEngine:
+    def test_defaults(self):
+        engine = ParallelEngine()
+        assert engine.workers == default_workers()
+        assert engine.cache is not None
+        engine.close()
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ExecutionError):
+            ParallelEngine(backend="gpu")
+
+    def test_end_to_end_matches_sequential(self):
+        trendlines = _collection(15)
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=5)
+        with ParallelEngine(workers=3, chunk_size=4) as engine:
+            parallel = engine.rank(trendlines, QUERY, k=5)
+        assert [(m.key, m.score) for m in sequential] == [
+            (m.key, m.score) for m in parallel
+        ]
+
+
+class TestExecuteMany:
+    def _table(self):
+        rng = np.random.default_rng(11)
+        zs, xs, ys = [], [], []
+        for key in ("a", "b", "c", "d", "e"):
+            series = rng.normal(0, 1, 30).cumsum()
+            for index, value in enumerate(series):
+                zs.append(key)
+                xs.append(float(index))
+                ys.append(float(value))
+        return Table.from_arrays(z=np.array(zs, dtype=object), x=np.array(xs), y=np.array(ys))
+
+    def test_batch_matches_individual_searches(self):
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        queries = [q.concat(q.up(), q.down()), q.concat(q.down(), q.up())]
+        engine = ShapeSearchEngine()
+        batch = engine.execute_many(table, params, queries, k=3)
+        individual = [engine.execute(table, params, query, k=3) for query in queries]
+        assert [
+            [(m.key, m.score) for m in result] for result in batch
+        ] == [[(m.key, m.score) for m in result] for result in individual]
+
+    def test_batch_amortizes_extraction(self, monkeypatch):
+        import repro.engine.executor as executor_module
+
+        calls = []
+        real = executor_module.generate_trendlines
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "generate_trendlines", counting)
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        queries = [
+            q.concat(q.up(), q.down()),
+            q.concat(q.down(), q.up()),
+            q.concat(q.up(), q.down(), q.up()),
+        ]
+        ShapeSearchEngine().execute_many(table, params, queries, k=2)
+        # Three fuzzy queries share one EXTRACT/GROUP pass.
+        assert len(calls) == 1
+
+    def test_batch_separates_y_constrained_queries(self, monkeypatch):
+        import repro.engine.executor as executor_module
+
+        calls = []
+        real = executor_module.generate_trendlines
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "generate_trendlines", counting)
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        queries = [
+            q.concat(q.up(), q.down()),  # normalized-y generation
+            q.segment(pattern=None, y_start=0.0, y_end=5.0),  # raw-y generation
+        ]
+        ShapeSearchEngine().execute_many(table, params, queries, k=2)
+        assert len(calls) == 2
+
+    def test_batch_stats_report_reuse(self):
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        queries = [q.concat(q.up(), q.down()), q.concat(q.down(), q.up())]
+        _, stats_list = ShapeSearchEngine().execute_many_with_stats(
+            table, params, queries, k=2
+        )
+        assert not stats_list[0].trendline_cache_hit
+        assert stats_list[1].trendline_cache_hit  # reused the batch generation
+        assert all(s.extracted == s.candidates for s in stats_list)
+
+
+class TestExtractedHint:
+    def test_zero_hint_preserved(self):
+        engine = ShapeSearchEngine()
+        trendlines = _collection(4)
+        _, stats = engine.rank_with_stats(trendlines, QUERY, k=2, extracted_hint=0)
+        assert stats.extracted == 0
+        assert stats.candidates == 4
