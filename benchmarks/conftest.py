@@ -7,6 +7,7 @@ Each module prints the paper-style rows it regenerates, so running
 ``pytest benchmarks/ --benchmark-only -s`` yields the tables directly.
 """
 
+import json
 import os
 from typing import Dict, List
 
@@ -17,6 +18,30 @@ from repro.engine.chains import compile_query
 from repro.parser import parse
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: When set, every section recorded via :func:`record_result` is merged
+#: into this JSON file as it is measured — CI runs the suite in smoke
+#: mode with ``REPRO_BENCH_JSON=BENCH_results.json`` and uploads the file
+#: as a workflow artifact, so the perf trajectory is recorded per PR.
+#: (Merge-on-write rather than a session hook: partial results survive
+#: ``-x`` aborts, and it is immune to this file being imported both as
+#: pytest's conftest and as ``benchmarks.conftest``.)
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "")
+
+
+def record_result(section: str, payload: Dict) -> None:
+    """Merge one benchmark module's measurements into the JSON record."""
+    if not BENCH_JSON:
+        return
+    try:
+        with open(BENCH_JSON) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        record = {}
+    record.setdefault(section, {}).update(payload)
+    record["meta"] = {"scale": SCALE}
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True, default=str)
 
 
 def scaled_suite(name: str):

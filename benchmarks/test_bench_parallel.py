@@ -1,10 +1,14 @@
 """Parallel execution and result caching: the repo's first perf trajectory.
 
-Three measurements on the Figure 13 scaling suites:
+Measurements on the Figure 13 scaling suites:
 
-* **sharded ranking** — sequential vs ``workers=N`` (thread and process
-  backends) on one fuzzy query over the 50words collection, asserting
-  byte-identical top-k and recording the speedup;
+* **sharded ranking** — sequential vs ``workers=N`` for the thread
+  backend and *both* process-backend transports — ``process-shm``
+  (shared-memory collection, shards as index ranges; the default) and
+  ``process-pickle`` (PR 1's object-pickling path) — on one fuzzy query
+  over the 50words collection, asserting byte-identical top-k and
+  recording each speedup.  The shm-vs-pickle gap isolates what moving
+  the data to the workers buys;
 * **result caching** — cold vs warm ``execute`` over the same table and
   query, recording the latency ratio and the cache hit rate;
 * **batch amortization** — ``execute_many`` over all of a suite's fuzzy
@@ -12,11 +16,14 @@ Three measurements on the Figure 13 scaling suites:
 
 Speedups are *recorded*, not asserted: thread-backend gains depend on
 how much of the inner loop releases the GIL, and process-backend gains
-pay a pickling toll, both of which vary by machine.  Correctness —
-identical results for any worker count, and cache hits on repeats — is
-asserted unconditionally.
+vary with cores and pool warm-up, both of which vary by machine.
+Correctness — identical results for any worker count and transport, and
+cache hits on repeats — is asserted unconditionally.  With
+``REPRO_BENCH_JSON`` set, every number lands in a ``BENCH_*.json``
+artifact (see benchmarks/conftest.py).
 """
 
+import os
 import time
 
 import pytest
@@ -27,7 +34,7 @@ from repro.engine.executor import ShapeSearchEngine
 from repro.engine.parallel import default_workers
 from repro.parser import parse
 
-from benchmarks.conftest import fuzzy_query, print_table
+from benchmarks.conftest import SCALE, fuzzy_query, print_table, record_result
 
 _RESULTS = {}
 
@@ -36,20 +43,31 @@ _RESULTS = {}
 WORKERS = max(2, min(4, default_workers()))
 PARAMS = VisualParams(z="z", x="x", y="y")
 
+MODES = ["sequential", "thread", "process-pickle", "process-shm"]
+
 
 def _signature(matches):
     return [(m.key, m.score) for m in matches]
 
 
-@pytest.mark.parametrize("mode", ["sequential", "thread", "process"])
+def _make_engine(mode):
+    if mode == "sequential":
+        return ShapeSearchEngine()
+    if mode == "thread":
+        return ShapeSearchEngine(workers=WORKERS, backend="thread")
+    if mode == "process-pickle":
+        return ShapeSearchEngine(workers=WORKERS, backend="process", shm=False)
+    return ShapeSearchEngine(workers=WORKERS, backend="process", shm=True)
+
+
+@pytest.mark.parametrize("mode", MODES)
 def test_parallel_speedup(benchmark, suites, mode):
     trendlines = suites("50words")
     query = fuzzy_query("50words")
-
-    if mode == "sequential":
-        engine = ShapeSearchEngine()
-    else:
-        engine = ShapeSearchEngine(workers=WORKERS, backend=mode)
+    engine = _make_engine(mode)
+    # Warm the pool (and, for process-shm, publish the collection) outside
+    # the timed region: sessions pay those costs once, not per query.
+    engine.rank(trendlines, query, k=10)
 
     def run():
         return engine.rank(trendlines, query, k=10)
@@ -66,8 +84,8 @@ def test_parallel_results_byte_identical(benchmark):
     sequential = _RESULTS.get(("matches", "sequential"))
     if sequential is None:
         pytest.skip("speedup benchmarks did not run")
-    assert _RESULTS[("matches", "thread")] == sequential
-    assert _RESULTS[("matches", "process")] == sequential
+    for mode in MODES[1:]:
+        assert _RESULTS[("matches", mode)] == sequential, mode
 
 
 def test_cache_hit_rate(benchmark):
@@ -120,20 +138,47 @@ def test_parallel_report(benchmark):
         pytest.skip("parallel benchmarks did not run")
     sequential = _RESULTS[("rank", "sequential")]
     rows = []
-    for mode in ("sequential", "thread", "process"):
+    speedups = {}
+    for mode in MODES:
         elapsed = _RESULTS[("rank", mode)]
+        speedups[mode] = sequential / max(elapsed, 1e-9)
         rows.append(
             [
                 mode,
                 1 if mode == "sequential" else WORKERS,
                 "{:.3f}s".format(elapsed),
-                "{:.2f}x".format(sequential / max(elapsed, 1e-9)),
+                "{:.2f}x".format(speedups[mode]),
             ]
         )
     print_table(
         "Parallel ranking: 50words suite, fuzzy query, k=10",
         ["backend", "workers", "runtime", "speedup"],
         rows,
+    )
+    # The Fig. 13 scaling claim: with real cores to scale onto, the
+    # zero-copy process transport must beat the GIL-bound thread backend
+    # (generous slack for CI noise).  On a single core every parallel
+    # backend is pure overhead, and below the default workload scale the
+    # millisecond-sized run is noise-dominated, so the claim is only
+    # checked when the hardware and workload can express it; it is always
+    # *recorded* (shm_vs_thread below).
+    if (os.cpu_count() or 1) >= 2 and SCALE >= 0.25:
+        assert (
+            _RESULTS[("rank", "process-shm")]
+            <= _RESULTS[("rank", "thread")] * 1.25
+        )
+    record_result(
+        "parallel",
+        {
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "runtime_s": {mode: _RESULTS[("rank", mode)] for mode in MODES},
+            "speedup": speedups,
+            "shm_vs_thread": _RESULTS[("rank", "thread")]
+            / max(_RESULTS[("rank", "process-shm")], 1e-9),
+            "shm_vs_pickle": _RESULTS[("rank", "process-pickle")]
+            / max(_RESULTS[("rank", "process-shm")], 1e-9),
+        },
     )
     print_table(
         "Result caching: weather suite, repeated query",
@@ -164,6 +209,21 @@ def test_parallel_report(benchmark):
                 ),
             ]
         ],
+    )
+    record_result(
+        "cache",
+        {
+            "cold_s": _RESULTS[("cache", "cold")],
+            "warm_s": _RESULTS[("cache", "warm")],
+            "hit_rate": _RESULTS[("cache", "hit_rate")],
+        },
+    )
+    record_result(
+        "batch",
+        {
+            "individual_s": _RESULTS[("batch", "individual")],
+            "batched_s": _RESULTS[("batch", "batched")],
+        },
     )
     # The warm path skips EXTRACT/GROUP and compilation entirely; even
     # with ranking dominating it should never be meaningfully slower.

@@ -22,6 +22,7 @@ from repro.engine.cache import CacheStats, EngineCache, LRUCache
 from repro.engine.executor import ExecutionStats, Match, ShapeSearchEngine
 from repro.engine.parallel import ParallelEngine, WorkerPool
 from repro.engine.scoring import register_udp, temporary_udp, unregister_udp
+from repro.engine.shm import ShmSession
 from repro.errors import (
     AmbiguityError,
     DataError,
@@ -45,6 +46,7 @@ __all__ = [
     "ShapeSearchEngine",
     "ParallelEngine",
     "WorkerPool",
+    "ShmSession",
     "EngineCache",
     "LRUCache",
     "CacheStats",

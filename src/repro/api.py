@@ -62,25 +62,38 @@ def parse_query(query: QueryLike, tagger: Optional[EntityTagger] = None) -> Node
 class ShapeSearch:
     """An interactive exploration session over one table.
 
-    ``workers``/``cache`` configure the default engine: ``workers`` > 1
-    shards candidate scoring across a pool (see
-    :mod:`repro.engine.parallel`), and ``cache=True`` keeps generated
-    trendlines and compiled plans across searches so repeated
-    interactive queries skip EXTRACT/GROUP entirely.  Both are ignored
-    when an explicit ``engine`` is passed.
+    ``workers``/``backend``/``cache`` configure the default engine:
+    ``workers`` > 1 shards candidate scoring across a pool (see
+    :mod:`repro.engine.parallel`), ``backend="process"`` adds real
+    multi-core scaling — the session publishes its candidate collections
+    into shared memory once (:mod:`repro.engine.shm`) and workers keep
+    them resident, so shards travel as index ranges — and ``cache=True``
+    keeps generated trendlines and compiled plans across searches so
+    repeated interactive queries skip EXTRACT/GROUP entirely.
+    ``quantifier_threshold`` overrides the occurrence floor of §5.2's
+    quantifier scoring (default 0.3).  All are ignored when an explicit
+    ``engine`` is passed.
+
+    Sessions own OS resources once a parallel search ran (worker
+    processes, shared-memory segments): call :meth:`close` or use the
+    session as a context manager.  A forgotten session is still cleaned
+    up at garbage collection / interpreter exit, but deterministic
+    release beats relying on the safety net.
     """
 
     def __init__(self, table: Table, engine: Optional[ShapeSearchEngine] = None,
                  tagger: Optional[EntityTagger] = None,
-                 workers: Optional[int] = 1, cache=None):
+                 workers: Optional[int] = 1, cache=None, backend: str = "thread",
+                 quantifier_threshold: Optional[float] = None):
         self.table = table
         self.engine = engine if engine is not None else ShapeSearchEngine(
-            workers=workers, cache=cache
+            workers=workers, cache=cache, backend=backend,
+            quantifier_threshold=quantifier_threshold,
         )
         self.tagger = tagger
 
     def close(self) -> None:
-        """Release the engine's worker pools (safe to call repeatedly)."""
+        """Release worker pools and shared-memory segments (idempotent)."""
         self.engine.close()
 
     def __enter__(self) -> "ShapeSearch":

@@ -88,6 +88,37 @@ class Table:
         return cls(columns)
 
     @classmethod
+    def from_shared(cls, columns: Dict[str, np.ndarray], fingerprint: str = None) -> "Table":
+        """Adopt already-immutable arrays without copying.
+
+        This is the shared-memory reattachment path
+        (:mod:`repro.engine.shm`): the caller guarantees the arrays are
+        read-only views over a buffer nobody mutates, so the constructor's
+        defensive copy is skipped and the columns stay zero-copy.
+        ``fingerprint`` pre-seeds the content digest the result cache keys
+        on, so a reattached table hits the same cache entries as the
+        publisher's original without rehashing (or re-encoding object
+        columns, whose dtype the shared export may have narrowed).
+        """
+        if not columns:
+            raise DataError("a table needs at least one column")
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise DataError("column lengths differ: {}".format(lengths))
+        self = cls.__new__(cls)
+        self._columns = {}
+        for name, values in columns.items():
+            values = np.asarray(values)
+            if values.flags.writeable:
+                values = values.view()
+                values.setflags(write=False)
+            self._columns[name] = values
+        self._length = next(iter(lengths.values()))
+        if fingerprint is not None:
+            self._fingerprint = fingerprint
+        return self
+
+    @classmethod
     def from_json(cls, path: str) -> "Table":
         """Load a JSON file holding a list of records."""
         with open(path) as handle:

@@ -69,6 +69,19 @@ class LRUCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        self._evict_listeners: list = []
+
+    def add_evict_listener(self, listener) -> None:
+        """Call ``listener(value)`` for every evicted entry.
+
+        Listeners let a value's owner release resources pinned by cache
+        residency — the engine uses this to unlink the shared-memory
+        segment of an evicted trendline collection.  They run outside the
+        cache lock (a listener may touch the cache) and are deduplicated,
+        so engines sharing one :class:`EngineCache` register safely.
+        """
+        if listener not in self._evict_listeners:
+            self._evict_listeners.append(listener)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -90,13 +103,17 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        evicted = []
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted.append(self._entries.popitem(last=False)[1])
                 self.stats.evictions += 1
+        for dropped in evicted:
+            for listener in self._evict_listeners:
+                listener(dropped)
 
     def clear(self) -> None:
         with self._lock:

@@ -100,12 +100,20 @@ class CompiledQuery:
         return seen
 
 
-def compile_query(node: Node) -> CompiledQuery:
-    """Normalize, validate and flatten a ShapeQuery AST."""
+def compile_query(
+    node: Node, quantifier_threshold: Optional[float] = None
+) -> CompiledQuery:
+    """Normalize, validate and flatten a ShapeQuery AST.
+
+    ``quantifier_threshold`` overrides the occurrence floor baked into
+    compiled QuantifierUnits (paper §5.2: the default "can be overridden
+    by users"); ``None`` keeps
+    :data:`repro.engine.scoring.QUANTIFIER_POSITIVE_THRESHOLD`.
+    """
     normalized = normalize(node)
     validate(normalized)
     counter = _SegmentCounter()
-    alternatives = _flatten(normalized, 1.0, counter)
+    alternatives = _flatten(normalized, 1.0, counter, quantifier_threshold)
     if not alternatives:
         raise ExecutionError("query flattened to no alternatives")
     return CompiledQuery(node=normalized, chains=[Chain(tuple(units)) for units in alternatives])
@@ -123,13 +131,21 @@ class _SegmentCounter:
         return index
 
 
-def _flatten(node: Node, scale: float, counter: _SegmentCounter) -> List[List[ChainUnit]]:
+def _flatten(
+    node: Node,
+    scale: float,
+    counter: _SegmentCounter,
+    quantifier_threshold: Optional[float] = None,
+) -> List[List[ChainUnit]]:
     if isinstance(node, ShapeSegment):
-        unit = compile_segment(node, counter.take())
+        unit = compile_segment(node, counter.take(), quantifier_threshold)
         return [[ChainUnit(unit, scale)]]
     if isinstance(node, Concat):
         share = scale / len(node.children)
-        child_alternatives = [_flatten(child, share, counter) for child in node.children]
+        child_alternatives = [
+            _flatten(child, share, counter, quantifier_threshold)
+            for child in node.children
+        ]
         combos: List[List[ChainUnit]] = []
         for combo in product(*child_alternatives):
             merged: List[ChainUnit] = []
@@ -144,7 +160,7 @@ def _flatten(node: Node, scale: float, counter: _SegmentCounter) -> List[List[Ch
     if isinstance(node, Or):
         alternatives: List[List[ChainUnit]] = []
         for child in node.children:
-            alternatives.extend(_flatten(child, scale, counter))
+            alternatives.extend(_flatten(child, scale, counter, quantifier_threshold))
             if len(alternatives) > MAX_ALTERNATIVES:
                 raise ExecutionError(
                     "query has more than {} OR-alternatives".format(MAX_ALTERNATIVES)
@@ -153,13 +169,17 @@ def _flatten(node: Node, scale: float, counter: _SegmentCounter) -> List[List[Ch
     if isinstance(node, And):
         branches = []
         for child in node.children:
-            branch_alternatives = _flatten(child, 1.0, counter)
+            branch_alternatives = _flatten(child, 1.0, counter, quantifier_threshold)
             branches.append([Chain(tuple(units)) for units in branch_alternatives])
         return [[ChainUnit(AndUnit(branches), scale)]]
     raise ExecutionError("cannot flatten node {!r} (was the query normalized?)".format(node))
 
 
-def compile_segment(segment: ShapeSegment, seg_index: int) -> CompiledUnit:
+def compile_segment(
+    segment: ShapeSegment,
+    seg_index: int,
+    quantifier_threshold: Optional[float] = None,
+) -> CompiledUnit:
     """Compile one ShapeSegment into the appropriate unit type."""
     location = segment.location
     base_location = location
@@ -167,13 +187,18 @@ def compile_segment(segment: ShapeSegment, seg_index: int) -> CompiledUnit:
         # The window wrapper owns the iterator; the base sees no x pins.
         base_location = Location(y_start=location.y_start, y_end=location.y_end)
 
-    unit = _compile_base(segment, base_location, seg_index)
+    unit = _compile_base(segment, base_location, seg_index, quantifier_threshold)
     if location.iterator is not None:
         unit = WindowUnit(unit, width=location.iterator.width, location=location)
     return unit
 
 
-def _compile_base(segment: ShapeSegment, location: Location, seg_index: int) -> CompiledUnit:
+def _compile_base(
+    segment: ShapeSegment,
+    location: Location,
+    seg_index: int,
+    quantifier_threshold: Optional[float] = None,
+) -> CompiledUnit:
     negated = segment.negated
     modifier = segment.modifier
     pattern = segment.pattern
@@ -207,11 +232,12 @@ def _compile_base(segment: ShapeSegment, location: Location, seg_index: int) -> 
                 location=location,
                 negated=negated,
                 seg_index=seg_index,
+                positive_threshold=quantifier_threshold,
             )
         return UdpUnit(pattern.udp_name, location=location, negated=negated, seg_index=seg_index)
 
     if pattern.kind == "nested":
-        inner = compile_query(pattern.nested)
+        inner = compile_query(pattern.nested, quantifier_threshold=quantifier_threshold)
         return NestedUnit(inner, location=location, negated=negated, seg_index=seg_index)
 
     kind = pattern.kind
@@ -224,6 +250,7 @@ def _compile_base(segment: ShapeSegment, location: Location, seg_index: int) -> 
             location=location,
             negated=negated,
             seg_index=seg_index,
+            positive_threshold=quantifier_threshold,
         )
     if modifier is not None and modifier.comparison is not None:
         if modifier.factor is None and kind in ("up", "down"):

@@ -23,6 +23,7 @@ identical for any worker count.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -102,6 +103,8 @@ class ShapeSearchEngine:
         backend: str = "thread",
         chunk_size: Optional[int] = None,
         cache=None,
+        shm: bool = True,
+        quantifier_threshold: Optional[float] = None,
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
@@ -115,10 +118,32 @@ class ShapeSearchEngine:
         self.workers = self._check_workers(workers)
         self.backend = backend
         self.chunk_size = chunk_size
+        #: Use the shared-memory transport for the process backend: the
+        #: candidate collection and compiled query are published once per
+        #: session and shards travel as index ranges (repro.engine.shm).
+        #: ``shm=False`` keeps the object-pickling transport (benchmarks
+        #: compare the two; results are byte-identical either way).
+        self.shm = bool(shm)
+        #: Minimum per-run pattern score for a quantifier occurrence
+        #: (paper §5.2: the zero default "can be overridden by users");
+        #: None keeps scoring.QUANTIFIER_POSITIVE_THRESHOLD (0.3).
+        self.quantifier_threshold = quantifier_threshold
         self.cache: Optional[EngineCache] = coerce_cache(cache)
         self.last_stats = ExecutionStats()
         self._pools: dict = {}
         self._pool_lock = threading.Lock()
+        #: One-slot box so the lazily created ShmSession is reachable from
+        #: close() and the finalizer without either referencing ``self``.
+        self._shm_box: list = [None]
+        if self.cache is not None:
+            from repro.engine.shm import release_evicted
+
+            self.cache.trendlines.add_evict_listener(release_evicted)
+        #: Safety net: releases pools and shared memory when the engine is
+        #: garbage-collected or the interpreter exits without close().
+        self._finalizer = weakref.finalize(
+            self, _release_engine_resources, self._pools, self._pool_lock, self._shm_box
+        )
         if backend not in ("thread", "process"):
             raise ExecutionError(
                 "unknown backend {!r}; choose from ('thread', 'process')".format(backend)
@@ -151,16 +176,32 @@ class ShapeSearchEngine:
         with self._pool_lock:
             pool = self._pools.get(count)
             if pool is None:
-                pool = WorkerPool(count, self.backend)
+                initializer = None
+                if self.backend == "process" and self.shm:
+                    from repro.engine.shm import worker_init
+
+                    initializer = worker_init
+                pool = WorkerPool(count, self.backend, initializer=initializer)
                 self._pools[count] = pool
             return pool
 
-    def close(self) -> None:
-        """Shut down all worker pools (no-op when none was created)."""
+    def _shm_session(self):
+        """The session-scoped shared-memory registry (created on first use)."""
+        from repro.engine.shm import ShmSession
+
         with self._pool_lock:
-            pools, self._pools = list(self._pools.values()), {}
-        for pool in pools:
-            pool.shutdown()
+            if self._shm_box[0] is None or self._shm_box[0].closed:
+                self._shm_box[0] = ShmSession()
+            return self._shm_box[0]
+
+    def close(self) -> None:
+        """Release worker pools and shared-memory segments.
+
+        Idempotent, and also runs via ``weakref.finalize``/``atexit`` when
+        an engine is dropped or the interpreter exits without an explicit
+        close — pools and shm segments never outlive their owner.
+        """
+        _release_engine_resources(self._pools, self._pool_lock, self._shm_box)
 
     def __enter__(self) -> "ShapeSearchEngine":
         return self
@@ -372,6 +413,10 @@ class ShapeSearchEngine:
         from repro.engine.parallel import parallel_prune_items, parallel_rank_items
 
         pool = self._resolve_pool(workers)
+        if pool.backend == "process" and self.shm and len(trendlines):
+            return self._rank_parallel_shm(
+                trendlines, compiled, k, stats, pool, use_pruning, has_eager_checks
+            )
         if use_pruning:
             items = parallel_prune_items(
                 trendlines,
@@ -397,6 +442,61 @@ class ShapeSearchEngine:
             )
         return _to_matches(items)
 
+    def _rank_parallel_shm(
+        self,
+        trendlines: Sequence[Trendline],
+        compiled: CompiledQuery,
+        k: int,
+        stats: ExecutionStats,
+        pool,
+        use_pruning: bool,
+        has_eager_checks: bool,
+    ) -> List[Match]:
+        """Process-backend ranking over the shared-memory transport.
+
+        The collection and compiled query are published once per session
+        (repeat queries over a cached collection reuse both segments);
+        shards travel as ``(start, end)`` index ranges and resolve against
+        the worker-resident store.  Chunking, scoring and merging are the
+        same code as the object-passing path, so results stay
+        byte-identical across transports.
+        """
+        from repro.engine.parallel import parallel_prune_ranges, parallel_rank_ranges
+
+        session = self._shm_session()
+        # Acquired-and-pinned atomically: a concurrent eviction (cache
+        # LRU or the session's own bound) must not unlink a segment a
+        # late-starting worker has yet to attach, including in the window
+        # between the handle lookup and the pin.
+        handle, query_ref = session.acquire(trendlines, compiled)
+        try:
+            if use_pruning:
+                items = parallel_prune_ranges(
+                    handle,
+                    query_ref,
+                    k,
+                    pool,
+                    sample_size=self.sample_size,
+                    sample_points=self.sample_points,
+                    chunk_size=self.chunk_size,
+                    stats=stats,
+                )
+            else:
+                items = parallel_rank_ranges(
+                    handle,
+                    query_ref,
+                    k,
+                    pool,
+                    algorithm=self.algorithm,
+                    enable_pushdown=self.enable_pushdown,
+                    chunk_size=self.chunk_size,
+                    stats=stats,
+                    has_eager_checks=has_eager_checks,
+                )
+        finally:
+            session.unpin(handle, query_ref)
+        return _to_matches(items)
+
     def score_one(
         self, trendline: Trendline, query: Union[Node, CompiledQuery]
     ) -> QueryResult:
@@ -411,16 +511,20 @@ class ShapeSearchEngine:
             return query
         if isinstance(query, Node):
             if self.cache is not None:
-                key = canonical_query_text(query)
+                # The threshold is baked into compiled QuantifierUnits, so
+                # engines with different overrides must not share plans.
+                key = (canonical_query_text(query), self.quantifier_threshold)
                 compiled = self.cache.plans.get(key)
                 if compiled is not None:
                     if stats is not None:
                         stats.plan_cache_hit = True
                     return compiled
-                compiled = compile_query(query)
+                compiled = compile_query(
+                    query, quantifier_threshold=self.quantifier_threshold
+                )
                 self.cache.plans.put(key, compiled)
                 return compiled
-            return compile_query(query)
+            return compile_query(query, quantifier_threshold=self.quantifier_threshold)
         raise ExecutionError("query must be a ShapeQuery AST or CompiledQuery")
 
     def _trendlines(
@@ -447,6 +551,24 @@ class ShapeSearchEngine:
         from repro.engine.parallel import solve_one
 
         return solve_one(trendline, compiled, self.algorithm)
+
+
+def _release_engine_resources(pools: dict, lock: threading.Lock, shm_box: list) -> None:
+    """Shut down an engine's pools and shm session (idempotent).
+
+    Module-level and closed over the engine's *mutable holders* rather
+    than the engine itself, so the ``weakref.finalize`` registered in
+    ``__init__`` can run after the engine is collected — and a manual
+    ``close()`` followed by more work still gets cleaned up at exit.
+    """
+    with lock:
+        pools_now, session = list(pools.values()), shm_box[0]
+        pools.clear()
+        shm_box[0] = None
+    for pool in pools_now:
+        pool.shutdown()
+    if session is not None:
+        session.close()
 
 
 def _to_matches(items) -> List[Match]:

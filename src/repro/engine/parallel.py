@@ -16,9 +16,13 @@ for any N and any chunk size, including exact score ties.
 Backend notes: the ``"thread"`` backend is the safe default (shared
 memory, custom UDPs visible, modest speedup since the inner numpy
 kernels release the GIL only briefly); the ``"process"`` backend gives
-real multi-core scaling for large collections at the cost of pickling
-the shards (on platforms with ``fork`` start, custom UDPs registered
-before the first search are inherited by the workers).
+real multi-core scaling for large collections.  With the shared-memory
+transport (:mod:`repro.engine.shm`, the engine's default for the process
+backend) shards travel as ``(handle, start, end)`` index ranges resolved
+against a worker-resident collection, so per-task serialization is a few
+hundred bytes; without it each task pickles its chunk of Trendlines (on
+platforms with ``fork`` start, custom UDPs registered before the first
+search are inherited by the workers either way).
 """
 
 from __future__ import annotations
@@ -26,9 +30,10 @@ from __future__ import annotations
 import heapq
 import os
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.chains import CompiledQuery
 from repro.engine.dynamic import QueryResult, solve_query
@@ -166,6 +171,58 @@ def prune_shard(
     return shard
 
 
+def score_shard_range(
+    handle,
+    start: int,
+    end: int,
+    query,
+    k: int,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    has_eager_checks: Optional[bool] = None,
+) -> ShardResult:
+    """Score bins ``[start, end)`` of a shared-memory-resident collection.
+
+    ``handle`` is a :class:`~repro.engine.shm.CollectionHandle` and
+    ``query`` a compiled query or a
+    :class:`~repro.engine.shm.QueryHandle`; both resolve against the
+    worker-resident store (attached on first use), so the task itself is
+    only a manifest and two integers.  Scoring and the total order are
+    exactly :func:`score_shard` over the same global positions, which is
+    what keeps results byte-identical across transports.
+    """
+    from repro.engine.shm import resolve_collection, resolve_query
+
+    trendlines = resolve_collection(handle)
+    compiled = resolve_query(query)
+    return score_shard(
+        trendlines[start:end],
+        start,
+        compiled,
+        k,
+        algorithm=algorithm,
+        enable_pushdown=enable_pushdown,
+        has_eager_checks=has_eager_checks,
+    )
+
+
+def prune_shard_range(
+    handle,
+    start: int,
+    end: int,
+    query,
+    k: int,
+    sample_size: int,
+    sample_points: int,
+) -> ShardResult:
+    """Range-based twin of :func:`prune_shard` over the worker store."""
+    from repro.engine.shm import resolve_collection, resolve_query
+
+    trendlines = resolve_collection(handle)
+    compiled = resolve_query(query)
+    return prune_shard(trendlines[start:end], compiled, k, sample_size, sample_points)
+
+
 def merge_shard_results(
     shards: Sequence[ShardResult], k: int
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
@@ -175,11 +232,15 @@ def merge_shard_results(
     return merged[:k]
 
 
-def make_chunks(
-    trendlines: Sequence[Trendline], workers: int, chunk_size: Optional[int] = None
-) -> List[Tuple[int, Sequence[Trendline]]]:
-    """Split candidates into ``(base position, chunk)`` shards."""
-    count = len(trendlines)
+def make_range_chunks(
+    count: int, workers: int, chunk_size: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Split ``count`` candidates into ``(start, end)`` index ranges.
+
+    This is the sizing rule for *every* sharding path — the object-passing
+    chunks below reuse it — so range-based (shared-memory) and
+    object-based shards cover identical positions for any configuration.
+    """
     if count == 0:
         return []
     if chunk_size is None:
@@ -187,15 +248,45 @@ def make_chunks(
     if chunk_size < 1:
         raise ExecutionError("chunk_size must be >= 1, got {}".format(chunk_size))
     return [
-        (start, trendlines[start : start + chunk_size])
-        for start in range(0, count, chunk_size)
+        (start, min(start + chunk_size, count)) for start in range(0, count, chunk_size)
     ]
 
 
-class WorkerPool:
-    """A lazily created, reusable ``concurrent.futures`` pool."""
+def make_chunks(
+    trendlines: Sequence[Trendline], workers: int, chunk_size: Optional[int] = None
+) -> List[Tuple[int, Sequence[Trendline]]]:
+    """Split candidates into ``(base position, chunk)`` shards."""
+    return [
+        (start, trendlines[start:end])
+        for start, end in make_range_chunks(len(trendlines), workers, chunk_size)
+    ]
 
-    def __init__(self, workers: Optional[int] = None, backend: str = "thread"):
+
+def _shutdown_executor(executor) -> None:
+    """`weakref.finalize` target: release a pool the owner never closed."""
+    executor.shutdown(wait=True)
+
+
+class WorkerPool:
+    """A lazily created, reusable ``concurrent.futures`` pool.
+
+    ``initializer``/``initargs`` run once per worker *process* (they are
+    ignored for the thread backend, whose workers share the parent's
+    state already — running e.g. :func:`repro.engine.shm.worker_init`
+    in-process would wrongly reset the publisher's registries).  A
+    ``weakref.finalize`` guard shuts the underlying executor down when a
+    pool is garbage-collected or the interpreter exits, so forgotten
+    pools never leak worker processes; :meth:`shutdown` stays the
+    deterministic path and is idempotent.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: str = "thread",
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+    ):
         if backend not in BACKENDS:
             raise ExecutionError(
                 "unknown backend {!r}; choose from {}".format(backend, BACKENDS)
@@ -204,16 +295,26 @@ class WorkerPool:
         if self.workers < 1:
             raise ExecutionError("workers must be >= 1, got {}".format(self.workers))
         self.backend = backend
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
         self._pool = None
+        self._finalizer = None
         self._lock = threading.Lock()
 
     def _ensure(self):
         with self._lock:
             if self._pool is None:
                 if self.backend == "process":
-                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=self.initializer,
+                        initargs=self.initargs,
+                    )
                 else:
                     self._pool = ThreadPoolExecutor(max_workers=self.workers)
+                self._finalizer = weakref.finalize(
+                    self, _shutdown_executor, self._pool
+                )
             return self._pool
 
     def map(self, fn, *iterables) -> List:
@@ -225,6 +326,9 @@ class WorkerPool:
     def shutdown(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
+            finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
         if pool is not None:
             pool.shutdown()
 
@@ -272,6 +376,75 @@ def parallel_rank_items(
     return merge_shard_results(shards, k)
 
 
+def parallel_rank_ranges(
+    handle,
+    query,
+    k: int,
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    chunk_size: Optional[int] = None,
+    stats=None,
+    has_eager_checks: Optional[bool] = None,
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Shared-memory twin of :func:`parallel_rank_items`.
+
+    ``handle``/``query`` are the session's published handles; each task
+    carries only ``(handle, start, end, query handle, knobs)`` and the
+    workers resolve both against their resident store.  Chunk sizing,
+    scoring and the merge are shared with the object-passing path, so the
+    two transports return byte-identical top-k for any worker count.
+    """
+    from repro.engine.shm import resolve_query
+
+    ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
+    if has_eager_checks is None:
+        compiled = resolve_query(query)
+        has_eager_checks = enable_pushdown and plan_pushdown(compiled).has_eager_checks
+    shards = pool.map(
+        score_shard_range,
+        [handle] * len(ranges),
+        [start for start, _end in ranges],
+        [end for _start, end in ranges],
+        [query] * len(ranges),
+        [k] * len(ranges),
+        [algorithm] * len(ranges),
+        [enable_pushdown] * len(ranges),
+        [has_eager_checks] * len(ranges),
+    )
+    if stats is not None:
+        stats.shards = len(ranges)
+        for shard in shards:
+            stats.scored += shard.scored
+            stats.eager_discarded += shard.eager_discarded
+    return merge_shard_results(shards, k)
+
+
+def parallel_prune_ranges(
+    handle,
+    query,
+    k: int,
+    pool: WorkerPool,
+    sample_size: int = 20,
+    sample_points: int = 64,
+    chunk_size: Optional[int] = None,
+    stats=None,
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Shared-memory twin of :func:`parallel_prune_items`."""
+    ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
+    shards = pool.map(
+        prune_shard_range,
+        [handle] * len(ranges),
+        [start for start, _end in ranges],
+        [end for _start, end in ranges],
+        [query] * len(ranges),
+        [k] * len(ranges),
+        [sample_size] * len(ranges),
+        [sample_points] * len(ranges),
+    )
+    return _merge_pruned(shards, k, len(ranges), stats)
+
+
 def parallel_prune_items(
     trendlines: Sequence[Trendline],
     query: CompiledQuery,
@@ -292,6 +465,13 @@ def parallel_prune_items(
         [sample_size] * len(chunks),
         [sample_points] * len(chunks),
     )
+    return _merge_pruned(shards, k, len(chunks), stats)
+
+
+def _merge_pruned(
+    shards: Sequence[ShardResult], k: int, shard_count: int, stats
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Aggregate pruning reports and merge under the pruning-path order."""
     report = PruningReport()
     for shard in shards:
         if shard.pruning is not None:
@@ -301,7 +481,7 @@ def parallel_prune_items(
             report.completed += shard.pruning.completed
             report.rounds = max(report.rounds, shard.pruning.rounds)
     if stats is not None:
-        stats.shards = len(chunks)
+        stats.shards = shard_count
         stats.pruning = report
         stats.scored = report.completed
     # The pruning path ranks by (score desc, key asc) — keep that order.
@@ -341,6 +521,8 @@ class ParallelEngine(ShapeSearchEngine):
         backend: str = "thread",
         chunk_size: Optional[int] = None,
         cache=True,
+        shm: bool = True,
+        quantifier_threshold: Optional[float] = None,
     ):
         super().__init__(
             algorithm=algorithm,
@@ -352,4 +534,6 @@ class ParallelEngine(ShapeSearchEngine):
             backend=backend,
             chunk_size=chunk_size,
             cache=cache,
+            shm=shm,
+            quantifier_threshold=quantifier_threshold,
         )

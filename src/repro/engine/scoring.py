@@ -41,9 +41,12 @@ SHARP_COMPARISON_MARGIN = 1.0
 #: RMSE (in z-scored units) at which a sketch match bottoms out at −1.
 SKETCH_RMSE_CAP = 2.0
 
-#: Minimum pattern score for a run to count as a quantifier occurrence
-#: (paper §5.2 uses zero "which can be overridden by users"; a slightly
-#: positive floor stops barely-drifting runs from counting as rises).
+#: Default minimum pattern score for a run to count as a quantifier
+#: occurrence (paper §5.2 uses zero "which can be overridden by users"; a
+#: slightly positive floor stops barely-drifting runs from counting as
+#: rises).  Overridable per engine/session via the
+#: ``quantifier_threshold`` option, threaded through
+#: :func:`repro.engine.chains.compile_query` into each QuantifierUnit.
 QUANTIFIER_POSITIVE_THRESHOLD = 0.3
 
 
@@ -176,18 +179,31 @@ def position_score(
 # --------------------------------------------------------------------------
 
 def resample(values: np.ndarray, length: int) -> np.ndarray:
-    """Linear re-interpolation of a series to ``length`` samples."""
+    """Linear re-interpolation of a series to ``length`` samples.
+
+    Degenerate sources are defined rather than left to ``np.interp``'s
+    mercy (an empty source grid raises, a one-point grid is a division
+    hazard): an empty series resamples to zeros and a single point
+    broadcasts to a constant series.
+    """
     values = np.asarray(values, dtype=float)
+    length = max(0, int(length))
     if len(values) == length:
         return values
+    if len(values) == 0:
+        return np.zeros(length)
+    if len(values) == 1:
+        return np.full(length, float(values[0]))
     source = np.linspace(0.0, 1.0, len(values))
     target = np.linspace(0.0, 1.0, length)
     return np.interp(target, source, values)
 
 
 def znormalize(values: np.ndarray) -> np.ndarray:
-    """z-score a series; constant series map to zeros."""
+    """z-score a series; constant (and empty) series map to zeros."""
     values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        return np.zeros(0)
     std = values.std()
     if std < 1e-12:
         return np.zeros_like(values)
@@ -199,8 +215,10 @@ def sketch_score(segment_values: np.ndarray, sketch_values: np.ndarray) -> float
 
     Both series are z-normalized and length-aligned; the RMSE between
     them is mapped linearly so 0 → +1 and :data:`SKETCH_RMSE_CAP` → −1.
+    Degenerate input has a defined score: a segment or sketch with fewer
+    than two points cannot express a shape and scores −1.
     """
-    if len(segment_values) < 2:
+    if len(segment_values) < 2 or len(sketch_values) < 2:
         return -1.0
     reference = resample(sketch_values, len(segment_values))
     a = znormalize(segment_values)

@@ -1,0 +1,677 @@
+"""Shared-memory transport for the ``"process"`` backend (zero-copy shards).
+
+PR 1's process backend pickles whole :class:`~repro.engine.trendline.Trendline`
+chunks into every task, so serialization dominates and multi-core scaling
+never materializes.  This module moves the data to the workers instead of
+moving it with every task, the way the paper's pattern-at-a-time engine
+executes over in-memory columns (§6) and SlopeSeeker precomputes its trend
+collections once and queries them repeatedly:
+
+* :func:`publish_trendlines` packs a whole candidate collection — raw
+  points, bins, and the cumulative :class:`~repro.engine.statistics.PrefixStats`
+  arrays — into **one** ``multiprocessing.shared_memory`` segment, once per
+  session.  The returned :class:`CollectionHandle` is a few hundred bytes
+  of manifest (keys, scalars, array lengths), so a shard task now travels
+  as ``(handle, start, end)`` index ranges instead of pickled objects.
+* :func:`resolve_collection` is the worker-side entry point: on first use
+  it attaches the segment and reconstructs a **read-only, worker-resident**
+  trendline collection as zero-copy numpy views over the shared buffer,
+  memoized for the worker's lifetime.  In the publishing process itself
+  (``workers=1`` inline execution) resolution short-circuits to the
+  original objects.
+* :func:`publish_query` / :func:`resolve_query` do the same for a compiled
+  query: the query is pickled into shared memory once and each worker
+  unpickles it once per session instead of once per shard.
+* :func:`publish_table` / :func:`attach_table` export a
+  :class:`~repro.data.table.Table`'s columns, keyed by the existing
+  content fingerprint so a reattached table hits the same cache entries
+  as the publisher's original.
+
+:class:`ShmSession` owns every segment a session publishes and releases
+them on :meth:`~ShmSession.close` (idempotent); a module-level ``atexit``
+hook closes any session the owner forgot, so interpreter exit never leaks
+``/dev/shm`` segments.  Unlinking while workers still hold attachments is
+safe on POSIX — the memory persists until the last mapping closes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+import uuid
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.engine.statistics import PrefixStats
+from repro.engine.trendline import Trendline
+from repro.errors import ExecutionError
+
+try:  # stdlib since 3.8; gated so the rest of the engine imports without it
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: The per-trendline arrays packed into the archive, in manifest order:
+#: raw points, per-bin representatives, normalized bins, then the five
+#: cumulative prefix-statistics arrays of Theorem 5.1.
+_ARRAYS_PER_TRENDLINE = 10
+
+
+def _require_shared_memory():
+    if _shared_memory is None:  # pragma: no cover
+        raise ExecutionError(
+            "multiprocessing.shared_memory is unavailable on this platform; "
+            "use the thread backend or shm=False"
+        )
+    return _shared_memory
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without resource-tracker registration.
+
+    Before Python 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the resource tracker, so a spawn-started worker's
+    tracker would unlink memory the publishing process still owns on
+    worker exit, while under fork (shared tracker) any attempt to
+    unregister afterwards clobbers the *publisher's* registration.  The
+    publisher is the sole owner here; attachments must never be tracked —
+    exactly 3.13's ``track=False``, emulated below by suppressing
+    ``register`` for the duration of the attach.
+    """
+    shared = _require_shared_memory()
+    try:
+        return shared.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+# --------------------------------------------------------------------------
+# Handles: what travels in a task instead of the data
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CollectionHandle:
+    """Reference to one published trendline collection.
+
+    Deliberately O(1) in the collection size — the per-trendline manifest
+    (keys, scalars, array lengths) lives *inside* the segment, after the
+    float64 payload — because a handle is pickled into every range task:
+    ``total`` is the payload's element count, ``count`` the number of
+    trendlines, ``manifest_nbytes`` the pickled manifest's size.
+    """
+
+    token: str
+    name: str
+    total: int
+    count: int
+    manifest_nbytes: int
+
+    def __len__(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class QueryHandle:
+    """A compiled query published once: workers unpickle it once per session."""
+
+    token: str
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class TableHandle:
+    """Manifest of one published table: per-column name, dtype and extent."""
+
+    fingerprint: str
+    name: str
+    columns: Tuple[Tuple[str, str, int, int], ...]  # (name, dtype.str, offset, nbytes)
+
+
+# --------------------------------------------------------------------------
+# Publishing (runs in the session's process)
+# --------------------------------------------------------------------------
+
+def _trendline_arrays(trendline: Trendline) -> List[np.ndarray]:
+    prefix = trendline.prefix
+    return [
+        np.ascontiguousarray(array, dtype=np.float64)
+        for array in (
+            trendline.x,
+            trendline.y,
+            trendline.bin_x,
+            trendline.bin_y,
+            trendline.norm_bin_y,
+            prefix.count,
+            prefix.sx,
+            prefix.sy,
+            prefix.sxy,
+            prefix.sxx,
+        )
+    ]
+
+
+def publish_trendlines(
+    trendlines: Sequence[Trendline], token: Optional[str] = None
+) -> Tuple[CollectionHandle, "object"]:
+    """Pack a collection into one shared-memory segment.
+
+    Returns ``(handle, segment)``; the caller owns the segment (normally a
+    :class:`ShmSession`, which closes and unlinks it on ``close()``).
+    """
+    shared = _require_shared_memory()
+    entries = []
+    arrays: List[np.ndarray] = []
+    total = 0
+    for trendline in trendlines:
+        packed = _trendline_arrays(trendline)
+        lengths = tuple(len(array) for array in packed)
+        entries.append(
+            (trendline.key, trendline.y_mean, trendline.y_std, trendline.offset, lengths)
+        )
+        arrays.extend(packed)
+        total += sum(lengths)
+    manifest = pickle.dumps(tuple(entries), protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared.SharedMemory(create=True, size=max(8, total * 8 + len(manifest)))
+    view = np.ndarray((total,), dtype=np.float64, buffer=segment.buf)
+    position = 0
+    for array in arrays:
+        view[position : position + len(array)] = array
+        position += len(array)
+    segment.buf[total * 8 : total * 8 + len(manifest)] = manifest
+    handle = CollectionHandle(
+        token=token or uuid.uuid4().hex,
+        name=segment.name,
+        total=total,
+        count=len(entries),
+        manifest_nbytes=len(manifest),
+    )
+    return handle, segment
+
+
+def publish_query(query, token: Optional[str] = None) -> Tuple[QueryHandle, "object"]:
+    """Pickle a compiled query into a shared-memory segment, once."""
+    shared = _require_shared_memory()
+    payload = pickle.dumps(query, protocol=pickle.HIGHEST_PROTOCOL)
+    segment = shared.SharedMemory(create=True, size=max(1, len(payload)))
+    segment.buf[: len(payload)] = payload
+    handle = QueryHandle(
+        token=token or uuid.uuid4().hex, name=segment.name, nbytes=len(payload)
+    )
+    return handle, segment
+
+
+def publish_table(table: Table, token: Optional[str] = None) -> Tuple[TableHandle, "object"]:
+    """Export a table's columns, keyed by its existing content fingerprint.
+
+    Numeric columns are shared as raw bytes; object columns (group keys)
+    are encoded as fixed-width unicode so they fit a flat buffer.  The
+    fingerprint is computed *before* export and pre-seeded on reattached
+    tables, so both sides key the same cache entries.
+    """
+    shared = _require_shared_memory()
+    from repro.engine.cache import table_fingerprint
+
+    fingerprint = token or table_fingerprint(table)
+    encoded: List[Tuple[str, np.ndarray]] = []
+    for name in table.column_names:
+        values = table.column(name)
+        if values.dtype == object:
+            values = np.array([str(value) for value in values.tolist()])
+        encoded.append((name, np.ascontiguousarray(values)))
+    manifest = []
+    offset = 0
+    for name, values in encoded:
+        offset = (offset + 15) & ~15  # 16-byte alignment for any dtype
+        manifest.append((name, values.dtype.str, offset, values.nbytes))
+        offset += values.nbytes
+    segment = shared.SharedMemory(create=True, size=max(1, offset))
+    for (name, values), (_, _, start, nbytes) in zip(encoded, manifest):
+        segment.buf[start : start + nbytes] = values.tobytes()
+    handle = TableHandle(fingerprint=fingerprint, name=segment.name, columns=tuple(manifest))
+    return handle, segment
+
+
+# --------------------------------------------------------------------------
+# Attaching (runs in the workers; memoized per process)
+# --------------------------------------------------------------------------
+
+class _Attachment:
+    """A resolved handle: the value plus the mapping that keeps it alive."""
+
+    __slots__ = ("value", "segment")
+
+    def __init__(self, value, segment):
+        self.value = value
+        self.segment = segment
+
+
+#: Worker-resident store: token -> _Attachment, LRU-bounded.  Eviction
+#: only drops the store's reference — any live views keep the mapping
+#: alive until garbage collection, so in-flight results stay valid while
+#: a worker cycling through many collections does not accumulate every
+#: mapping it ever attached.
+_WORKER_STORE: "OrderedDict[str, _Attachment]" = OrderedDict()
+_WORKER_LOCK = threading.Lock()
+_MAX_WORKER_ENTRIES = 8
+
+
+def _store_put(token: str, attachment: _Attachment) -> None:
+    _WORKER_STORE[token] = attachment
+    while len(_WORKER_STORE) > _MAX_WORKER_ENTRIES:
+        _WORKER_STORE.popitem(last=False)
+
+#: Publisher-side registry: token -> (pid, original object).  Lets the
+#: publishing process (and only it — fork copies this dict, hence the pid
+#: check) resolve handles without re-attaching its own segments.
+_LOCAL: Dict[str, Tuple[int, object]] = {}
+
+
+def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "object"]:
+    """Reconstruct a read-only collection as views over the shared buffer."""
+    segment = _attach_segment(handle.name)
+    base = np.ndarray((handle.total,), dtype=np.float64, buffer=segment.buf)
+    base.flags.writeable = False
+    manifest_start = handle.total * 8
+    entries = pickle.loads(
+        bytes(segment.buf[manifest_start : manifest_start + handle.manifest_nbytes])
+    )
+    trendlines: List[Trendline] = []
+    position = 0
+    for key, y_mean, y_std, bin_offset, lengths in entries:
+        if len(lengths) != _ARRAYS_PER_TRENDLINE:
+            raise ExecutionError(
+                "shm manifest layout mismatch: expected {} arrays per "
+                "trendline, got {} (publisher/worker version skew?)".format(
+                    _ARRAYS_PER_TRENDLINE, len(lengths)
+                )
+            )
+        parts = []
+        for length in lengths:
+            parts.append(base[position : position + length])
+            position += length
+        x, y, bin_x, bin_y, norm_bin_y, count, sx, sy, sxy, sxx = parts
+        trendlines.append(
+            Trendline(
+                key=key,
+                x=x,
+                y=y,
+                bin_x=bin_x,
+                bin_y=bin_y,
+                norm_bin_y=norm_bin_y,
+                prefix=PrefixStats.from_cumulative(count, sx, sy, sxy, sxx),
+                y_mean=y_mean,
+                y_std=y_std,
+                offset=bin_offset,
+            )
+        )
+    return trendlines, segment
+
+
+def attach_table(handle: TableHandle) -> Tuple[Table, "object"]:
+    """Reconstruct a read-only, zero-copy table from a published handle."""
+    segment = _attach_segment(handle.name)
+    columns: Dict[str, np.ndarray] = {}
+    for name, dtype_str, offset, nbytes in handle.columns:
+        dtype = np.dtype(dtype_str)
+        count = nbytes // dtype.itemsize if dtype.itemsize else 0
+        view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        columns[name] = view
+    table = Table.from_shared(columns, fingerprint=handle.fingerprint)
+    return table, segment
+
+
+def _resolve(token: str, attach):
+    """Shared resolution: publisher short-circuit, then the worker store.
+
+    ``attach`` is called on a store miss and must return an
+    :class:`_Attachment`; the result is memoized (LRU) for the process
+    lifetime so each handle attaches at most once per worker.
+    """
+    local = _LOCAL.get(token)
+    if local is not None and local[0] == os.getpid():
+        return local[1]
+    with _WORKER_LOCK:
+        attachment = _WORKER_STORE.get(token)
+        if attachment is None:
+            attachment = attach()
+            _store_put(token, attachment)
+        else:
+            _WORKER_STORE.move_to_end(token)
+        return attachment.value
+
+
+def resolve_collection(handle: CollectionHandle) -> Sequence[Trendline]:
+    """The worker-resident collection for ``handle`` (attach on first use)."""
+    return _resolve(handle.token, lambda: _Attachment(*attach_collection(handle)))
+
+
+def resolve_query(query):
+    """Resolve a :class:`QueryHandle` (or pass a compiled query through)."""
+    if not isinstance(query, QueryHandle):
+        return query
+
+    def attach():
+        segment = _attach_segment(query.name)
+        value = pickle.loads(bytes(segment.buf[: query.nbytes]))
+        segment.close()
+        return _Attachment(value, None)
+
+    return _resolve(query.token, attach)
+
+
+def resolve_table(handle: TableHandle) -> Table:
+    """The worker-resident table for ``handle`` (attach on first use)."""
+    return _resolve(handle.fingerprint, lambda: _Attachment(*attach_table(handle)))
+
+
+def worker_init() -> None:
+    """Process-pool initializer (``WorkerPool(initializer=...)``).
+
+    Fork copies the publisher's ``_LOCAL`` registry into the child; left
+    in place it would satisfy every resolve from copy-on-write memory and
+    silently bypass the shared segments.  Dropping it (and any stale
+    attachment store) makes workers persistent shm residents: every
+    handle resolves through shared memory exactly once per worker.
+    """
+    _LOCAL.clear()
+    _WORKER_STORE.clear()
+
+
+# --------------------------------------------------------------------------
+# Session lifecycle
+# --------------------------------------------------------------------------
+
+_SESSIONS: "weakref.WeakSet[ShmSession]" = weakref.WeakSet()
+
+
+class ShmSession:
+    """Owns the segments one engine/session published; closes them once.
+
+    Publishing is memoized — the same collection object, compiled query,
+    or table (by fingerprint) is exported exactly once per session — and
+    the collection/query memos are LRU-bounded, so an engine run *without*
+    a trendline cache (fresh collection per ``execute``) recycles old
+    segments instead of accumulating one per query.  :meth:`pin` defers
+    any release of a handle's segment while shards referencing it are in
+    flight.  :meth:`close` is idempotent, also running via ``atexit`` so
+    that interpreter exit never leaks shared-memory segments.
+    """
+
+    #: Retained collection segments (each a full data copy): bounded so
+    #: cacheless sessions stay bounded too.
+    MAX_COLLECTIONS = 8
+    #: Retained query segments (small, but each costs a /dev/shm inode).
+    MAX_QUERIES = 128
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._segments: Dict[str, object] = {}  # token -> SharedMemory
+        self._collections: "OrderedDict[int, CollectionHandle]" = OrderedDict()
+        self._queries: "OrderedDict[int, QueryHandle]" = OrderedDict()
+        self._tables: Dict[str, TableHandle] = {}
+        self._refs: Dict[int, object] = {}  # keeps memo ids stable
+        self._witness: Dict[int, tuple] = {}  # element identities at publish
+        self._pins: Dict[str, int] = {}  # token -> in-flight dispatch count
+        self._deferred: Dict[str, object] = {}  # released while pinned
+        self._closed = False
+        _SESSIONS.add(self)
+
+    # -- publishing --------------------------------------------------------
+    def collection_handle(self, trendlines: Sequence[Trendline]) -> CollectionHandle:
+        """Publish a collection once; later calls reuse the segment."""
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._collection_locked(trendlines, stale)
+        _destroy_all(stale)
+        return handle
+
+    def query_handle(self, compiled) -> QueryHandle:
+        """Publish a compiled query once; later calls reuse the segment."""
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._query_locked(compiled, stale)
+        _destroy_all(stale)
+        return handle
+
+    def acquire(self, trendlines: Sequence[Trendline], compiled) -> Tuple[CollectionHandle, QueryHandle]:
+        """Publish-or-reuse both handles *and* pin them, atomically.
+
+        This is the dispatch entry point: taking the pins under the same
+        lock as the lookup closes the window in which a concurrent
+        eviction could unlink a segment between handing out its handle
+        and :meth:`pin` taking effect.  Pair with :meth:`unpin`.
+        """
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._collection_locked(trendlines, stale)
+            query_ref = self._query_locked(compiled, stale)
+            for token in (handle.token, query_ref.token):
+                self._pins[token] = self._pins.get(token, 0) + 1
+        _destroy_all(stale)
+        return handle, query_ref
+
+    def _collection_locked(self, trendlines, stale: list) -> CollectionHandle:
+        key = id(trendlines)
+        handle = self._collections.get(key)
+        # Lists are not immutable the way Table is: guard the id-based
+        # memo with a per-element identity witness so replacing, appending
+        # or reordering trendlines re-publishes instead of silently
+        # serving the stale segment.  (In-place mutation of a trendline's
+        # own arrays remains the caller's contract, as everywhere else.)
+        witness = tuple(map(id, trendlines))
+        if handle is not None and self._witness.get(key) != witness:
+            self._collections.pop(key, None)
+            stale.append(self._drop_locked(key, handle.token))
+            handle = None
+        if handle is None:
+            handle, segment = publish_trendlines(trendlines)
+            self._collections[key] = handle
+            self._witness[key] = witness
+            self._refs[key] = trendlines
+            self._segments[handle.token] = segment
+            _LOCAL[handle.token] = (os.getpid(), trendlines)
+            while len(self._collections) > self.MAX_COLLECTIONS:
+                old_key, old = self._collections.popitem(last=False)
+                stale.append(self._drop_locked(old_key, old.token))
+        else:
+            self._collections.move_to_end(key)
+        return handle
+
+    def _query_locked(self, compiled, stale: list) -> QueryHandle:
+        key = id(compiled)
+        handle = self._queries.get(key)
+        if handle is None:
+            handle, segment = publish_query(compiled)
+            self._queries[key] = handle
+            self._refs[key] = compiled
+            self._segments[handle.token] = segment
+            _LOCAL[handle.token] = (os.getpid(), compiled)
+            while len(self._queries) > self.MAX_QUERIES:
+                old_key, old = self._queries.popitem(last=False)
+                stale.append(self._drop_locked(old_key, old.token))
+        else:
+            self._queries.move_to_end(key)
+        return handle
+
+    def table_handle(self, table: Table) -> TableHandle:
+        """Publish a table once per content fingerprint."""
+        from repro.engine.cache import table_fingerprint
+
+        fingerprint = table_fingerprint(table)
+        with self._lock:
+            self._check_open()
+            handle = self._tables.get(fingerprint)
+            if handle is None:
+                handle, segment = publish_table(table, token=fingerprint)
+                self._tables[fingerprint] = handle
+                self._segments[handle.fingerprint] = segment
+                _LOCAL[handle.fingerprint] = (os.getpid(), table)
+            return handle
+
+    # -- in-flight pinning -------------------------------------------------
+    def pin(self, *handles) -> None:
+        """Guard handles during dispatch: their segments outlive releases.
+
+        A concurrent cache eviction (or the session's own LRU bound) may
+        release a collection while another thread's shards are still being
+        dispatched; pinned segments have their unlink deferred until the
+        matching :meth:`unpin`, so late-attaching workers never see a
+        vanished ``/dev/shm`` name.
+        """
+        with self._lock:
+            for handle in handles:
+                token = getattr(handle, "token", None)
+                if token is not None:
+                    self._pins[token] = self._pins.get(token, 0) + 1
+
+    def unpin(self, *handles) -> None:
+        """Drop dispatch pins, performing any release deferred meanwhile."""
+        stale = []
+        with self._lock:
+            for handle in handles:
+                token = getattr(handle, "token", None)
+                if token is None:
+                    continue
+                remaining = self._pins.get(token, 0) - 1
+                if remaining > 0:
+                    self._pins[token] = remaining
+                else:
+                    self._pins.pop(token, None)
+                    deferred = self._deferred.pop(token, None)
+                    if deferred is not None:
+                        stale.append(deferred)
+        for segment in stale:
+            _destroy(segment)
+
+    # -- release -----------------------------------------------------------
+    def release_collection(self, trendlines) -> None:
+        """Unlink one collection's segment (trendline-cache eviction hook).
+
+        Workers that already attached keep their mapping — POSIX keeps the
+        memory alive until the last map closes — but no new publisher-side
+        reuse can occur, and the ``/dev/shm`` name is freed (deferred while
+        the handle is pinned by an in-flight dispatch).
+        """
+        key = id(trendlines)
+        with self._lock:
+            handle = self._collections.pop(key, None)
+            if handle is None:
+                return
+            segment = self._drop_locked(key, handle.token)
+        if segment is not None:
+            _destroy(segment)
+
+    def _drop_locked(self, key: int, token: str):
+        """Forget one published entry; return its segment to destroy.
+
+        Caller holds the lock.  Returns ``None`` when the segment is
+        pinned (parked in ``_deferred`` for :meth:`unpin`) or already gone.
+        """
+        self._refs.pop(key, None)
+        self._witness.pop(key, None)
+        _LOCAL.pop(token, None)
+        segment = self._segments.pop(token, None)
+        if segment is None:
+            return None
+        if self._pins.get(token):
+            self._deferred[token] = segment
+            return None
+        return segment
+
+    def close(self) -> None:
+        """Close and unlink every published segment (safe to call twice)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments = list(self._segments.values()) + list(self._deferred.values())
+            tokens = list(self._segments.keys()) + list(self._deferred.keys())
+            self._segments.clear()
+            self._deferred.clear()
+            self._pins.clear()
+            self._collections.clear()
+            self._queries.clear()
+            self._tables.clear()
+            self._refs.clear()
+            self._witness.clear()
+        for token in tokens:
+            _LOCAL.pop(token, None)
+        for segment in segments:
+            _destroy(segment)
+
+    def _check_open(self):
+        if self._closed:
+            raise ExecutionError("ShmSession is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShmSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _destroy_all(segments) -> None:
+    for segment in segments:
+        if segment is not None:
+            _destroy(segment)
+
+
+def _destroy(segment) -> None:
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # already unlinked (e.g. concurrent close)
+        pass
+    except Exception:  # pragma: no cover
+        pass
+
+
+def release_evicted(value) -> None:
+    """LRU-eviction hook for caches that may hold published collections.
+
+    One module-level function (registered once per cache — listener
+    deduplication is by identity) rather than a closure per engine, so a
+    long-lived shared cache never accumulates stale listeners.  Only the
+    session that published ``value`` has it memoized; for every other
+    session — and for values that were never published — this is a no-op.
+    """
+    for session in list(_SESSIONS):
+        if not session.closed:
+            session.release_collection(value)
+
+
+@atexit.register
+def _close_all_sessions() -> None:  # pragma: no cover - exercised at exit
+    for session in list(_SESSIONS):
+        session.close()

@@ -99,6 +99,24 @@ class PrefixStats:
         return cls(x, y, x * y, x * x, np.ones(len(x)))
 
     @classmethod
+    def from_cumulative(cls, count, sx, sy, sxy, sxx) -> "PrefixStats":
+        """Adopt already-cumulative arrays without recomputation.
+
+        This is the shared-memory reattachment path: the arrays are the
+        exact ``prefix[i]`` buffers a publishing process built (length
+        ``bins + 1``, leading zero included), typically read-only views
+        over a shared segment, and are shared as-is.
+        """
+        self = cls.__new__(cls)
+        self.bins = len(count) - 1
+        self.count = count
+        self.sx = sx
+        self.sy = sy
+        self.sxy = sxy
+        self.sxx = sxx
+        return self
+
+    @classmethod
     def from_binned(cls, x: np.ndarray, y: np.ndarray, bin_index: np.ndarray) -> "PrefixStats":
         """Bins given by a non-decreasing integer bin index per raw point."""
         x = np.asarray(x, dtype=float)

@@ -316,6 +316,7 @@ class QuantifierUnit(CompiledUnit):
         location: Location = Location(),
         negated: bool = False,
         seg_index: int = -1,
+        positive_threshold: Optional[float] = None,
     ):
         self.kind = kind
         self.theta = theta
@@ -324,6 +325,10 @@ class QuantifierUnit(CompiledUnit):
         self.location = location
         self.negated = negated
         self.seg_index = seg_index
+        #: Occurrence floor override (None = the module default, 0.3);
+        #: set at compile time from the engine's quantifier_threshold so
+        #: it travels with the compiled query into process workers.
+        self.positive_threshold = positive_threshold
 
     def __repr__(self):
         return "QuantifierUnit({} x{})".format(self.udp_name or self.kind, self.quantifier)
@@ -361,11 +366,12 @@ class QuantifierUnit(CompiledUnit):
                 run_scores.append(float(function(values[a:b], slope)))
             else:
                 run_scores.append(float(scoring.pattern_score(self.kind, slope, self.theta)))
+        threshold = self.positive_threshold
+        if threshold is None:
+            threshold = scoring.QUANTIFIER_POSITIVE_THRESHOLD
         return self._signed(
             scoring.quantifier_score(
-                self.quantifier,
-                run_scores,
-                positive_threshold=scoring.QUANTIFIER_POSITIVE_THRESHOLD,
+                self.quantifier, run_scores, positive_threshold=threshold
             )
         )
 

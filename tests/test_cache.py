@@ -64,6 +64,34 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(capacity=0)
 
+    def test_evict_listener_sees_evicted_values(self):
+        dropped = []
+        cache = LRUCache(capacity=2)
+        cache.add_evict_listener(dropped.append)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert dropped == [1]
+        cache.put("d", 4)  # evicts "b"
+        assert dropped == [1, 2]
+
+    def test_evict_listener_not_called_on_overwrite(self):
+        dropped = []
+        cache = LRUCache(capacity=2)
+        cache.add_evict_listener(dropped.append)
+        cache.put("a", 1)
+        cache.put("a", 10)
+        assert dropped == []
+
+    def test_evict_listeners_deduplicated(self):
+        dropped = []
+        cache = LRUCache(capacity=1)
+        cache.add_evict_listener(dropped.append)
+        cache.add_evict_listener(dropped.append)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert dropped == [1]
+
     def test_clear(self):
         cache = LRUCache(capacity=4)
         cache.put("a", 1)

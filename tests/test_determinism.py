@@ -100,6 +100,47 @@ class TestWorkerCountInvariance:
         ]
 
 
+class TestBackendInvariance:
+    """Thread, process+shm and process+pickling must agree byte-for-byte."""
+
+    @pytest.mark.parametrize("shm", [True, False])
+    def test_process_backend_matches_sequential(self, shm):
+        trendlines = _collection()
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=6)
+        with ShapeSearchEngine(workers=2, backend="process", shm=shm) as parallel:
+            shard_merged = parallel.rank(trendlines, QUERY, k=6)
+        assert _signature(sequential) == _signature(shard_merged)
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, 3), (3, 1), (4, 100)])
+    def test_shm_worker_count_invariance(self, workers, chunk_size):
+        trendlines = _collection()
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=6)
+        with ShapeSearchEngine(
+            workers=workers, backend="process", chunk_size=chunk_size
+        ) as parallel:
+            shard_merged = parallel.rank(trendlines, QUERY, k=6)
+        assert _signature(sequential) == _signature(shard_merged)
+
+    def test_thread_and_process_backends_agree(self):
+        trendlines = _collection()
+        with ShapeSearchEngine(workers=3, backend="thread") as threaded:
+            via_threads = threaded.rank(trendlines, QUERY, k=6)
+        with ShapeSearchEngine(workers=3, backend="process") as processed:
+            via_processes = processed.rank(trendlines, QUERY, k=6)
+        assert _signature(via_threads) == _signature(via_processes)
+
+    def test_shm_pruning_path_matches_sequential(self):
+        trendlines = _collection(count=30)
+        sequential = ShapeSearchEngine(enable_pruning=True).rank(trendlines, QUERY, k=5)
+        with ShapeSearchEngine(
+            enable_pruning=True, workers=3, backend="process"
+        ) as parallel:
+            shard_merged = parallel.rank(trendlines, QUERY, k=5)
+        assert [(m.key, m.score) for m in sequential] == [
+            (m.key, m.score) for m in shard_merged
+        ]
+
+
 class TestTieBreaking:
     """Exact score ties must resolve identically for any sharding."""
 
@@ -121,6 +162,19 @@ class TestTieBreaking:
         trendlines = self._tied_collection()
         sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=4)
         with ShapeSearchEngine(workers=workers, chunk_size=chunk_size) as parallel:
+            shard_merged = parallel.rank(trendlines, QUERY, k=4)
+        assert _signature(sequential) == _signature(shard_merged)
+
+    @pytest.mark.parametrize("workers,chunk_size", [(2, 2), (3, 1)])
+    def test_ties_survive_shm_transport(self, workers, chunk_size):
+        # Byte-identical duplicates cross process and shared-memory
+        # boundaries; the (score desc, position asc) order must still pick
+        # the earliest input positions.
+        trendlines = self._tied_collection()
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=4)
+        with ShapeSearchEngine(
+            workers=workers, backend="process", chunk_size=chunk_size
+        ) as parallel:
             shard_merged = parallel.rank(trendlines, QUERY, k=4)
         assert _signature(sequential) == _signature(shard_merged)
 

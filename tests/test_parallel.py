@@ -133,6 +133,22 @@ class TestWorkerPool:
             assert pool._pool is not None
         assert pool._pool is None
 
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(workers=2)
+        pool.map(len, [[1]])
+        pool.shutdown()
+        pool.shutdown()
+        assert pool._pool is None
+
+    def test_finalizer_releases_forgotten_pool(self):
+        pool = WorkerPool(workers=2)
+        pool.map(len, [[1]])
+        executor = pool._pool
+        finalizer = pool._finalizer
+        assert finalizer.alive
+        finalizer()  # what gc / interpreter exit runs
+        assert executor._shutdown
+
 
 class TestProcessBackend:
     def test_process_results_match_sequential(self):
@@ -143,6 +159,39 @@ class TestProcessBackend:
         assert [(m.key, m.score) for m in sequential] == [
             (m.key, m.score) for m in parallel
         ]
+
+    def test_shm_and_pickling_transports_agree(self):
+        trendlines = _collection(12)
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=5)
+        with ShapeSearchEngine(workers=2, backend="process", shm=True) as engine:
+            via_shm = engine.rank(trendlines, QUERY, k=5)
+        with ShapeSearchEngine(workers=2, backend="process", shm=False) as engine:
+            via_pickle = engine.rank(trendlines, QUERY, k=5)
+        signatures = [
+            [(m.key, m.score) for m in matches]
+            for matches in (sequential, via_shm, via_pickle)
+        ]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_shm_transport_aggregates_stats(self):
+        trendlines = _collection(12)
+        with ShapeSearchEngine(workers=2, backend="process", chunk_size=3) as engine:
+            _, stats = engine.rank_with_stats(trendlines, QUERY, k=4)
+        assert stats.shards == 4
+        assert stats.scored + stats.eager_discarded == 12
+
+    def test_shm_process_pool_uses_worker_init(self):
+        with ShapeSearchEngine(workers=2, backend="process") as engine:
+            pool = engine._resolve_pool(None)
+            from repro.engine.shm import worker_init
+
+            assert pool.initializer is worker_init
+        with ShapeSearchEngine(workers=2, backend="process", shm=False) as engine:
+            assert engine._resolve_pool(None).initializer is None
+
+    def test_thread_pool_never_gets_process_initializer(self):
+        with ShapeSearchEngine(workers=2, backend="thread") as engine:
+            assert engine._resolve_pool(None).initializer is None
 
 
 class TestParallelEngine:

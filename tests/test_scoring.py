@@ -143,6 +143,110 @@ class TestSketchScore:
             assert -1.0 <= scoring.sketch_score(a, b) <= 1.0
 
 
+class TestDegenerateInput:
+    """Empty / single-point series must yield defined values, not numpy
+    errors from a degenerate interpolation grid (regression)."""
+
+    def test_resample_empty_source_is_zeros(self):
+        result = scoring.resample(np.array([]), 5)
+        assert result.tolist() == [0.0] * 5
+
+    def test_resample_single_point_broadcasts(self):
+        result = scoring.resample(np.array([3.5]), 4)
+        assert result.tolist() == [3.5] * 4
+
+    def test_resample_to_zero_length(self):
+        assert len(scoring.resample(np.array([1.0, 2.0]), 0)) == 0
+
+    def test_resample_identity_when_lengths_match(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert scoring.resample(values, 3) is values
+
+    def test_znormalize_empty(self):
+        assert scoring.znormalize(np.array([])).tolist() == []
+
+    def test_sketch_score_empty_sketch_defined(self):
+        segment = np.array([1.0, 2.0, 3.0])
+        assert scoring.sketch_score(segment, np.array([])) == -1.0
+
+    def test_sketch_score_single_point_sketch_defined(self):
+        segment = np.array([1.0, 2.0, 3.0])
+        assert scoring.sketch_score(segment, np.array([7.0])) == -1.0
+
+    def test_sketch_score_short_segment_defined(self):
+        assert scoring.sketch_score(np.array([1.0]), np.array([1.0, 2.0])) == -1.0
+
+    def test_sketch_score_degenerate_both_sides(self):
+        assert scoring.sketch_score(np.array([]), np.array([])) == -1.0
+
+
+class TestQuantifierThresholdOverride:
+    """§5.2: the occurrence floor 'can be overridden by users'."""
+
+    def _table(self):
+        from repro.data.table import Table
+
+        # Two rises split by a fall: quantifier occurrences exist but are
+        # modest, so a high floor rejects them.
+        values = np.concatenate(
+            [np.linspace(0, 4, 10), np.linspace(4, 1, 10), np.linspace(1, 5, 10)]
+        )
+        return Table.from_arrays(
+            z=np.array(["a"] * 30, dtype=object),
+            x=np.arange(30, dtype=float),
+            y=values,
+        )
+
+    def test_engine_threads_threshold_into_units(self):
+        from repro.engine.chains import compile_query
+        from repro.parser import parse
+
+        compiled = compile_query(parse("[p=up, m={2,}]"), quantifier_threshold=0.9)
+        assert compiled.chains[0].units[0].unit.positive_threshold == 0.9
+        default = compile_query(parse("[p=up, m={2,}]"))
+        assert default.chains[0].units[0].unit.positive_threshold is None
+
+    def test_override_changes_scores_and_default_matches_constant(self):
+        from repro.data.visual_params import VisualParams
+        from repro.engine.executor import ShapeSearchEngine
+        from repro.parser import parse
+
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        node = parse("[p=up, m={2,}]")
+        permissive = ShapeSearchEngine(quantifier_threshold=0.0).execute(
+            table, params, node, k=1
+        )
+        strict = ShapeSearchEngine(quantifier_threshold=0.99).execute(
+            table, params, node, k=1
+        )
+        assert permissive[0].score > strict[0].score
+        assert strict[0].score == -1.0
+        default = ShapeSearchEngine().execute(table, params, node, k=1)
+        explicit = ShapeSearchEngine(
+            quantifier_threshold=scoring.QUANTIFIER_POSITIVE_THRESHOLD
+        ).execute(table, params, node, k=1)
+        assert default[0].score == explicit[0].score
+
+    def test_plan_cache_keys_on_threshold(self):
+        from repro.data.visual_params import VisualParams
+        from repro.engine.cache import EngineCache
+        from repro.engine.executor import ShapeSearchEngine
+        from repro.parser import parse
+
+        table = self._table()
+        params = VisualParams(z="z", x="x", y="y")
+        node = parse("[p=up, m={2,}]")
+        cache = EngineCache()
+        lenient = ShapeSearchEngine(cache=cache, quantifier_threshold=0.0)
+        strict = ShapeSearchEngine(cache=cache, quantifier_threshold=0.99)
+        first = lenient.execute(table, params, node, k=1)
+        second = strict.execute(table, params, node, k=1)
+        # Shared cache, different thresholds: no plan sharing, no stale score.
+        assert first[0].score != second[0].score
+        assert len(cache.plans) == 2
+
+
 class TestDirectionalRuns:
     def test_clean_two_runs(self):
         values = np.concatenate([np.linspace(0, 5, 10), np.linspace(5, 0, 10)])

@@ -1,0 +1,459 @@
+"""Unit tests for the shared-memory transport (repro.engine.shm)."""
+
+import numpy as np
+import pytest
+
+from repro.algebra import builder as q
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine import shm
+from repro.engine.cache import table_fingerprint
+from repro.engine.chains import compile_query
+from repro.engine.executor import ShapeSearchEngine
+from repro.engine.parallel import (
+    make_chunks,
+    make_range_chunks,
+    merge_shard_results,
+    score_shard,
+    score_shard_range,
+)
+from repro.errors import ExecutionError
+
+from tests.conftest import make_trendline
+
+QUERY = compile_query(q.concat(q.up(), q.down()))
+
+
+def _collection(count=10, seed=3, points=30):
+    rng = np.random.default_rng(seed)
+    return [
+        make_trendline(rng.normal(0, 1, points).cumsum(), key="s{:02d}".format(index))
+        for index in range(count)
+    ]
+
+
+def _signature(matches):
+    return [(m.key, m.score) for m in matches]
+
+
+class TestCollectionRoundtrip:
+    def test_attach_reconstructs_identical_trendlines(self):
+        trendlines = _collection()
+        handle, segment = shm.publish_trendlines(trendlines)
+        try:
+            rebuilt, attachment = shm.attach_collection(handle)
+            assert len(rebuilt) == len(trendlines)
+            for original, copy in zip(trendlines, rebuilt):
+                assert copy.key == original.key
+                assert copy.y_mean == original.y_mean
+                assert copy.y_std == original.y_std
+                assert copy.offset == original.offset
+                assert np.array_equal(copy.x, original.x)
+                assert np.array_equal(copy.y, original.y)
+                assert np.array_equal(copy.bin_x, original.bin_x)
+                assert np.array_equal(copy.norm_bin_y, original.norm_bin_y)
+                assert copy.prefix.bins == original.prefix.bins
+                assert np.array_equal(copy.prefix.sxy, original.prefix.sxy)
+            attachment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_arrays_are_read_only_views(self):
+        trendlines = _collection(count=3)
+        handle, segment = shm.publish_trendlines(trendlines)
+        try:
+            rebuilt, attachment = shm.attach_collection(handle)
+            for trendline in rebuilt:
+                assert not trendline.norm_bin_y.flags.writeable
+                assert trendline.norm_bin_y.base is not None  # a view, not a copy
+                with pytest.raises((ValueError, RuntimeError)):
+                    trendline.norm_bin_y[0] = 99.0
+            attachment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_collection_scores_identically(self):
+        trendlines = _collection()
+        handle, segment = shm.publish_trendlines(trendlines)
+        try:
+            rebuilt, attachment = shm.attach_collection(handle)
+            original = score_shard(trendlines, 0, QUERY, k=5)
+            reattached = score_shard(rebuilt, 0, QUERY, k=5)
+            assert [
+                (score, position, trendline.key, result.score)
+                for score, position, trendline, result in original.items
+            ] == [
+                (score, position, trendline.key, result.score)
+                for score, position, trendline, result in reattached.items
+            ]
+            attachment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestWorkerResolution:
+    def test_publisher_resolves_to_original_objects(self):
+        trendlines = _collection(count=4)
+        session = shm.ShmSession()
+        try:
+            handle = session.collection_handle(trendlines)
+            assert shm.resolve_collection(handle) is trendlines
+        finally:
+            session.close()
+
+    def test_score_shard_range_matches_list_path(self):
+        trendlines = _collection(count=12)
+        session = shm.ShmSession()
+        try:
+            handle = session.collection_handle(trendlines)
+            query_ref = session.query_handle(QUERY)
+            ranges = make_range_chunks(len(handle), workers=3, chunk_size=4)
+            shards = [
+                score_shard_range(handle, start, end, query_ref, 4)
+                for start, end in ranges
+            ]
+            expected = [
+                score_shard(chunk, base, QUERY, 4)
+                for base, chunk in make_chunks(trendlines, workers=3, chunk_size=4)
+            ]
+            merged = merge_shard_results(shards, 4)
+            merged_expected = merge_shard_results(expected, 4)
+            assert [
+                (score, position, trendline.key)
+                for score, position, trendline, _ in merged
+            ] == [
+                (score, position, trendline.key)
+                for score, position, trendline, _ in merged_expected
+            ]
+        finally:
+            session.close()
+
+    def test_resolve_query_passes_compiled_through(self):
+        assert shm.resolve_query(QUERY) is QUERY
+
+
+class TestRangeChunks:
+    def test_ranges_cover_count_in_order(self):
+        ranges = make_range_chunks(10, workers=3, chunk_size=4)
+        assert ranges == [(0, 4), (4, 8), (8, 10)]
+
+    def test_matches_object_chunking(self):
+        trendlines = _collection(count=11)
+        ranges = make_range_chunks(len(trendlines), workers=4)
+        chunks = make_chunks(trendlines, workers=4)
+        assert [start for start, _end in ranges] == [base for base, _ in chunks]
+        assert [end - start for start, end in ranges] == [
+            len(chunk) for _, chunk in chunks
+        ]
+
+    def test_empty_and_invalid(self):
+        assert make_range_chunks(0, workers=4) == []
+        with pytest.raises(ExecutionError):
+            make_range_chunks(5, workers=2, chunk_size=0)
+
+
+class TestQueryHandle:
+    def test_publish_resolve_roundtrip_across_store(self):
+        session = shm.ShmSession()
+        try:
+            handle = session.query_handle(QUERY)
+            # Simulate a worker: drop the publisher-side registry entry so
+            # resolution must go through the shared segment.
+            entry = shm._LOCAL.pop(handle.token)
+            try:
+                resolved = shm.resolve_query(handle)
+            finally:
+                shm._LOCAL[handle.token] = entry
+                shm._WORKER_STORE.pop(handle.token, None)
+            assert resolved is not QUERY
+            assert len(resolved.chains) == len(QUERY.chains)
+            assert resolved.chains[0].k == QUERY.chains[0].k
+        finally:
+            session.close()
+
+
+class TestTableExport:
+    def _table(self):
+        return Table.from_arrays(
+            z=np.array(["a", "a", "b", "b"], dtype=object),
+            x=np.array([0.0, 1.0, 0.0, 1.0]),
+            y=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+
+    def test_roundtrip_preserves_columns_and_fingerprint(self):
+        table = self._table()
+        handle, segment = shm.publish_table(table)
+        try:
+            rebuilt, attachment = shm.attach_table(handle)
+            assert rebuilt.column_names == table.column_names
+            assert np.array_equal(rebuilt.column("x"), table.column("x"))
+            assert np.array_equal(rebuilt.column("y"), table.column("y"))
+            assert [str(v) for v in rebuilt.column("z")] == ["a", "a", "b", "b"]
+            # The pre-seeded fingerprint keys the same cache entries.
+            assert table_fingerprint(rebuilt) == table_fingerprint(table)
+            attachment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_numeric_columns_are_zero_copy_views(self):
+        table = self._table()
+        handle, segment = shm.publish_table(table)
+        try:
+            rebuilt, attachment = shm.attach_table(handle)
+            column = rebuilt.column("x")
+            assert not column.flags.writeable
+            assert column.base is not None
+            attachment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_from_shared_rejects_mismatched_lengths(self):
+        with pytest.raises(Exception):
+            Table.from_shared(
+                {"a": np.zeros(3), "b": np.zeros(4)}, fingerprint="x"
+            )
+
+    def test_session_memoizes_by_fingerprint(self):
+        table = self._table()
+        session = shm.ShmSession()
+        try:
+            first = session.table_handle(table)
+            second = session.table_handle(table)
+            assert first is second
+            assert shm.resolve_table(first) is table  # publisher short-circuit
+        finally:
+            session.close()
+
+
+class TestHandleSize:
+    def test_handle_pickles_small_regardless_of_collection_size(self):
+        import pickle
+
+        small = _collection(count=2)
+        large = _collection(count=40)
+        session = shm.ShmSession()
+        try:
+            small_handle = session.collection_handle(small)
+            large_handle = session.collection_handle(large)
+            # The per-trendline manifest lives inside the segment, so the
+            # handle that travels with every range task stays O(1) (a few
+            # bytes of integer-width jitter aside).
+            assert len(pickle.dumps(large_handle)) < len(pickle.dumps(small_handle)) + 16
+            assert len(pickle.dumps(large_handle)) < 256
+            assert len(large_handle) == 40
+        finally:
+            session.close()
+
+
+class TestBoundedResidency:
+    def test_session_collection_memo_is_lru_bounded(self):
+        session = shm.ShmSession()
+        try:
+            collections = [
+                _collection(count=2, seed=seed)
+                for seed in range(session.MAX_COLLECTIONS + 2)
+            ]
+            handles = [session.collection_handle(c) for c in collections]
+            assert len(session._collections) == session.MAX_COLLECTIONS
+            # The oldest segments were unlinked, the newest still live.
+            with pytest.raises(FileNotFoundError):
+                shm.attach_collection(handles[0])
+            rebuilt, attachment = shm.attach_collection(handles[-1])
+            assert rebuilt[0].key == collections[-1][0].key
+            attachment.close()
+        finally:
+            session.close()
+
+    def test_mutated_collection_is_republished(self):
+        # The session memoizes by list identity; replacing an element must
+        # invalidate the memo, not serve the stale segment (regression:
+        # the shm path silently returned the old top-k).
+        trendlines = _collection(count=6)
+        session = shm.ShmSession()
+        try:
+            first = session.collection_handle(trendlines)
+            trendlines[0] = make_trendline(
+                np.linspace(0.0, 9.0, 30), key="replaced"
+            )
+            second = session.collection_handle(trendlines)
+            assert second.token != first.token
+            rebuilt, attachment = shm.attach_collection(second)
+            assert rebuilt[0].key == "replaced"
+            attachment.close()
+        finally:
+            session.close()
+
+    def test_mutated_collection_end_to_end(self):
+        trendlines = _collection(count=8)
+        with ShapeSearchEngine(workers=2, backend="process") as engine:
+            engine.rank(trendlines, QUERY, k=3)
+            trendlines.insert(
+                0, make_trendline(np.linspace(0.0, 9.0, 40), key="late-add")
+            )
+            mutated = engine.rank(trendlines, QUERY, k=3)
+            expected = ShapeSearchEngine().rank(trendlines, QUERY, k=3)
+        assert _signature(mutated) == _signature(expected)
+
+    def test_acquire_pins_both_handles_atomically(self):
+        trendlines = _collection(count=3)
+        session = shm.ShmSession()
+        try:
+            handle, query_ref = session.acquire(trendlines, QUERY)
+            assert session._pins[handle.token] == 1
+            assert session._pins[query_ref.token] == 1
+            session.release_collection(trendlines)  # deferred: pinned
+            rebuilt, attachment = shm.attach_collection(handle)
+            attachment.close()
+            session.unpin(handle, query_ref)
+            with pytest.raises(FileNotFoundError):
+                shm.attach_collection(handle)
+        finally:
+            session.close()
+
+    def test_pinned_segment_release_is_deferred(self):
+        trendlines = _collection(count=3)
+        session = shm.ShmSession()
+        try:
+            handle = session.collection_handle(trendlines)
+            session.pin(handle)
+            session.release_collection(trendlines)
+            # Still attachable: the unlink waits for the in-flight pin.
+            rebuilt, attachment = shm.attach_collection(handle)
+            attachment.close()
+            session.unpin(handle)
+            with pytest.raises(FileNotFoundError):
+                shm.attach_collection(handle)
+        finally:
+            session.close()
+
+    def test_worker_store_is_lru_bounded(self):
+        saved = dict(shm._WORKER_STORE)
+        shm._WORKER_STORE.clear()
+        try:
+            for index in range(shm._MAX_WORKER_ENTRIES + 3):
+                shm._store_put("tok{}".format(index), shm._Attachment(index, None))
+            assert len(shm._WORKER_STORE) == shm._MAX_WORKER_ENTRIES
+            assert "tok0" not in shm._WORKER_STORE
+        finally:
+            shm._WORKER_STORE.clear()
+            shm._WORKER_STORE.update(saved)
+
+    def test_shared_cache_registers_one_listener(self):
+        from repro.engine.cache import EngineCache
+
+        cache = EngineCache()
+        first = ShapeSearchEngine(cache=cache)
+        second = ShapeSearchEngine(cache=cache)
+        assert cache.trendlines._evict_listeners == [shm.release_evicted]
+        first.close()
+        second.close()
+
+
+class TestSessionLifecycle:
+    def test_close_unlinks_segments(self):
+        trendlines = _collection(count=3)
+        session = shm.ShmSession()
+        handle = session.collection_handle(trendlines)
+        session.close()
+        with pytest.raises(FileNotFoundError):
+            shm.attach_collection(handle)
+
+    def test_close_is_idempotent(self):
+        session = shm.ShmSession()
+        session.collection_handle(_collection(count=2))
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_publish_after_close_rejected(self):
+        session = shm.ShmSession()
+        session.close()
+        with pytest.raises(ExecutionError):
+            session.collection_handle(_collection(count=2))
+
+    def test_release_collection_unlinks_only_that_segment(self):
+        first, second = _collection(count=2, seed=1), _collection(count=2, seed=2)
+        session = shm.ShmSession()
+        try:
+            handle_first = session.collection_handle(first)
+            handle_second = session.collection_handle(second)
+            session.release_collection(first)
+            with pytest.raises(FileNotFoundError):
+                shm.attach_collection(handle_first)
+            rebuilt, attachment = shm.attach_collection(handle_second)
+            assert rebuilt[0].key == second[0].key
+            attachment.close()
+            # Releasing again (or an unknown value) is a no-op.
+            session.release_collection(first)
+            session.release_collection(object())
+        finally:
+            session.close()
+
+    def test_context_manager_closes(self):
+        with shm.ShmSession() as session:
+            handle = session.collection_handle(_collection(count=2))
+        assert session.closed
+        with pytest.raises(FileNotFoundError):
+            shm.attach_collection(handle)
+
+
+class TestEngineIntegration:
+    def test_engine_close_releases_session(self):
+        trendlines = _collection(count=8)
+        engine = ShapeSearchEngine(workers=2, backend="process")
+        engine.rank(trendlines, QUERY, k=3)
+        session = engine._shm_box[0]
+        assert session is not None and not session.closed
+        engine.close()
+        assert session.closed
+        engine.close()  # idempotent
+
+    def test_engine_finalizer_releases_session(self):
+        trendlines = _collection(count=8)
+        engine = ShapeSearchEngine(workers=2, backend="process")
+        engine.rank(trendlines, QUERY, k=3)
+        session = engine._shm_box[0]
+        engine._finalizer()  # what gc / interpreter exit runs
+        assert session.closed
+
+    def test_trendline_cache_eviction_releases_segment(self):
+        from repro.engine.cache import EngineCache, LRUCache
+
+        cache = EngineCache(trendlines=LRUCache(capacity=1), plans=LRUCache(capacity=8))
+        rng = np.random.default_rng(0)
+        tables = []
+        for _ in range(2):
+            zs, xs, ys = [], [], []
+            for key in ("a", "b", "c"):
+                series = rng.normal(0, 1, 25).cumsum()
+                for index, value in enumerate(series):
+                    zs.append(key)
+                    xs.append(float(index))
+                    ys.append(float(value))
+            tables.append(
+                Table.from_arrays(
+                    z=np.array(zs, dtype=object), x=np.array(xs), y=np.array(ys)
+                )
+            )
+        params = VisualParams(z="z", x="x", y="y")
+        node = q.concat(q.up(), q.down())
+        with ShapeSearchEngine(workers=2, backend="process", cache=cache) as engine:
+            engine.execute(tables[0], params, node, k=2)
+            session = engine._shm_box[0]
+            published_before = len(session._collections)
+            engine.execute(tables[1], params, node, k=2)  # evicts tables[0] entry
+            assert cache.trendlines.stats.evictions == 1
+            assert len(session._collections) == published_before  # released + added
+
+    def test_shm_disabled_still_correct(self):
+        trendlines = _collection(count=10)
+        sequential = ShapeSearchEngine().rank(trendlines, QUERY, k=4)
+        with ShapeSearchEngine(workers=2, backend="process", shm=False) as engine:
+            pickled = engine.rank(trendlines, QUERY, k=4)
+            assert engine._shm_box[0] is None  # transport never engaged
+        assert _signature(sequential) == _signature(pickled)
