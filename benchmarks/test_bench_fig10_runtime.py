@@ -3,6 +3,13 @@
 Paper shape to reproduce: DP is slowest (quadratic in trendline length);
 SegmentTree is 2–40× faster than DP; two-stage pruning shaves a further
 10–30%; Greedy is fastest; DTW sits between SegmentTree and DP.
+
+The figure's "dp" is the paper's per-end-bin recurrence, i.e. our
+``kernel="loop"`` — the ordering assertions encode the *paper's*
+algorithmic shape.  The matrix kernel (this repo's default) is recorded
+as an extra ``dp-matrix`` column: at these suite sizes it routinely
+beats the SegmentTree, which is exactly why it became the default and
+why it is excluded from the paper-shape assertions.
 """
 
 import time
@@ -10,7 +17,7 @@ import time
 import pytest
 
 from repro.baselines.dtw import rank_by_dtw
-from repro.engine.dynamic import solve_query
+from repro.engine.dynamic import fuzzy_run_solver, solve_query
 from repro.engine.greedy import greedy_run_solver
 from repro.engine.pruning import prune_and_rank
 from repro.engine.segment_tree import segment_tree_run_solver
@@ -32,7 +39,9 @@ def _rank_all(trendlines, query, run_solver=None, k=10):
 
 def _run(algorithm, trendlines, query):
     if algorithm == "dp":
-        return _rank_all(trendlines, query)
+        return _rank_all(trendlines, query, run_solver=fuzzy_run_solver("loop"))
+    if algorithm == "dp-matrix":
+        return _rank_all(trendlines, query, run_solver=fuzzy_run_solver("matrix"))
     if algorithm == "segment-tree":
         return _rank_all(trendlines, query, run_solver=segment_tree_run_solver)
     if algorithm == "greedy":
@@ -44,7 +53,7 @@ def _run(algorithm, trendlines, query):
     raise ValueError(algorithm)
 
 
-ALGORITHMS = ("dp", "segment-tree", "pruned", "greedy", "dtw")
+ALGORITHMS = ("dp", "dp-matrix", "segment-tree", "pruned", "greedy", "dtw")
 
 
 @pytest.mark.parametrize("suite_name", SUITE_NAMES)

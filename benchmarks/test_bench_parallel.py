@@ -12,7 +12,11 @@ Measurements on the Figure 13 scaling suites:
 * **result caching** — cold vs warm ``execute`` over the same table and
   query, recording the latency ratio and the cache hit rate;
 * **batch amortization** — ``execute_many`` over all of a suite's fuzzy
-  queries vs issuing them one at a time on a fresh engine.
+  queries vs issuing them one at a time on a fresh engine;
+* **DP kernel** — single-trendline fuzzy segmentation, loop vs matrix
+  transition kernel (``kernel=`` on the engine), at n=500 bins (the
+  asserted ≥3× point) and a larger scaled n (recorded only) — the
+  per-kernel numbers the pool-level measurements above sit on.
 
 Speedups are *recorded*, not asserted: thread-backend gains depend on
 how much of the inner loop releases the GIL, and process-backend gains
@@ -26,12 +30,16 @@ artifact (see benchmarks/conftest.py).
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.data.visual_params import VisualParams
 from repro.datasets.suites import SUITES, suite_table
+from repro.engine.chains import compile_query
+from repro.engine.dynamic import fuzzy_run_solver, solve_query
 from repro.engine.executor import ShapeSearchEngine
 from repro.engine.parallel import default_workers
+from repro.engine.trendline import build_trendline
 from repro.parser import parse
 
 from benchmarks.conftest import SCALE, fuzzy_query, print_table, record_result
@@ -130,6 +138,89 @@ def test_batch_amortization(benchmark):
     _RESULTS[("batch", "batched")] = time.perf_counter() - started
 
     assert [_signature(r) for r in batched] == [_signature(r) for r in individual]
+
+
+#: The asserted DP-kernel measurement point (the paper-scale trendline
+#: length where interpreter overhead dominates the loop kernel) and the
+#: required advantage of the matrix kernel there.
+DP_KERNEL_N = 500
+DP_KERNEL_TARGET = 3.0
+
+
+def _dp_kernel_times(n, rounds=3):
+    """Best-of-``rounds`` single-trendline DP times per kernel at ``n`` bins.
+
+    Returns ``(loop_s, matrix_s)`` and asserts the two kernels returned
+    byte-identical scores and placements — the identity that makes the
+    loop kernel the matrix kernel's oracle.
+    """
+    rng = np.random.default_rng(20)
+    trendline = build_trendline(
+        "kernel-bench", np.arange(n, dtype=float), rng.normal(0, 1, n).cumsum()
+    )
+    compiled = compile_query(parse("[p=up][p=down][p=up]"))
+    times = {}
+    results = {}
+    for kernel in ("loop", "matrix"):
+        solver = fuzzy_run_solver(kernel)
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            results[kernel] = solve_query(trendline, compiled, run_solver=solver)
+            best = min(best, time.perf_counter() - started)
+        times[kernel] = best
+    loop_result, matrix_result = results["loop"], results["matrix"]
+    assert matrix_result.score == loop_result.score
+    assert [
+        (p.start, p.end, p.score) for p in matrix_result.solution.placements
+    ] == [(p.start, p.end, p.score) for p in loop_result.solution.placements]
+    return times["loop"], times["matrix"]
+
+
+def test_dp_kernel_microbench(benchmark):
+    """Loop vs matrix DP kernel on one trendline (the per-candidate hot path).
+
+    The n=500 point asserts the ≥3× matrix-kernel advantage — a pure
+    single-core vectorization claim, so it holds on any hardware and any
+    REPRO_BENCH_SCALE; a larger scaled n is recorded alongside to track
+    the bandwidth-bound regime where slope sharing is the remaining
+    lever.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    loop_s, matrix_s = _dp_kernel_times(DP_KERNEL_N)
+    speedup = loop_s / max(matrix_s, 1e-9)
+    large_n = max(DP_KERNEL_N, int(2000 * SCALE))
+    large_loop_s, large_matrix_s = _dp_kernel_times(large_n)
+    large_speedup = large_loop_s / max(large_matrix_s, 1e-9)
+    print_table(
+        "DP kernel: single trendline, [p=up][p=down][p=up]",
+        ["bins", "loop", "matrix", "speedup"],
+        [
+            [DP_KERNEL_N, "{:.4f}s".format(loop_s), "{:.4f}s".format(matrix_s),
+             "{:.2f}x".format(speedup)],
+            [large_n, "{:.4f}s".format(large_loop_s), "{:.4f}s".format(large_matrix_s),
+             "{:.2f}x".format(large_speedup)],
+        ],
+    )
+    record_result(
+        "dp_kernel",
+        {
+            "n_bins": DP_KERNEL_N,
+            "loop_s": loop_s,
+            "matrix_s": matrix_s,
+            "speedup": speedup,
+            "large_n_bins": large_n,
+            "large_loop_s": large_loop_s,
+            "large_matrix_s": large_matrix_s,
+            "large_speedup": large_speedup,
+            "target": DP_KERNEL_TARGET,
+        },
+    )
+    assert speedup >= DP_KERNEL_TARGET, (
+        "matrix kernel {:.2f}x at n={} (target {}x)".format(
+            speedup, DP_KERNEL_N, DP_KERNEL_TARGET
+        )
+    )
 
 
 def test_parallel_report(benchmark):

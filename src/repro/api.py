@@ -71,8 +71,9 @@ class ShapeSearch:
     keeps generated trendlines and compiled plans across searches so
     repeated interactive queries skip EXTRACT/GROUP entirely.
     ``quantifier_threshold`` overrides the occurrence floor of §5.2's
-    quantifier scoring (default 0.3).  All are ignored when an explicit
-    ``engine`` is passed.
+    quantifier scoring (default 0.3), and ``kernel`` picks the DP
+    transition kernel (``"matrix"`` default, ``"loop"`` the byte-identical
+    reference).  All are ignored when an explicit ``engine`` is passed.
 
     Sessions own OS resources once a parallel search ran (worker
     processes, shared-memory segments): call :meth:`close` or use the
@@ -84,11 +85,12 @@ class ShapeSearch:
     def __init__(self, table: Table, engine: Optional[ShapeSearchEngine] = None,
                  tagger: Optional[EntityTagger] = None,
                  workers: Optional[int] = 1, cache=None, backend: str = "thread",
-                 quantifier_threshold: Optional[float] = None):
+                 quantifier_threshold: Optional[float] = None,
+                 kernel: str = "matrix"):
         self.table = table
         self.engine = engine if engine is not None else ShapeSearchEngine(
             workers=workers, cache=cache, backend=backend,
-            quantifier_threshold=quantifier_threshold,
+            quantifier_threshold=quantifier_threshold, kernel=kernel,
         )
         self.tagger = tagger
 

@@ -26,7 +26,7 @@ def level_slopes(trendline: Trendline, ranges: List[Tuple[int, int]]) -> np.ndar
     valid = ends - starts >= MIN_SEGMENT_BINS
     if not valid.any():
         return np.zeros(1)
-    return np.asarray(trendline.prefix._slopes(starts[valid], ends[valid]))
+    return np.asarray(trendline.prefix.slopes_pairs(starts[valid], ends[valid]))
 
 
 def chain_bounds(

@@ -3,9 +3,24 @@
 Implements the recurrence of Theorem 6.1/6.2 in O(n²k) per alternative
 chain: ``OPT(j, r)`` is the best weighted score of fitting the first
 ``j`` fuzzy units of a chain so that they exactly cover the bins
-``[lo, r)``.  Transitions are vectorized over the split point using the
-prefix summarized statistics, so the inner maximization is a numpy
-reduction rather than a Python loop.
+``[lo, r)``.
+
+Two kernels drive the transitions:
+
+* ``"matrix"`` (the default) — each DP layer is computed from tiled
+  *(splits × ends)* unit score matrices
+  (:meth:`~repro.engine.units.CompiledUnit.score_matrix`):
+  ``opt[j, ends] = max over splits of (opt[j-1, splits][:, None]
+  + weight · W[splits, ends])`` — one masked ``np.max``/``np.argmax``
+  per tile instead of one Python iteration per end bin.  Ends are tiled
+  in fixed-size blocks (:data:`MATRIX_TILE`) so peak memory stays
+  O(n·B) however long the trendline is.
+* ``"loop"`` — the retained reference kernel: a Python loop over end
+  bins with the inner maximization vectorized over the split point.
+
+The two kernels are byte-identical — same scores, same placements, same
+lowest-split-index tie-breaking — which the property suite asserts; the
+loop kernel doubles as the oracle for the matrix kernel.
 
 Hybrid (partially pinned) chains are handled exactly: x-pinned units are
 scored at their pinned bins, and each maximal run of fuzzy units between
@@ -31,6 +46,22 @@ from repro.engine.trendline import Trendline
 from repro.engine.units import INFEASIBLE, MIN_SEGMENT_BINS, run_min_length
 
 _NEG_INF = -np.inf
+
+#: Supported DP transition kernels (see module docstring).
+KERNELS = ("matrix", "loop")
+
+#: Kernel used when no explicit choice is made.
+DEFAULT_KERNEL = "matrix"
+
+#: Solve-context key carrying the active kernel into nested/AND
+#: sub-solves (their fuzzy runs dispatch through the same context), so
+#: ``kernel="loop"`` is honored end to end, not just at the top level.
+KERNEL_KEY = "__kernel__"
+
+#: End bins per block of the matrix kernel: each layer materializes at
+#: most (n splits × MATRIX_TILE ends) unit scores at a time, keeping
+#: peak memory O(n·B) while amortizing the per-tile numpy dispatch.
+MATRIX_TILE = 256
 
 
 @dataclass
@@ -77,25 +108,49 @@ def solve_query(
     lo: Optional[int] = None,
     hi: Optional[int] = None,
     run_solver=None,
+    context: Optional[dict] = None,
+    kernel: Optional[str] = None,
 ) -> QueryResult:
     """Score a compiled query on a trendline: max over alternative chains.
 
     ``run_solver`` swaps the fuzzy-run algorithm (DP by default; the
-    SegmentTree and greedy engines plug in here).
+    SegmentTree and greedy engines plug in here); ``kernel`` instead
+    picks the DP transition kernel and records it in the solve context
+    so nested/AND sub-solves use the same one.  The solve context is
+    shared across the alternative chains so per-trendline memos (e.g.
+    QuantifierUnit's classified runs) carry across chains that share
+    units.
     """
     best: Optional[QueryResult] = None
+    if context is None:
+        context = {}
+    if kernel is not None:
+        context[KERNEL_KEY] = kernel
+        if run_solver is None:
+            run_solver = fuzzy_run_solver(kernel)
     for index, chain in enumerate(query.chains):
-        solution = solve_chain(trendline, chain, lo=lo, hi=hi, run_solver=run_solver)
+        solution = solve_chain(
+            trendline, chain, lo=lo, hi=hi, context=context, run_solver=run_solver
+        )
         if best is None or solution.score > best.score:
             best = QueryResult(score=solution.score, chain_index=index, solution=solution)
     return best
 
 
 def solve_query_over_range(
-    trendline: Trendline, query: CompiledQuery, lo: int, hi: int
+    trendline: Trendline,
+    query: CompiledQuery,
+    lo: int,
+    hi: int,
+    context: Optional[dict] = None,
 ) -> QueryResult:
-    """Entry point for NestedUnit: solve the sub-query inside ``[lo, hi)``."""
-    return solve_query(trendline, query, lo=lo, hi=hi)
+    """Entry point for NestedUnit: solve the sub-query inside ``[lo, hi)``.
+
+    ``context`` carries only solve-scoped auxiliaries (kernel choice,
+    runs memo) — the nested query has its own segment-index space, so
+    the caller must not leak its slope context in here.
+    """
+    return solve_query(trendline, query, lo=lo, hi=hi, context=context)
 
 
 def solve_chain(
@@ -213,11 +268,59 @@ def plan_layout(
 
 
 # ---------------------------------------------------------------------------
-# Fuzzy full-cover DP (Theorem 6.2)
+# Fuzzy full-cover DP (Theorem 6.2): loop and matrix transition kernels
 # ---------------------------------------------------------------------------
 
 
-def _solve_fuzzy_run(
+def fuzzy_run_solver(kernel: Optional[str] = None):
+    """Resolve a kernel name to its fuzzy-run solver function.
+
+    ``None`` selects :data:`DEFAULT_KERNEL`.  Both kernels implement the
+    identical recurrence and tie-breaking, so they are interchangeable;
+    ``"loop"`` is kept as the reference oracle for ``"matrix"``.
+    """
+    kernel = DEFAULT_KERNEL if kernel is None else kernel
+    if kernel == "matrix":
+        return _solve_fuzzy_run_matrix
+    if kernel == "loop":
+        return _solve_fuzzy_run_loop
+    raise ValueError(
+        "unknown DP kernel {!r}; choose from {}".format(kernel, KERNELS)
+    )
+
+
+def _fuzzy_run_plan(lo: int, hi: int, units: List[ChainUnit]):
+    """Shared feasibility triage for both kernels.
+
+    Returns ``(handled, result, min_len)``: when ``handled`` is True the
+    run needs no DP (empty, too short, or a single unit) and ``result``
+    is the answer; otherwise ``min_len`` is the per-unit width floor.
+    """
+    m = len(units)
+    if m == 0:
+        return True, ([] if hi >= lo else None), 0
+    if hi - lo < MIN_SEGMENT_BINS * m:
+        return True, None, 0
+    min_len = run_min_length(lo, hi, m)
+    if m == 1:
+        return True, [(lo, hi)], min_len
+    return False, None, min_len
+
+
+def _backtrack(split: np.ndarray, lo: int, hi: int, m: int) -> List[Tuple[int, int]]:
+    """Recover per-unit boundaries from the split table."""
+    bounds: List[Tuple[int, int]] = []
+    r = hi
+    for j in range(m - 1, 0, -1):
+        s = int(split[j, r - lo])
+        bounds.append((s, r))
+        r = s
+    bounds.append((lo, r))
+    bounds.reverse()
+    return bounds
+
+
+def _solve_fuzzy_run_loop(
     trendline: Trendline,
     units: List[ChainUnit],
     lo: int,
@@ -226,18 +329,16 @@ def _solve_fuzzy_run(
 ) -> Optional[List[Tuple[int, int]]]:
     """Best exact cover of bins ``[lo, hi)`` by the given fuzzy units.
 
-    Returns per-unit ``(start, end)`` placements or None when the range
-    cannot host them (fewer than 2 bins per unit available).
+    The reference kernel: a Python loop over every end bin ``r``, with
+    the inner maximization vectorized over the split point.  Returns
+    per-unit ``(start, end)`` placements or None when the range cannot
+    host them (fewer than 2 bins per unit available).
     """
+    handled, result, min_len = _fuzzy_run_plan(lo, hi, units)
+    if handled:
+        return result
     m = len(units)
-    if m == 0:
-        return [] if hi >= lo else None
     length = hi - lo
-    if length < MIN_SEGMENT_BINS * m:
-        return None
-    min_len = run_min_length(lo, hi, m)
-    if m == 1:
-        return [(lo, hi)]
 
     # opt[j][r-lo]: best weighted score of units[0..j] covering [lo, r).
     grid = np.arange(lo, hi + 1)
@@ -268,17 +369,134 @@ def _solve_fuzzy_run(
 
     if not np.isfinite(opt[m - 1, length]):
         return None
+    return _backtrack(split, lo, hi, m)
 
-    # Backtrack the boundaries.
-    bounds: List[Tuple[int, int]] = []
-    r = hi
-    for j in range(m - 1, 0, -1):
-        s = int(split[j, r - lo])
-        bounds.append((s, r))
-        r = s
-    bounds.append((lo, r))
-    bounds.reverse()
-    return bounds
+
+def _solve_fuzzy_run_matrix(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+) -> Optional[List[Tuple[int, int]]]:
+    """Matrix-kernel twin of :func:`_solve_fuzzy_run_loop`.
+
+    Each layer ``j`` consumes tiled *(splits × ends)* unit score
+    matrices: for a block of end bins the kernel materializes
+    ``W[splits, ends]`` once (vectorized for slope/line units), masks
+    splits outside each end's feasible window to −∞, and reduces whole
+    columns with one ``argmax``.  Non-vectorized units (nested queries,
+    UDPs, sketches, quantifiers) keep the loop kernel's per-column
+    evaluation inside the tile structure — they gain nothing from a
+    rectangular tile and would pay for cells the mask discards.  ``argmax`` returns
+    the first maximum and splits are enumerated ascending, so ties
+    resolve to the lowest split index — exactly the loop kernel's
+    ``np.argmax`` over the same ascending candidates, which keeps the
+    two kernels byte-identical.
+    """
+    handled, result, min_len = _fuzzy_run_plan(lo, hi, units)
+    if handled:
+        return result
+    m = len(units)
+    length = hi - lo
+
+    opt = np.full((m, length + 1), _NEG_INF)
+    split = np.zeros((m, length + 1), dtype=int)
+
+    first = units[0]
+    ends0 = np.arange(lo + min_len, hi + 1)
+    opt[0, min_len:] = first.weight * first.unit.score_ends(
+        trendline, lo, ends0, context
+    )
+
+    # Tile-major wavefront over end bins.  Layers run *inside* each
+    # tile (ascending j), which is dependency-safe: OPT[j][r] only reads
+    # OPT[j-1] at split positions s ≤ r − min_len, all of which were
+    # finalized either by an earlier tile or by layer j−1 of this tile.
+    # The payoff is slope sharing: the (splits × ends) fitted-slope
+    # matrix of a tile is computed once and every slope-based layer
+    # (up/down/flat/θ — the overwhelmingly common case) reuses it, so
+    # the expensive part of the transition work is paid once per tile
+    # rather than once per layer.
+    prefix = trendline.prefix
+    share_slopes = any(cu.unit.slope_based for cu in units[1:])
+    base_split = lo + min_len  # lowest split any layer can use
+    all_ends = np.arange(lo + 2 * min_len, hi + 1)  # earliest layer-1 end
+    for block in range(0, len(all_ends), MATRIX_TILE):
+        ends_tile = all_ends[block : block + MATRIX_TILE]
+        tile_first = int(ends_tile[0])
+        tile_last = int(ends_tile[-1])
+        splits_union = np.arange(base_split, tile_last - min_len + 1)
+        shared = (
+            prefix.slope_matrix(splits_union, ends_tile) if share_slopes else None
+        )
+        for j in range(1, m):
+            # Valid for OPT[j][r]: lo + min_len*j <= s <= r - min_len.
+            col0 = max(0, lo + min_len * (j + 1) - tile_first)
+            if col0 >= len(ends_tile):
+                continue
+            ends_j = ends_tile[col0:]
+            cu = units[j]
+            min_split = lo + min_len * j
+            if not cu.unit.vectorized:
+                # Expensive fallback units (nested solves, UDPs, sketches,
+                # quantifiers) are evaluated per column over only the
+                # feasible splits — the rectangular tile would score the
+                # masked triangle too, wasting up to min_len scalar calls
+                # per end bin the loop kernel never makes.  This is the
+                # loop kernel's inner body verbatim, so identity is free.
+                prev = opt[j - 1]
+                for r in ends_j:
+                    r = int(r)
+                    ms = np.arange(min_split, r - min_len + 1)
+                    left = prev[ms - lo]
+                    right = cu.weight * cu.unit.score_starts(trendline, ms, r, context)
+                    column = left + right
+                    best_row = int(np.argmax(column))
+                    if column[best_row] > _NEG_INF:
+                        opt[j, r - lo] = column[best_row]
+                        split[j, r - lo] = ms[best_row]
+                continue
+            row0 = min_len * (j - 1)
+            splits_j = splits_union[row0:]
+            if cu.unit.slope_based:
+                scores = cu.unit.score_matrix_from_slopes(
+                    trendline, splits_j, ends_j, shared[row0:, col0:], context
+                )
+            else:
+                scores = cu.unit.score_matrix(trendline, splits_j, ends_j, context)
+            # candidates = opt[j-1][s] + weight·W[s, r], built in place on
+            # the tile's score matrix (fresh per layer; IEEE addition is
+            # commutative, so left + w·W and w·W + left agree bit for bit
+            # with the loop kernel).
+            candidates = np.multiply(scores, cu.weight, out=scores)
+            candidates += opt[j - 1][splits_j - lo][:, None]
+            candidates[splits_j[:, None] > ends_j[None, :] - min_len] = _NEG_INF
+            best = np.argmax(candidates, axis=0)
+            best_values = candidates[best, np.arange(len(ends_j))]
+            take = best_values > _NEG_INF
+            columns = (ends_j - lo)[take]
+            opt[j, columns] = best_values[take]
+            split[j, columns] = splits_j[best[take]]
+
+    if not np.isfinite(opt[m - 1, length]):
+        return None
+    return _backtrack(split, lo, hi, m)
+
+
+def _solve_fuzzy_run(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+) -> Optional[List[Tuple[int, int]]]:
+    """Default fuzzy-run solver: the context's kernel, else the module
+    default.  Kept under the historical name (solve_chain's default);
+    reading the kernel from the context is what makes nested sub-queries
+    and AND exact-covers honor the engine's kernel choice."""
+    kernel = context.get(KERNEL_KEY) if isinstance(context, dict) else None
+    return fuzzy_run_solver(kernel)(trendline, units, lo, hi, context)
 
 
 # ---------------------------------------------------------------------------

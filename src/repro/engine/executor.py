@@ -6,7 +6,9 @@ segmentation algorithm per candidate visualization (or the two-stage
 collective pruning driver for fuzzy queries), and return the top-k
 matches.  Algorithms:
 
-* ``"dp"`` — optimal dynamic programming, O(n²k) (§6.1);
+* ``"dp"`` — optimal dynamic programming, O(n²k) (§6.1), driven by the
+  tiled matrix kernel by default (``kernel="matrix"``; ``"loop"`` keeps
+  the byte-identical reference kernel for benchmarking);
 * ``"segment-tree"`` — pattern-aware, O(nk⁴) (§6.2), the default;
 * ``"greedy"`` — local-search baseline (§9);
 * ``"exhaustive"`` — the brute-force oracle (tests/small data only).
@@ -105,12 +107,25 @@ class ShapeSearchEngine:
         cache=None,
         shm: bool = True,
         quantifier_threshold: Optional[float] = None,
+        kernel: str = "matrix",
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
                 "unknown algorithm {!r}; choose from {}".format(algorithm, ALGORITHMS)
             )
+        from repro.engine.dynamic import KERNELS
+
+        if kernel not in KERNELS:
+            raise ExecutionError(
+                "unknown kernel {!r}; choose from {}".format(kernel, KERNELS)
+            )
         self.algorithm = algorithm
+        #: DP transition kernel for ``algorithm="dp"``: ``"matrix"`` (the
+        #: tiled matrix kernel, default) or ``"loop"`` (the retained
+        #: per-end-bin reference kernel).  Byte-identical results either
+        #: way — the loop kernel exists as the oracle and for
+        #: benchmarking the matrix kernel against.
+        self.kernel = kernel
         self.enable_pushdown = enable_pushdown
         self.enable_pruning = enable_pruning
         self.sample_size = sample_size
@@ -372,6 +387,7 @@ class ShapeSearchEngine:
                 sample_size=self.sample_size,
                 sample_points=self.sample_points,
                 report=report,
+                kernel=self.kernel,
             )
             stats.pruning = report
             stats.scored = report.completed
@@ -395,6 +411,7 @@ class ShapeSearchEngine:
             algorithm=self.algorithm,
             enable_pushdown=self.enable_pushdown,
             has_eager_checks=has_eager_checks,
+            kernel=self.kernel,
         )
         stats.scored += shard.scored
         stats.eager_discarded += shard.eager_discarded
@@ -427,6 +444,7 @@ class ShapeSearchEngine:
                 sample_points=self.sample_points,
                 chunk_size=self.chunk_size,
                 stats=stats,
+                kernel=self.kernel,
             )
         else:
             items = parallel_rank_items(
@@ -439,6 +457,7 @@ class ShapeSearchEngine:
                 chunk_size=self.chunk_size,
                 stats=stats,
                 has_eager_checks=has_eager_checks,
+                kernel=self.kernel,
             )
         return _to_matches(items)
 
@@ -480,6 +499,7 @@ class ShapeSearchEngine:
                     sample_points=self.sample_points,
                     chunk_size=self.chunk_size,
                     stats=stats,
+                    kernel=self.kernel,
                 )
             else:
                 items = parallel_rank_ranges(
@@ -492,6 +512,7 @@ class ShapeSearchEngine:
                     chunk_size=self.chunk_size,
                     stats=stats,
                     has_eager_checks=has_eager_checks,
+                    kernel=self.kernel,
                 )
         finally:
             session.unpin(handle, query_ref)
@@ -550,7 +571,7 @@ class ShapeSearchEngine:
     def _solve(self, trendline: Trendline, compiled: CompiledQuery) -> QueryResult:
         from repro.engine.parallel import solve_one
 
-        return solve_one(trendline, compiled, self.algorithm)
+        return solve_one(trendline, compiled, self.algorithm, kernel=self.kernel)
 
 
 def _release_engine_resources(pools: dict, lock: threading.Lock, shm_box: list) -> None:

@@ -76,17 +76,35 @@ class ShardResult:
 
 #: Run solvers by algorithm name — the single dispatch table; the
 #: executor's sequential and score_one paths route through solve_one too.
+#: ``"dp"`` resolves through :func:`repro.engine.dynamic.fuzzy_run_solver`
+#: so the kernel choice (matrix/loop) applies.
 RUN_SOLVERS = {
-    "dp": None,  # dynamic's own DP
+    "dp": None,  # dynamic's own DP (kernel-selected in solve_one)
     "segment-tree": segment_tree_run_solver,
     "greedy": greedy_run_solver,
 }
 
 
-def solve_one(trendline: Trendline, query: CompiledQuery, algorithm: str) -> QueryResult:
-    """Score one candidate with the named algorithm."""
+def solve_one(
+    trendline: Trendline,
+    query: CompiledQuery,
+    algorithm: str,
+    kernel: Optional[str] = None,
+) -> QueryResult:
+    """Score one candidate with the named algorithm.
+
+    ``kernel`` picks the DP transition kernel (``"matrix"``/``"loop"``,
+    None = the module default); it only affects ``algorithm="dp"`` — the
+    two kernels are byte-identical, so this is a benchmarking/oracle
+    knob, not a semantic one.
+    """
     if algorithm == "exhaustive":
         return exhaustive_solve_query(trendline, query)
+    if algorithm == "dp":
+        # kernel= (rather than run_solver=) records the choice in the
+        # solve context, so nested sub-queries and AND exact-covers run
+        # the same kernel as the top-level chains.
+        return solve_query(trendline, query, kernel=kernel)
     return solve_query(trendline, query, run_solver=RUN_SOLVERS[algorithm])
 
 
@@ -98,6 +116,7 @@ def score_shard(
     algorithm: str = "segment-tree",
     enable_pushdown: bool = True,
     has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> ShardResult:
     """Score one shard and keep its local top-k.
 
@@ -126,7 +145,7 @@ def score_shard(
         ):
             shard.eager_discarded += 1
             continue
-        result = solve_one(trendline, query, algorithm)
+        result = solve_one(trendline, query, algorithm, kernel=kernel)
         shard.scored += 1
         item = (result.score, -position, trendline, result)
         if len(heap) < k:
@@ -146,6 +165,7 @@ def prune_shard(
     k: int,
     sample_size: int,
     sample_points: int,
+    kernel: Optional[str] = None,
 ) -> ShardResult:
     """Run the two-stage collective pruning driver on one shard.
 
@@ -162,6 +182,7 @@ def prune_shard(
         sample_size=sample_size,
         sample_points=sample_points,
         report=report,
+        kernel=kernel,
     )
     shard = ShardResult(pruning=report, scored=report.completed)
     shard.items = [
@@ -180,6 +201,7 @@ def score_shard_range(
     algorithm: str = "segment-tree",
     enable_pushdown: bool = True,
     has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> ShardResult:
     """Score bins ``[start, end)`` of a shared-memory-resident collection.
 
@@ -203,6 +225,7 @@ def score_shard_range(
         algorithm=algorithm,
         enable_pushdown=enable_pushdown,
         has_eager_checks=has_eager_checks,
+        kernel=kernel,
     )
 
 
@@ -214,13 +237,16 @@ def prune_shard_range(
     k: int,
     sample_size: int,
     sample_points: int,
+    kernel: Optional[str] = None,
 ) -> ShardResult:
     """Range-based twin of :func:`prune_shard` over the worker store."""
     from repro.engine.shm import resolve_collection, resolve_query
 
     trendlines = resolve_collection(handle)
     compiled = resolve_query(query)
-    return prune_shard(trendlines[start:end], compiled, k, sample_size, sample_points)
+    return prune_shard(
+        trendlines[start:end], compiled, k, sample_size, sample_points, kernel=kernel
+    )
 
 
 def merge_shard_results(
@@ -349,6 +375,7 @@ def parallel_rank_items(
     chunk_size: Optional[int] = None,
     stats=None,
     has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shard, score and merge: the parallel SEGMENT+SCORE inner loop.
 
@@ -367,6 +394,7 @@ def parallel_rank_items(
         [algorithm] * len(chunks),
         [enable_pushdown] * len(chunks),
         [has_eager_checks] * len(chunks),
+        [kernel] * len(chunks),
     )
     if stats is not None:
         stats.shards = len(chunks)
@@ -386,6 +414,7 @@ def parallel_rank_ranges(
     chunk_size: Optional[int] = None,
     stats=None,
     has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shared-memory twin of :func:`parallel_rank_items`.
 
@@ -411,6 +440,7 @@ def parallel_rank_ranges(
         [algorithm] * len(ranges),
         [enable_pushdown] * len(ranges),
         [has_eager_checks] * len(ranges),
+        [kernel] * len(ranges),
     )
     if stats is not None:
         stats.shards = len(ranges)
@@ -429,6 +459,7 @@ def parallel_prune_ranges(
     sample_points: int = 64,
     chunk_size: Optional[int] = None,
     stats=None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shared-memory twin of :func:`parallel_prune_items`."""
     ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
@@ -441,6 +472,7 @@ def parallel_prune_ranges(
         [k] * len(ranges),
         [sample_size] * len(ranges),
         [sample_points] * len(ranges),
+        [kernel] * len(ranges),
     )
     return _merge_pruned(shards, k, len(ranges), stats)
 
@@ -454,6 +486,7 @@ def parallel_prune_items(
     sample_points: int = 64,
     chunk_size: Optional[int] = None,
     stats=None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shard the collective-pruning driver and merge the exact top-k."""
     chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
@@ -464,6 +497,7 @@ def parallel_prune_items(
         [k] * len(chunks),
         [sample_size] * len(chunks),
         [sample_points] * len(chunks),
+        [kernel] * len(chunks),
     )
     return _merge_pruned(shards, k, len(chunks), stats)
 
@@ -523,6 +557,7 @@ class ParallelEngine(ShapeSearchEngine):
         cache=True,
         shm: bool = True,
         quantifier_threshold: Optional[float] = None,
+        kernel: str = "matrix",
     ):
         super().__init__(
             algorithm=algorithm,
@@ -536,4 +571,5 @@ class ParallelEngine(ShapeSearchEngine):
             cache=cache,
             shm=shm,
             quantifier_threshold=quantifier_threshold,
+            kernel=kernel,
         )

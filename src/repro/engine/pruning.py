@@ -112,8 +112,14 @@ def prune_and_rank(
     sample_points: int = 64,
     steps_per_round: int = 2,
     report: Optional[PruningReport] = None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[Trendline, QueryResult]]:
-    """Top-k visualizations for a fuzzy query under two-stage pruning."""
+    """Top-k visualizations for a fuzzy query under two-stage pruning.
+
+    ``kernel`` selects the DP transition kernel for the stage-1 sampled
+    solves (the two kernels are byte-identical, so this only matters for
+    honest loop-vs-matrix timing comparisons).
+    """
     report = report if report is not None else PruningReport()
     report.candidates = len(trendlines)
 
@@ -124,7 +130,7 @@ def prune_and_rank(
         sampled_scores: List[float] = []
         for trendline in trendlines[::stride][:sample_size]:
             reduced = decimate(trendline, sample_points)
-            result = solve_query(reduced, query)
+            result = solve_query(reduced, query, kernel=kernel)
             sampled_scores.append(result.score)
             report.sampled += 1
         if len(sampled_scores) >= k:

@@ -120,28 +120,60 @@ def eager_upper_bound(trendline: Trendline, query: CompiledQuery) -> float:
     current top-k floor, which preserves the exact top-k: unlike
     :func:`eager_discard`, a contradicted pinned segment alone is not
     disqualifying.
+
+    This runs once per candidate in the shard hot loop, so the pinned
+    units' slope fits ride the batched prefix kernel: every distinct
+    pinned directional unit across all chains is fitted in one
+    :meth:`~repro.engine.statistics.PrefixStats.slopes_pairs` call
+    (bitwise-equal to the scalar slope path), and units shared between
+    OR-alternative chains are scored once.
     """
     from repro.engine.units import LineUnit
 
-    best = -float("inf")
-    any_pinned_directional = False
     for chain in query.chains:
         if not all(isinstance(cu.unit, (SlopeUnit, LineUnit)) for cu in chain.units):
             return float("inf")
-        chain_bound = 0.0
+
+    pinned = {}  # id(unit) -> (unit, start bin, end bin)
+    for chain in query.chains:
         for cu in chain.units:
             unit = cu.unit
             if (
                 isinstance(unit, SlopeUnit)
                 and unit.kind in ("up", "down")
                 and unit.location.is_x_pinned
+                and id(unit) not in pinned
             ):
-                any_pinned_directional = True
                 start, end = unit.resolve_pins(trendline)
-                chain_bound += cu.weight * min(1.0, unit.score(trendline, start, end))
+                pinned[id(unit)] = (unit, start, end)
+    if not pinned:
+        return float("inf")
+
+    entries = list(pinned.values())
+    scores = {}
+    if len(entries) <= 2:
+        # Scalar fast path: for the typical one-or-two-pin query the
+        # allocation-free scalar score beats building 1-2 element arrays.
+        for unit, start, end in entries:
+            scores[id(unit)] = unit.score_with_slope(trendline, start, end)
+    else:
+        slopes = trendline.prefix.slopes_pairs(
+            np.array([start for _unit, start, _end in entries]),
+            np.array([end for _unit, _start, end in entries]),
+        )
+        for (unit, start, end), slope in zip(entries, slopes):
+            scores[id(unit)] = unit.score_with_slope(
+                trendline, start, end, float(slope)
+            )
+
+    best = -float("inf")
+    for chain in query.chains:
+        chain_bound = 0.0
+        for cu in chain.units:
+            unit_score = scores.get(id(cu.unit))
+            if unit_score is not None:
+                chain_bound += cu.weight * min(1.0, unit_score)
             else:
                 chain_bound += cu.weight
         best = max(best, chain_bound)
-    if not any_pinned_directional:
-        return float("inf")
     return best

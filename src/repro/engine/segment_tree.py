@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.engine.chains import ChainUnit
 from repro.engine.trendline import Trendline
 from repro.engine.units import MIN_SEGMENT_BINS, run_min_length
@@ -82,9 +84,7 @@ class IncrementalSegmentTree:
             # through merges at higher levels).
             leaf_size = max(MIN_SEGMENT_BINS, self.min_len // 2)
         self.ranges = leaf_ranges(lo, hi, leaf_size)
-        self.tables = [
-            self._leaf_table(l, r) for l, r in self.ranges
-        ]
+        self.tables = self._leaf_tables()
 
     @property
     def done(self) -> bool:
@@ -115,13 +115,23 @@ class IncrementalSegmentTree:
         return self.tables[0].get((0, len(self.units) - 1)) if self.tables else None
 
     # -- internals ---------------------------------------------------------
-    def _leaf_table(self, lo: int, hi: int) -> Table:
-        table: Table = {}
-        placement = ((lo, hi),)
+    def _leaf_tables(self) -> List[Table]:
+        """Score every unit over every leaf range in one batched pass.
+
+        This is the same unit kernel the matrix DP rides
+        (:meth:`~repro.engine.units.CompiledUnit.score_pairs`): slope and
+        line units evaluate all leaves with one vectorized prefix query
+        instead of one Python call per (unit, leaf) pair.
+        """
+        starts = np.array([l for l, _ in self.ranges])
+        ends = np.array([r for _, r in self.ranges])
+        tables: List[Table] = [{} for _ in self.ranges]
         for i, cu in enumerate(self.units):
-            score = cu.unit.score(self.trendline, lo, hi, self.context)
-            table[(i, i)] = (cu.weight * score, placement, (score,))
-        return table
+            scores = cu.unit.score_pairs(self.trendline, starts, ends, self.context)
+            for table, (l, r), score in zip(tables, self.ranges, scores):
+                score = float(score)
+                table[(i, i)] = (cu.weight * score, ((l, r),), (score,))
+        return tables
 
     def _combine(self, left: Table, right: Table, final: bool = False) -> Table:
         """Combine two sibling tables; ``final`` marks the root combine,

@@ -167,11 +167,22 @@ class PrefixStats:
 
         Entry ``[i, j]`` is the slope of ``[starts[i], ends[j])``; invalid
         ranges (fewer than two points) come out as 0 and must be masked by
-        the caller.
+        the caller.  This is the workhorse of the DP matrix kernel: one
+        call summarizes every (split, end) transition of a layer.
         """
         l = np.asarray(starts)[:, None]
         r = np.asarray(ends)[None, :]
         return self._slopes(l, r)
+
+    def slopes_pairs(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Vectorized slopes of paired ranges ``[starts[i], ends[i])``.
+
+        The batched twin of :meth:`slope` for callers holding explicit
+        (start, end) pairs — SegmentTree leaf scoring, level bounds, the
+        push-down eager-bound path.  Values are bitwise identical to the
+        scalar :meth:`slope` on each pair.
+        """
+        return self._slopes(np.asarray(starts), np.asarray(ends))
 
     def _slopes(self, l, r):
         n = self.count[r] - self.count[l]
@@ -179,8 +190,20 @@ class PrefixStats:
         sy = self.sy[r] - self.sy[l]
         sxy = self.sxy[r] - self.sxy[l]
         sxx = self.sxx[r] - self.sxx[l]
-        denominator = n * sxx - sx * sx
-        numerator = n * sxy - sx * sy
-        with np.errstate(divide="ignore", invalid="ignore"):
-            slopes = np.where(np.abs(denominator) < _EPS, 0.0, numerator / np.where(denominator == 0, 1.0, denominator))
+        # In-place arithmetic: the matrix kernel funnels (splits × ends)
+        # tiles through here, where temporaries are megabytes and memory
+        # traffic — not flops — is the bottleneck.  Operand order matches
+        # the scalar slope() formula exactly, so values are unchanged.
+        numerator = np.multiply(n, sxy, out=sxy)
+        numerator -= np.multiply(sx, sy, out=sy)
+        denominator = np.multiply(n, sxx, out=sxx)
+        denominator -= np.multiply(sx, sx, out=sx)
+        # Degenerate ranges are detected and substituted under the same
+        # _EPS mask (a near-zero denominator must not be divided by any
+        # more than an exactly-zero one; both read as slope 0.0, matching
+        # the scalar slope()/SummaryStats.slope() paths bit for bit).
+        degenerate = np.abs(denominator) < _EPS
+        denominator[degenerate] = 1.0
+        slopes = np.divide(numerator, denominator, out=numerator)
+        slopes[degenerate] = 0.0
         return slopes

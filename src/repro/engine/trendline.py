@@ -38,11 +38,49 @@ class Trendline:
     y_mean: float
     y_std: float
     offset: int = 0  # index of the first materialized bin (push-down (c))
+    #: Lazily built prefix sums over the normalized bin values
+    #: (Σy, Σy², Σi·y) used by the vectorized LineUnit kernel.
+    _line_prefix: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def n_bins(self) -> int:
         """Number of bins available for segmentation."""
         return self.prefix.bins
+
+    def __getstate__(self):
+        """Drop the cached line-fit prefix from pickles.
+
+        It is derived data one cumsum away from ``norm_bin_y``; shipping
+        it with process-backend (``shm=False``) tasks would inflate the
+        per-task payload by three n-length arrays per trendline — the
+        exact cost the transport work exists to avoid.  Workers rebuild
+        it lazily on first LineUnit score.
+        """
+        state = self.__dict__.copy()
+        state["_line_prefix"] = None
+        return state
+
+    def line_prefix(self) -> tuple:
+        """Prefix sums ``(Σy, Σy², Σi·y)`` over the normalized bin values.
+
+        ``i`` is the global bin index, so the sums of any half-open bin
+        range are two lookups and a subtraction — sufficient statistics
+        to evaluate the straight-line RMSE of a LineUnit over *many*
+        candidate ranges in one vectorized expression (the matrix-kernel
+        fast path).  Built on first use and cached; the arrays are
+        derived from ``norm_bin_y`` so shared-memory reattached
+        trendlines build their own local copy.
+        """
+        if self._line_prefix is None:
+            values = np.asarray(self.norm_bin_y, dtype=float)
+            index = np.arange(len(values), dtype=float)
+            zero = np.zeros(1)
+            self._line_prefix = (
+                np.concatenate([zero, np.cumsum(values)]),
+                np.concatenate([zero, np.cumsum(values * values)]),
+                np.concatenate([zero, np.cumsum(index * values)]),
+            )
+        return self._line_prefix
 
     def x_to_bin(self, x_value: float, clamp: bool = True) -> int:
         """Map a raw x coordinate to the index of the closest bin."""

@@ -64,7 +64,20 @@ def run_min_length(lo: int, hi: int, units_count: int) -> int:
     return max(MIN_SEGMENT_BINS, min(length, fit))
 
 #: Context mapping a segment's AST index to its fitted slope (pass 2).
+#: Solve-scoped auxiliary entries (e.g. the classified-runs memo below)
+#: use non-integer keys so they can never collide with a segment index.
 SlopeContext = Dict[int, float]
+
+#: Context key under which QuantifierUnit memoizes classified runs.
+RUNS_MEMO_KEY = "__runs_memo__"
+
+#: Entry cap on the classified-runs memo.  A mid-chain quantifier is
+#: scored at every (split, end) pair the DP visits — O(n²) distinct
+#: ranges, each seen once — so an unbounded memo would grow quadratically
+#: for near-zero hit rate.  The payoff ranges (final-pass re-scores,
+#: shared units across chains, SegmentTree merges) are recent ones, so a
+#: small FIFO-evicted dict keeps the wins with bounded memory.
+RUNS_MEMO_CAP = 4096
 
 
 class CompiledUnit:
@@ -78,6 +91,11 @@ class CompiledUnit:
     location: Location = Location()
     #: Whether score_ends/score_starts are true vectorized fast paths.
     vectorized: bool = False
+    #: Whether the unit's score is a pure function of the fitted slope,
+    #: so :meth:`score_matrix_from_slopes` can consume a slope matrix
+    #: shared across DP layers (the matrix kernel computes each tile's
+    #: slopes once and every slope-based layer reuses them).
+    slope_based: bool = False
     #: Whether final scoring needs a second pass with fitted slopes.
     has_position: bool = False
 
@@ -141,6 +159,46 @@ class CompiledUnit:
         """Scores of ``[l, r)`` for every ``l`` in ``ls`` (default: loop)."""
         return np.array([self.score(trendline, int(l), r, context) for l in ls])
 
+    def score_pairs(
+        self,
+        trendline: Trendline,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        context: Optional[SlopeContext] = None,
+    ) -> np.ndarray:
+        """Scores of the paired ranges ``[starts[i], ends[i])``.
+
+        Batched leaf/bound evaluation (SegmentTree leaves score every
+        unit over every leaf range in one call).  The default loops over
+        :meth:`score`, so values always match the scalar path.
+        """
+        return np.array(
+            [self.score(trendline, int(l), int(r), context) for l, r in zip(starts, ends)]
+        )
+
+    def score_matrix(
+        self,
+        trendline: Trendline,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        context: Optional[SlopeContext] = None,
+    ) -> np.ndarray:
+        """Unit score for every combination ``[starts[i], ends[j])``.
+
+        This is the DP matrix kernel's workhorse: one (splits × ends)
+        tile per call.  Vectorized units override it with a closed-form
+        evaluation over :meth:`PrefixStats.slope_matrix`; the default is
+        the batched fallback — one :meth:`score_ends` row per start — so
+        non-vectorizable units (sketches, UDPs, nested queries) produce
+        exactly the values the per-``r`` loop kernel would.
+        """
+        ends = np.asarray(ends)
+        if len(starts) == 0 or len(ends) == 0:
+            return np.zeros((len(starts), len(ends)))
+        return np.stack(
+            [self.score_ends(trendline, int(l), ends, context) for l in starts]
+        )
+
     # -- pruning bounds (Table 7) ---------------------------------------------
     def window_bounds(
         self, trendline: Trendline, window: int
@@ -154,6 +212,7 @@ class SlopeUnit(CompiledUnit):
     """up / down / flat / θ / any / empty — pure functions of the fitted slope."""
 
     vectorized = True
+    slope_based = True
 
     def __init__(
         self,
@@ -196,9 +255,21 @@ class SlopeUnit(CompiledUnit):
         return -value if self.negated else value
 
     def score(self, trendline, l, r, context=None):
+        return self.score_with_slope(trendline, l, r)
+
+    def score_with_slope(self, trendline, l, r, slope=None):
+        """Scalar score, optionally with an already-fitted ``slope``.
+
+        The single copy of the scalar feasibility-then-score rule:
+        :meth:`score` routes through it, and batched callers that fitted
+        many slopes at once (the push-down eager bound) pass theirs in —
+        so the two paths cannot drift apart.
+        """
         if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
             return INFEASIBLE
-        return self._scalar_from_slope(trendline.prefix.slope(l, r))
+        if slope is None:
+            slope = trendline.prefix.slope(l, r)
+        return self._scalar_from_slope(slope)
 
     def score_ends(self, trendline, l, rs, context=None):
         rs = np.asarray(rs)
@@ -214,17 +285,55 @@ class SlopeUnit(CompiledUnit):
         values = np.where(r - ls < MIN_SEGMENT_BINS, INFEASIBLE, values)
         return self._apply_y_mask(trendline, ls, np.full(len(ls), r), values)
 
+    def score_pairs(self, trendline, starts, ends, context=None):
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        slopes = trendline.prefix.slopes_pairs(starts, ends)
+        values = self._from_slopes(slopes)
+        values = np.where(ends - starts < MIN_SEGMENT_BINS, INFEASIBLE, values)
+        return self._apply_y_mask(trendline, starts, ends, values)
+
+    def score_matrix(self, trendline, starts, ends, context=None):
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        return self.score_matrix_from_slopes(
+            trendline, starts, ends, trendline.prefix.slope_matrix(starts, ends), context
+        )
+
+    def score_matrix_from_slopes(self, trendline, starts, ends, slopes, context=None):
+        """Score a precomputed ``starts × ends`` slope matrix.
+
+        The matrix DP kernel computes one slope matrix per tile and
+        shares it across every slope-based layer; this applies the
+        unit's Table 5 transform plus the width/y feasibility masks —
+        the exact operations :meth:`score_matrix` performs after its own
+        slope computation, so shared and private paths agree bit for bit.
+        """
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        values = self._from_slopes(slopes)
+        lengths = ends[None, :] - starts[:, None]
+        values = np.where(lengths < MIN_SEGMENT_BINS, INFEASIBLE, values)
+        return self._apply_y_mask(trendline, starts[:, None], ends[None, :], values)
+
     def _apply_y_mask(self, trendline, ls, rs, values):
+        """Mask y.s/y.e-infeasible ranges to INFEASIBLE.
+
+        ``ls``/``rs`` may be any shapes that broadcast to ``values`` —
+        paired vectors (row/column/pairs paths) or a column/row pair
+        (the matrix path) — so every vectorized entry point shares this
+        one copy of the tolerance rule.
+        """
         loc = self.location
         if loc.y_start is None and loc.y_end is None:
             return values
         span = float(trendline.y.max() - trendline.y.min()) or 1.0
         tolerance = Y_TOLERANCE * span
-        feasible = np.ones(len(values), dtype=bool)
+        feasible = np.ones(values.shape, dtype=bool)
         if loc.y_start is not None:
-            feasible &= np.abs(trendline.bin_y[ls] - loc.y_start) <= tolerance
+            feasible = feasible & (np.abs(trendline.bin_y[ls] - loc.y_start) <= tolerance)
         if loc.y_end is not None:
-            feasible &= np.abs(trendline.bin_y[rs - 1] - loc.y_end) <= tolerance
+            feasible = feasible & (np.abs(trendline.bin_y[rs - 1] - loc.y_end) <= tolerance)
         return np.where(feasible, values, INFEASIBLE)
 
     #: Safety margin added to Table 7 bounds.  The paper's triangle-law
@@ -272,12 +381,23 @@ class SlopeUnit(CompiledUnit):
         valid = ends - starts >= MIN_SEGMENT_BINS
         if not valid.any():
             return (-1.0, 1.0)
-        slopes = trendline.prefix._slopes(starts[valid], ends[valid])
+        slopes = trendline.prefix.slopes_pairs(starts[valid], ends[valid])
         return self.bounds_from_slopes(np.asarray(slopes))
 
 
 class LineUnit(CompiledUnit):
-    """A bare-location segment: match the straight line (y.s → y.e) (§3.1)."""
+    """A bare-location segment: match the straight line (y.s → y.e) (§3.1).
+
+    Scoring is closed-form over the trendline's line-fit prefix sums
+    (:meth:`Trendline.line_prefix`): with the reference line
+    ``ref_i = a + b·i`` over the ``m`` bins of ``[l, r)``, the RMSE
+    against the normalized bin values decomposes into
+    ``Σy² − 2(aΣy + bΣi·y) + Σref²`` — all range sums — so the same
+    O(1)-per-range expression serves the scalar path and the DP matrix
+    kernel, and both produce bit-identical values.
+    """
+
+    vectorized = True
 
     def __init__(self, location: Location, negated: bool = False, seg_index: int = -1):
         self.location = location
@@ -287,21 +407,65 @@ class LineUnit(CompiledUnit):
     def __repr__(self):
         return "LineUnit(y {}→{})".format(self.location.y_start, self.location.y_end)
 
+    def _line_values(self, trendline, ls, rs):
+        """Signed line-match scores of ``[ls, rs)`` (broadcastable arrays).
+
+        Ranges narrower than :data:`MIN_SEGMENT_BINS` come out INFEASIBLE;
+        every operation is elementwise, so any combination of scalar,
+        paired and cross-product shapes yields the same per-range bits.
+        """
+        ls = np.asarray(ls)
+        rs = np.asarray(rs)
+        sum_y, sum_yy, sum_iy = trendline.line_prefix()
+        widths = rs - ls
+        # Masked-out (too narrow / inverted) ranges still flow through the
+        # arithmetic: substitute a safe width so no division blows up.
+        count = np.maximum(widths, MIN_SEGMENT_BINS).astype(float)
+        loc = self.location
+        if loc.y_start is not None:
+            nys = trendline.normalize_y_value(loc.y_start)
+        else:
+            nys = trendline.norm_bin_y[ls]
+        if loc.y_end is not None:
+            nye = trendline.normalize_y_value(loc.y_end)
+        else:
+            nye = trendline.norm_bin_y[rs - 1]
+        slope = (nye - nys) / (count - 1.0)
+        sum_i = (count - 1.0) * count / 2.0
+        sum_ii = (count - 1.0) * count * (2.0 * count - 1.0) / 6.0
+        seg_y = sum_y[rs] - sum_y[ls]
+        seg_yy = sum_yy[rs] - sum_yy[ls]
+        seg_iy = (sum_iy[rs] - sum_iy[ls]) - ls * seg_y
+        sum_ref2 = nys * nys * count + 2.0 * nys * slope * sum_i + slope * slope * sum_ii
+        sum_cross = nys * seg_y + slope * seg_iy
+        mse = (seg_yy - 2.0 * sum_cross + sum_ref2) / count
+        rmse = np.sqrt(np.maximum(mse, 0.0))
+        value = (
+            1.0
+            - 2.0 * np.minimum(rmse, scoring.SKETCH_RMSE_CAP) / scoring.SKETCH_RMSE_CAP
+        )
+        return np.where(widths < MIN_SEGMENT_BINS, INFEASIBLE, self._signed(value))
+
     def score(self, trendline, l, r, context=None):
         if r - l < MIN_SEGMENT_BINS:
             return INFEASIBLE
-        loc = self.location
-        y_start = loc.y_start if loc.y_start is not None else trendline.bin_y[l]
-        y_end = loc.y_end if loc.y_end is not None else trendline.bin_y[r - 1]
-        reference = np.linspace(
-            trendline.normalize_y_value(y_start),
-            trendline.normalize_y_value(y_end),
-            r - l,
+        return float(self._line_values(trendline, np.intp(l), np.intp(r)))
+
+    def score_ends(self, trendline, l, rs, context=None):
+        rs = np.asarray(rs)
+        return self._line_values(trendline, np.full(len(rs), l, dtype=np.intp), rs)
+
+    def score_starts(self, trendline, ls, r, context=None):
+        ls = np.asarray(ls)
+        return self._line_values(trendline, ls, np.full(len(ls), r, dtype=np.intp))
+
+    def score_pairs(self, trendline, starts, ends, context=None):
+        return self._line_values(trendline, np.asarray(starts), np.asarray(ends))
+
+    def score_matrix(self, trendline, starts, ends, context=None):
+        return self._line_values(
+            trendline, np.asarray(starts)[:, None], np.asarray(ends)[None, :]
         )
-        actual = trendline.segment_values(l, r)
-        rmse = math.sqrt(float(np.mean((actual - reference) ** 2)))
-        value = 1.0 - 2.0 * min(rmse, scoring.SKETCH_RMSE_CAP) / scoring.SKETCH_RMSE_CAP
-        return self._signed(value)
 
 
 class QuantifierUnit(CompiledUnit):
@@ -333,6 +497,36 @@ class QuantifierUnit(CompiledUnit):
     def __repr__(self):
         return "QuantifierUnit({} x{})".format(self.udp_name or self.kind, self.quantifier)
 
+    @staticmethod
+    def _classified_runs(trendline, l, r, min_points, context):
+        """Segment runs, memoized per trendline in the solve context.
+
+        Run classification is a pure function of ``(trendline, l, r,
+        min_points)`` but is recomputed for every candidate segment the
+        DP/SegmentTree visits; the solve context carries one memo dict
+        (created by :func:`repro.engine.dynamic.solve_query`) keyed on
+        trendline identity plus the range, so re-scored ranges — final
+        passes, shared units across alternative chains, SegmentTree
+        merges — pay the run scan once.
+        """
+        if not isinstance(context, dict):
+            return scoring.classified_runs(
+                trendline.norm_bin_y[l:r], min_points=min_points
+            )
+        memo = context.get(RUNS_MEMO_KEY)
+        if memo is None:
+            memo = context[RUNS_MEMO_KEY] = {}
+        key = (id(trendline), l, r, min_points)
+        runs = memo.get(key)
+        if runs is None:
+            runs = scoring.classified_runs(
+                trendline.norm_bin_y[l:r], min_points=min_points
+            )
+            if len(memo) >= RUNS_MEMO_CAP:
+                memo.pop(next(iter(memo)))
+            memo[key] = runs
+        return runs
+
     def _wanted_class(self):
         """Run direction that counts as an occurrence; None = any run."""
         if self.kind == "up":
@@ -354,7 +548,7 @@ class QuantifierUnit(CompiledUnit):
             return INFEASIBLE
         values = trendline.norm_bin_y[l:r]
         min_points = max(2, (r - l) // 20)
-        runs = scoring.classified_runs(values, min_points=min_points)
+        runs = self._classified_runs(trendline, l, r, min_points, context)
         wanted = self._wanted_class()
         run_scores = []
         for a, b, cls in runs:
@@ -471,9 +665,20 @@ class NestedUnit(CompiledUnit):
     def score(self, trendline, l, r, context=None):
         if r - l < MIN_SEGMENT_BINS or not self._y_feasible(trendline, l, r):
             return INFEASIBLE
-        from repro.engine.dynamic import solve_query_over_range
+        from repro.engine.dynamic import KERNEL_KEY, solve_query_over_range
 
-        result = solve_query_over_range(trendline, self.compiled_query, l, r)
+        # Forward only the solve-scoped auxiliaries: the nested query has
+        # its own segment-index space, so the outer slope context must
+        # not leak in, but the kernel choice and the per-trendline runs
+        # memo are index-free and should survive the boundary.
+        inner_context = {}
+        if isinstance(context, dict):
+            for key in (KERNEL_KEY, RUNS_MEMO_KEY):
+                if key in context:
+                    inner_context[key] = context[key]
+        result = solve_query_over_range(
+            trendline, self.compiled_query, l, r, context=inner_context
+        )
         return self._signed(result.score)
 
 
@@ -501,13 +706,7 @@ class WindowUnit(CompiledUnit):
         if r - l < w:
             return INFEASIBLE
         starts = np.arange(l, r - w + 1)
-        if self.base.vectorized:
-            slopes = trendline.prefix._slopes(starts, starts + w)
-            values = self.base._from_slopes(slopes)
-        else:
-            values = np.array(
-                [self.base.score(trendline, int(s), int(s + w), context) for s in starts]
-            )
+        values = self.base.score_pairs(trendline, starts, starts + w, context)
         return float(values.max())
 
 

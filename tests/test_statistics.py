@@ -115,3 +115,26 @@ class TestPrefixStats:
         stats = prefix.range(2, 2)
         assert stats.n == 0
         assert stats.slope() == 0.0
+
+    def test_slopes_pairs_match_scalar_bitwise(self):
+        rng = np.random.default_rng(5)
+        x = np.arange(30, dtype=float)
+        y = rng.normal(0, 1, 30)
+        prefix = PrefixStats.from_points(x, y)
+        starts = np.arange(0, 20)
+        ends = starts + rng.integers(2, 10, 20)
+        pairs = prefix.slopes_pairs(starts, ends)
+        for value, l, r in zip(pairs, starts, ends):
+            assert value == prefix.slope(int(l), int(r))  # exact, not approx
+
+    def test_near_degenerate_denominator_uses_eps_mask(self):
+        """Regression: the vectorized path used to divide by a tiny (but
+        nonzero) denominator while the scalar path returned 0.0; both
+        must apply the same _EPS guard."""
+        x = np.array([0.0, 1e-8])
+        y = np.array([0.0, 1.0])
+        prefix = PrefixStats.from_points(x, y)
+        assert prefix.slope(0, 2) == 0.0
+        assert prefix.slopes_pairs(np.array([0]), np.array([2]))[0] == 0.0
+        assert prefix.slope_matrix(np.array([0]), np.array([2]))[0, 0] == 0.0
+        assert prefix.slopes_for_ends(0, np.array([2]))[0] == 0.0
