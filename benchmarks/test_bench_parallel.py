@@ -16,7 +16,12 @@ Measurements on the Figure 13 scaling suites:
 * **DP kernel** — single-trendline fuzzy segmentation, loop vs matrix
   transition kernel (``kernel=`` on the engine), at n=500 bins (the
   asserted ≥3× point) and a larger scaled n (recorded only) — the
-  per-kernel numbers the pool-level measurements above sit on.
+  per-kernel numbers the pool-level measurements above sit on — plus
+  the tile-shared arctan/transform delta at large n (``SHARE_ATAN``);
+* **generation stage** — parent-side vs worker-side EXTRACT/GROUP
+  (``generation=`` on the engine) on a many-series table: the staged
+  pipeline's fused Extract/Group→Score tasks against the published
+  table, vs materializing every trendline in the parent first.
 
 Speedups are *recorded*, not asserted: thread-backend gains depend on
 how much of the inner loop releases the GIL, and process-backend gains
@@ -221,6 +226,164 @@ def test_dp_kernel_microbench(benchmark):
             speedup, DP_KERNEL_N, DP_KERNEL_TARGET
         )
     )
+
+
+def _atan_sharing_times(n, rounds=3):
+    """Best-of-``rounds`` matrix-kernel times with tile-shared vs
+    per-layer arctan transforms, asserting byte-identical results."""
+    from repro.engine import dynamic as dynamic_module
+
+    rng = np.random.default_rng(21)
+    trendline = build_trendline(
+        "atan-bench", np.arange(n, dtype=float), rng.normal(0, 1, n).cumsum()
+    )
+    compiled = compile_query(parse("[p=up][p=flat][p=down][p=up]"))
+    times = {}
+    results = {}
+    original = dynamic_module.SHARE_ATAN
+    try:
+        for _ in range(rounds):
+            for flag in (False, True):
+                dynamic_module.SHARE_ATAN = flag
+                started = time.perf_counter()
+                results[flag] = solve_query(trendline, compiled, kernel="matrix")
+                elapsed = time.perf_counter() - started
+                times[flag] = min(times.get(flag, float("inf")), elapsed)
+    finally:
+        dynamic_module.SHARE_ATAN = original
+    assert results[True].score == results[False].score
+    assert [
+        (p.start, p.end, p.score) for p in results[True].solution.placements
+    ] == [(p.start, p.end, p.score) for p in results[False].solution.placements]
+    return times[False], times[True]
+
+
+def test_dp_atan_sharing_large_n(benchmark):
+    """Tile-shared arctan/transform vs per-layer, in the large-n regime.
+
+    At n ≳ 3000 both DP kernels are bandwidth-bound on the slope
+    algebra (the PR 3 known limit); sharing the arctan and the Table 5
+    transform across a tile's slope-based layers trims the per-layer
+    array passes.  The delta is *recorded* (machine-dependent); byte
+    identity between the two paths is asserted unconditionally.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    large_n = max(3000, int(4000 * SCALE))
+    private_s, shared_s = _atan_sharing_times(large_n)
+    speedup = private_s / max(shared_s, 1e-9)
+    print_table(
+        "DP matrix kernel: per-layer vs tile-shared transform",
+        ["bins", "per-layer", "tile-shared", "speedup"],
+        [
+            [large_n, "{:.4f}s".format(private_s), "{:.4f}s".format(shared_s),
+             "{:.2f}x".format(speedup)],
+        ],
+    )
+    record_result(
+        "dp_kernel",
+        {
+            "atan_n_bins": large_n,
+            "atan_private_s": private_s,
+            "atan_shared_s": shared_s,
+            "atan_sharing_speedup": speedup,
+        },
+    )
+
+
+#: Slack factors for the generation-stage assertions — the same generous
+#: CI-noise allowance as the shm-beats-thread claim above (the paths
+#: being compared differ by a whole serial generation pass, so 1.25 is
+#: still a meaningful bound on a generation-heavy workload).
+_GEN_MATCH_SEQUENTIAL_SLACK = 1.25
+_GEN_BEAT_PARENT_SLACK = 1.25
+
+
+def test_generation_stage(benchmark):
+    """Parent-side vs worker-side EXTRACT/GROUP on a many-series table.
+
+    The SlopeSeeker regime: thousands of short candidate series, where
+    generation rivals scoring.  Measures (a) the isolated parent-side
+    generation pass, then one cold ``execute`` per engine configuration —
+    sequential, parallel scoring with parent-side generation, and the
+    fused worker-side path — with pools pre-warmed on a *different*
+    table so worker-resident caches cannot serve the measured one.
+    Byte-identical results are asserted unconditionally; the speed
+    claims (worker-side at least matches parent-side single-core and
+    beats parent-side generation + parallel scoring) only where the
+    hardware and workload can express them, as with the other pool
+    benchmarks.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    viz = max(60, int(400 * SCALE))
+    length = max(100, int(160 * SCALE))
+    table = suite_table("50words", max_visualizations=viz, max_length=length)
+    warm_table = suite_table("weather", max_visualizations=8, max_length=60)
+    query = parse(SUITES["50words"].fuzzy_queries[0])
+
+    from repro.engine.pipeline import generate_trendlines
+
+    started = time.perf_counter()
+    generate_trendlines(table, PARAMS)
+    parent_generate_s = time.perf_counter() - started
+
+    timings = {}
+    signatures = {}
+    configs = [
+        ("sequential", dict()),
+        ("parent-parallel", dict(workers=WORKERS, backend="process",
+                                 shm=True, generation="parent")),
+        ("worker-parallel", dict(workers=WORKERS, backend="process",
+                                 shm=True, generation="worker")),
+    ]
+    for name, kwargs in configs:
+        with ShapeSearchEngine(**kwargs) as engine:
+            engine.execute(warm_table, PARAMS, query, k=10)  # warm the pool
+            started = time.perf_counter()
+            matches = engine.execute(table, PARAMS, query, k=10)
+            timings[name] = time.perf_counter() - started
+            signatures[name] = _signature(matches)
+
+    assert signatures["parent-parallel"] == signatures["sequential"]
+    assert signatures["worker-parallel"] == signatures["sequential"]
+
+    print_table(
+        "Generation stage: 50words, {} series x {} points".format(viz, length),
+        ["path", "runtime", "vs sequential"],
+        [
+            [name, "{:.3f}s".format(timings[name]),
+             "{:.2f}x".format(timings["sequential"] / max(timings[name], 1e-9))]
+            for name, _ in configs
+        ] + [["parent generate only", "{:.3f}s".format(parent_generate_s), "-"]],
+    )
+    record_result(
+        "generation",
+        {
+            "visualizations": viz,
+            "length": length,
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "parent_generate_s": parent_generate_s,
+            "sequential_s": timings["sequential"],
+            "parent_parallel_s": timings["parent-parallel"],
+            "worker_parallel_s": timings["worker-parallel"],
+            "worker_vs_parent_parallel": timings["parent-parallel"]
+            / max(timings["worker-parallel"], 1e-9),
+            "worker_vs_sequential": timings["sequential"]
+            / max(timings["worker-parallel"], 1e-9),
+        },
+    )
+    # With real cores, worker-side generation must at least match the
+    # single-core parent path and beat parent-side generation feeding
+    # parallel scoring (its whole point is removing the serial stage).
+    if (os.cpu_count() or 1) >= 2 and SCALE >= 0.25:
+        assert (
+            timings["worker-parallel"]
+            <= timings["sequential"] * _GEN_MATCH_SEQUENTIAL_SLACK
+        )
+        assert (
+            timings["worker-parallel"]
+            <= timings["parent-parallel"] * _GEN_BEAT_PARENT_SLACK
+        )
 
 
 def test_parallel_report(benchmark):

@@ -17,8 +17,7 @@ are hashable and structurally comparable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator as TypingIterator
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.algebra.primitives import (

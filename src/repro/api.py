@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.algebra.nodes import Node
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
-from repro.engine.chains import CompiledQuery, compile_query
+from repro.engine.chains import CompiledQuery
 from repro.engine.executor import Match, ShapeSearchEngine
 from repro.errors import ShapeQuerySyntaxError
 from repro.nlp.tagger import EntityTagger
@@ -71,9 +71,14 @@ class ShapeSearch:
     keeps generated trendlines and compiled plans across searches so
     repeated interactive queries skip EXTRACT/GROUP entirely.
     ``quantifier_threshold`` overrides the occurrence floor of §5.2's
-    quantifier scoring (default 0.3), and ``kernel`` picks the DP
-    transition kernel (``"matrix"`` default, ``"loop"`` the byte-identical
-    reference).  All are ignored when an explicit ``engine`` is passed.
+    quantifier scoring (default 0.3), ``kernel`` picks the DP transition
+    kernel (``"matrix"`` default, ``"loop"`` the byte-identical
+    reference), and ``generation`` places EXTRACT/GROUP — ``"parent"``
+    materializes trendlines in this process, ``"worker"`` generates them
+    inside the pool workers from the shared table so generation
+    parallelizes with scoring, ``"auto"`` (default) picks worker-side on
+    the process backend when no cache is configured.  All are ignored
+    when an explicit ``engine`` is passed.
 
     Sessions own OS resources once a parallel search ran (worker
     processes, shared-memory segments): call :meth:`close` or use the
@@ -86,11 +91,12 @@ class ShapeSearch:
                  tagger: Optional[EntityTagger] = None,
                  workers: Optional[int] = 1, cache=None, backend: str = "thread",
                  quantifier_threshold: Optional[float] = None,
-                 kernel: str = "matrix"):
+                 kernel: str = "matrix", generation: str = "auto"):
         self.table = table
         self.engine = engine if engine is not None else ShapeSearchEngine(
             workers=workers, cache=cache, backend=backend,
             quantifier_threshold=quantifier_threshold, kernel=kernel,
+            generation=generation,
         )
         self.tagger = tagger
 
@@ -195,3 +201,30 @@ class ShapeSearch:
         from repro.algebra.printer import to_regex
 
         return to_regex(parse_query(query, tagger=self.tagger))
+
+    def explain_plan(
+        self,
+        query: QueryLike,
+        z: str,
+        x: str,
+        y: str,
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
+    ) -> str:
+        """The physical operator chain a :meth:`search` call would run.
+
+        Renders the staged pipeline (``ScanTable → Extract/Group → Score
+        → MergeTopK``) with the implementation the planner picked per
+        stage — parent- vs worker-side generation, sequential vs
+        parallel scoring, the shared-memory transport.  Planning only:
+        nothing is generated or scored.
+        """
+        node = parse_query(query, tagger=self.tagger)
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        return self.engine.explain_plan(self.table, params, node, k=k, workers=workers)

@@ -10,6 +10,7 @@ sorting — everything EXTRACT needs, with numpy arrays underneath.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
@@ -171,6 +172,93 @@ class Table:
         order = np.lexsort([_sortable(key) for key in keys])
         return self.take(order)
 
+    # -- growth ----------------------------------------------------------------
+    def append_rows(self, records: Sequence[dict]) -> "Table":
+        """A new table with ``records`` appended (this table is unchanged).
+
+        The streaming/append entry point: the returned table's content
+        fingerprint is *extended* from this table's per-column digest
+        state plus the new rows — O(new rows), not O(table) — so append
+        workloads pay incremental hashing instead of a full rehash per
+        batch.  The extended digest is identical to what a from-scratch
+        fingerprint of the concatenated data would produce, so caches
+        keyed on fingerprints behave exactly as if the table had been
+        rebuilt.  When an appended value cannot be represented in the
+        column's existing dtype (e.g. a float appended to an integer
+        column widens it), the new table simply falls back to the lazy
+        full rehash on first fingerprint use.
+        """
+        if not records:
+            return self
+        for record in records:
+            unknown = set(record) - set(self._columns)
+            if unknown:
+                raise DataError(
+                    "appended record has unknown columns {}; table has {}".format(
+                        sorted(unknown), self.column_names
+                    )
+                )
+            missing = set(self._columns) - set(record)
+            if missing:
+                # Unlike from_records' first-build leniency, an append
+                # knows the schema: a missing key would silently inject
+                # None/NaN into an existing numeric series.
+                raise DataError(
+                    "appended record is missing columns {}; table has {}".format(
+                        sorted(missing), self.column_names
+                    )
+                )
+        columns: Dict[str, np.ndarray] = {}
+        tails: Dict[str, np.ndarray] = {}
+        incremental = True
+        for name, values in self._columns.items():
+            raw = [record.get(name) for record in records]
+            if values.dtype == object:
+                # Element-wise fill: np.array would split sequence-valued
+                # cells (tuple/list group keys) into a 2-D array and make
+                # the concatenate below fail.
+                tail = np.empty(len(raw), dtype=object)
+                for index, value in enumerate(raw):
+                    tail[index] = value
+            else:
+                try:
+                    inferred = np.asarray(raw)
+                    if inferred.dtype == values.dtype:
+                        tail = inferred
+                    else:
+                        # Keep the column dtype only when the cast is
+                        # value-preserving (ints into a float column);
+                        # otherwise let concatenate widen and fall back
+                        # to the lazy full rehash.
+                        cast = inferred.astype(values.dtype)
+                        if inferred.dtype != object and np.array_equal(cast, inferred):
+                            tail = cast
+                        else:
+                            tail = inferred
+                            incremental = False
+                except (TypeError, ValueError, OverflowError):
+                    # OverflowError: an int too large for the column's
+                    # integer dtype must widen, not crash the append.
+                    tail = _infer_array(raw)
+                    incremental = False
+            combined = np.concatenate([values, tail])
+            if combined.dtype != values.dtype:
+                incremental = False
+            combined.setflags(write=False)
+            columns[name] = combined
+            tails[name] = tail
+        appended = Table(columns)
+        if incremental:
+            base = column_digests(self)
+            digests = {}
+            for name in self.column_names:
+                digest = base[name].copy()
+                _update_column_digest(digest, tails[name])
+                digests[name] = digest
+            appended._column_digests = digests
+            appended._fingerprint = _combined_fingerprint(appended, digests)
+        return appended
+
     def group_by(self, name: str) -> Iterator[Tuple[Hashable, np.ndarray]]:
         """Yield ``(key, row indices)`` per distinct value, in first-seen order."""
         values = self.column(name)
@@ -187,6 +275,79 @@ class Table:
                 buckets[slot].append(index)
         for key, bucket in zip(keys, buckets):
             yield key, np.asarray(bucket)
+
+
+def _update_column_digest(digest, values: np.ndarray) -> None:
+    """Feed one column's content into a running digest.
+
+    Numeric columns hash their raw bytes; object columns hash per-value
+    ``repr``.  Appending rows extends the same byte stream, which is what
+    makes the incremental fingerprint of :meth:`Table.append_rows` equal
+    to a from-scratch rehash of the concatenated column.
+    """
+    if values.dtype == object:
+        for value in values.tolist():
+            digest.update(repr(value).encode("utf-8"))
+    else:
+        digest.update(np.ascontiguousarray(values).tobytes())
+
+
+def column_digests(table: Table) -> Dict[str, "hashlib._Hash"]:
+    """Per-column running SHA-1 digests, memoized on the instance.
+
+    The returned digest objects are the table's live state: callers that
+    extend them (``append_rows``) must ``copy()`` first.  Tables expose
+    read-only columns, so the memo cannot go stale.
+    """
+    cached = getattr(table, "_column_digests", None)
+    if cached is not None:
+        return cached
+    digests = {}
+    for name in table.column_names:
+        digest = hashlib.sha1()
+        _update_column_digest(digest, table.column(name))
+        digests[name] = digest
+    try:
+        table._column_digests = digests
+    except AttributeError:  # __slots__-style tables: just recompute
+        pass
+    return digests
+
+
+def _combined_fingerprint(table: Table, digests: Dict[str, "hashlib._Hash"]) -> str:
+    """Fold per-column digests into one table fingerprint.
+
+    Column names, dtypes and content all contribute, in column order, so
+    a renamed column, a changed value or reordered columns all miss the
+    cache — the same sensitivity the monolithic digest had.
+    """
+    combined = hashlib.sha1()
+    for name in table.column_names:
+        combined.update(name.encode("utf-8"))
+        combined.update(str(table.column(name).dtype).encode("utf-8"))
+        combined.update(digests[name].digest())
+    return combined.hexdigest()
+
+
+def content_fingerprint(table: Table) -> str:
+    """A content digest of a table, stable across processes.
+
+    Computed once and memoized on the instance (columns are read-only,
+    so in-place mutation raises rather than staleing the memo); built
+    from the per-column digest state so :meth:`Table.append_rows` can
+    extend it with only the new rows' bytes.
+    :func:`repro.engine.cache.table_fingerprint` is the engine-facing
+    alias.
+    """
+    cached = getattr(table, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    fingerprint = _combined_fingerprint(table, column_digests(table))
+    try:
+        table._fingerprint = fingerprint
+    except AttributeError:  # __slots__-style tables: just recompute
+        pass
+    return fingerprint
 
 
 def _infer_array(values: Iterable) -> np.ndarray:

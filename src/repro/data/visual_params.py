@@ -8,8 +8,8 @@ single x value has multiple y values (the Real-Estate dataset case).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Union
 
 from repro.data.filters import Filter, parse_filter
 from repro.errors import DataError

@@ -19,7 +19,6 @@ the benchmarks can report hit rates and sessions stay bounded in memory.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -128,26 +127,13 @@ def table_fingerprint(table: Table) -> str:
     staleing the memo).  Column names, dtypes and raw bytes all
     contribute: a table built with a renamed column, a changed value, or
     reordered rows gets a different fingerprint and misses the cache.
+    The digest state is per-column, so :meth:`Table.append_rows` extends
+    it incrementally instead of rehashing the whole table (see
+    :func:`repro.data.table.content_fingerprint`, which this wraps).
     """
-    cached = getattr(table, "_fingerprint", None)
-    if cached is not None:
-        return cached
-    digest = hashlib.sha1()
-    for name in table.column_names:
-        values = table.column(name)
-        digest.update(name.encode("utf-8"))
-        digest.update(str(values.dtype).encode("utf-8"))
-        if values.dtype == object:
-            for value in values.tolist():
-                digest.update(repr(value).encode("utf-8"))
-        else:
-            digest.update(values.tobytes())
-    fingerprint = digest.hexdigest()
-    try:
-        table._fingerprint = fingerprint
-    except AttributeError:  # __slots__-style tables: just recompute
-        pass
-    return fingerprint
+    from repro.data.table import content_fingerprint
+
+    return content_fingerprint(table)
 
 
 def canonical_query_text(node) -> str:

@@ -63,6 +63,14 @@ KERNEL_KEY = "__kernel__"
 #: peak memory O(n·B) while amortizing the per-tile numpy dispatch.
 MATRIX_TILE = 256
 
+#: Share the ``tan⁻¹`` transform of a tile's slope matrix across all of
+#: its slope-based layers (on by default).  At n ≳ 3000 the matrix
+#: kernel is bandwidth/transcendental-bound on the slope algebra; paying
+#: the arctan once per tile instead of once per layer lifts that regime.
+#: The flag exists so benchmarks can measure the per-layer path and the
+#: property suite can assert the two are byte-identical.
+SHARE_ATAN = True
+
 
 @dataclass
 class PlacedUnit:
@@ -430,6 +438,28 @@ def _solve_fuzzy_run_matrix(
         shared = (
             prefix.slope_matrix(splits_union, ends_tile) if share_slopes else None
         )
+        # One arctan per tile, consumed by every slope-based layer below:
+        # the Table 5 transforms are all functions of tan⁻¹(slope), so
+        # the transcendental — the dominant cost of the slope algebra at
+        # large n — need not be recomputed per layer.
+        shared_atan = (
+            np.arctan(shared) if (shared is not None and SHARE_ATAN) else None
+        )
+        # Per-tile transform memo: layers with the same (kind, θ) — and
+        # down vs up, which are exact negations — share one Table 5
+        # transform of the tile's arctan matrix (see
+        # SlopeUnit.tile_transform; memoized arrays are read-only by
+        # convention, every consumer allocates fresh output).
+        transform_memo = {} if shared_atan is not None else None
+        # The (split, end) feasibility triangle is the same for every
+        # layer of the tile (min_len is per-run, not per-layer); build
+        # the boolean mask once over the union rectangle and let each
+        # layer slice its window instead of re-deriving the comparison.
+        infeasible_union = (
+            splits_union[:, None] > ends_tile[None, :] - min_len
+            if m > 1
+            else None
+        )
         for j in range(1, m):
             # Valid for OPT[j][r]: lo + min_len*j <= s <= r - min_len.
             col0 = max(0, lo + min_len * (j + 1) - tile_first)
@@ -459,19 +489,41 @@ def _solve_fuzzy_run_matrix(
                 continue
             row0 = min_len * (j - 1)
             splits_j = splits_union[row0:]
-            if cu.unit.slope_based:
-                scores = cu.unit.score_matrix_from_slopes(
-                    trendline, splits_j, ends_j, shared[row0:, col0:], context
-                )
+            loc = cu.unit.location
+            if cu.unit.slope_based and shared_atan is not None and (
+                loc.y_start is None and loc.y_end is None
+            ):
+                # Fast path: transform once over the tile union (memoized
+                # across layers), slice per layer.  The width-infeasibility
+                # substitution of score_matrix_from_values is dead work
+                # here — every sub-MIN_SEGMENT_BINS cell lies inside the
+                # −∞ triangle below (min_len ≥ MIN_SEGMENT_BINS) — so the
+                # slice is consumed directly, multiplying out of place to
+                # leave the shared transform intact.  Bits match the
+                # per-layer path exactly: elementwise transforms commute
+                # with slicing, and every skipped cell is overwritten.
+                values = cu.unit.tile_transform(shared_atan, transform_memo)
+                candidates = values[row0:, col0:] * cu.weight
             else:
-                scores = cu.unit.score_matrix(trendline, splits_j, ends_j, context)
-            # candidates = opt[j-1][s] + weight·W[s, r], built in place on
-            # the tile's score matrix (fresh per layer; IEEE addition is
-            # commutative, so left + w·W and w·W + left agree bit for bit
-            # with the loop kernel).
-            candidates = np.multiply(scores, cu.weight, out=scores)
+                if cu.unit.slope_based:
+                    if shared_atan is not None:
+                        values = cu.unit.tile_transform(shared_atan, transform_memo)
+                        scores = cu.unit.score_matrix_from_values(
+                            trendline, splits_j, ends_j, values[row0:, col0:]
+                        )
+                    else:
+                        scores = cu.unit.score_matrix_from_slopes(
+                            trendline, splits_j, ends_j, shared[row0:, col0:], context
+                        )
+                else:
+                    scores = cu.unit.score_matrix(trendline, splits_j, ends_j, context)
+                # candidates = opt[j-1][s] + weight·W[s, r], built in place
+                # on the tile's score matrix (fresh per layer; IEEE
+                # addition is commutative, so left + w·W and w·W + left
+                # agree bit for bit with the loop kernel).
+                candidates = np.multiply(scores, cu.weight, out=scores)
             candidates += opt[j - 1][splits_j - lo][:, None]
-            candidates[splits_j[:, None] > ends_j[None, :] - min_len] = _NEG_INF
+            candidates[infeasible_union[row0:, col0:]] = _NEG_INF
             best = np.argmax(candidates, axis=0)
             best_values = candidates[best, np.arange(len(ends_j))]
             take = best_values > _NEG_INF

@@ -1,10 +1,12 @@
 """The SEGMENT + SCORE stages and the top-k driver (paper §5, Problem 1).
 
-:class:`ShapeSearchEngine` ties the pipeline together: compile the
-ShapeQuery, run EXTRACT/GROUP with the push-down plan, pick a
-segmentation algorithm per candidate visualization (or the two-stage
-collective pruning driver for fuzzy queries), and return the top-k
-matches.  Algorithms:
+:class:`ShapeSearchEngine` holds the session-scoped machinery — compiled
+plans, caches, worker pools, shared-memory sessions — and delegates each
+execution to the staged physical-operator pipeline of
+:mod:`repro.engine.pipeline`: :func:`~repro.engine.pipeline.plan_pipeline`
+compiles the query + table into a ``ScanTable → Extract/Group → Score →
+MergeTopK`` operator chain (picking sequential or parallel
+implementations per stage), and the engine runs it.  Algorithms:
 
 * ``"dp"`` — optimal dynamic programming, O(n²k) (§6.1), driven by the
   tiled matrix kernel by default (``kernel="matrix"``; ``"loop"`` keeps
@@ -13,20 +15,22 @@ matches.  Algorithms:
 * ``"greedy"`` — local-search baseline (§9);
 * ``"exhaustive"`` — the brute-force oracle (tests/small data only).
 
-Scaling knobs (beyond the paper): ``workers=`` shards the candidate
-collection across a :class:`~repro.engine.parallel.WorkerPool` and
-merges per-shard top-k heaps, and ``cache=`` plugs in an
-:class:`~repro.engine.cache.EngineCache` so repeated interactive queries
-skip EXTRACT/GROUP and query compilation entirely.  Top-k selection uses
-the total order *(score desc, candidate position asc)* so results are
-identical for any worker count.
+Scaling knobs (beyond the paper): ``workers=`` shards candidates across
+a :class:`~repro.engine.parallel.WorkerPool` and merges per-shard top-k
+heaps; ``cache=`` plugs in an :class:`~repro.engine.cache.EngineCache`
+so repeated interactive queries skip EXTRACT/GROUP and query compilation
+entirely; ``generation=`` picks where EXTRACT/GROUP runs — parent-side,
+or inside the workers against the shared table so generation
+parallelizes with scoring.  Every configuration uses the total order
+*(score desc, candidate position asc)*, so results are identical for any
+worker count, backend, transport and generation mode.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.nodes import Node
@@ -42,8 +46,7 @@ from repro.engine.cache import (
 from repro.engine.chains import CompiledQuery, compile_query
 from repro.engine.dynamic import QueryResult
 from repro.engine.pipeline import generate_trendlines
-from repro.engine.pruning import PruningReport, is_prunable, prune_and_rank
-from repro.engine.pushdown import plan_pushdown
+from repro.engine.pruning import PruningReport
 from repro.engine.trendline import Trendline
 from repro.errors import ExecutionError
 
@@ -51,6 +54,9 @@ from repro.errors import ExecutionError
 #: :data:`repro.engine.parallel.RUN_SOLVERS`, the single table shared by
 #: the sequential, sharded and score_one paths).
 ALGORITHMS = ("dp", "segment-tree", "greedy", "exhaustive")
+
+#: Supported EXTRACT/GROUP placements (see the ``generation`` option).
+GENERATION_MODES = ("auto", "parent", "worker")
 
 
 @dataclass
@@ -88,6 +94,10 @@ class ExecutionStats:
     shards: int = 0
     trendline_cache_hit: bool = False
     plan_cache_hit: bool = False
+    #: Which Extract/Group implementation ran: ``"parent"`` (materialized
+    #: in the calling process) or ``"worker"`` (generated inside the
+    #: workers from the shared table).
+    generation: str = "parent"
     pruning: Optional[PruningReport] = None
 
 
@@ -108,6 +118,7 @@ class ShapeSearchEngine:
         shm: bool = True,
         quantifier_threshold: Optional[float] = None,
         kernel: str = "matrix",
+        generation: str = "auto",
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
@@ -143,6 +154,23 @@ class ShapeSearchEngine:
         #: (paper §5.2: the zero default "can be overridden by users");
         #: None keeps scoring.QUANTIFIER_POSITIVE_THRESHOLD (0.3).
         self.quantifier_threshold = quantifier_threshold
+        if generation not in GENERATION_MODES:
+            raise ExecutionError(
+                "unknown generation mode {!r}; choose from {}".format(
+                    generation, GENERATION_MODES
+                )
+            )
+        #: Where EXTRACT/GROUP runs: ``"parent"`` materializes the
+        #: collection in this process, ``"worker"`` generates inside the
+        #: pool workers from the (shared) table so generation
+        #: parallelizes with scoring, ``"auto"`` picks worker-side on
+        #: the *cacheless* process backend (a configured cache marks an
+        #: interactive session, where one parent-side pass feeds every
+        #: repeat from memory).  Results are byte-identical either way;
+        #: the planner falls back to parent-side when the configuration
+        #: cannot support worker-side generation (workers=1, process
+        #: backend without shm, pruning).
+        self.generation = generation
         self.cache: Optional[EngineCache] = coerce_cache(cache)
         self.last_stats = ExecutionStats()
         self._pools: dict = {}
@@ -249,11 +277,9 @@ class ShapeSearchEngine:
         """Like :meth:`execute`, returning this call's private stats."""
         stats = ExecutionStats()
         compiled = self._compile(query, stats)
-        plan = plan_pushdown(compiled) if self.enable_pushdown else None
-        normalize_y = not _query_constrains_y(compiled)
-        trendlines = self._trendlines(table, params, normalize_y, plan, stats)
-        stats.extracted = len(trendlines)
-        matches = self._rank_into(trendlines, compiled, k, stats, workers=workers, plan=plan)
+        matches = self._run_pipeline(
+            compiled, k, stats, table=table, params=params, workers=workers
+        )
         return matches, stats
 
     def execute_many(
@@ -286,32 +312,27 @@ class ShapeSearchEngine:
         """Batch execution with one private :class:`ExecutionStats` per query.
 
         All queries are compiled first (through the plan cache when one
-        is configured), then trendline generation runs once per distinct
-        ``(normalize_y, push-down effect)`` combination — for the common
-        all-fuzzy batch that is a single EXTRACT/GROUP pass shared by
-        every query.  A query that reused the batch's earlier generation
-        work reports ``trendline_cache_hit=True``.
+        is configured), then parent-side trendline generation runs once
+        per distinct ``(normalize_y, push-down effect)`` combination —
+        for the common all-fuzzy batch that is a single EXTRACT/GROUP
+        pass shared by every query (a query that reused the batch's
+        earlier generation work reports ``trendline_cache_hit=True``).
+        Worker-side generation amortizes through the worker-resident
+        range caches instead — the table is published and its group
+        count established once for the whole batch.
         """
         stats_list: List[ExecutionStats] = [ExecutionStats() for _ in queries]
         compiled_list = [
             self._compile(query, stats) for query, stats in zip(queries, stats_list)
         ]
-        generated: dict = {}
+        memo: dict = {}
         results: List[List[Match]] = []
         for compiled, stats in zip(compiled_list, stats_list):
-            plan = plan_pushdown(compiled) if self.enable_pushdown else None
-            normalize_y = not _query_constrains_y(compiled)
-            memo_key = (normalize_y, plan_fingerprint(plan))
-            if memo_key in generated:
-                stats.trendline_cache_hit = True
-            else:
-                generated[memo_key] = self._trendlines(
-                    table, params, normalize_y, plan, stats
-                )
-            trendlines = generated[memo_key]
-            stats.extracted = len(trendlines)
             results.append(
-                self._rank_into(trendlines, compiled, k, stats, workers=workers, plan=plan)
+                self._run_pipeline(
+                    compiled, k, stats, table=table, params=params,
+                    workers=workers, memo=memo,
+                )
             )
         return results, stats_list
 
@@ -343,180 +364,57 @@ class ShapeSearchEngine:
         stats = ExecutionStats()
         compiled = self._compile(query, stats)
         stats.extracted = extracted_hint if extracted_hint is not None else len(trendlines)
-        matches = self._rank_into(trendlines, compiled, k, stats, workers=workers)
+        matches = self._run_pipeline(
+            compiled, k, stats, trendlines=trendlines, workers=workers
+        )
         return matches, stats
 
-    def _rank_into(
+    def _run_pipeline(
         self,
-        trendlines: Sequence[Trendline],
         compiled: CompiledQuery,
         k: int,
         stats: ExecutionStats,
+        table: Optional[Table] = None,
+        params: Optional[VisualParams] = None,
+        trendlines: Optional[Sequence[Trendline]] = None,
         workers: Optional[int] = None,
-        plan=None,
+        memo: Optional[dict] = None,
     ) -> List[Match]:
-        """Rank ``trendlines`` into ``stats``, returning the matches.
+        """Plan and run the staged operator pipeline for one execution.
 
-        ``plan`` is the already-derived push-down plan when the caller
-        has one (the execute paths); the rank paths derive it here, once
-        per call rather than once per shard.
+        All branching — sequential vs parallel Score, object vs
+        shared-memory transport, parent- vs worker-side Extract/Group,
+        pruning — lives in :func:`repro.engine.pipeline.plan_pipeline`;
+        the engine only supplies the session-scoped services (pools, shm
+        session, caches) through the :class:`PipelineContext`.
         """
-        stats.candidates = len(trendlines)
+        from repro.engine.pipeline import PipelineContext, plan_pipeline
 
-        effective_workers = self.workers if workers is None else self._check_workers(workers)
-        use_pruning = (
-            self.enable_pruning
-            and self.algorithm == "segment-tree"
-            and is_prunable(compiled)
+        pipeline = plan_pipeline(
+            self, compiled, k, table=table, params=params,
+            trendlines=trendlines, workers=workers, memo=memo,
         )
-        if plan is None and self.enable_pushdown:
-            plan = plan_pushdown(compiled)
-        has_eager_checks = plan.has_eager_checks if plan is not None else False
+        return pipeline.run(PipelineContext(engine=self, stats=stats))
 
-        if effective_workers > 1:
-            return self._rank_parallel(
-                trendlines, compiled, k, stats, workers, use_pruning, has_eager_checks
-            )
-
-        if use_pruning:
-            report = PruningReport()
-            ranked = prune_and_rank(
-                list(trendlines),
-                compiled,
-                k,
-                sample_size=self.sample_size,
-                sample_points=self.sample_points,
-                report=report,
-                kernel=self.kernel,
-            )
-            stats.pruning = report
-            stats.scored = report.completed
-            return _to_matches(
-                [
-                    (result.score, index, trendline, result)
-                    for index, (trendline, result) in enumerate(ranked)
-                ]
-            )
-
-        # The sequential path is one shard covering the whole collection —
-        # the same loop and total order as parallel execution, so
-        # ``workers=1`` and ``workers=N`` cannot drift apart.
-        from repro.engine.parallel import score_shard
-
-        shard = score_shard(
-            trendlines,
-            0,
-            compiled,
-            k,
-            algorithm=self.algorithm,
-            enable_pushdown=self.enable_pushdown,
-            has_eager_checks=has_eager_checks,
-            kernel=self.kernel,
-        )
-        stats.scored += shard.scored
-        stats.eager_discarded += shard.eager_discarded
-        return _to_matches(shard.items)
-
-    def _rank_parallel(
+    def explain_plan(
         self,
-        trendlines: Sequence[Trendline],
-        compiled: CompiledQuery,
-        k: int,
-        stats: ExecutionStats,
-        workers: Optional[int],
-        use_pruning: bool,
-        has_eager_checks: bool,
-    ) -> List[Match]:
-        from repro.engine.parallel import parallel_prune_items, parallel_rank_items
+        table: Table,
+        params: VisualParams,
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> str:
+        """The physical operator chain one :meth:`execute` call would run.
 
-        pool = self._resolve_pool(workers)
-        if pool.backend == "process" and self.shm and len(trendlines):
-            return self._rank_parallel_shm(
-                trendlines, compiled, k, stats, pool, use_pruning, has_eager_checks
-            )
-        if use_pruning:
-            items = parallel_prune_items(
-                trendlines,
-                compiled,
-                k,
-                pool,
-                sample_size=self.sample_size,
-                sample_points=self.sample_points,
-                chunk_size=self.chunk_size,
-                stats=stats,
-                kernel=self.kernel,
-            )
-        else:
-            items = parallel_rank_items(
-                trendlines,
-                compiled,
-                k,
-                pool,
-                algorithm=self.algorithm,
-                enable_pushdown=self.enable_pushdown,
-                chunk_size=self.chunk_size,
-                stats=stats,
-                has_eager_checks=has_eager_checks,
-                kernel=self.kernel,
-            )
-        return _to_matches(items)
-
-    def _rank_parallel_shm(
-        self,
-        trendlines: Sequence[Trendline],
-        compiled: CompiledQuery,
-        k: int,
-        stats: ExecutionStats,
-        pool,
-        use_pruning: bool,
-        has_eager_checks: bool,
-    ) -> List[Match]:
-        """Process-backend ranking over the shared-memory transport.
-
-        The collection and compiled query are published once per session
-        (repeat queries over a cached collection reuse both segments);
-        shards travel as ``(start, end)`` index ranges and resolve against
-        the worker-resident store.  Chunking, scoring and merging are the
-        same code as the object-passing path, so results stay
-        byte-identical across transports.
+        Purely a planning call — nothing is generated, published or
+        scored — so it is cheap enough for interactive inspection.
         """
-        from repro.engine.parallel import parallel_prune_ranges, parallel_rank_ranges
+        from repro.engine.pipeline import plan_pipeline
 
-        session = self._shm_session()
-        # Acquired-and-pinned atomically: a concurrent eviction (cache
-        # LRU or the session's own bound) must not unlink a segment a
-        # late-starting worker has yet to attach, including in the window
-        # between the handle lookup and the pin.
-        handle, query_ref = session.acquire(trendlines, compiled)
-        try:
-            if use_pruning:
-                items = parallel_prune_ranges(
-                    handle,
-                    query_ref,
-                    k,
-                    pool,
-                    sample_size=self.sample_size,
-                    sample_points=self.sample_points,
-                    chunk_size=self.chunk_size,
-                    stats=stats,
-                    kernel=self.kernel,
-                )
-            else:
-                items = parallel_rank_ranges(
-                    handle,
-                    query_ref,
-                    k,
-                    pool,
-                    algorithm=self.algorithm,
-                    enable_pushdown=self.enable_pushdown,
-                    chunk_size=self.chunk_size,
-                    stats=stats,
-                    has_eager_checks=has_eager_checks,
-                    kernel=self.kernel,
-                )
-        finally:
-            session.unpin(handle, query_ref)
-        return _to_matches(items)
+        compiled = self._compile(query)
+        return plan_pipeline(
+            self, compiled, k, table=table, params=params, workers=workers
+        ).explain()
 
     def score_one(
         self, trendline: Trendline, query: Union[Node, CompiledQuery]
@@ -606,12 +504,3 @@ def _to_matches(items) -> List[Match]:
         Match(key=trendline.key, score=score, result=result, trendline=trendline)
         for score, _, trendline, result in ranked
     ]
-
-
-def _query_constrains_y(query: CompiledQuery) -> bool:
-    """z-score normalization is skipped when the query pins raw y values."""
-    return any(
-        cu.unit.location.y_start is not None or cu.unit.location.y_end is not None
-        for chain in query.chains
-        for cu in chain.units
-    )

@@ -14,7 +14,7 @@ from __future__ import annotations
 from itertools import product
 from typing import List, Optional, Tuple
 
-from repro.engine.chains import Chain, ChainUnit, CompiledQuery
+from repro.engine.chains import Chain, CompiledQuery
 from repro.engine.dynamic import (
     ChainSolution,
     QueryResult,

@@ -71,6 +71,10 @@ class ShardResult:
     items: List[Tuple[float, int, Trendline, QueryResult]] = field(default_factory=list)
     scored: int = 0
     eager_discarded: int = 0
+    #: Trendlines generated worker-side for this shard (the fused
+    #: Extract/Group → Score tasks of repro.engine.pipeline; 0 when the
+    #: shard scored a parent-materialized collection).
+    generated: int = 0
     pruning: Optional[PruningReport] = None
 
 
@@ -365,6 +369,39 @@ class WorkerPool:
         self.shutdown()
 
 
+def dispatch_score_shards(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int,
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    chunk_size: Optional[int] = None,
+    has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> List[ShardResult]:
+    """Shard and score an object-passing collection (no merge).
+
+    The Score operators consume the raw shard results (the MergeTopK
+    operator owns merging and stats); :func:`parallel_rank_items` wraps
+    this for callers that want the merged items directly.
+    """
+    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
+    if has_eager_checks is None:
+        has_eager_checks = enable_pushdown and plan_pushdown(query).has_eager_checks
+    return pool.map(
+        score_shard,
+        [chunk for _base, chunk in chunks],
+        [base for base, _chunk in chunks],
+        [query] * len(chunks),
+        [k] * len(chunks),
+        [algorithm] * len(chunks),
+        [enable_pushdown] * len(chunks),
+        [has_eager_checks] * len(chunks),
+        [kernel] * len(chunks),
+    )
+
+
 def parallel_rank_items(
     trendlines: Sequence[Trendline],
     query: CompiledQuery,
@@ -382,26 +419,100 @@ def parallel_rank_items(
     Returns the global top-k items; ``stats`` (an ``ExecutionStats``)
     receives the aggregated shard counters when provided.
     """
-    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
-    if has_eager_checks is None:
-        has_eager_checks = enable_pushdown and plan_pushdown(query).has_eager_checks
-    shards = pool.map(
-        score_shard,
-        [chunk for _base, chunk in chunks],
-        [base for base, _chunk in chunks],
-        [query] * len(chunks),
-        [k] * len(chunks),
-        [algorithm] * len(chunks),
-        [enable_pushdown] * len(chunks),
-        [has_eager_checks] * len(chunks),
-        [kernel] * len(chunks),
+    shards = dispatch_score_shards(
+        trendlines,
+        query,
+        k,
+        pool,
+        algorithm=algorithm,
+        enable_pushdown=enable_pushdown,
+        chunk_size=chunk_size,
+        has_eager_checks=has_eager_checks,
+        kernel=kernel,
     )
     if stats is not None:
-        stats.shards = len(chunks)
+        stats.shards = len(shards)
         for shard in shards:
             stats.scored += shard.scored
             stats.eager_discarded += shard.eager_discarded
     return merge_shard_results(shards, k)
+
+
+def dispatch_score_ranges(
+    handle,
+    query,
+    k: int,
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    chunk_size: Optional[int] = None,
+    has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> List[ShardResult]:
+    """Shared-memory twin of :func:`dispatch_score_shards` (no merge)."""
+    from repro.engine.shm import resolve_query
+
+    ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
+    if has_eager_checks is None:
+        compiled = resolve_query(query)
+        has_eager_checks = enable_pushdown and plan_pushdown(compiled).has_eager_checks
+    return pool.map(
+        score_shard_range,
+        [handle] * len(ranges),
+        [start for start, _end in ranges],
+        [end for _start, end in ranges],
+        [query] * len(ranges),
+        [k] * len(ranges),
+        [algorithm] * len(ranges),
+        [enable_pushdown] * len(ranges),
+        [has_eager_checks] * len(ranges),
+        [kernel] * len(ranges),
+    )
+
+
+def dispatch_generate_score(
+    table_ref,
+    params,
+    normalize_y: bool,
+    plan,
+    query,
+    group_count: int,
+    k: int,
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    chunk_size: Optional[int] = None,
+    has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
+) -> List[ShardResult]:
+    """Dispatch fused worker-side Extract/Group → Score range tasks.
+
+    Shards are *group-key index ranges* over the table's candidate
+    groups (sized by the same :func:`make_range_chunks` rule as every
+    other sharding path); ``table_ref`` is a Table (thread backend) or
+    shm TableHandle (process backend) and ``query`` a compiled query or
+    QueryHandle — see :func:`repro.engine.pipeline.generate_score_shard`
+    for the worker-side half.
+    """
+    from repro.engine.pipeline import generate_score_shard
+
+    ranges = make_range_chunks(group_count, pool.workers, chunk_size)
+    count = len(ranges)
+    return pool.map(
+        generate_score_shard,
+        [table_ref] * count,
+        [params] * count,
+        [normalize_y] * count,
+        [plan] * count,
+        [query] * count,
+        [start for start, _end in ranges],
+        [end for _start, end in ranges],
+        [k] * count,
+        [algorithm] * count,
+        [enable_pushdown] * count,
+        [has_eager_checks] * count,
+        [kernel] * count,
+    )
 
 
 def parallel_rank_ranges(
@@ -424,30 +535,48 @@ def parallel_rank_ranges(
     scoring and the merge are shared with the object-passing path, so the
     two transports return byte-identical top-k for any worker count.
     """
-    from repro.engine.shm import resolve_query
+    shards = dispatch_score_ranges(
+        handle,
+        query,
+        k,
+        pool,
+        algorithm=algorithm,
+        enable_pushdown=enable_pushdown,
+        chunk_size=chunk_size,
+        has_eager_checks=has_eager_checks,
+        kernel=kernel,
+    )
+    if stats is not None:
+        stats.shards = len(shards)
+        for shard in shards:
+            stats.scored += shard.scored
+            stats.eager_discarded += shard.eager_discarded
+    return merge_shard_results(shards, k)
 
+
+def dispatch_prune_ranges(
+    handle,
+    query,
+    k: int,
+    pool: WorkerPool,
+    sample_size: int = 20,
+    sample_points: int = 64,
+    chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> List[ShardResult]:
+    """Range-sharded collective pruning (no merge)."""
     ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
-    if has_eager_checks is None:
-        compiled = resolve_query(query)
-        has_eager_checks = enable_pushdown and plan_pushdown(compiled).has_eager_checks
-    shards = pool.map(
-        score_shard_range,
+    return pool.map(
+        prune_shard_range,
         [handle] * len(ranges),
         [start for start, _end in ranges],
         [end for _start, end in ranges],
         [query] * len(ranges),
         [k] * len(ranges),
-        [algorithm] * len(ranges),
-        [enable_pushdown] * len(ranges),
-        [has_eager_checks] * len(ranges),
+        [sample_size] * len(ranges),
+        [sample_points] * len(ranges),
         [kernel] * len(ranges),
     )
-    if stats is not None:
-        stats.shards = len(ranges)
-        for shard in shards:
-            stats.scored += shard.scored
-            stats.eager_discarded += shard.eager_discarded
-    return merge_shard_results(shards, k)
 
 
 def parallel_prune_ranges(
@@ -462,19 +591,34 @@ def parallel_prune_ranges(
     kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shared-memory twin of :func:`parallel_prune_items`."""
-    ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
-    shards = pool.map(
-        prune_shard_range,
-        [handle] * len(ranges),
-        [start for start, _end in ranges],
-        [end for _start, end in ranges],
-        [query] * len(ranges),
-        [k] * len(ranges),
-        [sample_size] * len(ranges),
-        [sample_points] * len(ranges),
-        [kernel] * len(ranges),
+    shards = dispatch_prune_ranges(
+        handle, query, k, pool, sample_size=sample_size,
+        sample_points=sample_points, chunk_size=chunk_size, kernel=kernel,
     )
-    return _merge_pruned(shards, k, len(ranges), stats)
+    return _merge_pruned(shards, k, len(shards), stats)
+
+
+def dispatch_prune_shards(
+    trendlines: Sequence[Trendline],
+    query: CompiledQuery,
+    k: int,
+    pool: WorkerPool,
+    sample_size: int = 20,
+    sample_points: int = 64,
+    chunk_size: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> List[ShardResult]:
+    """Object-passing sharded collective pruning (no merge)."""
+    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
+    return pool.map(
+        prune_shard,
+        [chunk for _base, chunk in chunks],
+        [query] * len(chunks),
+        [k] * len(chunks),
+        [sample_size] * len(chunks),
+        [sample_points] * len(chunks),
+        [kernel] * len(chunks),
+    )
 
 
 def parallel_prune_items(
@@ -489,23 +633,15 @@ def parallel_prune_items(
     kernel: Optional[str] = None,
 ) -> List[Tuple[float, int, Trendline, QueryResult]]:
     """Shard the collective-pruning driver and merge the exact top-k."""
-    chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
-    shards = pool.map(
-        prune_shard,
-        [chunk for _base, chunk in chunks],
-        [query] * len(chunks),
-        [k] * len(chunks),
-        [sample_size] * len(chunks),
-        [sample_points] * len(chunks),
-        [kernel] * len(chunks),
+    shards = dispatch_prune_shards(
+        trendlines, query, k, pool, sample_size=sample_size,
+        sample_points=sample_points, chunk_size=chunk_size, kernel=kernel,
     )
-    return _merge_pruned(shards, k, len(chunks), stats)
+    return _merge_pruned(shards, k, len(shards), stats)
 
 
-def _merge_pruned(
-    shards: Sequence[ShardResult], k: int, shard_count: int, stats
-) -> List[Tuple[float, int, Trendline, QueryResult]]:
-    """Aggregate pruning reports and merge under the pruning-path order."""
+def aggregate_pruning_reports(shards: Sequence[ShardResult]) -> PruningReport:
+    """Fold per-shard pruning reports into one (rounds is the max)."""
     report = PruningReport()
     for shard in shards:
         if shard.pruning is not None:
@@ -514,14 +650,33 @@ def _merge_pruned(
             report.pruned += shard.pruning.pruned
             report.completed += shard.pruning.completed
             report.rounds = max(report.rounds, shard.pruning.rounds)
+    return report
+
+
+def merge_pruned_items(
+    shards: Sequence[ShardResult], k: int
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Global top-k under the pruning drivers' (score desc, key asc) order.
+
+    The single copy of the pruning-path merge rule — the MergeTopK
+    operator and the ``parallel_prune_*`` wrappers both route through
+    here, so the tie-break cannot drift between them.
+    """
+    merged = [item for shard in shards for item in shard.items]
+    merged.sort(key=lambda item: (-item[0], str(item[2].key)))
+    return merged[:k]
+
+
+def _merge_pruned(
+    shards: Sequence[ShardResult], k: int, shard_count: int, stats
+) -> List[Tuple[float, int, Trendline, QueryResult]]:
+    """Aggregate pruning reports and merge under the pruning-path order."""
+    report = aggregate_pruning_reports(shards)
     if stats is not None:
         stats.shards = shard_count
         stats.pruning = report
         stats.scored = report.completed
-    # The pruning path ranks by (score desc, key asc) — keep that order.
-    merged = [item for shard in shards for item in shard.items]
-    merged.sort(key=lambda item: (-item[0], str(item[2].key)))
-    return merged[:k]
+    return merge_pruned_items(shards, k)
 
 
 from repro.engine.executor import ShapeSearchEngine  # noqa: E402  (after helpers)
@@ -558,6 +713,7 @@ class ParallelEngine(ShapeSearchEngine):
         shm: bool = True,
         quantifier_threshold: Optional[float] = None,
         kernel: str = "matrix",
+        generation: str = "auto",
     ):
         super().__init__(
             algorithm=algorithm,
@@ -572,4 +728,5 @@ class ParallelEngine(ShapeSearchEngine):
             shm=shm,
             quantifier_threshold=quantifier_threshold,
             kernel=kernel,
+            generation=generation,
         )

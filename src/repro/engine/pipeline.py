@@ -1,24 +1,47 @@
-"""The EXTRACT and GROUP physical operators (paper §5.3, Figure 5).
+"""The physical query pipeline: EXTRACT/GROUP operators and the staged plan.
 
-EXTRACT selects and aggregates records by the visual parameters
-(z, x, y, filters, aggregation) and streams per-z point sets, sorted on
-x.  GROUP turns each point set into a
-:class:`~repro.engine.trendline.Trendline`: z-score normalization (when
-the query has no raw-y constraints), optional binning by width ``b``,
-and the per-bin summarized statistics of Theorem 5.1.  The push-down
-hooks of §5.4 thread through both operators.
+Two layers live here:
+
+* The **EXTRACT and GROUP operators** of paper §5.3 (Figure 5).  EXTRACT
+  selects and aggregates records by the visual parameters (z, x, y,
+  filters, aggregation) and streams per-z point sets, sorted on x.
+  GROUP turns each point set into a
+  :class:`~repro.engine.trendline.Trendline`: z-score normalization
+  (when the query has no raw-y constraints), optional binning by width
+  ``b``, and the per-bin summarized statistics of Theorem 5.1.  The
+  push-down hooks of §5.4 thread through both operators.
+
+* The **staged physical-operator pipeline** of §7's execution engine: a
+  small planner (:func:`plan_pipeline`) compiles one query execution
+  into a DAG of operators —
+
+      ScanTable → Extract/Group → Score → MergeTopK
+
+  — each with a sequential and a parallel implementation.  The parallel
+  Extract/Group implementation runs *inside workers* against the
+  shared-memory-published table: shards are group-key index ranges,
+  workers generate their own trendlines (cached in a worker-resident
+  store keyed by table fingerprint + VisualParams) and score them in
+  place, so no trendline ever crosses a process boundary.  Every
+  implementation preserves the engine's total order *(score desc,
+  position asc)*, so results are byte-identical across operators,
+  backends and worker counts.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Optional, Tuple
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.filters import apply_filters
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
-from repro.engine.pushdown import PushdownPlan, has_required_data
+from repro.engine.cache import plan_fingerprint
+from repro.engine.pushdown import PushdownPlan, has_required_data, plan_pushdown
 from repro.engine.trendline import Trendline, build_trendline
 from repro.errors import DataError
 
@@ -32,6 +55,89 @@ _AGGREGATES = {
 }
 
 
+# ---------------------------------------------------------------------------
+# EXTRACT / GROUP (logical operators, paper §5.3)
+# ---------------------------------------------------------------------------
+
+
+def _require_columns(table: Table, params: VisualParams) -> None:
+    for name in (params.z, params.x, params.y):
+        if name not in table:
+            raise DataError(
+                "visual parameter column {!r} not in table (columns: {})".format(
+                    name, table.column_names
+                )
+            )
+
+
+def _required_columns(table: Table, params: VisualParams):
+    """The column subset generation reads: z/x/y plus filter columns.
+
+    Worker-side generation publishes only these into shared memory —
+    unrelated columns are neither copied nor required to be picklable.
+    Returns None when the query touches every column (full export).
+    """
+    needed = {params.z, params.x, params.y}
+    needed.update(item.column for item in params.filters)
+    subset = tuple(name for name in table.column_names if name in needed)
+    return None if len(subset) == len(table.column_names) else subset
+
+
+def _extract_stream(filtered, params, key, indices, plan, aggregate):
+    """EXTRACT for one group: ``(key, sorted x, aggregated y)`` or None.
+
+    The single copy of the per-group selection rule — duplicate-x
+    aggregation, push-down (a) skipping, the two-point floor — shared by
+    the streaming :func:`extract` and the worker-side
+    :func:`generate_range`, so parent- and worker-side generation cannot
+    drift apart.
+    """
+    x = filtered.column(params.x)[indices].astype(float)
+    y = filtered.column(params.y)[indices].astype(float)
+    order = np.argsort(x, kind="stable")
+    x, y = x[order], y[order]
+    if plan is not None and plan.required_spans and not has_required_data(
+        x, plan.required_spans
+    ):
+        return None
+    unique_x, inverse = np.unique(x, return_inverse=True)
+    if len(unique_x) != len(x):
+        aggregated = np.empty(len(unique_x))
+        for slot in range(len(unique_x)):
+            aggregated[slot] = aggregate(y[inverse == slot])
+        x, y = unique_x, aggregated
+    if len(x) < 2:
+        return None
+    return key, x, y
+
+
+def _group_stream(key, x, y, params, normalize_y, plan) -> Optional[Trendline]:
+    """GROUP for one stream: build the Trendline (or None when degenerate).
+
+    Push-down (c): when the plan says the query is fully pinned, the
+    summarized statistics are materialized only over the union of the
+    pinned x ranges.
+    """
+    keep_range = None
+    if plan is not None and plan.keep_span is not None:
+        lo_x, hi_x = plan.keep_span
+        lo_bin = int(np.searchsorted(x, lo_x, side="left"))
+        hi_bin = int(np.searchsorted(x, hi_x, side="right"))
+        if params.bin_width is None and hi_bin - lo_bin >= 2:
+            keep_range = (lo_bin, hi_bin)
+    try:
+        return build_trendline(
+            key,
+            x,
+            y,
+            bin_width=params.bin_width,
+            normalize_y=normalize_y,
+            keep_range=keep_range,
+        )
+    except DataError:
+        return None
+
+
 def extract(
     table: Table,
     params: VisualParams,
@@ -43,33 +149,13 @@ def extract(
     aggregate (the paper's Real-Estate case).  Push-down (a) skips groups
     lacking data in any pinned x span of the query.
     """
-    for name in (params.z, params.x, params.y):
-        if name not in table:
-            raise DataError(
-                "visual parameter column {!r} not in table (columns: {})".format(
-                    name, table.column_names
-                )
-            )
+    _require_columns(table, params)
     filtered = apply_filters(table, params.filters)
     aggregate = _AGGREGATES[params.aggregate]
     for key, indices in filtered.group_by(params.z):
-        x = filtered.column(params.x)[indices].astype(float)
-        y = filtered.column(params.y)[indices].astype(float)
-        order = np.argsort(x, kind="stable")
-        x, y = x[order], y[order]
-        if plan is not None and plan.required_spans and not has_required_data(
-            x, plan.required_spans
-        ):
-            continue
-        unique_x, inverse = np.unique(x, return_inverse=True)
-        if len(unique_x) != len(x):
-            aggregated = np.empty(len(unique_x))
-            for slot in range(len(unique_x)):
-                aggregated[slot] = aggregate(y[inverse == slot])
-            x, y = unique_x, aggregated
-        if len(x) < 2:
-            continue
-        yield key, x, y
+        stream = _extract_stream(filtered, params, key, indices, plan, aggregate)
+        if stream is not None:
+            yield stream
 
 
 def group(
@@ -78,31 +164,11 @@ def group(
     normalize_y: bool = True,
     plan: Optional[PushdownPlan] = None,
 ) -> Iterator[Trendline]:
-    """GROUP: build one Trendline per z value.
-
-    Push-down (c): when the plan says the query is fully pinned, the
-    summarized statistics are materialized only over the union of the
-    pinned x ranges.
-    """
+    """GROUP: build one Trendline per z value."""
     for key, x, y in streams:
-        keep_range = None
-        if plan is not None and plan.keep_span is not None:
-            lo_x, hi_x = plan.keep_span
-            lo_bin = int(np.searchsorted(x, lo_x, side="left"))
-            hi_bin = int(np.searchsorted(x, hi_x, side="right"))
-            if params.bin_width is None and hi_bin - lo_bin >= 2:
-                keep_range = (lo_bin, hi_bin)
-        try:
-            yield build_trendline(
-                key,
-                x,
-                y,
-                bin_width=params.bin_width,
-                normalize_y=normalize_y,
-                keep_range=keep_range,
-            )
-        except DataError:
-            continue
+        trendline = _group_stream(key, x, y, params, normalize_y, plan)
+        if trendline is not None:
+            yield trendline
 
 
 def generate_trendlines(
@@ -113,3 +179,743 @@ def generate_trendlines(
 ) -> List[Trendline]:
     """EXTRACT ∘ GROUP: the candidate visualizations ``gen(R)``."""
     return list(group(extract(table, params, plan), params, normalize_y, plan))
+
+
+def query_constrains_y(query) -> bool:
+    """z-score normalization is skipped when the query pins raw y values."""
+    return any(
+        cu.unit.location.y_start is not None or cu.unit.location.y_end is not None
+        for chain in query.chains
+        for cu in chain.units
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side generation (the parallel Extract/Group implementation)
+# ---------------------------------------------------------------------------
+
+class _GenerationState:
+    """Worker-side generation caches for one :class:`Table` *instance*.
+
+    Attached to the table itself (``table._generation_state``) rather
+    than held in module globals, so the caches live exactly as long as
+    the table: dropping the table — or a worker store evicting its
+    reattached copy — frees the grouping index and every generated range
+    with it, with no engine-lifecycle hook required.  Each map is a
+    small LRU; the lock serializes the grouping pass (concurrent
+    thread-backend tasks wait for one pass instead of duplicating it)
+    while range generation itself runs outside it.
+    """
+
+    __slots__ = ("lock", "groupings", "counts", "ranges", "__weakref__")
+
+    #: (z, filters) -> (filtered table, [(key, row indices)]).
+    MAX_GROUPINGS = 4
+    #: (params, normalize_y, plan effect, range) -> [(index, Trendline)].
+    MAX_RANGES = 64
+    #: (z, filters) -> group count (the parent-side planner memo).
+    MAX_COUNTS = 16
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.groupings: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.counts: "OrderedDict[tuple, int]" = OrderedDict()
+        self.ranges: "OrderedDict[tuple, list]" = OrderedDict()
+
+
+def _generation_state(table: Table) -> _GenerationState:
+    state = getattr(table, "_generation_state", None)
+    if state is None:
+        state = _GenerationState()
+        try:
+            table._generation_state = state
+        except AttributeError:  # exotic table subclasses: uncached state
+            pass
+    return state
+
+
+def _grouping(table: Table, params: VisualParams):
+    """The cached ``(filtered table, group list)`` for one table+params.
+
+    Group enumeration order is ``Table.group_by``'s first-seen order —
+    exactly the order :func:`extract` iterates — which is what makes
+    group-index ranges a faithful sharding of parent-side generation.
+    """
+    state = _generation_state(table)
+    key = (params.z, params.filters)
+    with state.lock:
+        entry = state.groupings.get(key)
+        if entry is not None:
+            state.groupings.move_to_end(key)
+            return entry
+        filtered = apply_filters(table, params.filters)
+        groups = list(filtered.group_by(params.z))
+        state.groupings[key] = (filtered, groups)
+        while len(state.groupings) > state.MAX_GROUPINGS:
+            state.groupings.popitem(last=False)
+        return filtered, groups
+
+
+def count_groups(table: Table, params: VisualParams) -> int:
+    """Number of candidate groups (distinct filtered z values).
+
+    This is the worker-side shard domain: group *indices* are sharded,
+    so the parent only ever needs the count — one cheap column pass,
+    memoized on the table — while the index itself is built
+    worker-resident by :func:`_grouping`.
+    """
+    state = _generation_state(table)
+    key = (params.z, params.filters)
+    with state.lock:
+        entry = state.groupings.get(key)
+        if entry is not None:
+            return len(entry[1])
+        count = state.counts.get(key)
+        if count is not None:
+            state.counts.move_to_end(key)
+            return count
+    filtered = apply_filters(table, params.filters)
+    # Distinct-value count under dict/set semantics — the same hash/eq
+    # rule group_by buckets with, so the count always matches len(groups).
+    count = len(set(filtered.column(params.z).tolist()))
+    with state.lock:
+        state.counts[key] = count
+        while len(state.counts) > state.MAX_COUNTS:
+            state.counts.popitem(last=False)
+    return count
+
+
+def generate_range(
+    table: Table,
+    params: VisualParams,
+    normalize_y: bool,
+    plan: Optional[PushdownPlan],
+    start: int,
+    end: int,
+) -> List[Tuple[int, Trendline]]:
+    """Worker-side EXTRACT ∘ GROUP over group indices ``[start, end)``.
+
+    Returns ``(group index, trendline)`` pairs — groups dropped by
+    extraction (too few points, push-down skips) or grouping (degenerate
+    series) leave gaps, preserving the global generation order across
+    shards.  Results are memoized on the (worker-resident) table keyed
+    by VisualParams + normalization + push-down effect + range; range
+    boundaries are deterministic (``make_range_chunks``), so repeat
+    queries that land the same range on the same worker skip
+    EXTRACT/GROUP entirely.
+    """
+    state = _generation_state(table)
+    cache_key = (params, bool(normalize_y), plan_fingerprint(plan), start, end)
+    with state.lock:
+        pairs = state.ranges.get(cache_key)
+        if pairs is not None:
+            state.ranges.move_to_end(cache_key)
+            return pairs
+    filtered, groups = _grouping(table, params)
+    aggregate = _AGGREGATES[params.aggregate]
+    pairs = []
+    for index in range(start, min(end, len(groups))):
+        key, indices = groups[index]
+        stream = _extract_stream(filtered, params, key, indices, plan, aggregate)
+        if stream is None:
+            continue
+        trendline = _group_stream(*stream, params=params,
+                                  normalize_y=normalize_y, plan=plan)
+        if trendline is None:
+            continue
+        pairs.append((index, trendline))
+    with state.lock:
+        state.ranges[cache_key] = pairs
+        while len(state.ranges) > state.MAX_RANGES:
+            state.ranges.popitem(last=False)
+    return pairs
+
+
+def generate_score_shard(
+    table_ref,
+    params: VisualParams,
+    normalize_y: bool,
+    plan: Optional[PushdownPlan],
+    query,
+    start: int,
+    end: int,
+    k: int,
+    algorithm: str = "segment-tree",
+    enable_pushdown: bool = True,
+    has_eager_checks: Optional[bool] = None,
+    kernel: Optional[str] = None,
+):
+    """Fused Extract/Group → Score over one group-index range, in a worker.
+
+    ``table_ref`` is either a :class:`Table` (thread backend — workers
+    share the parent's memory) or a
+    :class:`~repro.engine.shm.TableHandle` (process backend — resolved
+    against the worker-resident store, attaching the shared segment on
+    first use); ``query`` a compiled query or
+    :class:`~repro.engine.shm.QueryHandle`.  The task payload is a
+    manifest, the visual parameters and two integers — no trendline ever
+    crosses the process boundary; only the shard's top-k results travel
+    back.
+
+    Positions are ``start`` plus the shard-local generation offset.
+    Gaps from dropped groups compact within the shard, but every
+    position in this shard stays strictly below every position of any
+    later range, so the global total order *(score desc, position asc)*
+    ranks candidates exactly as parent-side generation would — which is
+    what keeps worker-side results byte-identical.
+    """
+    from repro.engine.parallel import score_shard
+    from repro.engine.shm import resolve_query, resolve_table
+
+    table = table_ref if isinstance(table_ref, Table) else resolve_table(table_ref)
+    compiled = resolve_query(query)
+    pairs = generate_range(table, params, normalize_y, plan, start, end)
+    shard = score_shard(
+        [trendline for _index, trendline in pairs],
+        start,
+        compiled,
+        k,
+        algorithm=algorithm,
+        enable_pushdown=enable_pushdown,
+        has_eager_checks=has_eager_checks,
+        kernel=kernel,
+    )
+    shard.generated = len(pairs)
+    return shard
+
+
+# ---------------------------------------------------------------------------
+# The staged physical-operator pipeline (§7 execution engine)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineContext:
+    """Runtime services a plan executes against: the engine + this call's
+    private stats.  Pools and shm sessions are reached through the
+    engine so plans stay cheap, reusable descriptions."""
+
+    engine: object
+    stats: object
+
+
+@dataclass
+class TableSource:
+    """Output of ScanTable: the table plus its published form, if any."""
+
+    table: Table
+    params: VisualParams
+    handle: Optional[object] = None  # shm TableHandle when published
+
+
+@dataclass
+class DeferredGeneration:
+    """A worker-side Extract/Group whose work is fused into Score tasks."""
+
+    source: TableSource
+    normalize_y: bool
+    plan: Optional[PushdownPlan]
+    group_count: int
+
+
+@dataclass
+class Candidates:
+    """Extract/Group output: materialized trendlines or a deferred plan."""
+
+    trendlines: Optional[Sequence[Trendline]] = None
+    deferred: Optional[DeferredGeneration] = None
+
+
+@dataclass
+class ScoredShards:
+    """Score output: per-shard top-k heaps, awaiting the global merge."""
+
+    shards: List[object] = field(default_factory=list)
+    pruned: bool = False
+    sequential: bool = False
+    worker_generated: bool = False
+
+
+class Operator:
+    """One physical pipeline stage.  ``run`` consumes the upstream
+    operator's output; ``describe`` renders the EXPLAIN line."""
+
+    name = "Operator"
+    mode = ""
+
+    def run(self, ctx: PipelineContext, value):
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+    def describe(self) -> str:
+        detail = self.detail()
+        return "{}[{}]{}".format(self.name, self.mode, " " + detail if detail else "")
+
+
+class ScanTable(Operator):
+    """Leaf: the OLAP table (in-process, or published to shared memory)."""
+
+    name = "ScanTable"
+
+    def __init__(self, table: Table, params: VisualParams, mode: str = "in-process"):
+        self.table = table
+        self.params = params
+        self.mode = mode  # "in-process" | "shared-memory"
+
+    def run(self, ctx, _value) -> TableSource:
+        _require_columns(self.table, self.params)
+        handle = None
+        if self.mode == "shared-memory":
+            # The only mode that needs the content fingerprint — computed
+            # (and memoized) inside table_handle; the in-process scan
+            # stays hash-free.  Only the columns generation reads are
+            # published.
+            handle = ctx.engine._shm_session().table_handle(
+                self.table, columns=_required_columns(self.table, self.params)
+            )
+        return TableSource(table=self.table, params=self.params, handle=handle)
+
+    def detail(self) -> str:
+        return "rows={} z={!r}".format(len(self.table), self.params.z)
+
+
+class PrebuiltScan(Operator):
+    """Leaf for the rank() paths: candidates the caller already holds."""
+
+    name = "Scan"
+    mode = "prebuilt"
+
+    def __init__(self, trendlines: Sequence[Trendline]):
+        self.trendlines = trendlines
+
+    def run(self, ctx, _value) -> Candidates:
+        return Candidates(trendlines=self.trendlines)
+
+    def detail(self) -> str:
+        return "candidates={}".format(len(self.trendlines))
+
+
+class ExtractGroup(Operator):
+    """EXTRACT ∘ GROUP with a parent-side and a worker-side implementation.
+
+    ``parent`` materializes the collection in the calling process
+    (through the engine's trendline cache and the optional batch memo);
+    ``worker`` defers generation into the Score stage's fused tasks —
+    the parent only establishes the shard domain (the group count).
+    """
+
+    name = "Extract/Group"
+
+    def __init__(self, normalize_y: bool, plan: Optional[PushdownPlan],
+                 mode: str, memo: Optional[dict] = None):
+        self.normalize_y = normalize_y
+        self.plan = plan
+        self.mode = mode  # "parent" | "worker"
+        self.memo = memo
+
+    def run(self, ctx, source: TableSource) -> Candidates:
+        ctx.stats.generation = self.mode
+        if self.mode == "worker":
+            if source.handle is not None:
+                # Process backend: the parent never builds the grouping
+                # (workers do, resident), so a memoized count-only pass
+                # establishes the shard domain.
+                group_count = count_groups(source.table, source.params)
+            else:
+                # Thread backend: the pool shares this very table
+                # instance, so building (and caching) the grouping here
+                # *is* the workers' grouping — no separate count pass.
+                _filtered, groups = _grouping(source.table, source.params)
+                group_count = len(groups)
+            return Candidates(
+                deferred=DeferredGeneration(
+                    source=source,
+                    normalize_y=self.normalize_y,
+                    plan=self.plan,
+                    group_count=group_count,
+                )
+            )
+        memo_key = (self.normalize_y, plan_fingerprint(self.plan))
+        if self.memo is not None and memo_key in self.memo:
+            ctx.stats.trendline_cache_hit = True
+            trendlines = self.memo[memo_key]
+        else:
+            trendlines = ctx.engine._trendlines(
+                source.table, source.params, self.normalize_y, self.plan, ctx.stats
+            )
+            if self.memo is not None:
+                self.memo[memo_key] = trendlines
+        ctx.stats.extracted = len(trendlines)
+        return Candidates(trendlines=trendlines)
+
+    def detail(self) -> str:
+        return "normalize_y={}".format(self.normalize_y)
+
+
+class _ScoreBase(Operator):
+    """Shared configuration of the Score implementations."""
+
+    name = "Score"
+
+    def __init__(self, compiled, k: int, workers: int,
+                 has_eager_checks: bool, pruning: bool):
+        self.compiled = compiled
+        self.k = k
+        self.workers = workers
+        self.has_eager_checks = has_eager_checks
+        self.pruning = pruning
+
+    def detail(self) -> str:
+        return "workers={}{}".format(self.workers, " pruning" if self.pruning else "")
+
+
+class SequentialScore(_ScoreBase):
+    """One shard covering the whole collection — the workers=1 path."""
+
+    mode = "sequential"
+
+    def run(self, ctx, candidates: Candidates) -> ScoredShards:
+        from repro.engine.parallel import prune_shard, score_shard
+
+        engine = ctx.engine
+        trendlines = list(candidates.trendlines)
+        ctx.stats.candidates = len(trendlines)
+        if self.pruning:
+            shard = prune_shard(
+                trendlines,
+                self.compiled,
+                self.k,
+                engine.sample_size,
+                engine.sample_points,
+                kernel=engine.kernel,
+            )
+        else:
+            shard = score_shard(
+                trendlines,
+                0,
+                self.compiled,
+                self.k,
+                algorithm=engine.algorithm,
+                enable_pushdown=engine.enable_pushdown,
+                has_eager_checks=self.has_eager_checks,
+                kernel=engine.kernel,
+            )
+        return ScoredShards([shard], pruned=self.pruning, sequential=True)
+
+
+class ParallelScore(_ScoreBase):
+    """Object-passing sharded scoring (thread pools, process+pickle)."""
+
+    mode = "parallel"
+
+    def run(self, ctx, candidates: Candidates) -> ScoredShards:
+        from repro.engine.parallel import dispatch_prune_shards, dispatch_score_shards
+
+        engine = ctx.engine
+        trendlines = list(candidates.trendlines)
+        ctx.stats.candidates = len(trendlines)
+        pool = engine._resolve_pool(self.workers)
+        if self.pruning:
+            shards = dispatch_prune_shards(
+                trendlines,
+                self.compiled,
+                self.k,
+                pool,
+                sample_size=engine.sample_size,
+                sample_points=engine.sample_points,
+                chunk_size=engine.chunk_size,
+                kernel=engine.kernel,
+            )
+        else:
+            shards = dispatch_score_shards(
+                trendlines,
+                self.compiled,
+                self.k,
+                pool,
+                algorithm=engine.algorithm,
+                enable_pushdown=engine.enable_pushdown,
+                chunk_size=engine.chunk_size,
+                has_eager_checks=self.has_eager_checks,
+                kernel=engine.kernel,
+            )
+        return ScoredShards(list(shards), pruned=self.pruning)
+
+
+class SharedMemoryScore(_ScoreBase):
+    """Range-sharded scoring over the shm-published collection.
+
+    The collection and compiled query are published once per session
+    (acquired-and-pinned atomically, so concurrent evictions cannot
+    unlink a segment mid-dispatch); shards travel as ``(handle, start,
+    end)`` index ranges resolved against the worker-resident store.
+    """
+
+    mode = "shared-memory"
+
+    def run(self, ctx, candidates: Candidates) -> ScoredShards:
+        from repro.engine.parallel import dispatch_prune_ranges, dispatch_score_ranges
+
+        engine = ctx.engine
+        trendlines = candidates.trendlines
+        ctx.stats.candidates = len(trendlines)
+        if not len(trendlines):
+            return ScoredShards([], pruned=self.pruning)
+        pool = engine._resolve_pool(self.workers)
+        session = engine._shm_session()
+        handle, query_ref = session.acquire(trendlines, self.compiled)
+        try:
+            if self.pruning:
+                shards = dispatch_prune_ranges(
+                    handle,
+                    query_ref,
+                    self.k,
+                    pool,
+                    sample_size=engine.sample_size,
+                    sample_points=engine.sample_points,
+                    chunk_size=engine.chunk_size,
+                    kernel=engine.kernel,
+                )
+            else:
+                shards = dispatch_score_ranges(
+                    handle,
+                    query_ref,
+                    self.k,
+                    pool,
+                    algorithm=engine.algorithm,
+                    enable_pushdown=engine.enable_pushdown,
+                    chunk_size=engine.chunk_size,
+                    has_eager_checks=self.has_eager_checks,
+                    kernel=engine.kernel,
+                )
+        finally:
+            session.unpin(handle, query_ref)
+        return ScoredShards(list(shards), pruned=self.pruning)
+
+
+class GenerateAndScore(_ScoreBase):
+    """The fused worker-side stage: Extract/Group + Score in one task.
+
+    Consumes a :class:`DeferredGeneration`: shards are group-key index
+    ranges over the (published or in-process) table, and each worker
+    generates its own trendlines before scoring them — generation
+    parallelizes with scoring, and for the process backend nothing but
+    the shard's top-k ever crosses a process boundary.
+    """
+
+    mode = "worker-generate"
+
+    def run(self, ctx, candidates: Candidates) -> ScoredShards:
+        from repro.engine.parallel import dispatch_generate_score
+
+        engine = ctx.engine
+        deferred = candidates.deferred
+        if deferred.group_count == 0:
+            ctx.stats.candidates = 0
+            return ScoredShards([], worker_generated=True)
+        source = deferred.source
+        pool = engine._resolve_pool(self.workers)
+        session = None
+        if source.handle is not None:
+            # Re-acquire (publish-or-reuse) the table and query handles
+            # and pin both atomically: the session's table memo is
+            # LRU-bounded, so a concurrent execute over other tables
+            # must not unlink this dispatch's segment mid-flight.
+            session = engine._shm_session()
+            table_ref, query_ref = session.acquire_generation(
+                source.table,
+                self.compiled,
+                columns=_required_columns(source.table, source.params),
+            )
+        else:
+            table_ref = source.table
+            query_ref = self.compiled
+        try:
+            shards = dispatch_generate_score(
+                table_ref,
+                source.params,
+                deferred.normalize_y,
+                deferred.plan,
+                query_ref,
+                deferred.group_count,
+                self.k,
+                pool,
+                algorithm=engine.algorithm,
+                enable_pushdown=engine.enable_pushdown,
+                chunk_size=engine.chunk_size,
+                has_eager_checks=self.has_eager_checks,
+                kernel=engine.kernel,
+            )
+        finally:
+            if session is not None:
+                session.unpin(table_ref, query_ref)
+        return ScoredShards(list(shards), worker_generated=True)
+
+
+class MergeTopK(Operator):
+    """Global top-k from per-shard heaps, under the shared total order.
+
+    Also the stats rendezvous: per-shard counters (scored, eager
+    discards, worker-side generation counts, pruning reports) fold into
+    the call's :class:`ExecutionStats` here, exactly once.
+    """
+
+    name = "MergeTopK"
+    mode = "(score desc, position asc)"
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def run(self, ctx, scored: ScoredShards):
+        from repro.engine.executor import _to_matches
+        from repro.engine.parallel import (
+            aggregate_pruning_reports,
+            merge_pruned_items,
+            merge_shard_results,
+        )
+
+        stats = ctx.stats
+        shards = scored.shards
+        if not scored.sequential:
+            stats.shards = len(shards)
+        if scored.pruned:
+            report = aggregate_pruning_reports(shards)
+            stats.pruning = report
+            stats.scored = report.completed
+            items = merge_pruned_items(shards, self.k)
+        else:
+            for shard in shards:
+                stats.scored += shard.scored
+                stats.eager_discarded += shard.eager_discarded
+            if scored.worker_generated:
+                generated = sum(shard.generated for shard in shards)
+                stats.extracted = generated
+                stats.candidates = generated
+            items = merge_shard_results(shards, self.k)
+        return _to_matches(items)
+
+    def detail(self) -> str:
+        return "k={}".format(self.k)
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled execution: the operator chain plus planner decisions."""
+
+    operators: List[Operator]
+    generation: str = "parent"
+
+    def run(self, ctx: PipelineContext):
+        value = None
+        for operator in self.operators:
+            value = operator.run(ctx, value)
+        return value
+
+    def explain(self) -> str:
+        """The EXPLAIN rendering: one line per operator, in flow order."""
+        lines = []
+        for index, operator in enumerate(self.operators):
+            prefix = "" if index == 0 else "  -> "
+            lines.append(prefix + operator.describe())
+        return "\n".join(lines)
+
+
+def _resolve_generation(engine, parallel, use_pruning) -> str:
+    """Pick the Extract/Group implementation for one execution.
+
+    Worker-side generation requires a parallel Score stage whose workers
+    can reach the table — the thread backend (shared address space) or
+    the process backend with the shm transport — and is skipped under
+    pruning (the collective-pruning driver wants the materialized
+    collection).  ``generation="auto"`` applies it on the process
+    backend, where parent-side generation is the serial bottleneck the
+    stage exists to remove, unless a trendline cache is configured — a
+    cache marks an interactive session, where one parent-side generation
+    pass feeds every repeat query from memory and also lets the shm
+    transport reuse the published collection segment.  The thread
+    backend defaults to parent-side — in-process generation is GIL-bound
+    either way, so deferral buys nothing — but honors an explicit
+    ``generation="worker"``.
+    """
+    requested = getattr(engine, "generation", "auto")
+    capable = (
+        parallel
+        and not use_pruning
+        and (engine.backend == "thread" or (engine.backend == "process" and engine.shm))
+    )
+    if requested == "parent" or not capable:
+        return "parent"
+    if requested == "worker":
+        return "worker"
+    if engine.backend != "process" or engine.cache is not None:
+        return "parent"
+    return "worker"
+
+
+def plan_pipeline(
+    engine,
+    compiled,
+    k: int,
+    table: Optional[Table] = None,
+    params: Optional[VisualParams] = None,
+    trendlines: Optional[Sequence[Trendline]] = None,
+    workers: Optional[int] = None,
+    memo: Optional[dict] = None,
+) -> PhysicalPlan:
+    """Compile one query execution into the staged operator DAG.
+
+    The planner replaces the engine's historical ``_rank_into`` /
+    ``_rank_parallel`` / ``_rank_parallel_shm`` branching: every
+    decision — sequential vs parallel Score, object vs range transport,
+    parent- vs worker-side Extract/Group, pruning — is made here, once,
+    and the returned plan is a linear chain of operators whose
+    implementations all preserve the total order *(score desc, position
+    asc)*.  Pass either ``table`` + ``params`` (the execute paths) or
+    pre-built ``trendlines`` (the rank paths); ``memo`` is the batch
+    generation memo shared across an ``execute_many`` call.
+    """
+    from repro.engine.pruning import is_prunable
+
+    effective = engine.workers if workers is None else engine._check_workers(workers)
+    plan = plan_pushdown(compiled) if engine.enable_pushdown else None
+    has_eager = plan.has_eager_checks if plan is not None else False
+    use_pruning = (
+        engine.enable_pruning
+        and engine.algorithm == "segment-tree"
+        and is_prunable(compiled)
+    )
+    parallel = effective > 1
+
+    operators: List[Operator] = []
+    if trendlines is not None:
+        operators.append(PrebuiltScan(trendlines))
+        generation = "parent"
+    else:
+        normalize_y = not query_constrains_y(compiled)
+        generation = _resolve_generation(engine, parallel, use_pruning)
+        scan_mode = (
+            "shared-memory"
+            if generation == "worker" and engine.backend == "process"
+            else "in-process"
+        )
+        operators.append(ScanTable(table, params, scan_mode))
+        operators.append(ExtractGroup(normalize_y, plan, generation, memo=memo))
+
+    score_args = dict(
+        compiled=compiled,
+        k=k,
+        workers=effective,
+        has_eager_checks=has_eager,
+        pruning=use_pruning,
+    )
+    if generation == "worker":
+        operators.append(GenerateAndScore(**score_args))
+    elif not parallel:
+        operators.append(SequentialScore(**score_args))
+    elif engine.backend == "process" and engine.shm:
+        operators.append(SharedMemoryScore(**score_args))
+    else:
+        operators.append(ParallelScore(**score_args))
+    operators.append(MergeTopK(k))
+    return PhysicalPlan(operators, generation=generation)

@@ -18,7 +18,7 @@ which is why the technique shines on needle-in-a-haystack patterns.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.chains import CompiledQuery

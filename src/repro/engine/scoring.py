@@ -99,6 +99,34 @@ def pattern_score(kind: str, slopes, theta: Optional[float] = None):
     raise UnknownPatternError("no slope-based scorer for pattern kind {!r}".format(kind))
 
 
+def pattern_score_from_atan(kind: str, atans, theta: Optional[float] = None):
+    """Table 5 scorers over *precomputed* ``tan⁻¹(slope)`` values.
+
+    The DP matrix kernel computes one arctan transform per tile
+    (:data:`repro.engine.dynamic.SHARE_ATAN`) and every slope-based
+    layer consumes it, so the transcendental — the expensive part of the
+    slope algebra at large n — is paid once per tile instead of once per
+    layer.  Each expression mirrors its :func:`pattern_score` twin
+    operation for operation, so shared and private paths agree bit for
+    bit.
+    """
+    if kind == "up":
+        return 2.0 * atans / math.pi
+    if kind == "down":
+        return -(2.0 * atans / math.pi)
+    if kind == "flat":
+        return 1.0 - np.abs(4.0 * atans / math.pi)
+    if kind == "slope":
+        target = math.radians(theta)
+        deviation = np.abs(atans - target)
+        return 1.0 - 2.0 * deviation / (_HALF_PI + abs(target))
+    if kind == "any":
+        return np.ones_like(np.asarray(atans, dtype=float))
+    if kind == "empty":
+        return -np.ones_like(np.asarray(atans, dtype=float))
+    raise UnknownPatternError("no slope-based scorer for pattern kind {!r}".format(kind))
+
+
 def sharpened_kind(kind: str, comparison: str) -> Tuple[str, Optional[float]]:
     """Resolve a sharp/gradual modifier on up/down into a θ-target pattern.
 

@@ -63,6 +63,9 @@ except ImportError:  # pragma: no cover
 #: cumulative prefix-statistics arrays of Theorem 5.1.
 _ARRAYS_PER_TRENDLINE = 10
 
+#: Sentinel dtype marker for pickled object columns in a table manifest.
+_OBJECT_COLUMN_DTYPE = "object"
+
 
 def _require_shared_memory():
     if _shared_memory is None:  # pragma: no cover
@@ -140,11 +143,29 @@ class QueryHandle:
 
 @dataclass(frozen=True)
 class TableHandle:
-    """Manifest of one published table: per-column name, dtype and extent."""
+    """Manifest of one published table: per-column name, dtype and extent.
+
+    ``token`` keys the segment, the pins and the worker store: it is the
+    content fingerprint for a full-table export, or fingerprint plus a
+    column-subset digest when only the query's columns were published.
+    """
 
     fingerprint: str
+    token: str
     name: str
     columns: Tuple[Tuple[str, str, int, int], ...]  # (name, dtype.str, offset, nbytes)
+
+
+def table_token(fingerprint: str, columns: Optional[Sequence[str]] = None) -> str:
+    """The publish/store key for one table + column subset."""
+    if columns is None:
+        return fingerprint
+    import hashlib
+
+    # repr(tuple) is an unambiguous encoding: a column literally named
+    # "a,b" cannot alias the subset ("a", "b") the way a bare join would.
+    digest = hashlib.sha1(repr(tuple(columns)).encode("utf-8")).hexdigest()[:12]
+    return "{}:{}".format(fingerprint, digest)
 
 
 # --------------------------------------------------------------------------
@@ -220,34 +241,53 @@ def publish_query(query, token: Optional[str] = None) -> Tuple[QueryHandle, "obj
     return handle, segment
 
 
-def publish_table(table: Table, token: Optional[str] = None) -> Tuple[TableHandle, "object"]:
+def publish_table(
+    table: Table,
+    token: Optional[str] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> Tuple[TableHandle, "object"]:
     """Export a table's columns, keyed by its existing content fingerprint.
 
-    Numeric columns are shared as raw bytes; object columns (group keys)
-    are encoded as fixed-width unicode so they fit a flat buffer.  The
-    fingerprint is computed *before* export and pre-seeded on reattached
-    tables, so both sides key the same cache entries.
+    ``columns`` restricts the export to the named subset (the execute
+    path publishes only the columns the query's visual parameters and
+    filters reference — unrelated columns are neither copied into shared
+    memory nor required to be picklable).  Numeric columns are shared as
+    raw bytes (zero-copy on reattach); object columns (group keys) are
+    pickled, so reattached values — and therefore group identities,
+    counts and result keys — are the *same objects* parent-side
+    generation would group by, not a stringified approximation (``1``
+    and ``"1"`` must stay two groups).  The fingerprint is computed
+    *before* export and pre-seeded on reattached tables, so both sides
+    key the same cache entries.
     """
     shared = _require_shared_memory()
     from repro.engine.cache import table_fingerprint
 
-    fingerprint = token or table_fingerprint(table)
-    encoded: List[Tuple[str, np.ndarray]] = []
-    for name in table.column_names:
+    fingerprint = table_fingerprint(table)
+    if token is None:
+        token = table_token(fingerprint, columns)
+    names = table.column_names if columns is None else list(columns)
+    encoded: List[Tuple[str, str, bytes]] = []
+    for name in names:
         values = table.column(name)
         if values.dtype == object:
-            values = np.array([str(value) for value in values.tolist()])
-        encoded.append((name, np.ascontiguousarray(values)))
+            payload = pickle.dumps(values.tolist(), protocol=pickle.HIGHEST_PROTOCOL)
+            encoded.append((name, _OBJECT_COLUMN_DTYPE, payload))
+        else:
+            values = np.ascontiguousarray(values)
+            encoded.append((name, values.dtype.str, values.tobytes()))
     manifest = []
     offset = 0
-    for name, values in encoded:
+    for name, dtype_str, payload in encoded:
         offset = (offset + 15) & ~15  # 16-byte alignment for any dtype
-        manifest.append((name, values.dtype.str, offset, values.nbytes))
-        offset += values.nbytes
+        manifest.append((name, dtype_str, offset, len(payload)))
+        offset += len(payload)
     segment = shared.SharedMemory(create=True, size=max(1, offset))
-    for (name, values), (_, _, start, nbytes) in zip(encoded, manifest):
-        segment.buf[start : start + nbytes] = values.tobytes()
-    handle = TableHandle(fingerprint=fingerprint, name=segment.name, columns=tuple(manifest))
+    for (name, dtype_str, payload), (_, _, start, nbytes) in zip(encoded, manifest):
+        segment.buf[start : start + nbytes] = payload
+    handle = TableHandle(
+        fingerprint=fingerprint, token=token, name=segment.name, columns=tuple(manifest)
+    )
     return handle, segment
 
 
@@ -328,16 +368,35 @@ def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "objec
 
 
 def attach_table(handle: TableHandle) -> Tuple[Table, "object"]:
-    """Reconstruct a read-only, zero-copy table from a published handle."""
+    """Reconstruct a read-only table from a published handle.
+
+    Numeric columns come back as zero-copy views over the shared buffer;
+    object columns are unpickled (a worker-local copy, but with the
+    publisher's exact values — group keys keep their types).
+    """
     segment = _attach_segment(handle.name)
     columns: Dict[str, np.ndarray] = {}
     for name, dtype_str, offset, nbytes in handle.columns:
+        if dtype_str == _OBJECT_COLUMN_DTYPE:
+            values = pickle.loads(bytes(segment.buf[offset : offset + nbytes]))
+            # Element-wise fill, not np.array(values): sequence-valued
+            # cells (tuple/list group keys) must stay single objects in a
+            # 1-D column, not be broadcast into extra dimensions.
+            column = np.empty(len(values), dtype=object)
+            for index, value in enumerate(values):
+                column[index] = value
+            column.setflags(write=False)
+            columns[name] = column
+            continue
         dtype = np.dtype(dtype_str)
         count = nbytes // dtype.itemsize if dtype.itemsize else 0
         view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
         view.flags.writeable = False
         columns[name] = view
-    table = Table.from_shared(columns, fingerprint=handle.fingerprint)
+    # Seed the cache-key digest with the handle *token* (fingerprint for
+    # full exports, fingerprint+subset for column-restricted ones), so
+    # two different subsets of one table can never alias cache entries.
+    table = Table.from_shared(columns, fingerprint=handle.token)
     return table, segment
 
 
@@ -382,7 +441,7 @@ def resolve_query(query):
 
 def resolve_table(handle: TableHandle) -> Table:
     """The worker-resident table for ``handle`` (attach on first use)."""
-    return _resolve(handle.fingerprint, lambda: _Attachment(*attach_table(handle)))
+    return _resolve(handle.token, lambda: _Attachment(*attach_table(handle)))
 
 
 def worker_init() -> None:
@@ -393,6 +452,9 @@ def worker_init() -> None:
     silently bypass the shared segments.  Dropping it (and any stale
     attachment store) makes workers persistent shm residents: every
     handle resolves through shared memory exactly once per worker.
+    (The worker-side generation caches of :mod:`repro.engine.pipeline`
+    need no reset here — they hang off Table instances, so a worker only
+    ever populates them on tables it resolved itself.)
     """
     _LOCAL.clear()
     _WORKER_STORE.clear()
@@ -423,17 +485,27 @@ class ShmSession:
     MAX_COLLECTIONS = 8
     #: Retained query segments (small, but each costs a /dev/shm inode).
     MAX_QUERIES = 128
+    #: Retained table segments (full data copies, keyed by content
+    #: fingerprint): bounded so streaming/append workloads — which churn
+    #: fingerprints every batch — recycle segments instead of filling
+    #: /dev/shm.  Evictions defer to the dispatch pins below.
+    MAX_TABLES = 8
 
     def __init__(self):
         self._lock = threading.Lock()
         self._segments: Dict[str, object] = {}  # token -> SharedMemory
         self._collections: "OrderedDict[int, CollectionHandle]" = OrderedDict()
         self._queries: "OrderedDict[int, QueryHandle]" = OrderedDict()
-        self._tables: Dict[str, TableHandle] = {}
+        self._tables: "OrderedDict[str, TableHandle]" = OrderedDict()
         self._refs: Dict[int, object] = {}  # keeps memo ids stable
         self._witness: Dict[int, tuple] = {}  # element identities at publish
         self._pins: Dict[str, int] = {}  # token -> in-flight dispatch count
-        self._deferred: Dict[str, object] = {}  # released while pinned
+        #: token -> [segments] released while pinned.  A *list* per
+        #: token: with the LRU-bounded table memo a content fingerprint
+        #: can be evicted, republished and evicted again while earlier
+        #: dispatches still pin it — every parked generation must be
+        #: unlinked at the final unpin, not just the latest.
+        self._deferred: Dict[str, List[object]] = {}
         self._closed = False
         _SESSIONS.add(self)
 
@@ -468,6 +540,28 @@ class ShmSession:
         with self._lock:
             self._check_open()
             handle = self._collection_locked(trendlines, stale)
+            query_ref = self._query_locked(compiled, stale)
+            for token in (handle.token, query_ref.token):
+                self._pins[token] = self._pins.get(token, 0) + 1
+        _destroy_all(stale)
+        return handle, query_ref
+
+    def acquire_generation(
+        self, table: Table, compiled, columns: Optional[Sequence[str]] = None
+    ) -> Tuple[TableHandle, QueryHandle]:
+        """Publish-or-reuse the table + query handles *and* pin both.
+
+        The worker-side generation dispatch entry point: the table memo
+        is LRU-bounded (streaming workloads churn fingerprints), so like
+        :meth:`acquire` the lookup and the pin happen under one lock —
+        a concurrent execute must not evict-and-unlink a segment between
+        handing out its handle and the pin taking effect.  Pair with
+        :meth:`unpin`.
+        """
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._table_locked(table, stale, columns=columns)
             query_ref = self._query_locked(compiled, stale)
             for token in (handle.token, query_ref.token):
                 self._pins[token] = self._pins.get(token, 0) + 1
@@ -517,20 +611,35 @@ class ShmSession:
             self._queries.move_to_end(key)
         return handle
 
-    def table_handle(self, table: Table) -> TableHandle:
-        """Publish a table once per content fingerprint."""
-        from repro.engine.cache import table_fingerprint
-
-        fingerprint = table_fingerprint(table)
+    def table_handle(
+        self, table: Table, columns: Optional[Sequence[str]] = None
+    ) -> TableHandle:
+        """Publish a table once per (fingerprint, column subset); LRU-recycled."""
+        stale: list = []
         with self._lock:
             self._check_open()
-            handle = self._tables.get(fingerprint)
-            if handle is None:
-                handle, segment = publish_table(table, token=fingerprint)
-                self._tables[fingerprint] = handle
-                self._segments[handle.fingerprint] = segment
-                _LOCAL[handle.fingerprint] = (os.getpid(), table)
-            return handle
+            handle = self._table_locked(table, stale, columns=columns)
+        _destroy_all(stale)
+        return handle
+
+    def _table_locked(
+        self, table: Table, stale: list, columns: Optional[Sequence[str]] = None
+    ) -> TableHandle:
+        from repro.engine.cache import table_fingerprint
+
+        token = table_token(table_fingerprint(table), columns)
+        handle = self._tables.get(token)
+        if handle is None:
+            handle, segment = publish_table(table, token=token, columns=columns)
+            self._tables[token] = handle
+            self._segments[token] = segment
+            _LOCAL[token] = (os.getpid(), table)
+            while len(self._tables) > self.MAX_TABLES:
+                _old_token, old = self._tables.popitem(last=False)
+                stale.append(self._drop_locked(_old_token, old.token))
+        else:
+            self._tables.move_to_end(token)
+        return handle
 
     # -- in-flight pinning -------------------------------------------------
     def pin(self, *handles) -> None:
@@ -544,7 +653,7 @@ class ShmSession:
         """
         with self._lock:
             for handle in handles:
-                token = getattr(handle, "token", None)
+                token = _pin_token(handle)
                 if token is not None:
                     self._pins[token] = self._pins.get(token, 0) + 1
 
@@ -553,7 +662,7 @@ class ShmSession:
         stale = []
         with self._lock:
             for handle in handles:
-                token = getattr(handle, "token", None)
+                token = _pin_token(handle)
                 if token is None:
                     continue
                 remaining = self._pins.get(token, 0) - 1
@@ -563,7 +672,7 @@ class ShmSession:
                     self._pins.pop(token, None)
                     deferred = self._deferred.pop(token, None)
                     if deferred is not None:
-                        stale.append(deferred)
+                        stale.extend(deferred)
         for segment in stale:
             _destroy(segment)
 
@@ -598,7 +707,7 @@ class ShmSession:
         if segment is None:
             return None
         if self._pins.get(token):
-            self._deferred[token] = segment
+            self._deferred.setdefault(token, []).append(segment)
             return None
         return segment
 
@@ -608,7 +717,9 @@ class ShmSession:
             if self._closed:
                 return
             self._closed = True
-            segments = list(self._segments.values()) + list(self._deferred.values())
+            segments = list(self._segments.values()) + [
+                segment for parked in self._deferred.values() for segment in parked
+            ]
             tokens = list(self._segments.keys()) + list(self._deferred.keys())
             self._segments.clear()
             self._deferred.clear()
@@ -636,6 +747,11 @@ class ShmSession:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _pin_token(handle) -> Optional[str]:
+    """The pin/segment key of any handle kind (every handle carries one)."""
+    return getattr(handle, "token", None)
 
 
 def _destroy_all(segments) -> None:

@@ -25,7 +25,7 @@ Unit taxonomy (mirroring the PATTERN values of Table 1):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -300,6 +300,44 @@ class SlopeUnit(CompiledUnit):
             trendline, starts, ends, trendline.prefix.slope_matrix(starts, ends), context
         )
 
+    def tile_transform(self, atans, memo=None):
+        """Table 5 transform over shared ``tan⁻¹(slope)`` values, memoized.
+
+        ``memo`` (one dict per DP tile) lets every slope-based layer of a
+        chain share one transform per distinct ``(kind, θ)``: ``down`` is
+        folded onto ``up`` (its exact negation — unary minus flips only
+        the sign bit, so the fold is bitwise), and OPPOSITE flips once
+        more.  Memoized arrays are never mutated: every consumer masks
+        via ``np.where``/fresh allocations, so sharing is safe.  The
+        transform is elementwise, so callers slice the result to their
+        layer's feasible subrectangle and get the exact bits the
+        per-layer path would have produced.
+        """
+        kind, flip = self.kind, self.negated
+        if kind == "down":  # down ≡ −up, bit for bit
+            kind, flip = "up", not flip
+        key = (kind, self.theta)
+        base = memo.get(key) if memo is not None else None
+        if base is None:
+            base = scoring.pattern_score_from_atan(kind, atans, self.theta)
+            if memo is not None:
+                memo[key] = base
+        return -base if flip else base
+
+    def score_matrix_from_values(self, trendline, starts, ends, values):
+        """Mask an already-transformed score matrix (width + y feasibility).
+
+        The tail of :meth:`score_matrix_from_slopes` split out so the
+        matrix DP kernel can feed it a slice of a tile-shared
+        :meth:`tile_transform`; ``values`` is never written (``np.where``
+        allocates), so shared transforms stay intact.
+        """
+        starts = np.asarray(starts)
+        ends = np.asarray(ends)
+        lengths = ends[None, :] - starts[:, None]
+        values = np.where(lengths < MIN_SEGMENT_BINS, INFEASIBLE, values)
+        return self._apply_y_mask(trendline, starts[:, None], ends[None, :], values)
+
     def score_matrix_from_slopes(self, trendline, starts, ends, slopes, context=None):
         """Score a precomputed ``starts × ends`` slope matrix.
 
@@ -308,13 +346,14 @@ class SlopeUnit(CompiledUnit):
         unit's Table 5 transform plus the width/y feasibility masks —
         the exact operations :meth:`score_matrix` performs after its own
         slope computation, so shared and private paths agree bit for bit.
+        (The tile-shared arctan path — see
+        :data:`repro.engine.dynamic.SHARE_ATAN` — instead feeds
+        :meth:`tile_transform` output into
+        :meth:`score_matrix_from_values`.)
         """
-        starts = np.asarray(starts)
-        ends = np.asarray(ends)
-        values = self._from_slopes(slopes)
-        lengths = ends[None, :] - starts[:, None]
-        values = np.where(lengths < MIN_SEGMENT_BINS, INFEASIBLE, values)
-        return self._apply_y_mask(trendline, starts[:, None], ends[None, :], values)
+        return self.score_matrix_from_values(
+            trendline, starts, ends, self._from_slopes(slopes)
+        )
 
     def _apply_y_mask(self, trendline, ls, rs, values):
         """Mask y.s/y.e-infeasible ranges to INFEASIBLE.

@@ -20,7 +20,7 @@ correction panel can show users what was assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.algebra.primitives import Quantifier
 

@@ -20,7 +20,7 @@ nested and are weighted as a group.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.algebra.nodes import And, Concat, Node, Opposite, Or, ShapeSegment
 from repro.algebra.primitives import (

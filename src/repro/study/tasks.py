@@ -16,7 +16,7 @@ from typing import Dict, Hashable, List
 
 import numpy as np
 
-from repro.datasets.synthetic import flat, piecewise, random_walk, seasonal
+from repro.datasets.synthetic import flat, piecewise, seasonal
 from repro.engine.trendline import Trendline, build_trendline
 
 #: Task codes in Table 10 order.

@@ -4,11 +4,10 @@ import numpy as np
 import pytest
 
 from repro import ShapeSearch, parse_query
-from repro.algebra.nodes import Concat, ShapeSegment
+from repro.algebra.nodes import Concat
 from repro.data.table import Table
 from repro.engine.executor import ShapeSearchEngine
 from repro.errors import ShapeQuerySyntaxError
-from repro.nlp.tagger import EntityTagger
 from repro.render import render_match, render_matches, render_trendline, sparkline
 
 from tests.conftest import make_trendline

@@ -18,7 +18,6 @@ from repro.baselines.vqs import VisualQuerySystem, smooth
 from repro.engine.chains import compile_query
 from repro.errors import ExecutionError
 
-from tests.conftest import make_trendline
 
 series = st.lists(
     st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=4, max_size=24

@@ -148,6 +148,144 @@ class TestFilters:
         assert apply_filters(table, []) is table
 
 
+class TestAppendRows:
+    def _table(self):
+        return Table.from_arrays(
+            z=np.array(["a", "a", "b"], dtype=object),
+            x=np.array([0.0, 1.0, 0.0]),
+            y=np.array([1.0, 2.0, 3.0]),
+        )
+
+    def test_rows_appended_original_untouched(self):
+        table = self._table()
+        grown = table.append_rows([{"z": "b", "x": 1.0, "y": 4.0}])
+        assert len(table) == 3 and len(grown) == 4
+        assert grown.column("z").tolist() == ["a", "a", "b", "b"]
+        assert grown.column("y").tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_returned_table_immutable(self):
+        grown = self._table().append_rows([{"z": "b", "x": 1.0, "y": 4.0}])
+        with pytest.raises(ValueError):
+            grown.column("y")[0] = 99.0
+
+    def test_incremental_fingerprint_matches_full_rehash(self):
+        from repro.engine.cache import table_fingerprint
+
+        table = self._table()
+        table_fingerprint(table)  # establish the prior digest state
+        grown = table.append_rows(
+            [{"z": "b", "x": 1.0, "y": 4.0}, {"z": "c", "x": 0.0, "y": 5.0}]
+        )
+        # The extension pre-seeded the fingerprint: no rehash on use.
+        assert grown._fingerprint is not None
+        fresh = Table.from_arrays(
+            z=np.array(["a", "a", "b", "b", "c"], dtype=object),
+            x=np.array([0.0, 1.0, 0.0, 1.0, 0.0]),
+            y=np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        )
+        assert grown._fingerprint == table_fingerprint(fresh)
+        assert grown._fingerprint != table_fingerprint(table)
+
+    def test_chained_appends_stay_incremental(self):
+        from repro.engine.cache import table_fingerprint
+
+        grown = self._table()
+        for step in range(3):
+            grown = grown.append_rows(
+                [{"z": "s{}".format(step), "x": 0.0, "y": float(step)},
+                 {"z": "s{}".format(step), "x": 1.0, "y": float(step + 1)}]
+            )
+            assert grown._fingerprint is not None
+        rebuilt = Table.from_arrays(
+            z=grown.column("z"), x=grown.column("x"), y=grown.column("y")
+        )
+        assert table_fingerprint(rebuilt) == grown._fingerprint
+
+    def test_int_into_float_column_stays_incremental(self):
+        from repro.engine.cache import table_fingerprint
+
+        table = Table.from_arrays(a=np.array([1.0, 2.0]))
+        grown = table.append_rows([{"a": 3}])
+        assert grown._fingerprint is not None
+        assert grown.column("a").dtype == np.float64
+        assert grown._fingerprint == table_fingerprint(
+            Table.from_arrays(a=np.array([1.0, 2.0, 3.0]))
+        )
+
+    def test_huge_int_append_widens_instead_of_crashing(self):
+        from repro.engine.cache import table_fingerprint
+
+        table = Table.from_arrays(a=np.array([1, 2, 3], dtype=np.int64))
+        grown = table.append_rows([{"a": 2 ** 70}])
+        # Widens to float (the _infer_array convention), no crash.
+        assert grown.column("a").dtype == np.float64
+        assert float(grown.column("a")[-1]) == float(2 ** 70)
+        assert table_fingerprint(grown) == table_fingerprint(
+            Table.from_arrays(a=np.array([1.0, 2.0, 3.0, float(2 ** 70)]))
+        )
+
+    def test_widening_append_falls_back_to_rehash(self):
+        from repro.engine.cache import table_fingerprint
+
+        table = Table.from_arrays(a=np.array([1, 2, 3]))
+        grown = table.append_rows([{"a": 1.5}])
+        # Value preserved (no silent truncation into the int column)...
+        assert float(grown.column("a")[-1]) == 1.5
+        # ...and the lazy full rehash still agrees with a fresh build.
+        assert table_fingerprint(grown) == table_fingerprint(
+            Table.from_arrays(a=np.array([1.0, 2.0, 3.0, 1.5]))
+        )
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(DataError):
+            self._table().append_rows([{"z": "c", "x": 0.0, "y": 1.0, "w": 9}])
+
+    def test_tuple_keys_append(self):
+        from repro.engine.cache import table_fingerprint
+
+        keys = [("a", 1), ("b", 2)]
+        z = np.empty(len(keys), dtype=object)
+        for i, key in enumerate(keys):
+            z[i] = key
+        table = Table.from_arrays(z=z, x=np.array([0.0, 1.0]), y=np.array([1.0, 2.0]))
+        table_fingerprint(table)
+        grown = table.append_rows([{"z": ("c", 3), "x": 0.0, "y": 3.0}])
+        assert grown.column("z").tolist() == [("a", 1), ("b", 2), ("c", 3)]
+        rebuilt = Table.from_arrays(
+            z=grown.column("z"), x=grown.column("x"), y=grown.column("y")
+        )
+        assert grown._fingerprint == table_fingerprint(rebuilt)
+
+    def test_missing_column_rejected(self):
+        # A forgotten key must not silently inject None/NaN into a series.
+        with pytest.raises(DataError):
+            self._table().append_rows([{"z": "c", "x": 0.0}])
+
+    def test_empty_append_returns_self(self):
+        table = self._table()
+        assert table.append_rows([]) is table
+
+    def test_streaming_workload_keeps_generation_consistent(self):
+        """Appended tables generate exactly what a fresh build would."""
+        from repro.engine.pipeline import generate_trendlines
+
+        params = VisualParams(z="z", x="x", y="y")
+        table = self._table()
+        grown = table.append_rows(
+            [{"z": "b", "x": 1.0, "y": 4.0}, {"z": "b", "x": 2.0, "y": 2.0}]
+        )
+        fresh = Table.from_arrays(
+            z=np.array(["a", "a", "b", "b", "b"], dtype=object),
+            x=np.array([0.0, 1.0, 0.0, 1.0, 2.0]),
+            y=np.array([1.0, 2.0, 3.0, 4.0, 2.0]),
+        )
+        got = generate_trendlines(grown, params)
+        expected = generate_trendlines(fresh, params)
+        assert [t.key for t in got] == [t.key for t in expected]
+        for a, b in zip(got, expected):
+            np.testing.assert_array_equal(a.norm_bin_y, b.norm_bin_y)
+
+
 class TestVisualParams:
     def test_string_filters_coerced(self):
         params = VisualParams(z="z", x="x", y="y", filters=("y > 5",))

@@ -1,7 +1,6 @@
 """Tests for the greedy baseline, Table 7 bounds, and two-stage pruning."""
 
 import numpy as np
-import pytest
 
 from repro.algebra import builder as q
 from repro.engine.bounds import chain_bounds, level_slopes, query_bounds, query_upper_bound

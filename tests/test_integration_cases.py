@@ -5,7 +5,6 @@ stem-cell plateaus, the pvt1 double-peak outlier, stock chart patterns,
 southern-hemisphere weather, and astronomy transients.
 """
 
-import numpy as np
 import pytest
 
 from repro import ShapeSearch

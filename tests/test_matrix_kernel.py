@@ -24,7 +24,6 @@ from repro.engine.dynamic import (
 )
 from repro.engine.executor import ShapeSearchEngine
 from repro.engine.scoring import temporary_udp
-from repro.engine.trendline import build_trendline
 from repro.engine.units import INFEASIBLE, RUNS_MEMO_KEY, LineUnit, SlopeUnit
 from repro.errors import ExecutionError
 
@@ -127,6 +126,82 @@ class TestKernelEquivalence:
         trendline = make_trendline(rng.normal(0, 1, n).cumsum(), key="tiles")
         compiled = compile_query(q.concat(q.up(), q.down(), q.up()))
         assert_kernels_identical(trendline, compiled)
+
+
+class TestSharedAtanTransform:
+    """The tile-shared arctan/transform path vs the per-layer path.
+
+    ``SHARE_ATAN`` only changes *where* the Table 5 transform is
+    computed (once per tile vs once per layer, with down folded onto up
+    as an exact negation); both settings must match each other and the
+    loop oracle bit for bit.
+    """
+
+    QUERIES = [
+        q.concat(q.up(), q.down(), q.up()),
+        q.concat(q.up(), q.flat(), q.down(), q.up()),
+        q.concat(q.slope(30), q.down(), q.slope(-30)),
+        q.concat(q.up(), q.opposite(q.up()), q.down()),
+        q.concat(q.segment(y_start=0.0, y_end=10.0), q.down(), q.up()),
+    ]
+
+    @pytest.mark.parametrize("query_index", range(5))
+    @pytest.mark.parametrize("seed", [0, 1, 12])
+    def test_share_flag_is_bit_invisible(self, monkeypatch, query_index, seed):
+        from repro.engine import dynamic as dynamic_module
+
+        trendline = _random_trendline(seed, low=30, high=90)
+        compiled = compile_query(self.QUERIES[query_index])
+        results = {}
+        for flag in (False, True):
+            monkeypatch.setattr(dynamic_module, "SHARE_ATAN", flag)
+            results[flag] = solve_query(trendline, compiled, kernel="matrix")
+        assert results[True].score == results[False].score
+        assert [
+            (p.start, p.end, p.score, p.slope)
+            for p in results[True].solution.placements
+        ] == [
+            (p.start, p.end, p.score, p.slope)
+            for p in results[False].solution.placements
+        ]
+        # And both agree with the loop oracle.
+        assert_kernels_identical(trendline, compiled)
+
+    def test_multi_tile_shared_transform(self, monkeypatch):
+        from repro.engine import dynamic as dynamic_module
+
+        rng = np.random.default_rng(21)
+        n = 2 * MATRIX_TILE + 31
+        trendline = make_trendline(rng.normal(0, 1, n).cumsum(), key="atan-tiles")
+        compiled = compile_query(q.concat(q.up(), q.down(), q.flat(), q.up()))
+        monkeypatch.setattr(dynamic_module, "SHARE_ATAN", True)
+        shared = solve_query(trendline, compiled, kernel="matrix")
+        monkeypatch.setattr(dynamic_module, "SHARE_ATAN", False)
+        private = solve_query(trendline, compiled, kernel="matrix")
+        assert shared.score == private.score
+        assert [
+            (p.start, p.end, p.score) for p in shared.solution.placements
+        ] == [(p.start, p.end, p.score) for p in private.solution.placements]
+
+    def test_tile_transform_memo_is_not_mutated(self):
+        """Consumers must never write into a memoized transform."""
+        rng = np.random.default_rng(3)
+        trendline = make_trendline(rng.normal(0, 1, 64).cumsum(), key="memo")
+        atans = np.arctan(
+            trendline.prefix.slope_matrix(np.arange(0, 40), np.arange(20, 60))
+        )
+        unit = SlopeUnit("up")
+        memo = {}
+        base = unit.tile_transform(atans, memo)
+        snapshot = base.copy()
+        unit.score_matrix_from_values(
+            trendline, np.arange(0, 40), np.arange(20, 60), base
+        )
+        down = SlopeUnit("down")
+        down_values = down.tile_transform(atans, memo)
+        np.testing.assert_array_equal(base, snapshot)
+        np.testing.assert_array_equal(down_values, -snapshot)
+        assert len(memo) == 1  # down folded onto up
 
 
 class TestTieBreaking:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra.nodes import Concat, Opposite, Or, ShapeSegment
-from repro.algebra.primitives import Quantifier
 from repro.algebra.printer import to_regex
 from repro.errors import ShapeQuerySyntaxError
 from repro.nlp.ambiguity import ProtoSegment, resolve

@@ -8,7 +8,7 @@ from repro.data.filters import Filter
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.chains import compile_query
-from repro.engine.pipeline import extract, generate_trendlines, group
+from repro.engine.pipeline import extract, generate_trendlines
 from repro.engine.pushdown import eager_discard, has_required_data, plan_pushdown
 
 from tests.conftest import make_trendline

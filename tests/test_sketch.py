@@ -1,6 +1,5 @@
 """Tests for the sketch front-end (canvas, RDP, translation)."""
 
-import numpy as np
 import pytest
 
 from repro.algebra.nodes import Concat, ShapeSegment
