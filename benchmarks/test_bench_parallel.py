@@ -107,18 +107,18 @@ def test_cache_hit_rate(benchmark):
     engine = ShapeSearchEngine(cache=True)
 
     def cold():
-        return engine.execute(table, PARAMS, query, k=10)
+        return engine.run(table, PARAMS, query, k=10)
 
     started = time.perf_counter()
     first = benchmark.pedantic(cold, rounds=1, iterations=1)
     _RESULTS[("cache", "cold")] = time.perf_counter() - started
 
     started = time.perf_counter()
-    second = engine.execute(table, PARAMS, query, k=10)
+    second = engine.run(table, PARAMS, query, k=10)
     _RESULTS[("cache", "warm")] = time.perf_counter() - started
 
     assert _signature(first) == _signature(second)
-    assert engine.last_stats.trendline_cache_hit and engine.last_stats.plan_cache_hit
+    assert second.stats.trendline_cache_hit and second.stats.plan_cache_hit
     stats = engine.cache.stats
     assert stats.hits >= 2  # one trendline hit + one plan hit on the repeat
     _RESULTS[("cache", "hit_rate")] = stats.hit_rate
@@ -130,7 +130,7 @@ def test_batch_amortization(benchmark):
 
     def one_at_a_time():
         return [
-            ShapeSearchEngine().execute(table, PARAMS, query, k=10) for query in queries
+            ShapeSearchEngine().run(table, PARAMS, query, k=10) for query in queries
         ]
 
     started = time.perf_counter()
@@ -139,7 +139,7 @@ def test_batch_amortization(benchmark):
 
     engine = ShapeSearchEngine()
     started = time.perf_counter()
-    batched = engine.execute_many(table, PARAMS, queries, k=10)
+    batched = engine.run_many(table, PARAMS, queries, k=10)
     _RESULTS[("batch", "batched")] = time.perf_counter() - started
 
     assert [_signature(r) for r in batched] == [_signature(r) for r in individual]
@@ -337,9 +337,9 @@ def test_generation_stage(benchmark):
     ]
     for name, kwargs in configs:
         with ShapeSearchEngine(**kwargs) as engine:
-            engine.execute(warm_table, PARAMS, query, k=10)  # warm the pool
+            engine.run(warm_table, PARAMS, query, k=10)  # warm the pool
             started = time.perf_counter()
-            matches = engine.execute(table, PARAMS, query, k=10)
+            matches = engine.run(table, PARAMS, query, k=10)
             timings[name] = time.perf_counter() - started
             signatures[name] = _signature(matches)
 

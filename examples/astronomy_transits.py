@@ -20,28 +20,28 @@ def main() -> None:
     session = ShapeSearch(table)
 
     print("Supernova: 'find me objects with a sharp peak in luminosity' (§2)")
-    matches = session.search(
+    matches = session.prepare(
         "find me objects with a sharp peak in luminosity",
-        z="object", x="time", y="luminosity", k=2,
-    )
+        z="object", x="time", y="luminosity",
+    ).run(k=2)
     print(render_matches(matches))
     print("   planted:", ", ".join(planted["supernova"]))
 
     print()
     print("Planetary transit: flat, dip, recovery, flat — with a filter")
-    matches = session.search(
+    matches = session.prepare(
         "[p=flat][p=down][p=up][p=flat]",
-        z="object", x="time", y="luminosity", k=4,
+        z="object", x="time", y="luminosity",
         filters=("luminosity < 150",),
-    )
+    ).run(k=4)
     print(render_matches(matches))
     print("   planted transits:", ", ".join(planted["transit"][:4]), "...")
 
     print()
     print("Quiet stars: NOT (not flat) — double negation via the ! operator")
-    matches = session.search(
-        "!(![p=flat])", z="object", x="time", y="luminosity", k=2
-    )
+    matches = session.prepare(
+        "!(![p=flat])", z="object", x="time", y="luminosity"
+    ).run(k=2)
     print(render_matches(matches))
 
 

@@ -22,34 +22,34 @@ def main() -> None:
     session = ShapeSearch(table)
 
     print("§8-II — treatment response: sudden expression, gradual decline")
-    matches = session.search(
+    matches = session.prepare(
         "[p=flat][p=up,m=>>][p=down,m=<]",
-        z="gene", x="time", y="expression", k=4,
-    )
+        z="gene", x="time", y="expression",
+    ).run(k=4)
     print(render_matches(matches))
     print("   planted treatment genes:", ", ".join(planted["treatment"]))
 
     print()
     print("§8-III — stem-cell self-renewal: rise then high stable plateau")
-    matches = session.search(
-        "[p=up][p=flat]", z="gene", x="time", y="expression", k=4
-    )
+    matches = session.prepare(
+        "[p=up][p=flat]", z="gene", x="time", y="expression"
+    ).run(k=4)
     print(render_matches(matches))
     print("   planted stem-cell genes:", ", ".join(planted["stem-up"]))
 
     print()
     print("§8-III inverse — differentiation: decline to a low stable level")
-    matches = session.search(
+    matches = session.prepare(
         "start high and then gradually decreasing and then flat",
-        z="gene", x="time", y="expression", k=3,
-    )
+        z="gene", x="time", y="expression",
+    ).run(k=3)
     print(render_matches(matches))
 
     print()
     print("§8-IV — the outlier hunt: two peaks within a short window (pvt1)")
-    matches = session.search(
-        "[p=up,m=2]", z="gene", x="time", y="expression", k=3
-    )
+    matches = session.prepare(
+        "[p=up,m=2]", z="gene", x="time", y="expression"
+    ).run(k=3)
     print(render_matches(matches))
     print("   planted double-peak gene:", ", ".join(planted["double-peak"]))
 

@@ -1,4 +1,8 @@
-"""Quickstart: search a small dataset with all three query mechanisms.
+"""Quickstart: prepared queries, async submission and ResultSets.
+
+Searches a small dataset with all three query mechanisms (regex dialect,
+natural language, sketch) through the session API: ``prepare`` once,
+``run`` or ``submit`` many times, inspect the :class:`ResultSet`.
 
 Run with::
 
@@ -8,7 +12,6 @@ Run with::
 import numpy as np
 
 from repro import ShapeSearch, Table
-from repro.render import render_matches
 
 
 def build_table() -> Table:
@@ -32,31 +35,48 @@ def build_table() -> Table:
 
 
 def main() -> None:
-    session = ShapeSearch(build_table())
+    with ShapeSearch(build_table()) as session:
+        print("1) Prepare once (parse + compile), run as often as you like")
+        prepared = session.prepare(
+            "[p=down][p=up,m=>>]", z="product", x="month", y="sales"
+        )
+        results = prepared.run(k=2)
+        print(results.render())
+        print("   plan:", results.plan.splitlines()[-1].strip())
+        print("   stats: scored {} of {} candidates".format(
+            results.stats.scored, results.stats.candidates))
 
-    print("1) Regex query: products whose sales fall, then sharply rise")
-    matches = session.search(
-        "[p=down][p=up,m=>>]", z="product", x="month", y="sales", k=2
-    )
-    print(render_matches(matches))
+        print()
+        print("2) The same intent in natural language")
+        prepared = session.prepare(
+            "decreasing for some time then rising sharply",
+            z="product", x="month", y="sales",
+        )
+        print("   parsed as:", prepared.explain())
+        print(prepared.run(k=2).render())
 
-    print()
-    print("2) The same intent in natural language")
-    print("   parsed as:", session.explain("decreasing for some time then rising sharply"))
-    matches = session.search(
-        "decreasing for some time then rising sharply",
-        z="product", x="month", y="sales", k=2,
-    )
-    print(render_matches(matches))
+        print()
+        print("3) A sketch (blurry mode): down, then up")
+        pixels = [(float(i), 40.0 - i) for i in range(40)]
+        pixels += [(float(40 + i), float(i)) for i in range(40)]
+        results = session.search_sketch(
+            pixels, z="product", x="month", y="sales", mode="blurry", k=2
+        )
+        print(results.render())
 
-    print()
-    print("3) A sketch (blurry mode): down, then up")
-    pixels = [(float(i), 40.0 - i) for i in range(40)]
-    pixels += [(float(40 + i), float(i)) for i in range(40)]
-    matches = session.search_sketch(
-        pixels, z="product", x="month", y="sales", mode="blurry", k=2
-    )
-    print(render_matches(matches))
+        print()
+        print("4) Submit without blocking: a cancellable SearchFuture")
+        future = session.prepare(
+            "[p=up]", z="product", x="month", y="sales"
+        ).submit(k=2)
+        results = future.result(timeout=60)   # would raise SearchCancelled after .cancel()
+        print(results.render())
+        print("   future:", future)
+
+        print()
+        print("5) ResultSet rows for a DataFrame / JSON handoff")
+        for record in results.to_records():
+            print("   {key}: {score:+.3f}".format(**record))
 
 
 if __name__ == "__main__":

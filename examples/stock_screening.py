@@ -19,33 +19,33 @@ def main() -> None:
     session = ShapeSearch(table)
 
     print("Double top: at least 2 peaks (the paper's [p=up, m={2,}] idiom)")
-    matches = session.search(
-        "[p=up,m={2,}]", z="symbol", x="day", y="price", k=4
-    )
+    matches = session.prepare(
+        "[p=up,m={2,}]", z="symbol", x="day", y="price"
+    ).run(k=4)
     print(render_matches(matches))
     print("   planted:", ", ".join(planted["double-top"] + planted["w-shape"]))
 
     print()
     print("W-shape: down, up, down, up")
-    matches = session.search(
-        "[p=down][p=up][p=down][p=up]", z="symbol", x="day", y="price", k=3
-    )
+    matches = session.prepare(
+        "[p=down][p=up][p=down][p=up]", z="symbol", x="day", y="price"
+    ).run(k=3)
     print(render_matches(matches))
     print("   planted:", ", ".join(planted["w-shape"]))
 
     print()
     print("Cup: falling, stabilizing, then recovering — via natural language")
-    matches = session.search(
-        "falling then flat then rising", z="symbol", x="day", y="price", k=3
-    )
+    matches = session.prepare(
+        "falling then flat then rising", z="symbol", x="day", y="price"
+    ).run(k=3)
     print(render_matches(matches))
     print("   planted:", ", ".join(planted["cup"]))
 
     print()
     print("Momentum check: second rise steeper than the first ([p=up][p=$0,m=>])")
-    matches = session.search(
-        "[p=up][p=$0,m=>]", z="symbol", x="day", y="price", k=3
-    )
+    matches = session.prepare(
+        "[p=up][p=$0,m=>]", z="symbol", x="day", y="price"
+    ).run(k=3)
     print(render_matches(matches))
 
 

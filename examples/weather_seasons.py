@@ -22,18 +22,18 @@ def main() -> None:
     session = ShapeSearch(table)
 
     print("Southern-hemisphere cities: rising Nov→Dec and falling May→Jul")
-    matches = session.search(
+    matches = session.prepare(
         "[p=up,x.s=305,x.e=360][p=down,x.s=121,x.e=200]",
-        z="city", x="day", y="temperature", k=4,
-    )
+        z="city", x="day", y="temperature",
+    ).run(k=4)
     print(render_matches(matches))
     print("   planted southern cities:", ", ".join(planted["southern"][:4]), "...")
 
     print()
     print("Northern summers: a broad mid-year peak (blurry up-then-down)")
-    matches = session.search(
-        "rising then falling", z="city", x="day", y="temperature", k=3
-    )
+    matches = session.prepare(
+        "rising then falling", z="city", x="day", y="temperature"
+    ).run(k=3)
     print(render_matches(matches))
 
     print()
@@ -44,9 +44,9 @@ def main() -> None:
         return min(1.0, swing / 4.0) * 2.0 - 1.0
 
     with temporary_udp("volatile", volatile):
-        matches = session.search(
-            "[p=udp:volatile]", z="city", x="day", y="temperature", k=2
-        )
+        matches = session.prepare(
+            "[p=udp:volatile]", z="city", x="day", y="temperature"
+        ).run(k=2)
         print(render_matches(matches))
 
 

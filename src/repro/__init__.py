@@ -9,16 +9,21 @@ Quickstart::
     from repro import ShapeSearch
 
     session = ShapeSearch.from_csv("stocks.csv")
-    for match in session.search("up then down then up",
-                                z="symbol", x="day", y="price", k=5):
+    prepared = session.prepare("up then down then up",
+                               z="symbol", x="day", y="price")
+    for match in prepared.run(k=5):
         print(match.key, match.score)
+
+    future = prepared.submit(k=5)      # non-blocking; cancellable
+    results = future.result()          # ResultSet: stats, plan, matches
 """
 
 from repro.algebra.printer import to_regex
-from repro.api import ShapeSearch, parse_query
+from repro.api import PreparedSearch, ShapeSearch, parse_query
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import CacheStats, EngineCache, LRUCache
+from repro.engine.control import ExecutionControl
 from repro.engine.executor import ExecutionStats, Match, ShapeSearchEngine
 from repro.engine.parallel import ParallelEngine, WorkerPool
 from repro.engine.scoring import register_udp, temporary_udp, unregister_udp
@@ -27,16 +32,23 @@ from repro.errors import (
     AmbiguityError,
     DataError,
     ExecutionError,
+    SearchCancelled,
     ShapeQuerySyntaxError,
     ShapeQueryValidationError,
+    ShapeSearchDeprecationWarning,
     ShapeSearchError,
 )
 from repro.parser import parse as parse_regex
+from repro.results import ResultSet, SearchFuture
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ShapeSearch",
+    "PreparedSearch",
+    "ResultSet",
+    "SearchFuture",
+    "ExecutionControl",
     "parse_query",
     "parse_regex",
     "to_regex",
@@ -57,8 +69,10 @@ __all__ = [
     "ShapeSearchError",
     "ShapeQuerySyntaxError",
     "ShapeQueryValidationError",
+    "ShapeSearchDeprecationWarning",
     "AmbiguityError",
     "ExecutionError",
+    "SearchCancelled",
     "DataError",
     "__version__",
 ]

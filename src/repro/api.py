@@ -3,38 +3,63 @@
 :class:`ShapeSearch` is what a user of this library holds: load a
 dataset, point at the z/x/y attributes, and search with any of the three
 specification mechanisms — natural language, the regex dialect, or a
-sketch — exactly the interchangeable-input design of §2::
+sketch — exactly the interchangeable-input design of §2.  The serving
+API is built around three objects::
 
     from repro import ShapeSearch
 
     session = ShapeSearch.from_csv("genes.csv")
-    matches = session.search(
+    prepared = session.prepare(                 # parse + compile once
         "rising, then going down, and then rising again",
-        z="gene", x="time", y="expression", k=5,
+        z="gene", x="time", y="expression",
     )
+    results = prepared.run(k=5)                 # blocking -> ResultSet
+    print(results.stats.scored, results.plan)
+
+    future = prepared.submit(k=5)               # non-blocking
+    results = future.result(timeout=30)         # -> the same ResultSet
+
+:class:`PreparedSearch` binds a parsed+compiled query to the session's
+visual context, so repeated interactive calls skip parse and compile by
+construction; :class:`~repro.results.SearchFuture` is the cancellable
+handle of the submit paths; :class:`~repro.results.ResultSet` replaces
+the bare ``List[Match]`` everywhere (it still *is* a sequence of
+matches, so seed-era code keeps working).
 
 Strings are parsed as regex first and fall back to natural language, so
-``session.search("[p=up][p=down]")`` and
-``session.search("up then down")`` both work.
+``session.prepare("[p=up][p=down]", ...)`` and
+``session.prepare("up then down", ...)`` both work.  The historical
+one-shot ``search``/``search_many`` entry points remain as deprecated
+shims over the prepared path.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.algebra.nodes import Node
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.chains import CompiledQuery
-from repro.engine.executor import Match, ShapeSearchEngine
-from repro.errors import ShapeQuerySyntaxError
+from repro.engine.executor import Match, ShapeSearchEngine  # noqa: F401  (Match re-exported)
+from repro.errors import DataError, ShapeQuerySyntaxError, warn_deprecated
 from repro.nlp.tagger import EntityTagger
 from repro.nlp.translator import translate
 from repro.parser import parse as parse_regex
+from repro.results import ResultSet, SearchFuture
 from repro.sketch.canvas import Canvas
 from repro.sketch.parser import parse_sketch
 
 QueryLike = Union[str, Node, CompiledQuery]
+
+#: Keyword names :meth:`ShapeSearch.from_arrays` routes to the session
+#: (everything else is a column array).  Mirrors ``ShapeSearch.__init__``.
+_SESSION_OPTIONS = (
+    "engine", "tagger", "workers", "cache", "backend",
+    "quantifier_threshold", "kernel", "generation",
+)
 
 
 def parse_query(query: QueryLike, tagger: Optional[EntityTagger] = None) -> Node:
@@ -59,6 +84,84 @@ def parse_query(query: QueryLike, tagger: Optional[EntityTagger] = None) -> Node
         return translate(stripped, tagger=tagger).query
 
 
+class PreparedSearch:
+    """A query parsed, compiled and bound to visual context — once.
+
+    Created by :meth:`ShapeSearch.prepare`.  Parsing (NL/regex/sketch →
+    AST) and compilation (normalize → validate → flatten, through the
+    session's plan cache) happen at prepare time; every subsequent
+    :meth:`run`/:meth:`submit` reuses the bound
+    :class:`~repro.engine.chains.CompiledQuery` and
+    :class:`~repro.data.visual_params.VisualParams`, sharing the
+    session's trendline/plan caches by construction.  This is the
+    serving-tier shape: prepare per query template, run per request.
+
+    Prepared searches are immutable descriptions — cheap to hold, safe
+    to run concurrently, and reusable across any number of calls.
+    """
+
+    __slots__ = ("table", "engine", "node", "compiled", "params")
+
+    def __init__(self, table: Table, engine: ShapeSearchEngine, node: Node,
+                 compiled: CompiledQuery, params: VisualParams):
+        self.table = table
+        self.engine = engine
+        #: The parsed ShapeQuery AST (the correction-panel view's source).
+        self.node = node
+        #: The compiled plan every run reuses.
+        self.compiled = compiled
+        #: The bound visual context (z/x/y, filters, aggregate, bin width).
+        self.params = params
+
+    def run(self, k: int = 10, workers: Optional[int] = None) -> ResultSet:
+        """Execute, blocking: the top-``k`` matches as a :class:`ResultSet`.
+
+        ``workers`` overrides the engine's worker count for this call
+        (results are identical for any worker count).
+        """
+        return self.engine.run(
+            self.table, self.params, self.compiled, k=k, workers=workers
+        )
+
+    def submit(self, k: int = 10, workers: Optional[int] = None,
+               progress=None) -> SearchFuture:
+        """Execute without blocking: a cancellable :class:`SearchFuture`.
+
+        Returns as soon as the execution is handed to the engine's
+        dispatcher — before scoring starts, on any backend.  ``progress``
+        is called as ``progress(completed_shards, total_shards)`` as the
+        Score stage advances; ``future.cancel()`` drops un-dispatched
+        shards cooperatively and ``future.result()`` then raises
+        :class:`~repro.errors.SearchCancelled`.
+        """
+        return self.engine.submit(
+            self.table, self.params, self.compiled, k=k, workers=workers,
+            progress=progress,
+        )
+
+    def explain(self) -> str:
+        """The canonical regex form of the query — the correction panel."""
+        from repro.algebra.printer import to_regex
+
+        return to_regex(self.node)
+
+    def explain_plan(self, k: int = 10, workers: Optional[int] = None) -> str:
+        """The physical operator chain :meth:`run` would execute.
+
+        Planning only — nothing is generated or scored — and the text is
+        exactly what the resulting :attr:`ResultSet.plan` will carry
+        after an actual run with the same arguments.
+        """
+        return self.engine.explain_plan(
+            self.table, self.params, self.compiled, k=k, workers=workers
+        )
+
+    def __repr__(self) -> str:
+        return "PreparedSearch({!r}, z={!r}, x={!r}, y={!r})".format(
+            self.explain(), self.params.z, self.params.x, self.params.y
+        )
+
+
 class ShapeSearch:
     """An interactive exploration session over one table.
 
@@ -81,10 +184,10 @@ class ShapeSearch:
     when an explicit ``engine`` is passed.
 
     Sessions own OS resources once a parallel search ran (worker
-    processes, shared-memory segments): call :meth:`close` or use the
-    session as a context manager.  A forgotten session is still cleaned
-    up at garbage collection / interpreter exit, but deterministic
-    release beats relying on the safety net.
+    processes, dispatcher threads, shared-memory segments): call
+    :meth:`close` or use the session as a context manager.  A forgotten
+    session is still cleaned up at garbage collection / interpreter
+    exit, but deterministic release beats relying on the safety net.
     """
 
     def __init__(self, table: Table, engine: Optional[ShapeSearchEngine] = None,
@@ -127,11 +230,133 @@ class ShapeSearch:
         return cls(Table.from_records(records), **kwargs)
 
     @classmethod
-    def from_arrays(cls, **columns) -> "ShapeSearch":
-        """Open a session over keyword column arrays."""
-        return cls(Table.from_arrays(**columns))
+    def from_arrays(cls, columns=None, **kwargs) -> "ShapeSearch":
+        """Open a session over keyword column arrays.
 
-    # -- querying ----------------------------------------------------------
+        Session/engine options (``engine``, ``tagger``, ``workers``,
+        ``cache``, ``backend``, ``quantifier_threshold``, ``kernel``,
+        ``generation``) are routed to the session; every *other* keyword
+        is a column array — so
+        ``ShapeSearch.from_arrays(z=..., x=..., y=..., backend="process",
+        workers=4)`` builds a process-backend session, instead of
+        swallowing the options as columns.  A column whose name collides
+        with an option (a column literally called ``"workers"``) must be
+        passed through the ``columns`` mapping, which is merged with the
+        keyword arrays and always wins the column interpretation — an
+        array-valued keyword that matches an option name is rejected
+        loudly rather than silently misconfiguring the engine.
+        """
+        options = {}
+        for name in _SESSION_OPTIONS:
+            if name in kwargs:
+                value = kwargs.pop(name)
+                if isinstance(value, (np.ndarray, list, tuple)):
+                    raise DataError(
+                        "from_arrays keyword {!r} names a session option but "
+                        "holds an array; pass column arrays that collide with "
+                        "option names via the columns= mapping".format(name)
+                    )
+                options[name] = value
+        arrays = dict(kwargs)
+        if columns:
+            arrays.update(columns)
+        return cls(Table.from_arrays(**arrays), **options)
+
+    # -- the prepared/submit API --------------------------------------------
+    def prepare(
+        self,
+        query: QueryLike,
+        z: str,
+        x: str,
+        y: str,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+    ) -> PreparedSearch:
+        """Parse + compile ``query`` once and bind the visual context.
+
+        The entry point of the serving API: the returned
+        :class:`PreparedSearch` runs (or submits) any number of times
+        without re-parsing or re-compiling, and shares this session's
+        caches by construction.  Accepts every query form
+        :func:`parse_query` does — NL, the regex dialect, a ShapeQuery
+        AST, or an already compiled query.
+        """
+        node = parse_query(query, tagger=self.tagger)
+        compiled = self.engine.compile(node)
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        return PreparedSearch(self.table, self.engine, node, compiled, params)
+
+    def submit_many(
+        self,
+        queries: Sequence[QueryLike],
+        z: str,
+        x: str,
+        y: str,
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
+        progress=None,
+    ) -> List[SearchFuture]:
+        """Dispatch a batch without blocking: one future per query.
+
+        The whole batch is parsed + compiled up front, then driven by a
+        single dispatcher so generation work is amortized exactly as in
+        the blocking batch path; futures resolve in submission order,
+        and cancelling one affects only that query.  ``progress`` is
+        called as ``progress(query_index, completed, total)``.
+        """
+        nodes = [parse_query(query, tagger=self.tagger) for query in queries]
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        compiled = [self.engine.compile(node) for node in nodes]
+        return self.engine.submit_many(
+            self.table, params, compiled, k=k, workers=workers, progress=progress
+        )
+
+    # -- front-ends ----------------------------------------------------------
+    def search_sketch(
+        self,
+        pixels: Sequence[Tuple[float, float]],
+        z: str,
+        x: str,
+        y: str,
+        canvas: Optional[Canvas] = None,
+        mode: str = "precise",
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
+    ) -> ResultSet:
+        """Search with a drawn polyline (precise or blurry interpretation).
+
+        Routed through :meth:`prepare` like the other front-ends, so the
+        sketch path has full parity with text queries: duplicate-x
+        ``aggregate``, binning by ``bin_width`` and per-call ``workers``
+        all apply.  Use :meth:`prepare` directly (with
+        :func:`repro.sketch.parser.parse_sketch`) to reuse a sketch
+        across calls or submit it asynchronously.
+        """
+        node = parse_sketch(pixels, canvas=canvas, mode=mode)
+        prepared = self.prepare(
+            node, z=z, x=x, y=y, filters=filters, aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        result = prepared.run(k=k, workers=workers)
+        # Not deprecated, but the seed-era call updated last_stats;
+        # keep that visible side effect for code that inspected it.
+        self.engine.last_stats = result.stats
+        return result
+
+    # -- deprecated one-shot shims -------------------------------------------
     def search(
         self,
         query: QueryLike,
@@ -143,17 +368,23 @@ class ShapeSearch:
         aggregate: str = "mean",
         bin_width: Optional[float] = None,
         workers: Optional[int] = None,
-    ) -> List[Match]:
-        """Top-k visualizations matching the query (NL, regex, or AST).
+    ) -> ResultSet:
+        """Deprecated: use ``prepare(...).run(...)``.
 
-        ``workers`` overrides the engine's worker count for this call
-        (results are identical for any worker count).
+        One-shot top-k search, kept as a thin shim over the prepared
+        path: identical matches in identical order, now as a
+        list-compatible :class:`ResultSet`.
         """
-        node = parse_query(query, tagger=self.tagger)
-        params = VisualParams(
-            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate, bin_width=bin_width
+        warn_deprecated(
+            "ShapeSearch.search()", "ShapeSearch.prepare(...).run(...)"
         )
-        return self.engine.execute(self.table, params, node, k=k, workers=workers)
+        prepared = self.prepare(
+            query, z=z, x=x, y=y, filters=filters, aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        result = prepared.run(k=k, workers=workers)
+        self.engine.last_stats = result.stats
+        return result
 
     def search_many(
         self,
@@ -166,36 +397,30 @@ class ShapeSearch:
         aggregate: str = "mean",
         bin_width: Optional[float] = None,
         workers: Optional[int] = None,
-    ) -> List[List[Match]]:
-        """Batch search: one result list per query, in order.
+    ) -> List[ResultSet]:
+        """Deprecated: use :meth:`submit_many` (or prepared runs).
 
-        Compilation is amortized across the batch and EXTRACT/GROUP runs
-        once per distinct push-down effect (once total for all-fuzzy
-        batches), so issuing ten variations of a query costs little more
-        than issuing one.
+        Batch search, kept as a blocking shim: one ResultSet per query,
+        in order, with compilation and EXTRACT/GROUP amortized across
+        the batch exactly as before.
         """
+        warn_deprecated(
+            "ShapeSearch.search_many()",
+            "ShapeSearch.submit_many(...) (gather with future.result())",
+        )
         nodes = [parse_query(query, tagger=self.tagger) for query in queries]
         params = VisualParams(
-            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate, bin_width=bin_width
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+            bin_width=bin_width,
         )
-        return self.engine.execute_many(self.table, params, nodes, k=k, workers=workers)
+        results = self.engine.run_many(
+            self.table, params, nodes, k=k, workers=workers
+        )
+        if results:
+            self.engine.last_stats = results[-1].stats
+        return results
 
-    def search_sketch(
-        self,
-        pixels: Sequence[Tuple[float, float]],
-        z: str,
-        x: str,
-        y: str,
-        canvas: Optional[Canvas] = None,
-        mode: str = "precise",
-        k: int = 10,
-        filters: Sequence = (),
-    ) -> List[Match]:
-        """Search with a drawn polyline (precise or blurry interpretation)."""
-        node = parse_sketch(pixels, canvas=canvas, mode=mode)
-        params = VisualParams(z=z, x=x, y=y, filters=tuple(filters))
-        return self.engine.execute(self.table, params, node, k=k)
-
+    # -- inspection -----------------------------------------------------------
     def explain(self, query: QueryLike) -> str:
         """The canonical regex form of a query — the correction panel view."""
         from repro.algebra.printer import to_regex
@@ -214,7 +439,7 @@ class ShapeSearch:
         bin_width: Optional[float] = None,
         workers: Optional[int] = None,
     ) -> str:
-        """The physical operator chain a :meth:`search` call would run.
+        """The physical operator chain a :meth:`PreparedSearch.run` would run.
 
         Renders the staged pipeline (``ScanTable → Extract/Group → Score
         → MergeTopK``) with the implementation the planner picked per
@@ -222,9 +447,8 @@ class ShapeSearch:
         parallel scoring, the shared-memory transport.  Planning only:
         nothing is generated or scored.
         """
-        node = parse_query(query, tagger=self.tagger)
-        params = VisualParams(
-            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+        prepared = self.prepare(
+            query, z=z, x=x, y=y, filters=filters, aggregate=aggregate,
             bin_width=bin_width,
         )
-        return self.engine.explain_plan(self.table, params, node, k=k, workers=workers)
+        return prepared.explain_plan(k=k, workers=workers)

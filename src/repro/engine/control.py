@@ -1,0 +1,93 @@
+"""Cooperative cancellation and progress observation for one execution.
+
+The staged pipeline (:mod:`repro.engine.pipeline`) is a synchronous
+operator chain; what makes :meth:`PreparedSearch.submit` observable and
+cancellable is the :class:`ExecutionControl` threaded through it.  The
+Score stage registers the shard count with :meth:`begin`, reports every
+completed shard through :meth:`shard_completed` (feeding the user's
+progress callback), and checks :attr:`cancelled` before dispatching each
+remaining shard — a cancel drops the un-dispatched shards, and the
+MergeTopK rendezvous raises :class:`~repro.errors.SearchCancelled`
+instead of merging a partial top-k.
+
+Cancellation is *cooperative*: shards already running on the pool finish
+normally (so the pool stays reusable and deterministic), only their
+results are discarded.  The same hook points are the seam a future
+streaming-append execute path can feed incremental merges from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+
+class ExecutionControl:
+    """Shared state between one in-flight execution and its observers.
+
+    ``progress`` is an optional ``callable(completed, total)`` invoked
+    from the execution's driver thread — once when the Score stage
+    establishes its shard count (``completed == 0``) and once per shard
+    completed thereafter.  Keep callbacks cheap; they run on the critical
+    path of the search that reports through them.  A raising callback is
+    swallowed (the search must not fail because its observer did).
+    """
+
+    __slots__ = ("_cancelled", "_lock", "_progress", "total", "completed", "dropped")
+
+    def __init__(self, progress: Optional[Callable[[int, int], None]] = None):
+        self._cancelled = threading.Event()
+        self._lock = threading.Lock()
+        self._progress = progress
+        #: Shards the Score stage planned (None until it begins).
+        self.total: Optional[int] = None
+        #: Shards whose results are in.
+        self.completed = 0
+        #: Shards dropped by a cooperative cancel (never dispatched, or
+        #: cancelled on the pool before starting).
+        self.dropped = 0
+
+    # -- cancellation ------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation (idempotent, thread-safe)."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled.is_set()
+
+    # -- progress (driven by the Score stage) ------------------------------
+    def begin(self, total: int) -> None:
+        """Record the planned shard count and emit the initial progress."""
+        with self._lock:
+            self.total = total
+        self._notify()
+
+    def shard_completed(self) -> None:
+        """Count one finished shard and notify the progress callback."""
+        with self._lock:
+            self.completed += 1
+        self._notify()
+
+    def drop(self, count: int) -> None:
+        """Record ``count`` shards skipped by a cooperative cancel."""
+        if count:
+            with self._lock:
+                self.dropped += count
+
+    @property
+    def progress(self) -> Tuple[int, Optional[int]]:
+        """``(completed shards, total shards or None)`` right now."""
+        with self._lock:
+            return self.completed, self.total
+
+    def _notify(self) -> None:
+        if self._progress is None:
+            return
+        try:
+            self._progress(self.completed, self.total)
+        except Exception:
+            # Observer errors must not poison the search they watch —
+            # the same policy as SearchFuture's done-callbacks.
+            pass

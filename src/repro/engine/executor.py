@@ -24,6 +24,14 @@ or inside the workers against the shared table so generation
 parallelizes with scoring.  Every configuration uses the total order
 *(score desc, candidate position asc)*, so results are identical for any
 worker count, backend, transport and generation mode.
+
+The serving-era entry points are :meth:`ShapeSearchEngine.run` /
+:meth:`run_many` (blocking, returning
+:class:`~repro.results.ResultSet`) and :meth:`submit` /
+:meth:`submit_many` (non-blocking, returning
+:class:`~repro.results.SearchFuture` handles driven by a small
+dispatcher thread pool, with cooperative cancellation and per-shard
+progress).  ``execute``/``execute_many`` remain as deprecated shims.
 """
 
 from __future__ import annotations
@@ -44,11 +52,13 @@ from repro.engine.cache import (
     trendline_cache_key,
 )
 from repro.engine.chains import CompiledQuery, compile_query
+from repro.engine.control import ExecutionControl
 from repro.engine.dynamic import QueryResult
 from repro.engine.pipeline import generate_trendlines
 from repro.engine.pruning import PruningReport
 from repro.engine.trendline import Trendline
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SearchCancelled, warn_deprecated
+from repro.results import ResultSet, SearchFuture
 
 #: Supported segmentation algorithms (dispatch lives in
 #: :data:`repro.engine.parallel.RUN_SOLVERS`, the single table shared by
@@ -57,6 +67,11 @@ ALGORITHMS = ("dp", "segment-tree", "greedy", "exhaustive")
 
 #: Supported EXTRACT/GROUP placements (see the ``generation`` option).
 GENERATION_MODES = ("auto", "parent", "worker")
+
+#: Driver threads behind the non-blocking submit paths.  Each driver runs
+#: one pipeline execution end to end; shard work still fans out on the
+#: engine's worker pools, so two drivers already overlap submissions.
+_DISPATCH_THREADS = 2
 
 
 @dataclass
@@ -178,6 +193,9 @@ class ShapeSearchEngine:
         #: One-slot box so the lazily created ShmSession is reachable from
         #: close() and the finalizer without either referencing ``self``.
         self._shm_box: list = [None]
+        #: Same one-slot-box pattern for the lazily created dispatcher
+        #: thread pool that drives the non-blocking submit paths.
+        self._dispatch_box: list = [None]
         if self.cache is not None:
             from repro.engine.shm import release_evicted
 
@@ -185,7 +203,8 @@ class ShapeSearchEngine:
         #: Safety net: releases pools and shared memory when the engine is
         #: garbage-collected or the interpreter exits without close().
         self._finalizer = weakref.finalize(
-            self, _release_engine_resources, self._pools, self._pool_lock, self._shm_box
+            self, _release_engine_resources, self._pools, self._pool_lock,
+            self._shm_box, self._dispatch_box,
         )
         if backend not in ("thread", "process"):
             raise ExecutionError(
@@ -237,14 +256,36 @@ class ShapeSearchEngine:
                 self._shm_box[0] = ShmSession()
             return self._shm_box[0]
 
-    def close(self) -> None:
-        """Release worker pools and shared-memory segments.
+    def _dispatcher(self):
+        """The driver thread pool behind :meth:`submit` (created lazily).
 
-        Idempotent, and also runs via ``weakref.finalize``/``atexit`` when
-        an engine is dropped or the interpreter exits without an explicit
-        close — pools and shm segments never outlive their owner.
+        Drivers run whole pipeline executions; the *shard* work they
+        dispatch still lands on the engine's regular worker pools, so a
+        couple of driver threads are plenty — extra submissions queue
+        and overlap at the shard level, not the driver level.
         """
-        _release_engine_resources(self._pools, self._pool_lock, self._shm_box)
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._pool_lock:
+            if self._dispatch_box[0] is None:
+                self._dispatch_box[0] = ThreadPoolExecutor(
+                    max_workers=_DISPATCH_THREADS,
+                    thread_name_prefix="shapesearch-dispatch",
+                )
+            return self._dispatch_box[0]
+
+    def close(self) -> None:
+        """Release dispatcher threads, worker pools and shm segments.
+
+        Waits for in-flight submitted searches (queued, not-yet-started
+        ones are resolved as cancelled).  Idempotent, and also runs via
+        ``weakref.finalize``/``atexit`` when an engine is dropped or the
+        interpreter exits without an explicit close — pools and shm
+        segments never outlive their owner.
+        """
+        _release_engine_resources(
+            self._pools, self._pool_lock, self._shm_box, self._dispatch_box
+        )
 
     def __enter__(self) -> "ShapeSearchEngine":
         return self
@@ -252,7 +293,139 @@ class ShapeSearchEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- full pipeline -----------------------------------------------------
+    # -- full pipeline (the serving-era core API) ---------------------------
+    def run(
+        self,
+        table: Table,
+        params: VisualParams,
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        workers: Optional[int] = None,
+        control: Optional[ExecutionControl] = None,
+        memo: Optional[dict] = None,
+    ) -> ResultSet:
+        """EXTRACT → GROUP → SEGMENT → SCORE → top-k, as a :class:`ResultSet`.
+
+        The blocking core of every execute path: compiles the query
+        (through the plan cache), plans the staged operator pipeline and
+        runs it.  Returns a :class:`~repro.results.ResultSet` carrying
+        this call's private stats and the rendered physical plan — the
+        engine's ``last_stats`` is *not* touched, so concurrent calls on
+        one engine never observe each other.  ``control`` threads the
+        cancellation/progress hooks of the submit paths through the
+        pipeline; ``memo`` is the batch generation memo shared across a
+        :meth:`run_many` call.
+        """
+        stats = ExecutionStats()
+        compiled = self._compile(query, stats)
+        matches, plan = self._run_pipeline(
+            compiled, k, stats, table=table, params=params, workers=workers,
+            memo=memo, control=control,
+        )
+        return ResultSet(matches, stats=stats, plan=plan)
+
+    def run_many(
+        self,
+        table: Table,
+        params: VisualParams,
+        queries: Sequence[Union[Node, CompiledQuery]],
+        k: int = 10,
+        workers: Optional[int] = None,
+    ) -> List[ResultSet]:
+        """Batch execution: amortize compilation and EXTRACT/GROUP.
+
+        Every query is compiled up front (through the plan cache), so an
+        invalid query anywhere in the batch rejects it *before* any
+        scoring work runs.  Parent-side trendline generation then runs
+        once per distinct ``(normalize_y, push-down effect)``
+        combination — for the common all-fuzzy batch that is a single
+        EXTRACT/GROUP pass shared by every query (a query that reused
+        the batch's earlier generation work reports
+        ``trendline_cache_hit=True`` in its ResultSet's stats).
+        Worker-side generation amortizes through the worker-resident
+        range caches instead — the table is published and its group
+        count established once for the whole batch.
+        """
+        compiled_list = [self._compile(query) for query in queries]
+        memo: dict = {}
+        return [
+            self.run(table, params, compiled, k=k, workers=workers, memo=memo)
+            for compiled in compiled_list
+        ]
+
+    # -- non-blocking submission -------------------------------------------
+    def submit(
+        self,
+        table: Table,
+        params: VisualParams,
+        query: Union[Node, CompiledQuery],
+        k: int = 10,
+        workers: Optional[int] = None,
+        progress=None,
+    ) -> SearchFuture:
+        """Dispatch one execution without blocking the caller.
+
+        The returned :class:`~repro.results.SearchFuture` resolves to
+        the same :class:`ResultSet` a :meth:`run` call would produce —
+        byte-identical results, same plan, same stats.  ``progress`` is
+        called as ``progress(completed_shards, total_shards)`` from the
+        driver thread as the Score stage advances;
+        :meth:`SearchFuture.cancel` drops un-dispatched shards
+        cooperatively (see :mod:`repro.engine.control`).
+        """
+        control = ExecutionControl(progress=progress)
+        future = SearchFuture(control)
+
+        def drive():
+            _drive_one(
+                self, future, control, table, params, query, k, workers, None
+            )
+
+        task = self._dispatcher().submit(drive)
+        task.add_done_callback(_abandonment_guard(future))
+        return future
+
+    def submit_many(
+        self,
+        table: Table,
+        params: VisualParams,
+        queries: Sequence[Union[Node, CompiledQuery]],
+        k: int = 10,
+        workers: Optional[int] = None,
+        progress=None,
+    ) -> List[SearchFuture]:
+        """Dispatch a batch without blocking: one future per query.
+
+        The batch runs on a single driver so generation work is
+        amortized exactly as in :meth:`run_many` (shared memo,
+        worker-resident caches); futures resolve in submission order.
+        Cancelling one future skips (or cooperatively stops) only that
+        query — the rest of the batch proceeds.  ``progress`` is called
+        as ``progress(query_index, completed_shards, total_shards)``.
+        """
+        jobs = []
+        for index, query in enumerate(queries):
+            if progress is not None:
+                def query_progress(completed, total, _index=index):
+                    progress(_index, completed, total)
+            else:
+                query_progress = None
+            control = ExecutionControl(progress=query_progress)
+            jobs.append((query, SearchFuture(control), control))
+
+        def drive():
+            memo: dict = {}
+            for query, future, control in jobs:
+                _drive_one(
+                    self, future, control, table, params, query, k, workers, memo
+                )
+
+        task = self._dispatcher().submit(drive)
+        for _query, future, _control in jobs:
+            task.add_done_callback(_abandonment_guard(future))
+        return [future for _query, future, _control in jobs]
+
+    # -- deprecated blocking shims ------------------------------------------
     def execute(
         self,
         table: Table,
@@ -260,11 +433,17 @@ class ShapeSearchEngine:
         query: Union[Node, CompiledQuery],
         k: int = 10,
         workers: Optional[int] = None,
-    ) -> List[Match]:
-        """EXTRACT → GROUP → SEGMENT → SCORE → top-k."""
-        matches, stats = self.execute_with_stats(table, params, query, k, workers=workers)
-        self.last_stats = stats
-        return matches
+    ) -> ResultSet:
+        """Deprecated: use :meth:`run` (same results, per-call stats).
+
+        Kept as a thin shim for seed-era callers: identical matches in
+        identical order, now as a list-compatible :class:`ResultSet`,
+        with ``last_stats`` still updated for code that inspected it.
+        """
+        warn_deprecated("ShapeSearchEngine.execute()", "ShapeSearchEngine.run()")
+        result = self.run(table, params, query, k=k, workers=workers)
+        self.last_stats = result.stats
+        return result
 
     def execute_with_stats(
         self,
@@ -273,14 +452,14 @@ class ShapeSearchEngine:
         query: Union[Node, CompiledQuery],
         k: int = 10,
         workers: Optional[int] = None,
-    ) -> Tuple[List[Match], ExecutionStats]:
-        """Like :meth:`execute`, returning this call's private stats."""
-        stats = ExecutionStats()
-        compiled = self._compile(query, stats)
-        matches = self._run_pipeline(
-            compiled, k, stats, table=table, params=params, workers=workers
-        )
-        return matches, stats
+    ) -> Tuple[ResultSet, ExecutionStats]:
+        """Like :meth:`run`, unpacked as ``(results, stats)``.
+
+        Not deprecated — internal plumbing and tests use it — but new
+        code should prefer :meth:`run`: the stats ride on the ResultSet.
+        """
+        result = self.run(table, params, query, k=k, workers=workers)
+        return result, result.stats
 
     def execute_many(
         self,
@@ -289,16 +468,14 @@ class ShapeSearchEngine:
         queries: Sequence[Union[Node, CompiledQuery]],
         k: int = 10,
         workers: Optional[int] = None,
-    ) -> List[List[Match]]:
-        """Batch execution: amortize compilation and EXTRACT/GROUP.
-
-        See :meth:`execute_many_with_stats` for the per-query counters.
-        """
-        results, stats_list = self.execute_many_with_stats(
-            table, params, queries, k, workers=workers
+    ) -> List[ResultSet]:
+        """Deprecated: use :meth:`run_many` (same batch amortization)."""
+        warn_deprecated(
+            "ShapeSearchEngine.execute_many()", "ShapeSearchEngine.run_many()"
         )
-        if stats_list:
-            self.last_stats = stats_list[-1]
+        results = self.run_many(table, params, queries, k=k, workers=workers)
+        if results:
+            self.last_stats = results[-1].stats
         return results
 
     def execute_many_with_stats(
@@ -308,33 +485,10 @@ class ShapeSearchEngine:
         queries: Sequence[Union[Node, CompiledQuery]],
         k: int = 10,
         workers: Optional[int] = None,
-    ) -> Tuple[List[List[Match]], List[ExecutionStats]]:
-        """Batch execution with one private :class:`ExecutionStats` per query.
-
-        All queries are compiled first (through the plan cache when one
-        is configured), then parent-side trendline generation runs once
-        per distinct ``(normalize_y, push-down effect)`` combination —
-        for the common all-fuzzy batch that is a single EXTRACT/GROUP
-        pass shared by every query (a query that reused the batch's
-        earlier generation work reports ``trendline_cache_hit=True``).
-        Worker-side generation amortizes through the worker-resident
-        range caches instead — the table is published and its group
-        count established once for the whole batch.
-        """
-        stats_list: List[ExecutionStats] = [ExecutionStats() for _ in queries]
-        compiled_list = [
-            self._compile(query, stats) for query, stats in zip(queries, stats_list)
-        ]
-        memo: dict = {}
-        results: List[List[Match]] = []
-        for compiled, stats in zip(compiled_list, stats_list):
-            results.append(
-                self._run_pipeline(
-                    compiled, k, stats, table=table, params=params,
-                    workers=workers, memo=memo,
-                )
-            )
-        return results, stats_list
+    ) -> Tuple[List[ResultSet], List[ExecutionStats]]:
+        """Batch :meth:`run_many`, unpacked as ``(results, stats list)``."""
+        results = self.run_many(table, params, queries, k=k, workers=workers)
+        return results, [result.stats for result in results]
 
     # -- core ranking --------------------------------------------------------
     def rank(
@@ -344,7 +498,7 @@ class ShapeSearchEngine:
         k: int = 10,
         extracted_hint: Optional[int] = None,
         workers: Optional[int] = None,
-    ) -> List[Match]:
+    ) -> ResultSet:
         """Rank pre-built trendlines against a query."""
         matches, stats = self.rank_with_stats(
             trendlines, query, k, extracted_hint=extracted_hint, workers=workers
@@ -359,15 +513,15 @@ class ShapeSearchEngine:
         k: int = 10,
         extracted_hint: Optional[int] = None,
         workers: Optional[int] = None,
-    ) -> Tuple[List[Match], ExecutionStats]:
+    ) -> Tuple[ResultSet, ExecutionStats]:
         """Rank with per-call stats (safe under concurrent use)."""
         stats = ExecutionStats()
         compiled = self._compile(query, stats)
         stats.extracted = extracted_hint if extracted_hint is not None else len(trendlines)
-        matches = self._run_pipeline(
+        matches, plan = self._run_pipeline(
             compiled, k, stats, trendlines=trendlines, workers=workers
         )
-        return matches, stats
+        return ResultSet(matches, stats=stats, plan=plan), stats
 
     def _run_pipeline(
         self,
@@ -379,14 +533,19 @@ class ShapeSearchEngine:
         trendlines: Optional[Sequence[Trendline]] = None,
         workers: Optional[int] = None,
         memo: Optional[dict] = None,
-    ) -> List[Match]:
+        control: Optional[ExecutionControl] = None,
+    ) -> Tuple[List[Match], object]:
         """Plan and run the staged operator pipeline for one execution.
 
         All branching — sequential vs parallel Score, object vs
         shared-memory transport, parent- vs worker-side Extract/Group,
         pruning — lives in :func:`repro.engine.pipeline.plan_pipeline`;
         the engine only supplies the session-scoped services (pools, shm
-        session, caches) through the :class:`PipelineContext`.
+        session, caches) through the :class:`PipelineContext`.  Returns
+        ``(matches, rendered plan)`` so callers can build a ResultSet
+        that knows which chain actually ran — the *text*, not the
+        operator chain, which pins the table / candidate collection for
+        as long as it is referenced.
         """
         from repro.engine.pipeline import PipelineContext, plan_pipeline
 
@@ -394,7 +553,10 @@ class ShapeSearchEngine:
             self, compiled, k, table=table, params=params,
             trendlines=trendlines, workers=workers, memo=memo,
         )
-        return pipeline.run(PipelineContext(engine=self, stats=stats))
+        matches = pipeline.run(
+            PipelineContext(engine=self, stats=stats, control=control)
+        )
+        return matches, pipeline.explain()
 
     def explain_plan(
         self,
@@ -421,6 +583,15 @@ class ShapeSearchEngine:
     ) -> QueryResult:
         """Score a single trendline (used by examples and tests)."""
         return self._solve(trendline, self._compile(query))
+
+    def compile(self, query: Union[Node, CompiledQuery]) -> CompiledQuery:
+        """Compile a ShapeQuery AST through the plan cache (idempotent).
+
+        The prepare seam: :meth:`ShapeSearch.prepare` compiles once here
+        and binds the result, so every subsequent ``run``/``submit`` on
+        the prepared query skips parse + compile by construction.
+        """
+        return self._compile(query)
 
     # -- internals --------------------------------------------------------------
     def _compile(
@@ -472,14 +643,24 @@ class ShapeSearchEngine:
         return solve_one(trendline, compiled, self.algorithm, kernel=self.kernel)
 
 
-def _release_engine_resources(pools: dict, lock: threading.Lock, shm_box: list) -> None:
-    """Shut down an engine's pools and shm session (idempotent).
+def _release_engine_resources(
+    pools: dict, lock: threading.Lock, shm_box: list, dispatch_box: list
+) -> None:
+    """Shut down an engine's dispatcher, pools and shm session (idempotent).
 
     Module-level and closed over the engine's *mutable holders* rather
     than the engine itself, so the ``weakref.finalize`` registered in
     ``__init__`` can run after the engine is collected — and a manual
     ``close()`` followed by more work still gets cleaned up at exit.
+    The dispatcher drains first (its drivers use the pools and shm
+    session being torn down next); queued-but-unstarted drivers are
+    cancelled, and their SearchFutures resolve as cancelled through the
+    abandonment guard.
     """
+    with lock:
+        dispatcher, dispatch_box[0] = dispatch_box[0], None
+    if dispatcher is not None:
+        dispatcher.shutdown(wait=True, cancel_futures=True)
     with lock:
         pools_now, session = list(pools.values()), shm_box[0]
         pools.clear()
@@ -488,6 +669,49 @@ def _release_engine_resources(pools: dict, lock: threading.Lock, shm_box: list) 
         pool.shutdown()
     if session is not None:
         session.close()
+
+
+def _drive_one(
+    engine, future, control, table, params, query, k, workers, memo
+) -> None:
+    """Run one submitted execution on a driver thread, resolving its future.
+
+    Exceptions — including :class:`SearchCancelled` from the MergeTopK
+    rendezvous — land on the future instead of the driver thread, so one
+    failed or cancelled query never takes down the driver (or, on the
+    batched path, the rest of its batch).
+    """
+    if not future._start():
+        future._finish(
+            exception=SearchCancelled("search cancelled before dispatch")
+        )
+        return
+    try:
+        result = engine.run(
+            table, params, query, k=k, workers=workers, control=control, memo=memo
+        )
+    except BaseException as exc:  # resolve, never unwind the driver
+        future._finish(exception=exc)
+    else:
+        future._finish(result=result)
+
+
+def _abandonment_guard(future):
+    """Done-callback for a driver task: resolve futures the driver never ran.
+
+    ``close()`` cancels queued driver tasks; without this, a
+    SearchFuture whose driver was cancelled would wait forever.
+    ``_finish`` is idempotent, so futures the driver already resolved
+    ignore the guard.
+    """
+
+    def callback(task):
+        if task.cancelled():
+            future._finish(
+                exception=SearchCancelled("engine closed before dispatch")
+            )
+
+    return callback
 
 
 def _to_matches(items) -> List[Match]:

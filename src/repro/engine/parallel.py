@@ -353,6 +353,57 @@ class WorkerPool:
             return [fn(*args) for args in zip(*iterables)]
         return list(self._ensure().map(fn, *iterables))
 
+    def run_cancellable(self, fn, rows, control) -> List:
+        """Run one ``fn(*row)`` task per row under an ExecutionControl.
+
+        The cancellable twin of :meth:`map`: tasks are submitted one at a
+        time so a :meth:`ExecutionControl.cancel` observed between
+        submissions drops every not-yet-dispatched row, and queued
+        futures whose ``cancel()`` still succeeds are dropped too.  Tasks
+        already *running* are always waited for — cooperative
+        cancellation never abandons in-flight work, which is what keeps
+        the pool reusable (and deterministic) for the next execution.
+        Each completed task feeds ``control.shard_completed()`` — the
+        per-shard progress signal of the submit API.
+        """
+        rows = list(rows)
+        control.begin(len(rows))
+        results: List = []
+        if not rows:
+            return results  # nothing to do; never spin up the pool
+        if self.workers == 1:
+            for index, args in enumerate(rows):
+                if control.cancelled:
+                    control.drop(len(rows) - index)
+                    return results
+                results.append(fn(*args))
+                control.shard_completed()
+            return results
+        executor = self._ensure()
+        futures = []
+        for args in rows:
+            if control.cancelled:
+                break
+            futures.append(executor.submit(fn, *args))
+        dropped = len(rows) - len(futures)
+        swept = False
+        for future in futures:
+            if control.cancelled and not swept:
+                # First observation of the cancel: sweep the whole tail at
+                # once so the executor stops pulling queued shards — a
+                # per-future check would race the workers, which keep
+                # starting queued tasks while we harvest completed ones.
+                for pending in reversed(futures):
+                    pending.cancel()
+                swept = True
+            if future.cancelled():
+                dropped += 1
+                continue
+            results.append(future.result())
+            control.shard_completed()
+        control.drop(dropped)
+        return results
+
     def shutdown(self) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
@@ -369,6 +420,20 @@ class WorkerPool:
         self.shutdown()
 
 
+def _run_tasks(pool: WorkerPool, fn, rows: List[tuple], control=None) -> List:
+    """Run one ``fn(*row)`` task per row — the single dispatch funnel.
+
+    Every ``dispatch_*`` path routes through here, so the cancellable
+    submit transport (``control`` set) and the plain blocking transport
+    cover identical rows in identical order for any configuration.
+    """
+    if control is not None:
+        return pool.run_cancellable(fn, rows, control)
+    if not rows:
+        return []
+    return pool.map(fn, *zip(*rows))
+
+
 def dispatch_score_shards(
     trendlines: Sequence[Trendline],
     query: CompiledQuery,
@@ -379,27 +444,24 @@ def dispatch_score_shards(
     chunk_size: Optional[int] = None,
     has_eager_checks: Optional[bool] = None,
     kernel: Optional[str] = None,
+    control=None,
 ) -> List[ShardResult]:
     """Shard and score an object-passing collection (no merge).
 
     The Score operators consume the raw shard results (the MergeTopK
     operator owns merging and stats); :func:`parallel_rank_items` wraps
-    this for callers that want the merged items directly.
+    this for callers that want the merged items directly.  ``control``
+    (an :class:`~repro.engine.control.ExecutionControl`) makes the
+    dispatch cancellable and progress-observable.
     """
     chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
     if has_eager_checks is None:
         has_eager_checks = enable_pushdown and plan_pushdown(query).has_eager_checks
-    return pool.map(
-        score_shard,
-        [chunk for _base, chunk in chunks],
-        [base for base, _chunk in chunks],
-        [query] * len(chunks),
-        [k] * len(chunks),
-        [algorithm] * len(chunks),
-        [enable_pushdown] * len(chunks),
-        [has_eager_checks] * len(chunks),
-        [kernel] * len(chunks),
-    )
+    rows = [
+        (chunk, base, query, k, algorithm, enable_pushdown, has_eager_checks, kernel)
+        for base, chunk in chunks
+    ]
+    return _run_tasks(pool, score_shard, rows, control)
 
 
 def parallel_rank_items(
@@ -448,6 +510,7 @@ def dispatch_score_ranges(
     chunk_size: Optional[int] = None,
     has_eager_checks: Optional[bool] = None,
     kernel: Optional[str] = None,
+    control=None,
 ) -> List[ShardResult]:
     """Shared-memory twin of :func:`dispatch_score_shards` (no merge)."""
     from repro.engine.shm import resolve_query
@@ -456,18 +519,12 @@ def dispatch_score_ranges(
     if has_eager_checks is None:
         compiled = resolve_query(query)
         has_eager_checks = enable_pushdown and plan_pushdown(compiled).has_eager_checks
-    return pool.map(
-        score_shard_range,
-        [handle] * len(ranges),
-        [start for start, _end in ranges],
-        [end for _start, end in ranges],
-        [query] * len(ranges),
-        [k] * len(ranges),
-        [algorithm] * len(ranges),
-        [enable_pushdown] * len(ranges),
-        [has_eager_checks] * len(ranges),
-        [kernel] * len(ranges),
-    )
+    rows = [
+        (handle, start, end, query, k, algorithm, enable_pushdown,
+         has_eager_checks, kernel)
+        for start, end in ranges
+    ]
+    return _run_tasks(pool, score_shard_range, rows, control)
 
 
 def dispatch_generate_score(
@@ -484,6 +541,7 @@ def dispatch_generate_score(
     chunk_size: Optional[int] = None,
     has_eager_checks: Optional[bool] = None,
     kernel: Optional[str] = None,
+    control=None,
 ) -> List[ShardResult]:
     """Dispatch fused worker-side Extract/Group → Score range tasks.
 
@@ -497,22 +555,12 @@ def dispatch_generate_score(
     from repro.engine.pipeline import generate_score_shard
 
     ranges = make_range_chunks(group_count, pool.workers, chunk_size)
-    count = len(ranges)
-    return pool.map(
-        generate_score_shard,
-        [table_ref] * count,
-        [params] * count,
-        [normalize_y] * count,
-        [plan] * count,
-        [query] * count,
-        [start for start, _end in ranges],
-        [end for _start, end in ranges],
-        [k] * count,
-        [algorithm] * count,
-        [enable_pushdown] * count,
-        [has_eager_checks] * count,
-        [kernel] * count,
-    )
+    rows = [
+        (table_ref, params, normalize_y, plan, query, start, end, k,
+         algorithm, enable_pushdown, has_eager_checks, kernel)
+        for start, end in ranges
+    ]
+    return _run_tasks(pool, generate_score_shard, rows, control)
 
 
 def parallel_rank_ranges(
@@ -563,20 +611,15 @@ def dispatch_prune_ranges(
     sample_points: int = 64,
     chunk_size: Optional[int] = None,
     kernel: Optional[str] = None,
+    control=None,
 ) -> List[ShardResult]:
     """Range-sharded collective pruning (no merge)."""
     ranges = make_range_chunks(len(handle), pool.workers, chunk_size)
-    return pool.map(
-        prune_shard_range,
-        [handle] * len(ranges),
-        [start for start, _end in ranges],
-        [end for _start, end in ranges],
-        [query] * len(ranges),
-        [k] * len(ranges),
-        [sample_size] * len(ranges),
-        [sample_points] * len(ranges),
-        [kernel] * len(ranges),
-    )
+    rows = [
+        (handle, start, end, query, k, sample_size, sample_points, kernel)
+        for start, end in ranges
+    ]
+    return _run_tasks(pool, prune_shard_range, rows, control)
 
 
 def parallel_prune_ranges(
@@ -607,18 +650,15 @@ def dispatch_prune_shards(
     sample_points: int = 64,
     chunk_size: Optional[int] = None,
     kernel: Optional[str] = None,
+    control=None,
 ) -> List[ShardResult]:
     """Object-passing sharded collective pruning (no merge)."""
     chunks = make_chunks(list(trendlines), pool.workers, chunk_size)
-    return pool.map(
-        prune_shard,
-        [chunk for _base, chunk in chunks],
-        [query] * len(chunks),
-        [k] * len(chunks),
-        [sample_size] * len(chunks),
-        [sample_points] * len(chunks),
-        [kernel] * len(chunks),
-    )
+    rows = [
+        (chunk, query, k, sample_size, sample_points, kernel)
+        for _base, chunk in chunks
+    ]
+    return _run_tasks(pool, prune_shard, rows, control)
 
 
 def parallel_prune_items(

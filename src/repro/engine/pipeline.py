@@ -393,10 +393,19 @@ def generate_score_shard(
 class PipelineContext:
     """Runtime services a plan executes against: the engine + this call's
     private stats.  Pools and shm sessions are reached through the
-    engine so plans stay cheap, reusable descriptions."""
+    engine so plans stay cheap, reusable descriptions.
+
+    ``control`` (an :class:`~repro.engine.control.ExecutionControl`) is
+    set by the non-blocking submit paths: the Score stage feeds it
+    per-shard progress and honors cooperative cancellation, and the
+    MergeTopK rendezvous acknowledges dropped shards by raising
+    :class:`~repro.errors.SearchCancelled` instead of merging a partial
+    top-k.  ``None`` (the blocking paths) costs nothing.
+    """
 
     engine: object
     stats: object
+    control: object = None
 
 
 @dataclass
@@ -582,6 +591,14 @@ class SequentialScore(_ScoreBase):
         engine = ctx.engine
         trendlines = list(candidates.trendlines)
         ctx.stats.candidates = len(trendlines)
+        control = ctx.control
+        if control is not None:
+            # The whole collection is one shard here; a cancel observed
+            # before scoring starts drops it (MergeTopK then raises).
+            control.begin(1)
+            if control.cancelled:
+                control.drop(1)
+                return ScoredShards([], pruned=self.pruning, sequential=True)
         if self.pruning:
             shard = prune_shard(
                 trendlines,
@@ -602,6 +619,8 @@ class SequentialScore(_ScoreBase):
                 has_eager_checks=self.has_eager_checks,
                 kernel=engine.kernel,
             )
+        if control is not None:
+            control.shard_completed()
         return ScoredShards([shard], pruned=self.pruning, sequential=True)
 
 
@@ -627,6 +646,7 @@ class ParallelScore(_ScoreBase):
                 sample_points=engine.sample_points,
                 chunk_size=engine.chunk_size,
                 kernel=engine.kernel,
+                control=ctx.control,
             )
         else:
             shards = dispatch_score_shards(
@@ -639,6 +659,7 @@ class ParallelScore(_ScoreBase):
                 chunk_size=engine.chunk_size,
                 has_eager_checks=self.has_eager_checks,
                 kernel=engine.kernel,
+                control=ctx.control,
             )
         return ScoredShards(list(shards), pruned=self.pruning)
 
@@ -676,6 +697,7 @@ class SharedMemoryScore(_ScoreBase):
                     sample_points=engine.sample_points,
                     chunk_size=engine.chunk_size,
                     kernel=engine.kernel,
+                    control=ctx.control,
                 )
             else:
                 shards = dispatch_score_ranges(
@@ -688,6 +710,7 @@ class SharedMemoryScore(_ScoreBase):
                     chunk_size=engine.chunk_size,
                     has_eager_checks=self.has_eager_checks,
                     kernel=engine.kernel,
+                    control=ctx.control,
                 )
         finally:
             session.unpin(handle, query_ref)
@@ -713,6 +736,8 @@ class GenerateAndScore(_ScoreBase):
         deferred = candidates.deferred
         if deferred.group_count == 0:
             ctx.stats.candidates = 0
+            if ctx.control is not None:
+                ctx.control.begin(0)
             return ScoredShards([], worker_generated=True)
         source = deferred.source
         pool = engine._resolve_pool(self.workers)
@@ -746,6 +771,7 @@ class GenerateAndScore(_ScoreBase):
                 chunk_size=engine.chunk_size,
                 has_eager_checks=self.has_eager_checks,
                 kernel=engine.kernel,
+                control=ctx.control,
             )
         finally:
             if session is not None:
@@ -758,7 +784,10 @@ class MergeTopK(Operator):
 
     Also the stats rendezvous: per-shard counters (scored, eager
     discards, worker-side generation counts, pruning reports) fold into
-    the call's :class:`ExecutionStats` here, exactly once.
+    the call's :class:`ExecutionStats` here, exactly once.  And the
+    *cancellation* rendezvous: when a cooperative cancel dropped shards
+    upstream, the merge refuses to present a partial top-k and raises
+    :class:`~repro.errors.SearchCancelled` instead.
     """
 
     name = "MergeTopK"
@@ -774,7 +803,15 @@ class MergeTopK(Operator):
             merge_pruned_items,
             merge_shard_results,
         )
+        from repro.errors import SearchCancelled
 
+        control = ctx.control
+        if control is not None and control.cancelled:
+            completed, total = control.progress
+            raise SearchCancelled(
+                "search cancelled: {} of {} shard(s) completed, {} dropped"
+                .format(completed, total, control.dropped)
+            )
         stats = ctx.stats
         shards = scored.shards
         if not scored.sequential:

@@ -8,6 +8,9 @@ validation (semantic checks and ambiguity resolution), and execution.
 
 from __future__ import annotations
 
+import warnings
+from concurrent.futures import CancelledError
+
 
 class ShapeSearchError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -56,5 +59,36 @@ class DataError(ShapeSearchError):
     """
 
 
+class SearchCancelled(ExecutionError, CancelledError):
+    """A submitted search was cancelled before its merge rendezvous.
+
+    Raised by :meth:`repro.results.SearchFuture.result` (and inside the
+    pipeline's MergeTopK stage, where the shards a cooperative cancel
+    dropped are acknowledged).  Doubly derived so both ``except
+    ShapeSearchError`` at the API boundary and the stdlib-idiomatic
+    ``except concurrent.futures.CancelledError`` catch it.
+    """
+
+
 class UnknownPatternError(ShapeQueryValidationError):
     """A user-defined pattern (udp) name is not registered."""
+
+
+class ShapeSearchDeprecationWarning(DeprecationWarning):
+    """Deprecation category for superseded :mod:`repro` entry points.
+
+    A dedicated subclass so deployments (and the CI ``deprecations``
+    job) can escalate exactly the warnings this package emits::
+
+        python -W error::repro.errors.ShapeSearchDeprecationWarning ...
+    """
+
+
+def warn_deprecated(old: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation warning for a shimmed entry point."""
+    warnings.warn(
+        "{} is deprecated and will be removed in a future release; "
+        "use {} instead".format(old, replacement),
+        ShapeSearchDeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -8,7 +8,7 @@ on to trust the matches (§7.2).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -71,6 +71,36 @@ def render_match(match: Match, width: int = 60) -> str:
     return "\n".join(lines)
 
 
-def render_matches(matches: List[Match], width: int = 60) -> str:
-    """Render a full results panel."""
+def render_matches(matches: Sequence[Match], width: int = 60) -> str:
+    """Render a full results panel.
+
+    Accepts any sequence of matches — a plain list or a
+    :class:`~repro.results.ResultSet` (whose :meth:`ResultSet.render`
+    routes here).
+    """
     return "\n".join(render_match(match, width) for match in matches)
+
+
+def render_results(results, width: int = 60) -> str:
+    """Results panel plus the execution footer of a :class:`ResultSet`.
+
+    Renders the matches like :func:`render_matches` and, when ``results``
+    carries per-call stats (every engine-produced ResultSet does),
+    appends one line summarizing what the engine did — the at-a-glance
+    companion to ``results.plan``.  Plain match lists render without the
+    footer, so callers can pass either.
+    """
+    body = render_matches(results, width)
+    stats = getattr(results, "stats", None)
+    if stats is None:
+        return body
+    footer = (
+        "-- scored {} of {} candidates in {} shard(s), generation={}".format(
+            stats.scored, stats.candidates, max(stats.shards, 1), stats.generation
+        )
+    )
+    if stats.eager_discarded:
+        footer += ", eager_discarded={}".format(stats.eager_discarded)
+    if stats.trendline_cache_hit:
+        footer += ", trendline-cache hit"
+    return body + "\n" + footer if body else footer

@@ -59,11 +59,11 @@ class TestParseQuery:
 
 class TestSession:
     def test_regex_search(self, session):
-        matches = session.search("[p=up][p=down]", z="z", x="x", y="y", k=1)
+        matches = session.prepare("[p=up][p=down]", z="z", x="x", y="y").run(k=1)
         assert matches[0].key == "peak"
 
     def test_nl_search(self, session):
-        matches = session.search("rising then falling", z="z", x="x", y="y", k=1)
+        matches = session.prepare("rising then falling", z="z", x="x", y="y").run(k=1)
         assert matches[0].key == "peak"
 
     def test_sketch_search_precise(self, session):
@@ -78,9 +78,9 @@ class TestSession:
         assert matches[0].key == "peak"
 
     def test_filters(self, session):
-        matches = session.search(
-            "[p=up]", z="z", x="x", y="y", k=3, filters=("z != rise",)
-        )
+        matches = session.prepare(
+            "[p=up]", z="z", x="x", y="y", filters=("z != rise",)
+        ).run(k=3)
         assert all(match.key != "rise" for match in matches)
 
     def test_explain(self, session):
@@ -91,7 +91,7 @@ class TestSession:
             {"z": "a", "x": float(i), "y": float(i)} for i in range(10)
         ] + [{"z": "b", "x": float(i), "y": float(9 - i)} for i in range(10)]
         session = ShapeSearch.from_records(records)
-        matches = session.search("[p=up]", z="z", x="x", y="y", k=1)
+        matches = session.prepare("[p=up]", z="z", x="x", y="y").run(k=1)
         assert matches[0].key == "a"
 
     def test_from_csv(self, tmp_path):
@@ -99,12 +99,12 @@ class TestSession:
         rows = ["z,x,y"] + ["a,{},{}".format(i, i) for i in range(10)]
         path.write_text("\n".join(rows) + "\n")
         session = ShapeSearch.from_csv(str(path))
-        assert session.search("[p=up]", z="z", x="x", y="y", k=1)
+        assert session.prepare("[p=up]", z="z", x="x", y="y").run(k=1)
 
     def test_custom_engine(self):
         engine = ShapeSearchEngine(algorithm="dp")
         session = ShapeSearch(_table(), engine=engine)
-        assert session.search("[p=down]", z="z", x="x", y="y", k=1)[0].key == "fall"
+        assert session.prepare("[p=down]", z="z", x="x", y="y").run(k=1)[0].key == "fall"
 
 
 class TestRender:

@@ -228,17 +228,17 @@ class TestEngineIntegration:
         table = self._table()
         params = VisualParams(z="z", x="x", y="y")
         query = q.concat(q.up(), q.down())
-        plain = ShapeSearchEngine().execute(table, params, query, k=3)
+        plain = ShapeSearchEngine().run(table, params, query, k=3)
         cached_engine = ShapeSearchEngine(cache=True)
-        cached_engine.execute(table, params, query, k=3)  # warm
-        warm = cached_engine.execute(table, params, query, k=3)
+        cached_engine.run(table, params, query, k=3)  # warm
+        warm = cached_engine.run(table, params, query, k=3)
         assert [(m.key, m.score) for m in plain] == [(m.key, m.score) for m in warm]
 
     def test_data_change_misses_cache(self):
         engine = ShapeSearchEngine(cache=True)
         params = VisualParams(z="z", x="x", y="y")
         query = q.concat(q.up(), q.down())
-        engine.execute(table=self._table(seed=0), params=params, query=query, k=2)
+        engine.run(table=self._table(seed=0), params=params, query=query, k=2)
         _, stats = engine.execute_with_stats(
             table=self._table(seed=1), params=params, query=query, k=2
         )
@@ -250,7 +250,7 @@ class TestEngineIntegration:
         table = self._table()
         params = VisualParams(z="z", x="x", y="y")
         query = q.concat(q.up(), q.down())
-        ShapeSearchEngine(cache=shared).execute(table, params, query, k=2)
+        ShapeSearchEngine(cache=shared).run(table, params, query, k=2)
         _, stats = ShapeSearchEngine(cache=shared).execute_with_stats(
             table, params, query, k=2
         )
@@ -261,7 +261,7 @@ class TestEngineIntegration:
         table = self._table()
         params = VisualParams(z="z", x="x", y="y")
         query = q.concat(q.up(), q.down())
-        engine.execute(table, params, query, k=2)
+        engine.run(table, params, query, k=2)
         _, stats = engine.execute_with_stats(table, params, query, k=2)
         assert engine.cache is None
         assert not stats.trendline_cache_hit and not stats.plan_cache_hit

@@ -69,8 +69,8 @@ class TestRunToRunDeterminism:
                 ys.append(float(value))
         table = Table.from_arrays(z=np.array(zs, dtype=object), x=np.array(xs), y=np.array(ys))
         params = VisualParams(z="z", x="x", y="y")
-        first = ShapeSearchEngine().execute(table, params, QUERY, k=3)
-        second = ShapeSearchEngine().execute(table, params, QUERY, k=3)
+        first = ShapeSearchEngine().run(table, params, QUERY, k=3)
+        second = ShapeSearchEngine().run(table, params, QUERY, k=3)
         assert _signature(first) == _signature(second)
 
 

@@ -103,14 +103,14 @@ class TestExecute:
     def test_end_to_end(self):
         engine = ShapeSearchEngine()
         params = VisualParams(z="z", x="x", y="y")
-        matches = engine.execute(self._table(), params, q.concat(q.up(), q.down()), k=1)
+        matches = engine.run(self._table(), params, q.concat(q.up(), q.down()), k=1)
         assert matches[0].key == "a"
 
     def test_y_constrained_query_skips_normalization(self):
         engine = ShapeSearchEngine()
         params = VisualParams(z="z", x="x", y="y")
         tree = q.segment(pattern=None, y_start=0.0, y_end=5.0)
-        matches = engine.execute(self._table(), params, tree, k=3)
+        matches = engine.run(self._table(), params, tree, k=3)
         assert matches  # executes without error, raw-y space
         assert matches[0].trendline.y_std == 1.0
 
@@ -121,19 +121,19 @@ class TestExecute:
         engine = ShapeSearchEngine()
         params = VisualParams(z="z", x="x", y="y")
         tree = q.concat(q.up(x_start=0, x_end=14), q.down())
-        engine.execute(self._table(), params, tree, k=1)
-        assert engine.last_stats.eager_discarded >= 1
+        result = engine.run(self._table(), params, tree, k=1)
+        assert result.stats.eager_discarded >= 1
         assert (
-            engine.last_stats.scored + engine.last_stats.eager_discarded
-            == engine.last_stats.candidates
+            result.stats.scored + result.stats.eager_discarded
+            == result.stats.candidates
         )
 
     def test_pushdown_toggle(self):
         plain = ShapeSearchEngine(enable_pushdown=False)
         params = VisualParams(z="z", x="x", y="y")
         tree = q.concat(q.up(x_start=0, x_end=14), q.down())
-        matches = plain.execute(self._table(), params, tree, k=3)
-        assert plain.last_stats.eager_discarded == 0
+        matches = plain.run(self._table(), params, tree, k=3)
+        assert matches.stats.eager_discarded == 0
         assert matches
 
 

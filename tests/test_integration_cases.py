@@ -31,36 +31,36 @@ class TestGenomicsCaseStudy:
     def test_treatment_response_query(self, session, tagger):
         """§8-II: suddenly expressed, then gradually stop expressing."""
         shapesearch, planted = session
-        matches = shapesearch.search(
+        matches = shapesearch.prepare(
             "[p=flat][p=up,m=>>][p=down,m=<]",
-            z="gene", x="time", y="expression", k=5,
-        )
+            z="gene", x="time", y="expression",
+        ).run(k=5)
         keys = {match.key for match in matches}
         assert keys & set(planted["treatment"])
 
     def test_stem_cell_plateau_query(self, session):
         """§8-III: rise at ~45° then remain high and flat (gbx2/klf5/spry4)."""
         shapesearch, planted = session
-        matches = shapesearch.search(
-            "[p=up][p=flat]", z="gene", x="time", y="expression", k=5
-        )
+        matches = shapesearch.prepare(
+            "[p=up][p=flat]", z="gene", x="time", y="expression"
+        ).run(k=5)
         keys = [match.key for match in matches]
         assert set(keys) & set(planted["stem-up"])
 
     def test_double_peak_outlier(self, session):
         """§8-IV: the pvt1 gene with two peaks in a short window."""
         shapesearch, planted = session
-        matches = shapesearch.search(
-            "[p=up,m=2]", z="gene", x="time", y="expression", k=3
-        )
+        matches = shapesearch.prepare(
+            "[p=up,m=2]", z="gene", x="time", y="expression"
+        ).run(k=3)
         assert "pvt1" in {match.key for match in matches}
 
     def test_inverse_behaviour_query(self, session):
         """§8-III inverse: start high, decline, remain low."""
         shapesearch, planted = session
-        matches = shapesearch.search(
-            "[p=down][p=flat]", z="gene", x="time", y="expression", k=5
-        )
+        matches = shapesearch.prepare(
+            "[p=down][p=flat]", z="gene", x="time", y="expression"
+        ).run(k=5)
         assert {match.key for match in matches} & set(planted["stem-down"])
 
 
@@ -72,24 +72,24 @@ class TestStockPatterns:
 
     def test_double_top(self, session):
         shapesearch, planted = session
-        matches = shapesearch.search(
-            "[p=up][p=down][p=up][p=down]", z="symbol", x="day", y="price", k=4
-        )
+        matches = shapesearch.prepare(
+            "[p=up][p=down][p=up][p=down]", z="symbol", x="day", y="price"
+        ).run(k=4)
         assert {m.key for m in matches} & set(planted["double-top"] + planted["w-shape"])
 
     def test_w_shape(self, session):
         shapesearch, planted = session
-        matches = shapesearch.search(
-            "[p=down][p=up][p=down][p=up]", z="symbol", x="day", y="price", k=4
-        )
+        matches = shapesearch.prepare(
+            "[p=down][p=up][p=down][p=up]", z="symbol", x="day", y="price"
+        ).run(k=4)
         assert {m.key for m in matches} & set(planted["w-shape"])
 
     def test_cup_pattern_via_nl(self, session, tagger):
         shapesearch, planted = session
         shapesearch.tagger = tagger
-        matches = shapesearch.search(
-            "falling then flat then rising", z="symbol", x="day", y="price", k=4
-        )
+        matches = shapesearch.prepare(
+            "falling then flat then rising", z="symbol", x="day", y="price"
+        ).run(k=4)
         assert {m.key for m in matches} & set(planted["cup"])
 
 
@@ -99,9 +99,9 @@ class TestWeather:
         session = ShapeSearch(table)
         # Rising toward year end is the southern-hemisphere signature:
         # temperatures climb from early-November (day ~305) to year end.
-        matches = session.search(
-            "[p=up,x.s=305,x.e=360]", z="city", x="day", y="temperature", k=4
-        )
+        matches = session.prepare(
+            "[p=up,x.s=305,x.e=360]", z="city", x="day", y="temperature"
+        ).run(k=4)
         keys = {match.key for match in matches}
         assert keys & set(planted["southern"])
         assert not keys & set(planted["northern"][:2]) or len(keys) > 2
@@ -111,20 +111,20 @@ class TestAstronomy:
     def test_supernova_sharp_peak(self):
         table, planted = astronomy_dataset(n_stars=40, length=200, seed=404)
         session = ShapeSearch(table)
-        matches = session.search(
+        matches = session.prepare(
             "[p=flat][p=up,m=>>][p=down,m=<<][p=flat]",
-            z="object", x="time", y="luminosity", k=3,
-        )
+            z="object", x="time", y="luminosity",
+        ).run(k=3)
         assert "sn2026a" in {match.key for match in matches}
 
     def test_transit_dips_with_filters(self):
         table, planted = astronomy_dataset(n_stars=40, length=200, seed=404)
         session = ShapeSearch(table)
-        matches = session.search(
+        matches = session.prepare(
             "[p=flat][p=down][p=up][p=flat]",
-            z="object", x="time", y="luminosity", k=6,
+            z="object", x="time", y="luminosity",
             filters=("luminosity < 150",),
-        )
+        ).run(k=6)
         assert {match.key for match in matches} & set(planted["transit"])
 
 
@@ -140,7 +140,7 @@ class TestUserDefinedPatterns:
             return min(1.0, spread / 3.0) * 2 - 1
 
         with temporary_udp("spiky", spiky):
-            matches = session.search(
-                "[p=udp:spiky]", z="gene", x="time", y="expression", k=3
-            )
+            matches = session.prepare(
+                "[p=udp:spiky]", z="gene", x="time", y="expression"
+            ).run(k=3)
             assert len(matches) == 3

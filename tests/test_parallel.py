@@ -232,8 +232,8 @@ class TestExecuteMany:
         params = VisualParams(z="z", x="x", y="y")
         queries = [q.concat(q.up(), q.down()), q.concat(q.down(), q.up())]
         engine = ShapeSearchEngine()
-        batch = engine.execute_many(table, params, queries, k=3)
-        individual = [engine.execute(table, params, query, k=3) for query in queries]
+        batch = engine.run_many(table, params, queries, k=3)
+        individual = [engine.run(table, params, query, k=3) for query in queries]
         assert [
             [(m.key, m.score) for m in result] for result in batch
         ] == [[(m.key, m.score) for m in result] for result in individual]
@@ -256,7 +256,7 @@ class TestExecuteMany:
             q.concat(q.down(), q.up()),
             q.concat(q.up(), q.down(), q.up()),
         ]
-        ShapeSearchEngine().execute_many(table, params, queries, k=2)
+        ShapeSearchEngine().run_many(table, params, queries, k=2)
         # Three fuzzy queries share one EXTRACT/GROUP pass.
         assert len(calls) == 1
 
@@ -277,7 +277,7 @@ class TestExecuteMany:
             q.concat(q.up(), q.down()),  # normalized-y generation
             q.segment(pattern=None, y_start=0.0, y_end=5.0),  # raw-y generation
         ]
-        ShapeSearchEngine().execute_many(table, params, queries, k=2)
+        ShapeSearchEngine().run_many(table, params, queries, k=2)
         assert len(calls) == 2
 
     def test_batch_stats_report_reuse(self):

@@ -1,0 +1,134 @@
+"""Cross-check: explain_plan names exactly the stages the stats report.
+
+Satellite contract of the API redesign: for every backend × generation ×
+kernel combination, the pre-run ``explain_plan`` text, the post-run
+``ResultSet.plan`` text, and the post-run ``ExecutionStats`` must tell
+one consistent story — the planner's choice is what actually executed.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.executor import ShapeSearchEngine
+from repro.engine.pipeline import generate_trendlines
+from repro.parser import parse
+
+PARAMS = VisualParams(z="z", x="x", y="y")
+QUERY = parse("[p=up][p=down]")
+
+#: ``Name[mode]`` per EXPLAIN line, e.g. ``("Score", "sequential")``.
+_STAGE = re.compile(r"^(?:\s*->\s*)?([\w/]+)\[([^\]]*)\]")
+
+
+def _table(groups=8, length=25, seed=3):
+    rng = np.random.default_rng(seed)
+    zs, xs, ys = [], [], []
+    for g in range(groups):
+        values = rng.normal(0, 1, length).cumsum()
+        for i, v in enumerate(values):
+            zs.append("g{:02d}".format(g))
+            xs.append(float(i))
+            ys.append(float(v))
+    return Table.from_arrays(
+        z=np.array(zs, dtype=object), x=np.array(xs), y=np.array(ys)
+    )
+
+
+def parse_stages(plan_text):
+    stages = []
+    for line in plan_text.splitlines():
+        matched = _STAGE.match(line)
+        assert matched, "unparseable EXPLAIN line: {!r}".format(line)
+        stages.append((matched.group(1), matched.group(2)))
+    return stages
+
+
+@pytest.mark.parametrize("kernel", ["matrix", "loop"])
+@pytest.mark.parametrize("generation", ["parent", "worker", "auto"])
+@pytest.mark.parametrize("backend,workers", [
+    ("thread", 1), ("thread", 3), ("process", 2),
+])
+def test_plan_names_the_stages_stats_report(backend, workers, generation, kernel):
+    table = _table()
+    with ShapeSearchEngine(
+        workers=workers, backend=backend, generation=generation, kernel=kernel
+    ) as engine:
+        planned = engine.explain_plan(table, PARAMS, QUERY, k=3)
+        results = engine.run(table, PARAMS, QUERY, k=3)
+        stats = results.stats
+
+        # The plan that ran is the plan that was promised.
+        assert results.plan == planned
+
+        stages = parse_stages(planned)
+        names = [name for name, _mode in stages]
+        assert names == ["ScanTable", "Extract/Group", "Score", "MergeTopK"]
+        modes = dict(stages)
+
+        # Extract/Group[mode] is exactly ExecutionStats.generation.
+        assert modes["Extract/Group"] == stats.generation
+
+        # Score[mode] vs the shard accounting at the MergeTopK rendezvous.
+        score_mode = modes["Score"]
+        if score_mode == "sequential":
+            assert workers == 1
+            assert stats.shards == 0  # single in-process shard, not counted
+        else:
+            assert workers > 1
+            assert stats.shards >= 1
+        if score_mode == "worker-generate":
+            assert stats.generation == "worker"
+        else:
+            assert stats.generation == "parent"
+
+        # ScanTable[shared-memory] appears exactly when worker-side
+        # generation needs the table published (process backend).
+        expected_scan = (
+            "shared-memory"
+            if stats.generation == "worker" and backend == "process"
+            else "in-process"
+        )
+        assert modes["ScanTable"] == expected_scan
+
+        # Every candidate is accounted for by the Score stage counters.
+        assert stats.scored + stats.eager_discarded == stats.candidates
+        assert len(results) == 3
+
+
+def test_prebuilt_rank_plan_reports_prebuilt_scan():
+    table = _table()
+    trendlines = generate_trendlines(table, PARAMS)
+    with ShapeSearchEngine(workers=2) as engine:
+        results, stats = engine.rank_with_stats(trendlines, QUERY, k=3)
+        stages = parse_stages(results.plan)
+        assert stages[0] == ("Scan", "prebuilt")
+        assert [name for name, _mode in stages] == ["Scan", "Score", "MergeTopK"]
+        assert stats.generation == "parent"
+
+
+def test_pruning_plan_reports_pruning_detail():
+    table = _table()
+    with ShapeSearchEngine(
+        enable_pruning=True, sample_size=3, sample_points=32
+    ) as engine:
+        results = engine.run(table, PARAMS, QUERY, k=3)
+        assert "pruning" in results.plan
+        assert results.stats.pruning is not None
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_workers_override_changes_both_plan_and_stats(workers):
+    table = _table()
+    with ShapeSearchEngine(workers=2) as engine:
+        planned = engine.explain_plan(table, PARAMS, QUERY, k=3, workers=workers)
+        results = engine.run(table, PARAMS, QUERY, k=3, workers=workers)
+        assert results.plan == planned
+        assert "workers={}".format(workers) in planned
+        if workers == 1:
+            assert results.stats.shards == 0
+        else:
+            assert results.stats.shards >= 1

@@ -60,10 +60,10 @@ def test_pushdown_matches_unoptimized_top_k(suite, query_text):
     table = suite_table(suite, max_visualizations=25, max_length=100)
     params = VisualParams(z="z", x="x", y="y")
     node = parse(query_text)
-    with_pushdown = ShapeSearchEngine(enable_pushdown=True).execute(
+    with_pushdown = ShapeSearchEngine(enable_pushdown=True).run(
         table, params, node, k=8
     )
-    without = ShapeSearchEngine(enable_pushdown=False).execute(table, params, node, k=8)
+    without = ShapeSearchEngine(enable_pushdown=False).run(table, params, node, k=8)
     # Keys must agree exactly; keep-span trimming (push-down (c)) changes
     # the float accumulation order, so scores agree to ~1e-12, not bitwise.
     assert {m.key for m in with_pushdown} == {m.key for m in without}

@@ -214,18 +214,18 @@ class TestQuantifierThresholdOverride:
         table = self._table()
         params = VisualParams(z="z", x="x", y="y")
         node = parse("[p=up, m={2,}]")
-        permissive = ShapeSearchEngine(quantifier_threshold=0.0).execute(
+        permissive = ShapeSearchEngine(quantifier_threshold=0.0).run(
             table, params, node, k=1
         )
-        strict = ShapeSearchEngine(quantifier_threshold=0.99).execute(
+        strict = ShapeSearchEngine(quantifier_threshold=0.99).run(
             table, params, node, k=1
         )
         assert permissive[0].score > strict[0].score
         assert strict[0].score == -1.0
-        default = ShapeSearchEngine().execute(table, params, node, k=1)
+        default = ShapeSearchEngine().run(table, params, node, k=1)
         explicit = ShapeSearchEngine(
             quantifier_threshold=scoring.QUANTIFIER_POSITIVE_THRESHOLD
-        ).execute(table, params, node, k=1)
+        ).run(table, params, node, k=1)
         assert default[0].score == explicit[0].score
 
     def test_plan_cache_keys_on_threshold(self):
@@ -240,8 +240,8 @@ class TestQuantifierThresholdOverride:
         cache = EngineCache()
         lenient = ShapeSearchEngine(cache=cache, quantifier_threshold=0.0)
         strict = ShapeSearchEngine(cache=cache, quantifier_threshold=0.99)
-        first = lenient.execute(table, params, node, k=1)
-        second = strict.execute(table, params, node, k=1)
+        first = lenient.run(table, params, node, k=1)
+        second = strict.run(table, params, node, k=1)
         # Shared cache, different thresholds: no plan sharing, no stale score.
         assert first[0].score != second[0].score
         assert len(cache.plans) == 2

@@ -443,10 +443,10 @@ class TestEngineIntegration:
         params = VisualParams(z="z", x="x", y="y")
         node = q.concat(q.up(), q.down())
         with ShapeSearchEngine(workers=2, backend="process", cache=cache) as engine:
-            engine.execute(tables[0], params, node, k=2)
+            engine.run(tables[0], params, node, k=2)
             session = engine._shm_box[0]
             published_before = len(session._collections)
-            engine.execute(tables[1], params, node, k=2)  # evicts tables[0] entry
+            engine.run(tables[1], params, node, k=2)  # evicts tables[0] entry
             assert cache.trendlines.stats.evictions == 1
             assert len(session._collections) == published_before  # released + added
 

@@ -69,8 +69,8 @@ def _signature(matches):
 
 def _execute(table, query, k=5, **engine_kwargs):
     with ShapeSearchEngine(**engine_kwargs) as engine:
-        matches = engine.execute(table, PARAMS, query, k=k)
-        return matches, engine.last_stats
+        matches = engine.run(table, PARAMS, query, k=k)
+        return matches, matches.stats
 
 
 class TestWorkerGenerationProperty:
@@ -174,11 +174,11 @@ class TestEdgeCases:
         with ShapeSearchEngine(
             workers=2, backend="thread", generation="worker"
         ) as engine:
-            matches = engine.execute(table, params, QUERY, k=5)
+            matches = engine.run(table, params, QUERY, k=5)
             assert matches == []
-            assert engine.last_stats.generation == "worker"
-            assert engine.last_stats.candidates == 0
-            assert engine.last_stats.extracted == 0
+            assert matches.stats.generation == "worker"
+            assert matches.stats.candidates == 0
+            assert matches.stats.extracted == 0
 
     def test_every_group_dropped_by_extract(self):
         # All groups are single points: group count is nonzero but no
@@ -244,20 +244,20 @@ class TestPlannerPolicy:
         with ShapeSearchEngine(
             workers=2, backend="process", cache=True
         ) as engine:
-            engine.execute(table, PARAMS, QUERY, k=3)
-            assert engine.last_stats.generation == "parent"
+            result = engine.run(table, PARAMS, QUERY, k=3)
+            assert result.stats.generation == "parent"
 
     def test_auto_defers_on_cacheless_process_backend(self):
         table = _random_table(9)
         with ShapeSearchEngine(workers=2, backend="process") as engine:
-            engine.execute(table, PARAMS, QUERY, k=3)
-            assert engine.last_stats.generation == "worker"
+            result = engine.run(table, PARAMS, QUERY, k=3)
+            assert result.stats.generation == "worker"
 
     def test_auto_stays_parent_on_thread_backend(self):
         table = _random_table(9)
         with ShapeSearchEngine(workers=2, backend="thread") as engine:
-            engine.execute(table, PARAMS, QUERY, k=3)
-            assert engine.last_stats.generation == "parent"
+            result = engine.run(table, PARAMS, QUERY, k=3)
+            assert result.stats.generation == "parent"
 
     def test_pruning_falls_back_to_parent(self):
         table = _random_table(10)
@@ -288,6 +288,7 @@ class TestPlannerPolicy:
             matches = engine.rank(trendlines, QUERY, k=3)
             assert engine.last_stats.generation == "parent"
             assert len(matches) == 3
+            assert matches.stats.generation == "parent"
 
     def test_unknown_generation_rejected(self):
         with pytest.raises(ExecutionError):
@@ -468,11 +469,11 @@ class TestBatchAndRepeat:
         table = _random_table(12)
         queries = [parse("[p=up][p=down]"), parse("[p=down][p=up]")]
         with ShapeSearchEngine() as sequential:
-            expected = sequential.execute_many(table, PARAMS, queries, k=3)
+            expected = sequential.run_many(table, PARAMS, queries, k=3)
         with ShapeSearchEngine(
             workers=2, backend="thread", generation="worker"
         ) as engine:
-            got = engine.execute_many(table, PARAMS, queries, k=3)
+            got = engine.run_many(table, PARAMS, queries, k=3)
         assert [_signature(m) for m in got] == [_signature(m) for m in expected]
 
     def test_repeat_query_hits_worker_range_cache(self):
@@ -480,13 +481,13 @@ class TestBatchAndRepeat:
         with ShapeSearchEngine(
             workers=2, backend="thread", generation="worker"
         ) as engine:
-            first = engine.execute(table, PARAMS, QUERY, k=3)
+            first = engine.run(table, PARAMS, QUERY, k=3)
             # Thread-backend generation state hangs off the table itself
             # (its lifetime, not the engine's or a module global's).
             state = table._generation_state
             ranges_cached = len(state.ranges)
             assert ranges_cached > 0
-            second = engine.execute(table, PARAMS, QUERY, k=3)
+            second = engine.run(table, PARAMS, QUERY, k=3)
             assert _signature(first) == _signature(second)
             # Deterministic range boundaries: the repeat reused entries
             # instead of inserting new ones.
@@ -500,7 +501,7 @@ class TestBatchAndRepeat:
         with ShapeSearchEngine(
             workers=2, backend="thread", generation="worker"
         ) as engine:
-            engine.execute(table, PARAMS, QUERY, k=3)
+            engine.run(table, PARAMS, QUERY, k=3)
             state_ref = weakref.ref(table._generation_state)
             assert state_ref() is not None
         del table
