@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from repro.algebra.printer import to_regex
-from repro.api import PreparedSearch, ShapeSearch, parse_query
+from repro.api import PreparedSearch, ShapeSearch, TailSearch, parse_query
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import CacheStats, EngineCache, LRUCache
@@ -46,6 +46,7 @@ __version__ = "1.1.0"
 __all__ = [
     "ShapeSearch",
     "PreparedSearch",
+    "TailSearch",
     "ResultSet",
     "SearchFuture",
     "ExecutionControl",

@@ -35,16 +35,23 @@ shims over the prepared path.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.algebra.nodes import Node
-from repro.data.table import Table
+from repro.data.table import Table, canonical_group_key
 from repro.data.visual_params import VisualParams
 from repro.engine.chains import CompiledQuery
 from repro.engine.executor import Match, ShapeSearchEngine  # noqa: F401  (Match re-exported)
-from repro.errors import DataError, ShapeQuerySyntaxError, warn_deprecated
+from repro.errors import (
+    DataError,
+    ExecutionError,
+    SearchCancelled,
+    ShapeQuerySyntaxError,
+    warn_deprecated,
+)
 from repro.nlp.tagger import EntityTagger
 from repro.nlp.translator import translate
 from repro.parser import parse as parse_regex
@@ -162,6 +169,312 @@ class PreparedSearch:
         )
 
 
+def _same_key(a, b) -> bool:
+    """Group-key equality across process boundaries (NaN-aware)."""
+    if a is b:
+        return True
+    try:
+        if a == b:
+            return True
+    except Exception:
+        return False
+    return (
+        isinstance(a, float) and isinstance(b, float) and a != a and b != b
+    )
+
+
+class TailSearch(PreparedSearch):
+    """A long-lived prepared search whose results follow the table's tail.
+
+    Created by :meth:`ShapeSearch.tail`.  Where :class:`PreparedSearch`
+    executes against a table snapshot, a TailSearch *stays subscribed*:
+    :meth:`append_rows` appends to the bound table and refreshes the
+    ranked results by re-scoring **only the groups the appended rows
+    touched** — unaffected groups keep their cached
+    :class:`~repro.engine.dynamic.QueryResult` from earlier refreshes.
+    The refreshed :class:`~repro.results.ResultSet` is byte-identical
+    (scores, placements, tie-breaks) to a cold ``prepared.run()`` over
+    the final table, because affected groups are rebuilt by exactly the
+    cold code path on exactly the same bytes and the incremental merge
+    re-ranks under the cold plan's total order.
+
+    On the process backend with shared memory, each refresh publishes
+    only the appended row range as a delta segment chained onto the
+    previous publication (:meth:`repro.engine.shm.ShmSession.acquire_append`),
+    so the per-refresh transport cost is proportional to the delta, not
+    the table.  Workers extend resident state — the attached table, the
+    grouping index, and (for ``algorithm="dp"``) the retained DP tables
+    that make the suffix re-solve a work-skip.
+
+    A refresh is atomic with respect to failure: a cancelled or failed
+    refresh leaves every cached result, the revision counter, and the
+    scored-row watermark untouched, so the next :meth:`refresh` simply
+    re-consumes the same delta.
+    """
+
+    __slots__ = (
+        "k", "_workers", "_progress", "_normalize_y", "_plan",
+        "_use_pruning", "_merge", "_scored_rows", "_base_table", "_order",
+        "_key_index", "_entries", "_trendlines", "_revision", "_results",
+        "_lock",
+    )
+
+    def __init__(self, table: Table, engine: ShapeSearchEngine, node: Node,
+                 compiled: CompiledQuery, params: VisualParams, k: int = 10,
+                 workers: Optional[int] = None, progress=None):
+        from repro.engine.pipeline import IncrementalMerge, query_constrains_y
+        from repro.engine.pruning import is_prunable
+        from repro.engine.pushdown import plan_pushdown
+
+        super().__init__(table, engine, node, compiled, params)
+        for name in (params.z, params.x, params.y):
+            if name not in table:
+                raise DataError(
+                    "visual parameter column {!r} not in table (columns: {})"
+                    .format(name, table.column_names)
+                )
+        self.k = k
+        self._workers = workers
+        self._progress = progress
+        self._normalize_y = not query_constrains_y(compiled)
+        self._plan = plan_pushdown(compiled) if engine.enable_pushdown else None
+        # Mirror plan_pipeline's pruning predicate: the cold plan's
+        # *selection* tie-break is (score, str(key)) under the pruning
+        # driver and (score, position) everywhere else, and the
+        # incremental merge must re-rank under the same total order.
+        self._use_pruning = (
+            engine.enable_pruning
+            and engine.algorithm == "segment-tree"
+            and is_prunable(compiled)
+        )
+        self._merge = IncrementalMerge(
+            k, tie="key" if self._use_pruning else "position"
+        )
+        #: Rows already reflected in the cached per-group results.
+        self._scored_rows = 0
+        #: The table of the last *successful* refresh — the delta base
+        #: the next shm publication chains onto.
+        self._base_table: Optional[Table] = None
+        #: Group key per group index, in the grouping's first-seen order
+        #: (appends never reorder existing keys; new keys append).
+        self._order: list = []
+        self._key_index: dict = {}
+        #: Canonical key -> latest QueryResult (None: degenerate group).
+        self._entries: dict = {}
+        #: Canonical key -> latest Trendline (for presenting matches).
+        self._trendlines: dict = {}
+        self._revision = -1
+        self._results: Optional[ResultSet] = None
+        self._lock = threading.RLock()
+        self.refresh()
+
+    # -- observation ---------------------------------------------------------
+    @property
+    def results(self) -> ResultSet:
+        """The ResultSet of the last successful refresh."""
+        with self._lock:
+            return self._results
+
+    @property
+    def revision(self) -> int:
+        """Applied-refresh counter (0 after construction)."""
+        with self._lock:
+            return self._revision
+
+    # -- the streaming surface -----------------------------------------------
+    def append_rows(self, records: Sequence[dict]) -> ResultSet:
+        """Append ``records`` to the bound table and refresh the results.
+
+        The table append is incremental (digest extension, no rehash of
+        resident columns) and the refresh re-scores only the groups whose
+        filtered z values occur in the appended rows.  Returns the
+        refreshed ResultSet; :attr:`ResultSet.revision` identifies which
+        table state it reflects.
+        """
+        with self._lock:
+            self.table = self.table.append_rows(records)
+            return self._refresh_locked(None)
+
+    def refresh(self, control=None) -> ResultSet:
+        """Bring the results up to date with the bound table.
+
+        No-op (returns the cached ResultSet) when no rows were appended
+        since the last successful refresh.  ``control`` is an optional
+        :class:`~repro.engine.control.ExecutionControl`: a cooperative
+        cancel drops un-dispatched re-score shards and the refresh
+        raises :class:`~repro.errors.SearchCancelled` *without touching
+        any cached state* — retrying re-consumes the same delta.
+        """
+        with self._lock:
+            return self._refresh_locked(control)
+
+    # -- internals -----------------------------------------------------------
+    def _refresh_locked(self, control) -> ResultSet:
+        from repro.engine.control import ExecutionControl
+
+        table = self.table
+        start = self._scored_rows
+        if self._results is not None and len(table) == start:
+            return self._results
+        appended = len(table) - start if self._results is not None else 0
+        indices = self._affected_indices(table, start)
+        if control is None:
+            control = ExecutionControl(progress=self._progress)
+        scored = self._dispatch(table, indices, control)
+        if control.cancelled:
+            completed, total, dropped = control.snapshot()
+            raise SearchCancelled(
+                "tail refresh cancelled: {} of {} shard(s) completed, "
+                "{} dropped".format(completed, total, dropped)
+            )
+        # Dispatch succeeded in full: apply the re-scored groups, then
+        # advance the watermark.  (Nothing above mutates cached state.)
+        for index, key, result, trendline in scored:
+            expected = self._order[index] if index < len(self._order) else None
+            if not _same_key(expected, key):
+                raise ExecutionError(
+                    "tail grouping drift: group #{} is {!r} in the session "
+                    "but {!r} in the worker grouping".format(
+                        index, expected, key
+                    )
+                )
+            ckey = canonical_group_key(expected)
+            self._entries[ckey] = result
+            if trendline is None:
+                self._trendlines.pop(ckey, None)
+            else:
+                self._trendlines[ckey] = trendline
+        self._scored_rows = len(table)
+        self._base_table = table
+        self._revision += 1
+        self._results = self._merge_results(control, appended, len(indices))
+        return self._results
+
+    def _affected_indices(self, table: Table, start: int) -> list:
+        """Group indices whose rows the slice ``[start:]`` touched.
+
+        New z values are registered in the session's group order as a
+        side effect — first-seen over the *filtered* delta, which is
+        exactly where they land in a cold grouping of the full table
+        (their first surviving row is in the delta).  Registration is
+        idempotent, so a failed refresh retried over the same delta
+        resolves to the same indices.
+        """
+        from repro.data.filters import apply_filters
+
+        delta_columns = {
+            name: table.column(name)[start:] for name in table.column_names
+        }
+        filtered = apply_filters(
+            Table.from_shared(delta_columns), self.params.filters
+        )
+        indices = []
+        seen = set()
+        for value in filtered.column(self.params.z).tolist():
+            key = canonical_group_key(value)
+            if key in seen:
+                continue
+            seen.add(key)
+            index = self._key_index.get(key)
+            if index is None:
+                index = len(self._order)
+                self._order.append(key)
+                self._key_index[key] = index
+            indices.append(index)
+        indices.sort()
+        return indices
+
+    def _dispatch(self, table: Table, indices: list, control) -> list:
+        """Re-score ``indices`` and return (index, key, result, trendline)."""
+        from repro.engine.parallel import dispatch_tail_scores
+        from repro.engine.pipeline import _required_columns, score_tail_groups
+
+        engine = self.engine
+        if not indices:
+            control.begin(0)
+            return []
+        workers = (
+            engine.workers if self._workers is None
+            else engine._check_workers(self._workers)
+        )
+        if workers <= 1:
+            control.begin(1)
+            if control.cancelled:
+                control.drop(1)
+                return []
+            scored = score_tail_groups(
+                table, self.params, self._normalize_y, self._plan,
+                self.compiled, indices, algorithm=engine.algorithm,
+                kernel=engine.kernel,
+            )
+            control.shard_completed()
+            return scored
+        pool = engine._resolve_pool(workers)
+        table_ref, query_ref = table, self.compiled
+        session = pinned = None
+        if engine.backend == "process" and engine.shm:
+            session = engine._shm_session()
+            table_ref, query_ref, pinned = session.acquire_append(
+                table, self._base_table, self.compiled,
+                columns=_required_columns(table, self.params),
+            )
+        try:
+            return dispatch_tail_scores(
+                table_ref, self.params, self._normalize_y, self._plan,
+                query_ref, indices, pool, algorithm=engine.algorithm,
+                kernel=engine.kernel, control=control,
+                chunk_size=engine.chunk_size,
+            )
+        finally:
+            if session is not None:
+                session.unpin(*pinned)
+
+    def _merge_results(self, control, appended: int, rescored: int) -> ResultSet:
+        from repro.engine.executor import ExecutionStats, _to_matches
+
+        entries = []
+        for key in self._order:
+            result = self._entries.get(canonical_group_key(key))
+            if result is None:
+                continue
+            # Compacted position = this group's rank among surviving
+            # trendlines in group order — the cold enumeration order the
+            # (score, position) selection tie-break is defined over.
+            entries.append((result.score, len(entries), key, result))
+        top = self._merge.merge(entries, control)
+        items = []
+        for score, position, key, result in top:
+            trendline = self._trendlines.get(canonical_group_key(key))
+            if trendline is not None:
+                items.append((score, position, trendline, result))
+        stats = ExecutionStats(
+            candidates=len(entries),
+            extracted=len(entries),
+            scored=rescored,
+            shards=control.total or 0,
+            generation="tail",
+            appended_rows=appended,
+        )
+        plan_text = (
+            "ScanDelta(rows={}, groups={})\n"
+            "  -> RescoreAffected(algorithm={}, workers={})\n"
+            "  -> IncrementalMerge(k={}, tie={})".format(
+                appended, rescored, self.engine.algorithm,
+                self.engine.workers if self._workers is None else self._workers,
+                self.k, self._merge.tie,
+            )
+        )
+        return ResultSet(
+            _to_matches(items), stats=stats, plan=plan_text,
+            revision=self._revision,
+        )
+
+    def __repr__(self) -> str:
+        return "TailSearch({!r}, z={!r}, rows={}, revision={})".format(
+            self.explain(), self.params.z, len(self.table), self._revision
+        )
+
+
 class ShapeSearch:
     """An interactive exploration session over one table.
 
@@ -225,9 +538,14 @@ class ShapeSearch:
         return cls(Table.from_json(path), **kwargs)
 
     @classmethod
-    def from_records(cls, records, **kwargs) -> "ShapeSearch":
-        """Open a session over in-memory records."""
-        return cls(Table.from_records(records), **kwargs)
+    def from_records(cls, records, lenient: bool = False, **kwargs) -> "ShapeSearch":
+        """Open a session over in-memory records.
+
+        Records whose keys do not match the schema of the first record
+        raise :class:`~repro.errors.DataError`; pass ``lenient=True`` to
+        restore the historical pad-with-None/NaN behavior.
+        """
+        return cls(Table.from_records(records, lenient=lenient), **kwargs)
 
     @classmethod
     def from_arrays(cls, columns=None, **kwargs) -> "ShapeSearch":
@@ -289,6 +607,40 @@ class ShapeSearch:
             bin_width=bin_width,
         )
         return PreparedSearch(self.table, self.engine, node, compiled, params)
+
+    def tail(
+        self,
+        query: QueryLike,
+        z: str,
+        x: str,
+        y: str,
+        k: int = 10,
+        filters: Sequence = (),
+        aggregate: str = "mean",
+        bin_width: Optional[float] = None,
+        workers: Optional[int] = None,
+        progress=None,
+    ) -> TailSearch:
+        """Subscribe a query to the table's tail: a live top-k.
+
+        Parses + compiles once (like :meth:`prepare`) and runs an
+        initial full pass; thereafter ``tail.append_rows(records)``
+        appends to the bound table and refreshes the ranked results by
+        re-scoring only the groups the new rows touched — with results
+        byte-identical to a cold run over the full table at every
+        revision.  ``progress`` observes each refresh's re-score shards
+        as ``progress(completed, total)``.
+        """
+        node = parse_query(query, tagger=self.tagger)
+        compiled = self.engine.compile(node)
+        params = VisualParams(
+            z=z, x=x, y=y, filters=tuple(filters), aggregate=aggregate,
+            bin_width=bin_width,
+        )
+        return TailSearch(
+            self.table, self.engine, node, compiled, params, k=k,
+            workers=workers, progress=progress,
+        )
 
     def submit_many(
         self,

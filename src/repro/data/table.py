@@ -18,6 +18,31 @@ import numpy as np
 
 from repro.errors import DataError
 
+#: The canonical NaN group key: every NaN encountered by
+#: :meth:`Table.group_by` under the ``"coalesce"`` policy maps to this
+#: one float object.  Dict and set lookups short-circuit on identity
+#: before trying ``==``, so a single shared NaN object buckets correctly
+#: even though ``NaN != NaN`` (and even on Python >= 3.10, where
+#: ``hash(nan)`` is id-based and two NaN objects land in different
+#: buckets).
+_NAN_KEY = float("nan")
+
+#: Supported NaN-key policies for :meth:`Table.group_by`.
+NAN_POLICIES = ("coalesce", "drop")
+
+
+def canonical_group_key(value):
+    """Map a raw column value to the key :meth:`Table.group_by` buckets by.
+
+    Exists so every consumer that reasons about group identity — the
+    group-count planner pass, the streaming tail's affected-key scan —
+    applies the exact same NaN canonicalization as ``group_by`` itself
+    and cannot drift from it.
+    """
+    if isinstance(value, float) and value != value:
+        return _NAN_KEY
+    return value
+
 
 class Table:
     """Immutable columnar table: column name -> numpy array.
@@ -61,11 +86,33 @@ class Table:
         return cls({name: np.asarray(values) for name, values in columns.items()})
 
     @classmethod
-    def from_records(cls, records: Sequence[dict]) -> "Table":
-        """Build from a list of homogeneous dicts."""
+    def from_records(cls, records: Sequence[dict], lenient: bool = False) -> "Table":
+        """Build from a list of homogeneous dicts.
+
+        Every record must carry exactly the first record's keys: a
+        missing key would silently become None/NaN in the built column
+        and an extra key would be silently dropped — the same schema
+        drift :meth:`append_rows` rejects, now rejected on first build
+        too, with a :class:`DataError` naming the offending record.
+        Pass ``lenient=True`` to restore the historical leniency
+        (missing keys are filled with None/NaN, unknown keys ignored).
+        """
         if not records:
             raise DataError("no records given")
         names = list(records[0].keys())
+        if not lenient:
+            schema = set(names)
+            for index, record in enumerate(records):
+                if set(record) != schema:
+                    missing = sorted(schema - set(record))
+                    unknown = sorted(set(record) - schema)
+                    raise DataError(
+                        "record {} does not match the first record's columns {}: "
+                        "missing {}, unknown {} (pass lenient=True to fill missing "
+                        "keys with None/NaN and drop unknown ones)".format(
+                            index, sorted(schema), missing, unknown
+                        )
+                    )
         columns = {
             name: _infer_array([record.get(name) for record in records]) for name in names
         }
@@ -146,6 +193,36 @@ class Table:
 
     def __contains__(self, name: str) -> bool:
         return name in self._columns
+
+    # -- pickling ---------------------------------------------------------
+    def __getstate__(self):
+        """Drop unpicklable caches (hashlib digests, generation locks).
+
+        Only the columns and the memoized fingerprint travel: the
+        per-column digest state and any engine-side generation memo
+        attached to this instance hold hashlib objects and thread locks,
+        neither of which pickles.  They are both pure caches — the
+        receiver recomputes lazily on first use.
+        """
+        state = {
+            "columns": self._columns,
+            "length": self._length,
+        }
+        fingerprint = getattr(self, "_fingerprint", None)
+        if fingerprint is not None:
+            state["fingerprint"] = fingerprint
+        return state
+
+    def __setstate__(self, state):
+        self._columns = {}
+        for name, values in state["columns"].items():
+            # Unpickled arrays come back writable; re-lock them so the
+            # immutability contract (and fingerprint validity) holds.
+            values.setflags(write=False)
+            self._columns[name] = values
+        self._length = state["length"]
+        if "fingerprint" in state:
+            self._fingerprint = state["fingerprint"]
 
     # -- relational operations ------------------------------------------------
     def take(self, indices: np.ndarray) -> "Table":
@@ -244,6 +321,13 @@ class Table:
             combined = np.concatenate([values, tail])
             if combined.dtype != values.dtype:
                 incremental = False
+                if combined.dtype == object:
+                    # Concatenation boxed the numeric head as numpy
+                    # scalars; a from-scratch build of the same data
+                    # would hold plain Python values.  Rebuild
+                    # element-wise so content (and therefore the content
+                    # fingerprint) is identical either way.
+                    combined = _infer_array(values.tolist() + list(raw))
             combined.setflags(write=False)
             columns[name] = combined
             tails[name] = tail
@@ -259,13 +343,30 @@ class Table:
             appended._fingerprint = _combined_fingerprint(appended, digests)
         return appended
 
-    def group_by(self, name: str) -> Iterator[Tuple[Hashable, np.ndarray]]:
-        """Yield ``(key, row indices)`` per distinct value, in first-seen order."""
+    def group_by(
+        self, name: str, nan_policy: str = "coalesce"
+    ) -> Iterator[Tuple[Hashable, np.ndarray]]:
+        """Yield ``(key, row indices)`` per distinct value, in first-seen order.
+
+        NaN values need an explicit policy because ``NaN != NaN``: used
+        raw as dict keys, every NaN row would become its own singleton
+        group.  ``nan_policy="coalesce"`` (the default) buckets all NaN
+        keys into one group keyed by a single canonical NaN float;
+        ``nan_policy="drop"`` skips NaN-keyed rows entirely.
+        """
+        if nan_policy not in NAN_POLICIES:
+            raise DataError(
+                "unknown nan_policy {!r}; expected one of {}".format(nan_policy, NAN_POLICIES)
+            )
         values = self.column(name)
         seen: Dict[Hashable, int] = {}
         buckets: List[List[int]] = []
         keys: List[Hashable] = []
         for index, value in enumerate(values.tolist()):
+            if isinstance(value, float) and value != value:
+                if nan_policy == "drop":
+                    continue
+                value = _NAN_KEY
             slot = seen.get(value)
             if slot is None:
                 seen[value] = len(buckets)

@@ -27,8 +27,11 @@ class ExecutionControl:
 
     ``progress`` is an optional ``callable(completed, total)`` invoked
     from the execution's driver thread — once when the Score stage
-    establishes its shard count (``completed == 0``) and once per shard
-    completed thereafter.  Keep callbacks cheap; they run on the critical
+    establishes its shard count (``completed == 0``), once per shard
+    completed thereafter, and once when a cancel drops the remaining
+    shards (so observers always see a terminal state; see :meth:`drop`
+    for the ``completed + dropped == total`` contract).  Keep callbacks
+    cheap; they run on the critical
     path of the search that reports through them.  A raising callback is
     swallowed (the search must not fail because its observer did).
     """
@@ -71,10 +74,26 @@ class ExecutionControl:
         self._notify()
 
     def drop(self, count: int) -> None:
-        """Record ``count`` shards skipped by a cooperative cancel."""
+        """Record ``count`` shards skipped by a cooperative cancel.
+
+        Notifies the progress callback, so an observer of a cancelled
+        (or tail-superseded) search always sees a terminal state.  The
+        terminal contract is ``completed + dropped == total``: after the
+        last notification, every shard is accounted for either as
+        completed or as dropped.  The callback signature stays
+        ``(completed, total)`` for compatibility; read
+        :attr:`dropped` (or :meth:`snapshot`) off the control to close
+        the gap between the two.
+        """
         if count:
             with self._lock:
                 self.dropped += count
+            self._notify()
+
+    def snapshot(self) -> Tuple[int, Optional[int], int]:
+        """``(completed, total, dropped)`` in one consistent read."""
+        with self._lock:
+            return self.completed, self.total, self.dropped
 
     @property
     def progress(self) -> Tuple[int, Optional[int]]:

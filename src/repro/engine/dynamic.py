@@ -42,7 +42,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.engine.chains import Chain, ChainUnit, CompiledQuery
-from repro.engine.trendline import Trendline
+from repro.engine.trendline import Trendline, trendline_extends
 from repro.engine.units import INFEASIBLE, MIN_SEGMENT_BINS, run_min_length
 
 _NEG_INF = -np.inf
@@ -159,6 +159,96 @@ def solve_query_over_range(
     the caller must not leak its slope context in here.
     """
     return solve_query(trendline, query, lo=lo, hi=hi, context=context)
+
+
+@dataclass
+class TailSolveState:
+    """DP state retained across streaming appends for one (trendline, query).
+
+    Holds the trendline the state was computed on (to gate reuse via
+    :func:`~repro.engine.trendline.trendline_extends`) and one
+    :class:`FuzzyRunState` (or None) per alternative chain.
+    """
+
+    trendline: Trendline
+    chains: List[Optional[FuzzyRunState]]
+
+
+def solve_query_extend(
+    trendline: Trendline,
+    query: CompiledQuery,
+    state: Optional[TailSolveState] = None,
+    kernel: Optional[str] = None,
+) -> Tuple[QueryResult, Optional[TailSolveState]]:
+    """Suffix re-solve: :func:`solve_query` that reuses retained DP state.
+
+    Byte-identical to a cold :func:`solve_query` on the same inputs —
+    retained tables only ever *skip recomputing* cells whose inputs are
+    bitwise unchanged (the :func:`trendline_extends` gate), never change
+    a value.  Only the matrix kernel retains state; ``kernel="loop"``
+    (the oracle) always solves cold and returns ``state=None``.  State
+    is also dropped (cold solve) when the trendline's history changed —
+    on live appends the z-scored normalization typically shifts with
+    every batch, so this path degrades gracefully to exactly the cold
+    solve rather than ever trading accuracy for reuse.
+    """
+    if (kernel or DEFAULT_KERNEL) != "matrix":
+        return solve_query(trendline, query, kernel=kernel), None
+    context: dict = {}
+    if kernel is not None:
+        context[KERNEL_KEY] = kernel
+    usable = (
+        state is not None
+        and len(state.chains) == len(query.chains)
+        and trendline_extends(state.trendline, trendline)
+    )
+    best: Optional[QueryResult] = None
+    new_chain_states: List[Optional[FuzzyRunState]] = []
+    for index, chain in enumerate(query.chains):
+        chain_state = state.chains[index] if usable else None
+        solution, new_chain_state = _solve_chain_stateful(
+            trendline, chain, chain_state, context
+        )
+        new_chain_states.append(new_chain_state)
+        if best is None or solution.score > best.score:
+            best = QueryResult(score=solution.score, chain_index=index, solution=solution)
+    return best, TailSolveState(trendline=trendline, chains=new_chain_states)
+
+
+def _solve_chain_stateful(
+    trendline: Trendline,
+    chain: Chain,
+    state: Optional[FuzzyRunState],
+    context: dict,
+) -> Tuple[ChainSolution, Optional[FuzzyRunState]]:
+    """:func:`solve_chain` over the full trendline, retaining DP tables.
+
+    State is carried only for the common single-piece layout (one run of
+    fuzzy units, possibly bounded by one-sided pins); multi-piece hybrid
+    layouts fall back to the plain solve — their per-piece tables are
+    small and pin positions may move as bins arrive.
+    """
+    lo, hi = 0, trendline.n_bins
+    layout = plan_layout(trendline, chain, lo, hi)
+    if layout is None:
+        return ChainSolution(score=INFEASIBLE), None
+    if len(layout) != 1 or layout[0].kind != "fuzzy":
+        return solve_chain(trendline, chain, context=context), None
+    piece = layout[0]
+    units = [chain.units[i] for i in piece.indices]
+    result, new_state = solve_fuzzy_run_extend(
+        trendline, units, piece.start, piece.end, context, state
+    )
+    placements: List[Optional[Tuple[int, int]]] = [None] * chain.k
+    feasible = True
+    if result is None:
+        feasible = False
+        for i in piece.indices:
+            placements[i] = (piece.start, piece.start)
+    else:
+        for i, bounds in zip(piece.indices, result):
+            placements[i] = bounds
+    return _finalize(trendline, chain, placements, context, feasible), new_state
 
 
 def solve_chain(
@@ -410,12 +500,43 @@ def _solve_fuzzy_run_matrix(
 
     opt = np.full((m, length + 1), _NEG_INF)
     split = np.zeros((m, length + 1), dtype=int)
+    _matrix_fill(trendline, units, lo, hi, min_len, context, opt, split, lo)
 
+    if not np.isfinite(opt[m - 1, length]):
+        return None
+    return _backtrack(split, lo, hi, m)
+
+
+def _matrix_fill(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    min_len: int,
+    context: Optional[dict],
+    opt: np.ndarray,
+    split: np.ndarray,
+    from_end: int,
+) -> None:
+    """Fill the matrix kernel's DP tables for end bins ``>= from_end``.
+
+    The cold solve passes ``from_end=lo`` (fill everything); the
+    streaming suffix re-solve passes ``from_end=old_hi + 1`` with the
+    previous solve's tables copied into ``opt``/``split``, so only the
+    columns an append can affect are recomputed.  Per-cell DP values are
+    tiling-independent — elementwise transforms commute with slicing and
+    each column's maximization reads only layer ``j-1`` at split
+    positions ``<= r - min_len`` — so restricting the end range produces
+    bitwise the same cells a full fill would.
+    """
+    m = len(units)
     first = units[0]
-    ends0 = np.arange(lo + min_len, hi + 1)
-    opt[0, min_len:] = first.weight * first.unit.score_ends(
-        trendline, lo, ends0, context
-    )
+    start0 = max(lo + min_len, from_end)
+    if start0 <= hi:
+        ends0 = np.arange(start0, hi + 1)
+        opt[0, ends0 - lo] = first.weight * first.unit.score_ends(
+            trendline, lo, ends0, context
+        )
 
     # Tile-major wavefront over end bins.  Layers run *inside* each
     # tile (ascending j), which is dependency-safe: OPT[j][r] only reads
@@ -429,7 +550,8 @@ def _solve_fuzzy_run_matrix(
     prefix = trendline.prefix
     share_slopes = any(cu.unit.slope_based for cu in units[1:])
     base_split = lo + min_len  # lowest split any layer can use
-    all_ends = np.arange(lo + 2 * min_len, hi + 1)  # earliest layer-1 end
+    # Earliest layer-1 end, clipped to the requested wavefront start.
+    all_ends = np.arange(max(lo + 2 * min_len, from_end), hi + 1)
     for block in range(0, len(all_ends), MATRIX_TILE):
         ends_tile = all_ends[block : block + MATRIX_TILE]
         tile_first = int(ends_tile[0])
@@ -531,9 +653,71 @@ def _solve_fuzzy_run_matrix(
             opt[j, columns] = best_values[take]
             split[j, columns] = splits_j[best[take]]
 
+
+@dataclass
+class FuzzyRunState:
+    """The matrix kernel's DP tables, retained for a streaming re-solve.
+
+    Valid for reuse only when the next solve covers the same ``lo`` with
+    the same ``min_len`` and a ``hi`` at or past :attr:`hi` on a
+    trendline whose prefix of bins is bitwise unchanged (gated by
+    :func:`~repro.engine.trendline.trendline_extends` at the query
+    level) — then the retained columns are exactly what a cold solve
+    would recompute and only the new end bins need work.
+    """
+
+    lo: int
+    hi: int
+    min_len: int
+    opt: np.ndarray
+    split: np.ndarray
+
+
+def solve_fuzzy_run_extend(
+    trendline: Trendline,
+    units: List[ChainUnit],
+    lo: int,
+    hi: int,
+    context: Optional[dict],
+    state: Optional[FuzzyRunState],
+) -> Tuple[Optional[List[Tuple[int, int]]], Optional[FuzzyRunState]]:
+    """Matrix-kernel solve that can seed from (and emit) retained tables.
+
+    Returns ``(placements, new_state)``.  When ``state`` matches this
+    run (same ``lo``, same ``min_len``, ``state.hi <= hi``), its tables
+    seed the new ones and the wavefront runs only over end bins
+    ``> state.hi``; otherwise the fill starts cold.  Either way the
+    resulting tables are bitwise what :func:`_solve_fuzzy_run_matrix`
+    would produce, because per-cell values are tiling-independent.
+    Trivial runs (``m <= 1``, infeasible width) carry no tables and
+    return ``new_state=None``.
+    """
+    handled, result, min_len = _fuzzy_run_plan(lo, hi, units)
+    if handled:
+        return result, None
+    m = len(units)
+    length = hi - lo
+
+    opt = np.full((m, length + 1), _NEG_INF)
+    split = np.zeros((m, length + 1), dtype=int)
+    from_end = lo
+    if (
+        state is not None
+        and state.lo == lo
+        and state.min_len == min_len
+        and state.hi <= hi
+        and state.opt.shape == (m, state.hi - lo + 1)
+    ):
+        width = state.hi - lo + 1
+        opt[:, :width] = state.opt
+        split[:, :width] = state.split
+        from_end = state.hi + 1
+    _matrix_fill(trendline, units, lo, hi, min_len, context, opt, split, from_end)
+
+    new_state = FuzzyRunState(lo=lo, hi=hi, min_len=min_len, opt=opt, split=split)
     if not np.isfinite(opt[m - 1, length]):
-        return None
-    return _backtrack(split, lo, hi, m)
+        return None, new_state
+    return _backtrack(split, lo, hi, m), new_state
 
 
 def _solve_fuzzy_run(

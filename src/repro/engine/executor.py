@@ -110,10 +110,14 @@ class ExecutionStats:
     trendline_cache_hit: bool = False
     plan_cache_hit: bool = False
     #: Which Extract/Group implementation ran: ``"parent"`` (materialized
-    #: in the calling process) or ``"worker"`` (generated inside the
-    #: workers from the shared table).
+    #: in the calling process), ``"worker"`` (generated inside the
+    #: workers from the shared table), or ``"tail"`` (a streaming
+    #: refresh that re-scored only the groups an append touched).
     generation: str = "parent"
     pruning: Optional[PruningReport] = None
+    #: Rows the streaming tail consumed in this refresh (0 elsewhere):
+    #: the delta the incremental work was proportional to.
+    appended_rows: int = 0
 
 
 class ShapeSearchEngine:

@@ -563,6 +563,45 @@ def dispatch_generate_score(
     return _run_tasks(pool, generate_score_shard, rows, control)
 
 
+def dispatch_tail_scores(
+    table_ref,
+    params,
+    normalize_y: bool,
+    plan,
+    query,
+    indices: Sequence[int],
+    pool: WorkerPool,
+    algorithm: str = "segment-tree",
+    kernel: Optional[str] = None,
+    control=None,
+    chunk_size: Optional[int] = None,
+) -> List[tuple]:
+    """Dispatch streaming-tail re-scores of the named group indices.
+
+    The tail's Score stage: shards are chunks of *affected* group
+    indices (the groups an append's rows touched), sized by the shared
+    :func:`make_range_chunks` rule and run through the single
+    :func:`_run_tasks` funnel — so tail dispatches get the same
+    cancellable transport and ``ExecutionControl`` stage hooks (begin /
+    shard_completed / drop) as every other path.  Returns the flattened
+    ``(index, key, result)`` triples of
+    :func:`repro.engine.pipeline.score_tail_groups`; with ``control``
+    cancelled mid-dispatch the list is partial and the caller's merge
+    rendezvous must raise instead of applying it.
+    """
+    from repro.engine.pipeline import score_tail_groups
+
+    indices = list(indices)
+    chunks = make_range_chunks(len(indices), pool.workers, chunk_size)
+    rows = [
+        (table_ref, params, normalize_y, plan, query,
+         indices[start:end], algorithm, kernel)
+        for start, end in chunks
+    ]
+    shards = _run_tasks(pool, score_tail_groups, rows, control)
+    return [item for shard in shards for item in shard]
+
+
 def parallel_rank_ranges(
     handle,
     query,

@@ -38,7 +38,7 @@ from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.filters import apply_filters
-from repro.data.table import Table
+from repro.data.table import Table, canonical_group_key
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import plan_fingerprint
 from repro.engine.pushdown import PushdownPlan, has_required_data, plan_pushdown
@@ -275,9 +275,12 @@ def count_groups(table: Table, params: VisualParams) -> int:
             state.counts.move_to_end(key)
             return count
     filtered = apply_filters(table, params.filters)
-    # Distinct-value count under dict/set semantics — the same hash/eq
-    # rule group_by buckets with, so the count always matches len(groups).
-    count = len(set(filtered.column(params.z).tolist()))
+    # Distinct-value count under dict/set semantics with the same NaN
+    # canonicalization group_by buckets with (every NaN coalesces into
+    # one key), so the count always matches len(groups).
+    count = len(
+        {canonical_group_key(value) for value in filtered.column(params.z).tolist()}
+    )
     with state.lock:
         state.counts[key] = count
         while len(state.counts) > state.MAX_COUNTS:
@@ -382,6 +385,141 @@ def generate_score_shard(
     )
     shard.generated = len(pairs)
     return shard
+
+
+# ---------------------------------------------------------------------------
+# Streaming tail: re-score only the groups an append touched
+# ---------------------------------------------------------------------------
+
+#: Worker-resident DP state for the suffix re-solve, keyed by
+#: ``(id(compiled), group key)``.  Entries hold the compiled query object
+#: strongly (so the id cannot be recycled while the entry lives) and are
+#: identity-verified on every hit; LRU-bounded because retained tables
+#: are O(k·n) floats per group.
+_TAIL_STATES: "OrderedDict[tuple, tuple]" = OrderedDict()
+_TAIL_STATES_LOCK = threading.Lock()
+_MAX_TAIL_STATES = 128
+
+
+def _solve_tail_dp(trendline: Trendline, compiled, key, kernel):
+    """DP solve with retained-state reuse (byte-identical to cold).
+
+    :func:`~repro.engine.dynamic.solve_query_extend` only ever reuses
+    state whose trendline prefix is bitwise unchanged, so the result
+    equals :func:`~repro.engine.parallel.solve_one`'s cold solve on the
+    same inputs — the reuse is purely a work-skip.
+    """
+    from repro.engine.dynamic import solve_query_extend
+
+    cache_key = (id(compiled), key)
+    with _TAIL_STATES_LOCK:
+        entry = _TAIL_STATES.get(cache_key)
+        state = entry[1] if entry is not None and entry[0] is compiled else None
+    result, new_state = solve_query_extend(trendline, compiled, state=state, kernel=kernel)
+    with _TAIL_STATES_LOCK:
+        if new_state is None:
+            _TAIL_STATES.pop(cache_key, None)
+        else:
+            _TAIL_STATES[cache_key] = (compiled, new_state)
+            _TAIL_STATES.move_to_end(cache_key)
+            while len(_TAIL_STATES) > _MAX_TAIL_STATES:
+                _TAIL_STATES.popitem(last=False)
+    return result
+
+
+def score_tail_groups(
+    table_ref,
+    params: VisualParams,
+    normalize_y: bool,
+    plan: Optional[PushdownPlan],
+    query,
+    indices: Sequence[int],
+    algorithm: str = "segment-tree",
+    kernel: Optional[str] = None,
+):
+    """Worker task of the streaming tail: re-score the named groups.
+
+    ``indices`` are group indices into the (worker-resident) grouping of
+    the *current* table — exactly the groups whose rows an append
+    touched.  Each is re-extracted and re-scored by the same code a cold
+    run uses on the same bytes, which is what makes the tail's refreshed
+    results byte-identical to a cold solve of the full table.  Returns
+    ``(index, key, QueryResult-or-None, Trendline-or-None)`` tuples —
+    the key rides along so the parent can verify its group order against
+    the workers' and fail loudly on drift, and the trendline so the
+    parent can present top-k matches without re-grouping the table
+    (shipping them is delta-proportional, like the rest of the refresh).
+    A None result marks a group extraction dropped (too few points,
+    degenerate series, push-down skip).
+    """
+    from repro.engine.parallel import solve_one
+    from repro.engine.shm import resolve_query, resolve_table
+
+    table = table_ref if isinstance(table_ref, Table) else resolve_table(table_ref)
+    compiled = resolve_query(query)
+    filtered, groups = _grouping(table, params)
+    aggregate = _AGGREGATES[params.aggregate]
+    out = []
+    for index in indices:
+        if index >= len(groups):
+            out.append((index, None, None, None))
+            continue
+        key, rows = groups[index]
+        stream = _extract_stream(filtered, params, key, rows, plan, aggregate)
+        trendline = None
+        if stream is not None:
+            trendline = _group_stream(
+                *stream, params=params, normalize_y=normalize_y, plan=plan
+            )
+        if trendline is None:
+            with _TAIL_STATES_LOCK:
+                _TAIL_STATES.pop((id(compiled), key), None)
+            out.append((index, key, None, None))
+            continue
+        if algorithm == "dp":
+            result = _solve_tail_dp(trendline, compiled, key, kernel)
+        else:
+            result = solve_one(trendline, compiled, algorithm, kernel=kernel)
+        out.append((index, key, result, trendline))
+    return out
+
+
+class IncrementalMerge:
+    """MergeTopK's long-lived twin for the streaming tail.
+
+    Where :class:`MergeTopK` folds per-shard heaps once per execution,
+    this merge persists across appends: the tail keeps every group's
+    latest result and each refresh re-ranks them under the cold plan's
+    exact total order — ``(score desc, position asc)`` normally,
+    ``(score desc, str(key) asc)`` when the cold plan would have used
+    the pruning driver — so the selected top-k always matches a cold
+    run's.  It is also the cancellation rendezvous: like MergeTopK, a
+    refresh whose shards were dropped by a cooperative cancel raises
+    :class:`~repro.errors.SearchCancelled` instead of presenting a
+    partial update.
+    """
+
+    __slots__ = ("k", "tie")
+
+    def __init__(self, k: int, tie: str = "position"):
+        self.k = k
+        self.tie = tie  # "position" | "key" (mirrors the pruning driver)
+
+    def merge(self, entries, control=None):
+        """Rank ``(score, position, key, result)`` entries; return top-k."""
+        from repro.errors import SearchCancelled
+
+        if control is not None and control.cancelled:
+            completed, total, dropped = control.snapshot()
+            raise SearchCancelled(
+                "tail refresh cancelled: {} of {} shard(s) completed, {} dropped"
+                .format(completed, total, dropped)
+            )
+        if self.tie == "key":
+            ranked = sorted(entries, key=lambda entry: (-entry[0], str(entry[2])))
+        else:
+            ranked = sorted(entries, key=lambda entry: (-entry[0], entry[1]))
+        return ranked[: self.k]
 
 
 # ---------------------------------------------------------------------------

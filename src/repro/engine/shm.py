@@ -156,6 +156,57 @@ class TableHandle:
     columns: Tuple[Tuple[str, str, int, int], ...]  # (name, dtype.str, offset, nbytes)
 
 
+@dataclass(frozen=True)
+class TableDeltaHandle:
+    """Manifest of an *appended row range* published over a base table.
+
+    The streaming transport: instead of republishing the whole table
+    after ``append_rows``, only rows ``[base_rows:]`` of each column
+    travel as a new (small) segment, and the handle chains to the base
+    table's handle — which may itself be a delta, so a run of appends
+    forms a chain back to one full export.  Workers resolve the base
+    recursively (hitting their resident store for everything already
+    attached), concatenate the delta onto the resident columns, and
+    memoize the extended table under this handle's ``token`` — an append
+    to existing arrays plus a fingerprint swap, with only the delta
+    bytes crossing process boundaries.
+
+    ``columns`` describes the delta segment's layout exactly like
+    :class:`TableHandle.columns` describes a full export's.
+    """
+
+    fingerprint: str
+    token: str
+    name: str
+    columns: Tuple[Tuple[str, str, int, int], ...]  # (name, dtype.str, offset, nbytes)
+    base: object  # TableHandle | TableDeltaHandle
+    base_rows: int
+
+
+def delta_chain_tokens(handle) -> List[str]:
+    """Every token along a handle's delta chain, newest first.
+
+    For a plain :class:`TableHandle` this is just ``[handle.token]``.
+    Dispatch pins the whole chain: a worker may attach any link while
+    the shards run, so none of the chained segments may be unlinked.
+    """
+    tokens: List[str] = []
+    while isinstance(handle, TableDeltaHandle):
+        tokens.append(handle.token)
+        handle = handle.base
+    tokens.append(handle.token)
+    return tokens
+
+
+def _delta_depth(handle) -> int:
+    """Chain links between ``handle`` and its underlying full export."""
+    depth = 0
+    while isinstance(handle, TableDeltaHandle):
+        depth += 1
+        handle = handle.base
+    return depth
+
+
 def table_token(fingerprint: str, columns: Optional[Sequence[str]] = None) -> str:
     """The publish/store key for one table + column subset."""
     if columns is None:
@@ -291,6 +342,55 @@ def publish_table(
     return handle, segment
 
 
+def publish_table_delta(
+    table: Table,
+    base_handle,
+    base_rows: int,
+    token: str,
+) -> Tuple[TableDeltaHandle, "object"]:
+    """Export only rows ``[base_rows:]`` of the columns ``base_handle`` has.
+
+    The caller (``ShmSession.acquire_append``) guarantees the precondition
+    that makes the chain sound: ``table``'s first ``base_rows`` rows are
+    bitwise the base's published rows with unchanged dtypes.  Encoding
+    matches :func:`publish_table` exactly — numeric raw bytes, object
+    columns pickled — so the worker-side concatenation reproduces the
+    columns a full export would have shipped.
+    """
+    shared = _require_shared_memory()
+    from repro.engine.cache import table_fingerprint
+
+    fingerprint = table_fingerprint(table)
+    names = [name for name, _dtype, _offset, _nbytes in base_handle.columns]
+    encoded: List[Tuple[str, str, bytes]] = []
+    for name in names:
+        values = table.column(name)[base_rows:]
+        if values.dtype == object:
+            payload = pickle.dumps(values.tolist(), protocol=pickle.HIGHEST_PROTOCOL)
+            encoded.append((name, _OBJECT_COLUMN_DTYPE, payload))
+        else:
+            values = np.ascontiguousarray(values)
+            encoded.append((name, values.dtype.str, values.tobytes()))
+    manifest = []
+    offset = 0
+    for name, dtype_str, payload in encoded:
+        offset = (offset + 15) & ~15  # 16-byte alignment for any dtype
+        manifest.append((name, dtype_str, offset, len(payload)))
+        offset += len(payload)
+    segment = shared.SharedMemory(create=True, size=max(1, offset))
+    for (name, dtype_str, payload), (_, _, start, nbytes) in zip(encoded, manifest):
+        segment.buf[start : start + nbytes] = payload
+    handle = TableDeltaHandle(
+        fingerprint=fingerprint,
+        token=token,
+        name=segment.name,
+        columns=tuple(manifest),
+        base=base_handle,
+        base_rows=base_rows,
+    )
+    return handle, segment
+
+
 # --------------------------------------------------------------------------
 # Attaching (runs in the workers; memoized per process)
 # --------------------------------------------------------------------------
@@ -311,7 +411,9 @@ class _Attachment:
 #: a worker cycling through many collections does not accumulate every
 #: mapping it ever attached.
 _WORKER_STORE: "OrderedDict[str, _Attachment]" = OrderedDict()
-_WORKER_LOCK = threading.Lock()
+#: Reentrant: resolving a TableDeltaHandle recursively resolves its base
+#: chain from inside the attach callback, re-entering _resolve.
+_WORKER_LOCK = threading.RLock()
 _MAX_WORKER_ENTRIES = 8
 
 
@@ -439,8 +541,49 @@ def resolve_query(query):
     return _resolve(query.token, attach)
 
 
-def resolve_table(handle: TableHandle) -> Table:
-    """The worker-resident table for ``handle`` (attach on first use)."""
+def attach_table_delta(handle: TableDeltaHandle) -> Tuple[Table, None]:
+    """Extend the (resident) base table with a published delta segment.
+
+    Resolves the base recursively — hitting the worker store for every
+    link already attached — then concatenates the delta rows onto each
+    base column and adopts the result under the delta's token.  The
+    concatenation copies, so the small delta segment is closed right
+    here rather than kept mapped; the base's own mappings stay owned by
+    its store entry.
+    """
+    base = resolve_table(handle.base)
+    segment = _attach_segment(handle.name)
+    try:
+        columns: Dict[str, np.ndarray] = {}
+        for name, dtype_str, offset, nbytes in handle.columns:
+            base_column = base.column(name)
+            if dtype_str == _OBJECT_COLUMN_DTYPE:
+                values = pickle.loads(bytes(segment.buf[offset : offset + nbytes]))
+                column = np.empty(len(base_column) + len(values), dtype=object)
+                column[: len(base_column)] = base_column
+                for index, value in enumerate(values):
+                    column[len(base_column) + index] = value
+            else:
+                dtype = np.dtype(dtype_str)
+                count = nbytes // dtype.itemsize if dtype.itemsize else 0
+                view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
+                column = np.concatenate([base_column, view])
+            column.setflags(write=False)
+            columns[name] = column
+    finally:
+        segment.close()
+    table = Table.from_shared(columns, fingerprint=handle.token)
+    return table, None
+
+
+def resolve_table(handle) -> Table:
+    """The worker-resident table for ``handle`` (attach on first use).
+
+    Accepts both a full-export :class:`TableHandle` and a chained
+    :class:`TableDeltaHandle`; either memoizes under its own token.
+    """
+    if isinstance(handle, TableDeltaHandle):
+        return _resolve(handle.token, lambda: _Attachment(*attach_table_delta(handle)))
     return _resolve(handle.token, lambda: _Attachment(*attach_table(handle)))
 
 
@@ -490,6 +633,11 @@ class ShmSession:
     #: fingerprints every batch — recycle segments instead of filling
     #: /dev/shm.  Evictions defer to the dispatch pins below.
     MAX_TABLES = 8
+    #: Longest delta chain :meth:`acquire_append` will extend before
+    #: forcing a fresh full publish: bounds the pickled handle size, the
+    #: per-dispatch pin count, and the worker-side resolve depth, and
+    #: keeps a chain (root + links) comfortably inside MAX_TABLES.
+    MAX_DELTA_CHAIN = 4
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -567,6 +715,105 @@ class ShmSession:
                 self._pins[token] = self._pins.get(token, 0) + 1
         _destroy_all(stale)
         return handle, query_ref
+
+    def acquire_append(
+        self,
+        table: Table,
+        base: Optional[Table],
+        compiled,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Tuple[object, QueryHandle, Tuple[str, ...]]:
+        """Publish ``table`` as a delta over ``base`` when possible, and pin.
+
+        The streaming-tail dispatch entry point.  Returns
+        ``(table_handle, query_handle, pinned_tokens)``; the table handle
+        is a :class:`TableDeltaHandle` chained to ``base``'s live
+        segment when the delta preconditions hold, otherwise a plain
+        full export — correctness never depends on the delta path being
+        taken.  Every token along the delta chain is pinned (workers may
+        attach any link mid-dispatch); pass ``pinned_tokens`` back to
+        :meth:`unpin` when the dispatch completes.
+        """
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._append_locked(table, base, stale, columns=columns)
+            query_ref = self._query_locked(compiled, stale)
+            tokens = tuple(delta_chain_tokens(handle)) + (query_ref.token,)
+            for token in tokens:
+                self._pins[token] = self._pins.get(token, 0) + 1
+        _destroy_all(stale)
+        return handle, query_ref, tokens
+
+    def _append_locked(
+        self,
+        table: Table,
+        base: Optional[Table],
+        stale: list,
+        columns: Optional[Sequence[str]] = None,
+    ):
+        """Publish-or-reuse ``table``, preferring a delta chained to ``base``.
+
+        Falls back to a full :meth:`_table_locked` publish whenever the
+        delta would be unsound or unprofitable: no base, base segment
+        (or any link of its chain) already evicted, an append that
+        widened a column dtype (the delta bytes would not concatenate
+        onto the resident views), or a chain already
+        :data:`MAX_DELTA_CHAIN` links deep — bounding both the pickled
+        handle size and the number of pins a dispatch must hold.
+        """
+        from repro.engine.cache import table_fingerprint
+
+        token = table_token(table_fingerprint(table), columns)
+        handle = self._tables.get(token)
+        if handle is not None:
+            if self._chain_intact_locked(handle):
+                for chain_token in reversed(delta_chain_tokens(handle)):
+                    if chain_token in self._tables:
+                        self._tables.move_to_end(chain_token)
+                return handle
+            self._tables.pop(token, None)
+            stale.append(self._drop_locked(token, token))
+        base_handle = None
+        if base is not None and 0 < len(base) < len(table):
+            base_token = table_token(table_fingerprint(base), columns)
+            candidate = self._tables.get(base_token)
+            if (
+                candidate is not None
+                and self._chain_intact_locked(candidate)
+                and _delta_depth(candidate) < self.MAX_DELTA_CHAIN
+                and _dtypes_preserved(base, table, candidate)
+            ):
+                base_handle = candidate
+        if base_handle is None:
+            return self._table_locked(table, stale, columns=columns)
+        handle, segment = publish_table_delta(table, base_handle, len(base), token)
+        self._tables[token] = handle
+        self._segments[token] = segment
+        _LOCAL[token] = (os.getpid(), table)
+        # Refresh the whole chain in the LRU (root first, newest last) so
+        # the eviction below can only shed entries outside this chain —
+        # evicting a link would break the handle we are about to dispatch.
+        for chain_token in reversed(delta_chain_tokens(handle)):
+            if chain_token in self._tables:
+                self._tables.move_to_end(chain_token)
+        while len(self._tables) > self.MAX_TABLES:
+            old_token, old = self._tables.popitem(last=False)
+            stale.append(self._drop_locked(old_token, old.token))
+        return handle
+
+    def _chain_intact_locked(self, handle) -> bool:
+        """True when every segment along a handle's delta chain is live.
+
+        A link whose segment was evicted (even if parked in
+        ``_deferred`` under an older pin) cannot host *new* dispatches —
+        its ``/dev/shm`` name may vanish at any unpin — so a broken
+        chain forces a fresh full publish.
+        """
+        for token in delta_chain_tokens(handle):
+            if token not in self._segments:
+                return False
+        return True
 
     def _collection_locked(self, trendlines, stale: list) -> CollectionHandle:
         key = id(trendlines)
@@ -750,8 +997,27 @@ class ShmSession:
 
 
 def _pin_token(handle) -> Optional[str]:
-    """The pin/segment key of any handle kind (every handle carries one)."""
+    """The pin/segment key of any handle kind (every handle carries one).
+
+    Raw token strings pass through so callers holding the pinned-token
+    tuple of :meth:`ShmSession.acquire_append` can unpin it directly.
+    """
+    if isinstance(handle, str):
+        return handle
     return getattr(handle, "token", None)
+
+
+def _dtypes_preserved(base: Table, table: Table, base_handle) -> bool:
+    """True when the appended table kept every published column's dtype.
+
+    A widened dtype (float appended to an int column) means the delta's
+    raw bytes would not concatenate onto the resident base views — the
+    append must republish in full.
+    """
+    for name, _dtype_str, _offset, _nbytes in base_handle.columns:
+        if table.column(name).dtype != base.column(name).dtype:
+            return False
+    return True
 
 
 def _destroy_all(segments) -> None:

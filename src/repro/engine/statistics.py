@@ -131,6 +131,27 @@ class PrefixStats:
             counts,
         )
 
+    def extends(self, base: "PrefixStats") -> bool:
+        """True when this prefix is a bitwise extension of ``base``.
+
+        The precondition for reusing DP state computed on the shorter
+        trendline (the streaming suffix re-solve): every cumulative
+        array must *begin* with ``base``'s exact values.  Appended raw
+        rows that shift a group's normalization constants rewrite the
+        whole history and fail this check — which is exactly when a cold
+        re-solve is required for byte-identical results.
+        """
+        if base.bins > self.bins:
+            return False
+        n = base.bins + 1
+        return (
+            np.array_equal(self.count[:n], base.count)
+            and np.array_equal(self.sx[:n], base.sx)
+            and np.array_equal(self.sy[:n], base.sy)
+            and np.array_equal(self.sxy[:n], base.sxy)
+            and np.array_equal(self.sxx[:n], base.sxx)
+        )
+
     def range(self, l: int, r: int) -> SummaryStats:
         """Summarized statistics of bins ``[l, r)``."""
         return SummaryStats(

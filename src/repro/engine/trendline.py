@@ -107,6 +107,38 @@ class Trendline:
         return self.bin_x[l:r], self.bin_y[l:r]
 
 
+def trendline_extends(base: Trendline, extended: Trendline) -> bool:
+    """True when ``extended`` is ``base`` plus appended bins, bit for bit.
+
+    The gate for the DP suffix re-solve: state computed on ``base`` may
+    seed a solve over ``extended`` only if every value the recurrence
+    (and every unit scorer) could have read is unchanged — raw points,
+    bin coordinates, normalized values, normalization constants, and the
+    cumulative prefix arrays.  Appends that shift ``y_mean``/``y_std``
+    or the x span rescale history and fail here, forcing the cold solve
+    that byte-identity then requires.
+    """
+    if extended.n_bins < base.n_bins:
+        return False
+    if base.offset != extended.offset:
+        return False
+    if base.y_mean != extended.y_mean or base.y_std != extended.y_std:
+        return False
+    n = base.n_bins
+    for ours, theirs in (
+        (base.bin_x, extended.bin_x),
+        (base.bin_y, extended.bin_y),
+        (base.norm_bin_y, extended.norm_bin_y),
+    ):
+        if not np.array_equal(theirs[:n], ours):
+            return False
+    if not np.array_equal(extended.x[: len(base.x)], base.x):
+        return False
+    if not np.array_equal(extended.y[: len(base.y)], base.y):
+        return False
+    return extended.prefix.extends(base.prefix)
+
+
 def build_trendline(
     key: Hashable,
     x: np.ndarray,

@@ -79,6 +79,12 @@ RUNS_MEMO_KEY = "__runs_memo__"
 #: small FIFO-evicted dict keeps the wins with bounded memory.
 RUNS_MEMO_CAP = 4096
 
+#: The shared unconstrained LOCATION.  ``Location`` is a frozen
+#: dataclass, so one instance serves every unit that has no location
+#: constraint (and keeps function signatures free of call-in-default,
+#: flake8-bugbear B008).
+FREE_LOCATION = Location()
+
 
 class CompiledUnit:
     """Base class; concrete units override :meth:`score` at minimum."""
@@ -88,7 +94,7 @@ class CompiledUnit:
     #: Leaf-level OPPOSITE flag (normalization pushed `!` down to here).
     negated: bool = False
     #: Location constraints in raw domain coordinates.
-    location: Location = Location()
+    location: Location = FREE_LOCATION
     #: Whether score_ends/score_starts are true vectorized fast paths.
     vectorized: bool = False
     #: Whether the unit's score is a pure function of the fitted slope,
@@ -218,7 +224,7 @@ class SlopeUnit(CompiledUnit):
         self,
         kind: str,
         theta: Optional[float] = None,
-        location: Location = Location(),
+        location: Location = FREE_LOCATION,
         negated: bool = False,
         seg_index: int = -1,
     ):
@@ -516,7 +522,7 @@ class QuantifierUnit(CompiledUnit):
         quantifier: Quantifier,
         theta: Optional[float] = None,
         udp_name: Optional[str] = None,
-        location: Location = Location(),
+        location: Location = FREE_LOCATION,
         negated: bool = False,
         seg_index: int = -1,
         positive_threshold: Optional[float] = None,
@@ -619,7 +625,7 @@ class PositionUnit(CompiledUnit):
         reference_index: int,
         comparison: Optional[str],
         factor: Optional[float] = None,
-        location: Location = Location(),
+        location: Location = FREE_LOCATION,
         negated: bool = False,
         seg_index: int = -1,
     ):
@@ -650,7 +656,7 @@ class PositionUnit(CompiledUnit):
 class SketchUnit(CompiledUnit):
     """``v=(x:y,...)`` — precise matching against a drawn polyline."""
 
-    def __init__(self, sketch, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+    def __init__(self, sketch, location: Location = FREE_LOCATION, negated: bool = False, seg_index: int = -1):
         self.sketch = sketch
         self.location = location
         self.negated = negated
@@ -670,7 +676,7 @@ class SketchUnit(CompiledUnit):
 class UdpUnit(CompiledUnit):
     """``p=udp:name`` — a registered user-defined pattern (black box)."""
 
-    def __init__(self, name: str, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+    def __init__(self, name: str, location: Location = FREE_LOCATION, negated: bool = False, seg_index: int = -1):
         self.name = name
         self.location = location
         self.negated = negated
@@ -692,7 +698,7 @@ class UdpUnit(CompiledUnit):
 class NestedUnit(CompiledUnit):
     """``p=[...]`` — a full sub-query matched within the allotted region."""
 
-    def __init__(self, compiled_query, location: Location = Location(), negated: bool = False, seg_index: int = -1):
+    def __init__(self, compiled_query, location: Location = FREE_LOCATION, negated: bool = False, seg_index: int = -1):
         self.compiled_query = compiled_query
         self.location = location
         self.negated = negated
@@ -724,7 +730,7 @@ class NestedUnit(CompiledUnit):
 class WindowUnit(CompiledUnit):
     """ITERATOR: best fixed-width window of the wrapped unit (``x.e=.+w``)."""
 
-    def __init__(self, base: CompiledUnit, width: float, location: Location = Location()):
+    def __init__(self, base: CompiledUnit, width: float, location: Location = FREE_LOCATION):
         self.base = base
         self.width = width
         self.location = location
@@ -757,7 +763,7 @@ class AndUnit(CompiledUnit):
     exact-cover DP.
     """
 
-    def __init__(self, branches: List[List["Chain"]], location: Location = Location()):
+    def __init__(self, branches: List[List["Chain"]], location: Location = FREE_LOCATION):
         self.branches = branches
         self.location = location
 

@@ -44,9 +44,9 @@ class ResultSet(Sequence):
       (nothing is formatted until asked).
     """
 
-    __slots__ = ("_matches", "stats", "_plan")
+    __slots__ = ("_matches", "stats", "_plan", "revision")
 
-    def __init__(self, matches, stats=None, plan=None):
+    def __init__(self, matches, stats=None, plan=None, revision=None):
         self._matches: List[Any] = list(matches)
         #: This call's private ExecutionStats (None for synthesized sets).
         self.stats = stats
@@ -54,6 +54,11 @@ class ResultSet(Sequence):
         # and cached on first access — never hold a live operator chain
         # here, it would pin the table/candidates it references).
         self._plan = plan
+        #: Streaming refresh counter: set by :class:`repro.api.TailSearch`
+        #: (0 for the initial pass, +1 per applied append), None for
+        #: one-shot executions.  Lets observers of a live tail tell
+        #: *which* table state a ResultSet reflects.
+        self.revision = revision
 
     # -- sequence protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -61,7 +66,12 @@ class ResultSet(Sequence):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return ResultSet(self._matches[index], stats=self.stats, plan=self._plan)
+            return ResultSet(
+                self._matches[index],
+                stats=self.stats,
+                plan=self._plan,
+                revision=self.revision,
+            )
         return self._matches[index]
 
     def __iter__(self) -> Iterator[Any]:

@@ -1,0 +1,210 @@
+"""Property tests for the DP suffix re-solve (repro.engine.dynamic).
+
+``solve_query_extend`` must be *byte-identical* to a cold solve — both
+the matrix kernel it extends and the retained loop-kernel oracle — on
+every input, whether or not the retained state was reusable.  Reuse is
+gated by :func:`trendline_extends`: the state seeds the fill only when
+the extended trendline's history is bitwise unchanged, which these tests
+construct by truncating one full trendline (a genuine streaming prefix).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import builder as q
+from repro.engine import dynamic
+from repro.engine.chains import compile_query
+from repro.engine.dynamic import solve_query, solve_query_extend
+from repro.engine.statistics import PrefixStats
+from repro.engine.trendline import Trendline, trendline_extends
+
+from tests.conftest import make_trendline
+
+UP_DOWN = compile_query(q.concat(q.up(), q.down()))
+UP_DOWN_UP = compile_query(q.concat(q.up(), q.down(), q.up()))
+
+
+def truncate(trendline: Trendline, n_bins: int) -> Trendline:
+    """The first ``n_bins`` of a trendline, sharing its exact bytes.
+
+    Models a genuine streaming prefix: every value the recurrence could
+    read is bitwise identical to the extended trendline's history (the
+    conftest helper has one bin per point, so points truncate with bins).
+    """
+    p = trendline.prefix
+    n = n_bins + 1
+    prefix = PrefixStats.from_cumulative(
+        p.count[:n], p.sx[:n], p.sy[:n], p.sxy[:n], p.sxx[:n]
+    )
+    return Trendline(
+        key=trendline.key,
+        x=trendline.x[:n_bins],
+        y=trendline.y[:n_bins],
+        bin_x=trendline.bin_x[:n_bins],
+        bin_y=trendline.bin_y[:n_bins],
+        norm_bin_y=trendline.norm_bin_y[:n_bins],
+        prefix=prefix,
+        y_mean=trendline.y_mean,
+        y_std=trendline.y_std,
+        offset=trendline.offset,
+    )
+
+
+def _signature(result):
+    if result is None:
+        return None
+    return (
+        result.score,
+        result.chain_index,
+        tuple(
+            (p.seg_index, p.start, p.end, p.score, p.slope)
+            for p in result.solution.placements
+        ),
+    )
+
+
+class TestTrendlineExtends:
+    def test_truncation_extends(self):
+        full = make_trendline(np.sin(np.arange(40) / 5.0))
+        assert trendline_extends(truncate(full, 25), full)
+        assert truncate(full, 25).n_bins == 25
+
+    def test_rebuilt_prefix_does_not_extend(self):
+        """A rebuilt (re-normalized) trendline fails the gate."""
+        y = np.sin(np.arange(40) / 5.0)
+        base = make_trendline(y[:25])  # z-scored over the prefix only
+        full = make_trendline(y)
+        assert not trendline_extends(base, full)
+
+    def test_shorter_never_extends_longer(self):
+        full = make_trendline(np.sin(np.arange(40) / 5.0))
+        assert not trendline_extends(full, truncate(full, 25))
+
+    def test_prefix_stats_extends_is_bitwise(self):
+        full = make_trendline(np.arange(30.0))
+        base = truncate(full, 20)
+        assert full.prefix.extends(base.prefix)
+        perturbed = truncate(full, 20)
+        sy = perturbed.prefix.sy.copy()  # the slice aliases full's buffer
+        sy[3] += 1e-9
+        perturbed.prefix.sy = sy
+        assert not full.prefix.extends(perturbed.prefix)
+
+
+class TestSuffixResolve:
+    @settings(max_examples=25)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        total=st.integers(min_value=8, max_value=48),
+        data=st.data(),
+    )
+    def test_extend_equals_cold_and_oracle(self, seed, total, data):
+        rng = np.random.default_rng(seed)
+        full = make_trendline(rng.normal(0, 1, total).cumsum())
+        base_bins = data.draw(
+            st.integers(min_value=4, max_value=total), label="base_bins"
+        )
+        query = data.draw(st.sampled_from([UP_DOWN, UP_DOWN_UP]), label="query")
+        base = truncate(full, base_bins)
+        _, state = solve_query_extend(base, query)
+        extended, _ = solve_query_extend(full, query, state=state)
+        cold = solve_query(full, query)
+        oracle = solve_query(full, query, kernel="loop")
+        assert _signature(extended) == _signature(cold)
+        assert _signature(extended) == _signature(oracle)
+
+    def test_suffix_fill_actually_skips_work(self, monkeypatch):
+        """When the state is reusable, only end bins past the old hi fill."""
+        calls = []
+        original = dynamic._matrix_fill
+
+        def spy(trendline, units, lo, hi, min_len, context, opt, split, from_end):
+            calls.append((lo, hi, from_end))
+            return original(
+                trendline, units, lo, hi, min_len, context, opt, split, from_end
+            )
+
+        monkeypatch.setattr(dynamic, "_matrix_fill", spy)
+        rng = np.random.default_rng(3)
+        # Both lengths sit at run_min_length's cap, so min_len is equal
+        # and the retained layers stay valid — the genuine reuse regime.
+        full = make_trendline(rng.normal(0, 1, 120).cumsum())
+        base = truncate(full, 100)
+        _, state = solve_query_extend(base, UP_DOWN)
+        solve_query_extend(full, UP_DOWN, state=state)
+        assert calls[0][2] == calls[0][0]       # cold solve fills from lo
+        lo, hi, from_end = calls[-1]
+        assert from_end > lo                    # the re-solve resumed mid-way
+        assert from_end == base.n_bins + 1
+
+    def test_unusable_state_falls_back_to_cold_fill(self):
+        rng = np.random.default_rng(4)
+        a = make_trendline(rng.normal(0, 1, 30).cumsum(), key="a")
+        b = make_trendline(rng.normal(0, 1, 34).cumsum(), key="b")
+        _, state = solve_query_extend(a, UP_DOWN)
+        result, _ = solve_query_extend(b, UP_DOWN, state=state)
+        assert _signature(result) == _signature(solve_query(b, UP_DOWN))
+
+    def test_min_len_change_falls_back(self):
+        """A growth that changes run_min_length cannot reuse per-layer
+        tables; the solver must detect it and still match cold."""
+        rng = np.random.default_rng(5)
+        full = make_trendline(rng.normal(0, 1, 120).cumsum())
+        base = truncate(full, 8)  # tiny prefix: different min_len regime
+        _, state = solve_query_extend(base, UP_DOWN_UP)
+        result, _ = solve_query_extend(full, UP_DOWN_UP, state=state)
+        assert _signature(result) == _signature(solve_query(full, UP_DOWN_UP))
+
+    def test_loop_kernel_requests_bypass_state(self):
+        rng = np.random.default_rng(6)
+        full = make_trendline(rng.normal(0, 1, 30).cumsum())
+        result, state = solve_query_extend(full, UP_DOWN, kernel="loop")
+        assert state is None
+        assert _signature(result) == _signature(
+            solve_query(full, UP_DOWN, kernel="loop")
+        )
+
+    def test_chained_extensions(self):
+        """Repeated appends reuse each step's state; all steps match cold."""
+        rng = np.random.default_rng(9)
+        full = make_trendline(rng.normal(0, 1, 60).cumsum())
+        state = None
+        for bins in (12, 25, 41, 60):
+            prefix = truncate(full, bins) if bins < 60 else full
+            result, state = solve_query_extend(prefix, UP_DOWN_UP, state=state)
+            assert _signature(result) == _signature(
+                solve_query(prefix, UP_DOWN_UP)
+            )
+
+
+class TestTailStateStore:
+    def test_store_reuse_is_identity_checked(self):
+        from repro.engine import pipeline
+
+        rng = np.random.default_rng(11)
+        full = make_trendline(rng.normal(0, 1, 30).cumsum(), key="k")
+        base = truncate(full, 20)
+        first = pipeline._solve_tail_dp(base, UP_DOWN, "k", None)
+        second = pipeline._solve_tail_dp(full, UP_DOWN, "k", None)
+        assert _signature(second) == _signature(solve_query(full, UP_DOWN))
+        assert _signature(first) == _signature(solve_query(base, UP_DOWN))
+        # A different compiled object with a recycled-looking key must
+        # not hit the stale entry.
+        other = compile_query(q.concat(q.up(), q.down()))
+        third = pipeline._solve_tail_dp(full, other, "k", None)
+        assert _signature(third) == _signature(solve_query(full, other))
+
+    def test_store_is_bounded(self):
+        from repro.engine import pipeline
+
+        rng = np.random.default_rng(12)
+        with pipeline._TAIL_STATES_LOCK:
+            pipeline._TAIL_STATES.clear()
+        for index in range(pipeline._MAX_TAIL_STATES + 10):
+            t = make_trendline(rng.normal(0, 1, 10).cumsum(), key=index)
+            pipeline._solve_tail_dp(t, UP_DOWN, index, None)
+        with pipeline._TAIL_STATES_LOCK:
+            assert len(pipeline._TAIL_STATES) <= pipeline._MAX_TAIL_STATES
+            pipeline._TAIL_STATES.clear()
