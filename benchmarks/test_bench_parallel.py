@@ -329,11 +329,11 @@ def test_generation_stage(benchmark):
     timings = {}
     signatures = {}
     configs = [
-        ("sequential", dict()),
-        ("parent-parallel", dict(workers=WORKERS, backend="process",
-                                 shm=True, generation="parent")),
-        ("worker-parallel", dict(workers=WORKERS, backend="process",
-                                 shm=True, generation="worker")),
+        ("sequential", {}),
+        ("parent-parallel", {"workers": WORKERS, "backend": "process",
+                             "shm": True, "generation": "parent"}),
+        ("worker-parallel", {"workers": WORKERS, "backend": "process",
+                             "shm": True, "generation": "worker"}),
     ]
     for name, kwargs in configs:
         with ShapeSearchEngine(**kwargs) as engine:

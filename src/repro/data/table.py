@@ -12,7 +12,17 @@ from __future__ import annotations
 import csv
 import hashlib
 import json
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -31,7 +41,7 @@ _NAN_KEY = float("nan")
 NAN_POLICIES = ("coalesce", "drop")
 
 
-def canonical_group_key(value):
+def canonical_group_key(value: Any) -> Any:
     """Map a raw column value to the key :meth:`Table.group_by` buckets by.
 
     Exists so every consumer that reasons about group identity — the
@@ -52,13 +62,19 @@ class Table:
     once and relies on its contents never changing in place.
     """
 
-    def __init__(self, columns: Dict[str, np.ndarray]):
+    #: Lazily memoized content caches: set by :func:`column_digests` /
+    #: :func:`content_fingerprint` (or pre-seeded by ``from_shared`` and
+    #: ``append_rows``), absent until then — always read via ``getattr``.
+    _column_digests: Dict[str, "hashlib._Hash"]
+    _fingerprint: str
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
         if not columns:
             raise DataError("a table needs at least one column")
         lengths = {name: len(values) for name, values in columns.items()}
         if len(set(lengths.values())) != 1:
             raise DataError("column lengths differ: {}".format(lengths))
-        self._columns = {}
+        self._columns: Dict[str, np.ndarray] = {}
         for name, values in columns.items():
             # Private read-only storage: any input whose buffer a caller
             # could still write through — a writable ndarray, a view, or
@@ -81,7 +97,7 @@ class Table:
 
     # -- construction -----------------------------------------------------
     @classmethod
-    def from_arrays(cls, **columns) -> "Table":
+    def from_arrays(cls, **columns: Any) -> "Table":
         """Build from keyword columns of equal length."""
         return cls({name: np.asarray(values) for name, values in columns.items()})
 
@@ -130,13 +146,15 @@ class Table:
             rows = list(reader)
         if not rows:
             raise DataError("CSV file {!r} has no data rows".format(path))
-        columns = {}
+        columns: Dict[str, np.ndarray] = {}
         for index, name in enumerate(header):
             columns[name.strip()] = _infer_array([row[index] for row in rows])
         return cls(columns)
 
     @classmethod
-    def from_shared(cls, columns: Dict[str, np.ndarray], fingerprint: str = None) -> "Table":
+    def from_shared(
+        cls, columns: Dict[str, np.ndarray], fingerprint: Optional[str] = None
+    ) -> "Table":
         """Adopt already-immutable arrays without copying.
 
         This is the shared-memory reattachment path
@@ -154,7 +172,7 @@ class Table:
         if len(set(lengths.values())) != 1:
             raise DataError("column lengths differ: {}".format(lengths))
         self = cls.__new__(cls)
-        self._columns = {}
+        self._columns = {}  # type: Dict[str, np.ndarray]
         for name, values in columns.items():
             values = np.asarray(values)
             if values.flags.writeable:
@@ -195,7 +213,7 @@ class Table:
         return name in self._columns
 
     # -- pickling ---------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         """Drop unpicklable caches (hashlib digests, generation locks).
 
         Only the columns and the memoized fingerprint travel: the
@@ -204,7 +222,7 @@ class Table:
         neither of which pickles.  They are both pure caches — the
         receiver recomputes lazily on first use.
         """
-        state = {
+        state: Dict[str, Any] = {
             "columns": self._columns,
             "length": self._length,
         }
@@ -213,7 +231,7 @@ class Table:
             state["fingerprint"] = fingerprint
         return state
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self._columns = {}
         for name, values in state["columns"].items():
             # Unpickled arrays come back writable; re-lock them so the
@@ -227,7 +245,7 @@ class Table:
     # -- relational operations ------------------------------------------------
     def take(self, indices: np.ndarray) -> "Table":
         """Row subset (by integer indices or boolean mask)."""
-        columns = {}
+        columns: Dict[str, np.ndarray] = {}
         for name, values in self._columns.items():
             selected = values[indices]
             if selected.base is None:
@@ -334,7 +352,7 @@ class Table:
         appended = Table(columns)
         if incremental:
             base = column_digests(self)
-            digests = {}
+            digests: Dict[str, "hashlib._Hash"] = {}
             for name in self.column_names:
                 digest = base[name].copy()
                 _update_column_digest(digest, tails[name])
@@ -378,7 +396,7 @@ class Table:
             yield key, np.asarray(bucket)
 
 
-def _update_column_digest(digest, values: np.ndarray) -> None:
+def _update_column_digest(digest: "hashlib._Hash", values: np.ndarray) -> None:
     """Feed one column's content into a running digest.
 
     Numeric columns hash their raw bytes; object columns hash per-value
@@ -403,7 +421,7 @@ def column_digests(table: Table) -> Dict[str, "hashlib._Hash"]:
     cached = getattr(table, "_column_digests", None)
     if cached is not None:
         return cached
-    digests = {}
+    digests: Dict[str, "hashlib._Hash"] = {}
     for name in table.column_names:
         digest = hashlib.sha1()
         _update_column_digest(digest, table.column(name))

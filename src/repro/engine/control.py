@@ -38,7 +38,9 @@ class ExecutionControl:
 
     __slots__ = ("_cancelled", "_lock", "_progress", "total", "completed", "dropped")
 
-    def __init__(self, progress: Optional[Callable[[int, int], None]] = None):
+    def __init__(
+        self, progress: Optional[Callable[[int, Optional[int]], None]] = None
+    ) -> None:
         self._cancelled = threading.Event()
         self._lock = threading.Lock()
         self._progress = progress

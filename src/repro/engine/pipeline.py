@@ -1077,13 +1077,13 @@ def plan_pipeline(
         operators.append(ScanTable(table, params, scan_mode))
         operators.append(ExtractGroup(normalize_y, plan, generation, memo=memo))
 
-    score_args = dict(
-        compiled=compiled,
-        k=k,
-        workers=effective,
-        has_eager_checks=has_eager,
-        pruning=use_pruning,
-    )
+    score_args = {
+        "compiled": compiled,
+        "k": k,
+        "workers": effective,
+        "has_eager_checks": has_eager,
+        "pruning": use_pruning,
+    }
     if generation == "worker":
         operators.append(GenerateAndScore(**score_args))
     elif not parallel:

@@ -431,41 +431,51 @@ _LOCAL: Dict[str, Tuple[int, object]] = {}
 def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "object"]:
     """Reconstruct a read-only collection as views over the shared buffer."""
     segment = _attach_segment(handle.name)
-    base = np.ndarray((handle.total,), dtype=np.float64, buffer=segment.buf)
-    base.flags.writeable = False
-    manifest_start = handle.total * 8
-    entries = pickle.loads(
-        bytes(segment.buf[manifest_start : manifest_start + handle.manifest_nbytes])
-    )
-    trendlines: List[Trendline] = []
-    position = 0
-    for key, y_mean, y_std, bin_offset, lengths in entries:
-        if len(lengths) != _ARRAYS_PER_TRENDLINE:
-            raise ExecutionError(
-                "shm manifest layout mismatch: expected {} arrays per "
-                "trendline, got {} (publisher/worker version skew?)".format(
-                    _ARRAYS_PER_TRENDLINE, len(lengths)
+    try:
+        base = np.ndarray((handle.total,), dtype=np.float64, buffer=segment.buf)
+        base.flags.writeable = False
+        manifest_start = handle.total * 8
+        entries = pickle.loads(
+            bytes(segment.buf[manifest_start : manifest_start + handle.manifest_nbytes])
+        )
+        trendlines: List[Trendline] = []
+        position = 0
+        for key, y_mean, y_std, bin_offset, lengths in entries:
+            if len(lengths) != _ARRAYS_PER_TRENDLINE:
+                raise ExecutionError(
+                    "shm manifest layout mismatch: expected {} arrays per "
+                    "trendline, got {} (publisher/worker version skew?)".format(
+                        _ARRAYS_PER_TRENDLINE, len(lengths)
+                    )
+                )
+            parts = []
+            for length in lengths:
+                parts.append(base[position : position + length])
+                position += length
+            x, y, bin_x, bin_y, norm_bin_y, count, sx, sy, sxy, sxx = parts
+            trendlines.append(
+                Trendline(
+                    key=key,
+                    x=x,
+                    y=y,
+                    bin_x=bin_x,
+                    bin_y=bin_y,
+                    norm_bin_y=norm_bin_y,
+                    prefix=PrefixStats.from_cumulative(count, sx, sy, sxy, sxx),
+                    y_mean=y_mean,
+                    y_std=y_std,
+                    offset=bin_offset,
                 )
             )
-        parts = []
-        for length in lengths:
-            parts.append(base[position : position + length])
-            position += length
-        x, y, bin_x, bin_y, norm_bin_y, count, sx, sy, sxy, sxx = parts
-        trendlines.append(
-            Trendline(
-                key=key,
-                x=x,
-                y=y,
-                bin_x=bin_x,
-                bin_y=bin_y,
-                norm_bin_y=norm_bin_y,
-                prefix=PrefixStats.from_cumulative(count, sx, sy, sxy, sxx),
-                y_mean=y_mean,
-                y_std=y_std,
-                offset=bin_offset,
-            )
-        )
+    except BaseException:
+        # On success the open segment is returned (the _Attachment pins
+        # it); on any failure nobody else holds it, so close here or the
+        # mapping leaks for the worker's lifetime.  Every view over the
+        # buffer must be dropped first or close() refuses to release the
+        # exported memoryview.
+        base = parts = trendlines = None  # noqa: F841
+        segment.close()
+        raise
     return trendlines, segment
 
 
@@ -477,24 +487,33 @@ def attach_table(handle: TableHandle) -> Tuple[Table, "object"]:
     publisher's exact values — group keys keep their types).
     """
     segment = _attach_segment(handle.name)
-    columns: Dict[str, np.ndarray] = {}
-    for name, dtype_str, offset, nbytes in handle.columns:
-        if dtype_str == _OBJECT_COLUMN_DTYPE:
-            values = pickle.loads(bytes(segment.buf[offset : offset + nbytes]))
-            # Element-wise fill, not np.array(values): sequence-valued
-            # cells (tuple/list group keys) must stay single objects in a
-            # 1-D column, not be broadcast into extra dimensions.
-            column = np.empty(len(values), dtype=object)
-            for index, value in enumerate(values):
-                column[index] = value
-            column.setflags(write=False)
-            columns[name] = column
-            continue
-        dtype = np.dtype(dtype_str)
-        count = nbytes // dtype.itemsize if dtype.itemsize else 0
-        view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
-        view.flags.writeable = False
-        columns[name] = view
+    try:
+        columns: Dict[str, np.ndarray] = {}
+        for name, dtype_str, offset, nbytes in handle.columns:
+            if dtype_str == _OBJECT_COLUMN_DTYPE:
+                values = pickle.loads(bytes(segment.buf[offset : offset + nbytes]))
+                # Element-wise fill, not np.array(values): sequence-valued
+                # cells (tuple/list group keys) must stay single objects in a
+                # 1-D column, not be broadcast into extra dimensions.
+                column = np.empty(len(values), dtype=object)
+                for index, value in enumerate(values):
+                    column[index] = value
+                column.setflags(write=False)
+                columns[name] = column
+                continue
+            dtype = np.dtype(dtype_str)
+            count = nbytes // dtype.itemsize if dtype.itemsize else 0
+            view = np.ndarray((count,), dtype=dtype, buffer=segment.buf, offset=offset)
+            view.flags.writeable = False
+            columns[name] = view
+    except BaseException:
+        # A corrupt pickle or a bad dtype string must not leak the
+        # mapping: on success the segment is returned (and pinned by the
+        # _Attachment), on failure we are its only owner.  Views built so
+        # far must go before close() can release the buffer.
+        columns = view = None  # noqa: F841
+        segment.close()
+        raise
     # Seed the cache-key digest with the handle *token* (fingerprint for
     # full exports, fingerprint+subset for column-restricted ones), so
     # two different subsets of one table can never alias cache entries.
@@ -534,8 +553,12 @@ def resolve_query(query):
 
     def attach():
         segment = _attach_segment(query.name)
-        value = pickle.loads(bytes(segment.buf[: query.nbytes]))
-        segment.close()
+        try:
+            # The pickle is copied out (bytes(...)), so the segment is
+            # closed on every path — a corrupt payload must not leak it.
+            value = pickle.loads(bytes(segment.buf[: query.nbytes]))
+        finally:
+            segment.close()
         return _Attachment(value, None)
 
     return _resolve(query.token, attach)

@@ -16,7 +16,7 @@ A :class:`Trendline` holds, for one value of the ``z`` attribute:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class Trendline:
         """Number of bins available for segmentation."""
         return self.prefix.bins
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, object]:
         """Drop the cached line-fit prefix from pickles.
 
         It is derived data one cumsum away from ``norm_bin_y``; shipping
@@ -102,7 +102,7 @@ class Trendline:
         """Normalized bin values of ``[l, r)`` (sketch matching, UDPs)."""
         return self.norm_bin_y[l:r]
 
-    def segment_raw(self, l: int, r: int):
+    def segment_raw(self, l: int, r: int) -> Tuple[np.ndarray, np.ndarray]:
         """Raw (x, y) bin values of ``[l, r)``."""
         return self.bin_x[l:r], self.bin_y[l:r]
 

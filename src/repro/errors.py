@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import CancelledError
+from typing import Optional
 
 
 class ShapeSearchError(Exception):
@@ -22,12 +23,17 @@ class ShapeQuerySyntaxError(ShapeSearchError):
     Carries the offending position so front-ends can underline it.
     """
 
-    def __init__(self, message, position=None, text=None):
+    def __init__(
+        self,
+        message: str,
+        position: Optional[int] = None,
+        text: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.position = position
         self.text = text
 
-    def __str__(self):
+    def __str__(self) -> str:
         base = super().__str__()
         if self.position is None or self.text is None:
             return base

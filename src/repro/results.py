@@ -20,9 +20,23 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Sequence
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    cast,
+    overload,
+)
 
 from repro.errors import SearchCancelled
+
+if TYPE_CHECKING:  # import only for annotations: results must stay leaf-light
+    from repro.engine.control import ExecutionControl
 
 
 class ResultSet(Sequence):
@@ -46,7 +60,13 @@ class ResultSet(Sequence):
 
     __slots__ = ("_matches", "stats", "_plan", "revision")
 
-    def __init__(self, matches, stats=None, plan=None, revision=None):
+    def __init__(
+        self,
+        matches: Iterable[Any],
+        stats: Optional[Any] = None,
+        plan: Optional[Any] = None,
+        revision: Optional[int] = None,
+    ) -> None:
         self._matches: List[Any] = list(matches)
         #: This call's private ExecutionStats (None for synthesized sets).
         self.stats = stats
@@ -64,7 +84,13 @@ class ResultSet(Sequence):
     def __len__(self) -> int:
         return len(self._matches)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Any: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "ResultSet": ...
+
+    def __getitem__(self, index: Any) -> Any:
         if isinstance(index, slice):
             return ResultSet(
                 self._matches[index],
@@ -77,18 +103,19 @@ class ResultSet(Sequence):
     def __iter__(self) -> Iterator[Any]:
         return iter(self._matches)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, ResultSet):
             return self._matches == other._matches
         if isinstance(other, (list, tuple)):
             return self._matches == list(other)
         return NotImplemented
 
-    def __ne__(self, other) -> bool:
+    def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
         return result if result is NotImplemented else not result
 
-    __hash__ = None  # mutable-sequence semantics, like the list it replaces
+    # mutable-sequence semantics, like the list it replaces
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         preview = ", ".join(repr(match) for match in self._matches[:3])
@@ -165,7 +192,7 @@ class SearchFuture:
         "_cancel_requested", "_started", "_callbacks",
     )
 
-    def __init__(self, control):
+    def __init__(self, control: "ExecutionControl") -> None:
         self._control = control
         self._done = threading.Event()
         self._lock = threading.Lock()
@@ -173,7 +200,7 @@ class SearchFuture:
         self._exception: Optional[BaseException] = None
         self._cancel_requested = False
         self._started = False
-        self._callbacks: list = []
+        self._callbacks: List[Callable[["SearchFuture"], None]] = []
 
     # -- driver protocol (engine dispatcher only) --------------------------
     def _start(self) -> bool:
@@ -184,7 +211,11 @@ class SearchFuture:
             self._started = True
             return True
 
-    def _finish(self, result=None, exception=None) -> None:
+    def _finish(
+        self,
+        result: Optional[ResultSet] = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
         """Resolve the future exactly once (later calls are ignored).
 
         ``cancel() == True`` guarantees a cancelled resolution even when
@@ -238,7 +269,7 @@ class SearchFuture:
         """``(completed shards, total shards or None)`` right now."""
         return self._control.progress
 
-    def add_done_callback(self, callback) -> None:
+    def add_done_callback(self, callback: Callable[["SearchFuture"], None]) -> None:
         """Run ``callback(self)`` on resolution (immediately if done)."""
         with self._lock:
             if not self._done.is_set():
@@ -280,7 +311,9 @@ class SearchFuture:
             )
         if self._exception is not None:
             raise self._exception
-        return self._result
+        # _finish only resolves without an exception when a ResultSet
+        # landed, so the None in the Optional is unreachable here.
+        return cast(ResultSet, self._result)
 
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
         """Block like :meth:`result` but return the exception, if any."""
@@ -298,6 +331,6 @@ class SearchFuture:
         elif self._exception is not None:
             state = "error={!r}".format(self._exception)
         else:
-            state = "done n={}".format(len(self._result))
+            state = "done n={}".format(len(cast(ResultSet, self._result)))
         completed, total = self.progress
         return "SearchFuture({}, progress={}/{})".format(state, completed, total)

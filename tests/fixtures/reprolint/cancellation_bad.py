@@ -1,0 +1,19 @@
+# Fixture: violates every REP03x cancellation-seam rule.  Parsed, never run.
+from concurrent.futures import ThreadPoolExecutor
+
+from somewhere import score_shard  # noqa — fixtures are never imported
+
+
+class BrokenScore:
+    """A Score operator whose shard loop is invisible to cancel."""
+
+    def run(self, ctx, shards):  # REP031: no dispatch_*, no control
+        results = []
+        for shard in shards:
+            results.append(score_shard(shard))
+        return results
+
+
+def dispatch_rows(pool, tasks):  # REP032: bypasses the _run_tasks funnel
+    executor = ThreadPoolExecutor(max_workers=2)  # REP033: raw pool
+    return [executor.submit(task) for task in tasks]

@@ -1,0 +1,36 @@
+# Fixture: the conforming twin of cancellation_bad.py.
+from concurrent.futures import ThreadPoolExecutor
+
+from somewhere import _run_tasks, dispatch_score  # noqa — never imported
+
+
+class SteadyScore:
+    """Routes through the seam: control checkpoint + dispatch helper."""
+
+    def run(self, ctx, shards):
+        ctx.control.begin(len(shards))
+        return dispatch_score(ctx.pool, shards)
+
+
+class SequentialishScore:
+    """The single-shard path: checkpoints control directly."""
+
+    def run(self, ctx, shards):
+        results = []
+        for shard in shards:
+            ctx.control.raise_if_cancelled()
+            results.append(shard.score())
+        return results
+
+
+def dispatch_rows(pool, tasks):
+    return _run_tasks(pool, tasks)  # the one funnel
+
+
+class WorkerPool:
+    """The single sanctioned executor construction site."""
+
+    def _ensure(self):
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=2)
+        return self._executor

@@ -1,0 +1,9 @@
+# Fixture: violates REP041 (internal calls to deprecated shims).
+
+
+def run_all(engine, queries):
+    return [engine.search(query) for query in queries]  # REP041
+
+
+def batched(engine, table, queries):
+    return engine.execute_many(table, queries)  # REP041

@@ -1,0 +1,16 @@
+# Fixture: the conforming twin of deprecation_bad.py.
+
+
+def run_all(engine, queries):
+    return [engine.run(query) for query in queries]  # the serving-era API
+
+
+def batched(engine, table, queries):
+    return engine.prepare(table, queries).submit()
+
+
+class Engine:
+    def execute(self, table, query):
+        # A shim's own delegating body is the shim working, not a
+        # violation — the enclosing function shares the shim's name.
+        return self._delegate.execute(table, query)

@@ -1,0 +1,33 @@
+# Fixture: violates every REP01x determinism rule.  Never imported or
+# executed — parsed by tests/test_reprolint.py through the fixture
+# harness, and excluded from normal reprolint/ruff discovery.
+import time  # REP014: wall clock in engine code
+
+import numpy as np
+
+REGISTRY = set()
+
+
+def now():
+    return time.monotonic()
+
+
+def emit(out):
+    for item in REGISTRY:  # REP011: hash-ordered iteration
+        out.append(item)
+
+
+def collect(items):
+    return [value for value in set(items)]  # REP011 (comprehension form)
+
+
+def merge_results(items):
+    return sorted(items)  # REP013: keyless sort on a merge path
+
+
+def rank(scores):
+    return np.argsort(scores)  # REP012: unstable sort kind
+
+
+def jitter(n):
+    return np.random.normal(size=n)  # REP014: RNG in engine code

@@ -1,0 +1,27 @@
+# Fixture: the conforming twin of determinism_bad.py — every pattern
+# here must stay silent under the REP01x rules.
+import numpy as np
+
+REGISTRY = set()
+
+
+def emit(out):
+    for item in sorted(REGISTRY):  # deterministic order imposed
+        out.append(item)
+
+
+def collect(items):
+    return [value for value in sorted(set(items))]
+
+
+def merge_results(items):
+    return sorted(items, key=lambda r: (-r[0], r[1]))  # explicit total order
+
+
+def rank(scores):
+    return np.argsort(scores, kind="stable")
+
+
+def plain_list_sort(values):
+    values.sort()  # list.sort() is stable and not on a merge path
+    return values

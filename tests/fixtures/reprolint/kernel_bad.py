@@ -1,0 +1,19 @@
+# Fixture: violates both REP05x kernel-parity rules.  Parsed, never run.
+from somewhere import CompiledUnit, SlopeUnit  # noqa — never imported
+
+
+class MatrixOnlyUnit(CompiledUnit):
+    """REP051: overrides the matrix kernel with no scalar twin."""
+
+    def score_matrix(self, trendline):
+        return trendline
+
+
+class UndeclaredSlopeUnit(SlopeUnit):
+    """REP052: consumes shared slopes without declaring slope_based."""
+
+    def score_pairs(self, stats, starts, ends):
+        return stats
+
+    def score_matrix_from_slopes(self, slopes, lengths):
+        return slopes

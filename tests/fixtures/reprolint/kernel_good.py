@@ -1,0 +1,31 @@
+# Fixture: the conforming twin of kernel_bad.py.
+from somewhere import CompiledUnit, SlopeUnit  # noqa — never imported
+
+
+class PairedUnit(CompiledUnit):
+    """Matrix override with its scalar twin in the same class body."""
+
+    def score_pairs(self, stats, starts, ends):
+        return stats
+
+    def score_matrix(self, trendline):
+        return trendline
+
+
+class DeclaredSlopeUnit(SlopeUnit):
+    """Slope consumer that declares itself to the wavefront."""
+
+    slope_based = True
+
+    def score_pairs(self, stats, starts, ends):
+        return stats
+
+    def score_matrix_from_slopes(self, slopes, lengths):
+        return slopes
+
+
+class ScalarOnlyUnit(CompiledUnit):
+    """No matrix override at all: nothing for REP05x to demand."""
+
+    def score(self, trendline, start, end):
+        return 0.0

@@ -1,0 +1,30 @@
+# Fixture: violates every REP02x shm-lifecycle rule.  Parsed, never run.
+from multiprocessing import shared_memory
+
+from somewhere import _attach_segment  # noqa — fixtures are never imported
+
+
+def leak_unbound():
+    shared_memory.SharedMemory(create=True, size=8)  # REP021: nothing owns it
+
+
+def leak_no_owner(payload):
+    segment = shared_memory.SharedMemory(create=True, size=8)  # REP021
+    copied = bytes(segment.buf[: len(payload)])
+    return copied  # segment never closed, stored, or returned
+
+
+def escape_buf(segment):
+    return segment.buf  # REP022: raw memoryview outlives the pin
+
+
+class Holder:
+    def pin(self, segment):
+        self._view = segment.buf  # REP022: stored view, unpinned segment
+
+
+def raise_after_attach(name, expected):
+    segment = _attach_segment(name)
+    if segment.size != expected:
+        raise ValueError("size mismatch")  # REP023: leaks the mapping
+    return segment

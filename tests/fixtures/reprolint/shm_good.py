@@ -1,0 +1,42 @@
+# Fixture: the conforming twin of shm_bad.py — the acquire/pin idioms
+# the REP02x rules must accept.
+import weakref
+from multiprocessing import shared_memory
+
+from somewhere import _Attachment, _attach_segment  # noqa — never imported
+
+
+def publish(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment  # ownership transfers to the caller
+
+
+def read_copy(name, nbytes):
+    segment = _attach_segment(name)
+    try:
+        return bytes(segment.buf[:nbytes])  # copy severs the view
+    finally:
+        segment.close()
+
+
+def attach_guarded(name, expected):
+    segment = _attach_segment(name)
+    try:
+        if segment.size != expected:
+            raise ValueError("size mismatch")
+    except BaseException:
+        segment.close()  # the raise window is guarded
+        raise
+    return segment
+
+
+def pin(value, name):
+    segment = _attach_segment(name)
+    return _Attachment(value, segment)  # attachment owns the mapping
+
+
+def finalized(owner, name):
+    segment = _attach_segment(name)
+    weakref.finalize(owner, segment.close)
+    return owner

@@ -457,3 +457,114 @@ class TestEngineIntegration:
             pickled = engine.rank(trendlines, QUERY, k=4)
             assert engine._shm_box[0] is None  # transport never engaged
         assert _signature(sequential) == _signature(pickled)
+
+
+class TestAttachFailureLifecycle:
+    """A failing attach must close its segment (REP023 regression tests).
+
+    Before the fix, attach_collection leaked its mapping when the
+    manifest-layout check raised, and attach_table / resolve_query leaked
+    on corrupt payloads — every retry then pinned one more /dev/shm
+    mapping for the worker's lifetime.
+    """
+
+    @staticmethod
+    def _tracking_attach(monkeypatch, closed):
+        real = shm._attach_segment
+
+        def tracking(name):
+            segment = real(name)
+            original_close = segment.close
+
+            def close():
+                closed.append(name)
+                original_close()
+
+            segment.close = close
+            return segment
+
+        monkeypatch.setattr(shm, "_attach_segment", tracking)
+
+    def test_attach_collection_closes_segment_on_manifest_mismatch(
+        self, monkeypatch
+    ):
+        handle, segment = shm.publish_trendlines(_collection(count=3))
+        closed = []
+        try:
+            self._tracking_attach(monkeypatch, closed)
+            # A publisher/worker version skew: the attaching side expects
+            # a different per-trendline array count than was published.
+            monkeypatch.setattr(shm, "_ARRAYS_PER_TRENDLINE", 11)
+            with pytest.raises(ExecutionError, match="manifest layout mismatch"):
+                shm.attach_collection(handle)
+            assert closed == [handle.name]
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attach_collection_closes_segment_on_corrupt_manifest(
+        self, monkeypatch
+    ):
+        import dataclasses
+
+        handle, segment = shm.publish_trendlines(_collection(count=3))
+        closed = []
+        try:
+            self._tracking_attach(monkeypatch, closed)
+            truncated = dataclasses.replace(handle, manifest_nbytes=3)
+            with pytest.raises(Exception):
+                shm.attach_collection(truncated)
+            assert closed == [handle.name]
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attach_table_closes_segment_on_bad_dtype(self, monkeypatch):
+        import dataclasses
+
+        table = Table.from_arrays(x=np.arange(6.0), y=np.arange(6.0) * 2)
+        handle, segment = shm.publish_table(table)
+        closed = []
+        try:
+            self._tracking_attach(monkeypatch, closed)
+            name, _, offset, nbytes = handle.columns[0]
+            bad = dataclasses.replace(
+                handle, columns=((name, "not-a-dtype", offset, nbytes),)
+            )
+            with pytest.raises(TypeError):
+                shm.attach_table(bad)
+            assert closed == [handle.name]
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attach_succeeds_without_closing(self, monkeypatch):
+        handle, segment = shm.publish_trendlines(_collection(count=3))
+        closed = []
+        try:
+            self._tracking_attach(monkeypatch, closed)
+            rebuilt, attachment = shm.attach_collection(handle)
+            assert closed == []  # success hands the open segment to the caller
+            assert len(rebuilt) == 3
+            attachment.close()
+            assert closed == [handle.name]
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_resolve_query_closes_segment_on_corrupt_payload(self, monkeypatch):
+        import dataclasses
+
+        handle, segment = shm.publish_query(QUERY)
+        closed = []
+        try:
+            self._tracking_attach(monkeypatch, closed)
+            # New token: miss the publisher-side registry so the attach
+            # path actually runs; truncated nbytes corrupts the pickle.
+            corrupt = dataclasses.replace(handle, token="corrupt", nbytes=3)
+            with pytest.raises(Exception):
+                shm.resolve_query(corrupt)
+            assert closed == [handle.name]
+        finally:
+            segment.close()
+            segment.unlink()

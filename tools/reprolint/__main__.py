@@ -1,0 +1,8 @@
+"""Entry point: ``python -m tools.reprolint src tests benchmarks``."""
+
+import sys
+
+from tools.reprolint.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

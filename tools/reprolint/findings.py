@@ -1,0 +1,100 @@
+"""The unit of reprolint output: one finding, with location and rationale.
+
+A finding identifies *where* (repo-relative path, line, column), *what*
+(rule id + one-line message) and *why it matters* (the rule's rationale,
+so a reviewer reading CI output does not need the rule catalog open).
+``context`` is the enclosing ``Class.function`` qualname and ``snippet``
+the stripped source line — together they are the baseline matching key,
+chosen over line numbers so unrelated edits above a grandfathered
+finding do not invalidate its suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: e.g. "REP011"
+    path: str  #: repo-relative, forward slashes
+    line: int  #: 1-based
+    col: int  #: 0-based (ast convention)
+    message: str  #: one line: what is wrong here
+    rationale: str = ""  #: why the invariant exists (rule-level text)
+    context: str = ""  #: enclosing Class.function qualname ("" = module)
+    snippet: str = ""  #: stripped source line at ``line``
+
+    def key(self) -> tuple:
+        """The baseline matching key (line-number free, see module doc)."""
+        return (self.rule, self.path, self.context, self.snippet)
+
+    def render(self) -> str:
+        location = "{}:{}:{}".format(self.path, self.line, self.col + 1)
+        text = "{}: {} {}".format(location, self.rule, self.message)
+        if self.context:
+            text += " [in {}]".format(self.context)
+        return text
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "rationale": self.rationale,
+            "context": self.context,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Report:
+    """Everything one run produced, for the text and JSON renderings."""
+
+    findings: list = field(default_factory=list)  #: unsuppressed Findings
+    suppressed: list = field(default_factory=list)  #: (Finding, how) pairs
+    errors: list = field(default_factory=list)  #: baseline/suppression errors
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [
+                {"how": how, **finding.to_json()}
+                for finding, how in self.suppressed
+            ],
+            "errors": list(self.errors),
+            "clean": self.clean,
+        }
+
+
+def make_finding(
+    rule,
+    ctx,
+    node,
+    message: str,
+    context: Optional[str] = None,
+) -> Finding:
+    """Build a Finding for ``node`` inside ``ctx`` (a FileContext)."""
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return Finding(
+        rule=rule.id,
+        path=ctx.relpath,
+        line=line,
+        col=col,
+        message=message,
+        rationale=rule.rationale,
+        context=ctx.qualname(node) if context is None else context,
+        snippet=ctx.source_line(line),
+    )

@@ -1,0 +1,38 @@
+"""Rule registry: every shipped rule family, in id order."""
+
+from tools.reprolint.rules.determinism import (
+    SetIterationRule,
+    UnstableNumpySortRule,
+    KeylessMergeSortRule,
+    WallClockInScoringRule,
+)
+from tools.reprolint.rules.shm import (
+    SegmentOwnershipRule,
+    BufEscapeRule,
+    RaiseAfterAttachRule,
+)
+from tools.reprolint.rules.cancellation import (
+    ScoreSeamRule,
+    DispatchFunnelRule,
+    ExecutorConfinementRule,
+)
+from tools.reprolint.rules.deprecation import ShimCallRule
+from tools.reprolint.rules.kernel import MatrixParityRule, SlopeBasedDeclarationRule
+
+ALL_RULES = [
+    SetIterationRule(),
+    UnstableNumpySortRule(),
+    KeylessMergeSortRule(),
+    WallClockInScoringRule(),
+    SegmentOwnershipRule(),
+    BufEscapeRule(),
+    RaiseAfterAttachRule(),
+    ScoreSeamRule(),
+    DispatchFunnelRule(),
+    ExecutorConfinementRule(),
+    ShimCallRule(),
+    MatrixParityRule(),
+    SlopeBasedDeclarationRule(),
+]
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

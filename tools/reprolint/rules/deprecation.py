@@ -1,0 +1,54 @@
+"""REP04x: deprecation discipline — internals never call their own shims.
+
+PR 5 kept ``search``/``execute``/``search_many``/``execute_many`` as
+deprecation shims for external callers; the CI ``deprecations`` job runs
+the suite with the warning escalated to an error.  This rule closes the
+remaining gap statically: a *new* internal call site would only surface
+when that job happens to execute it — here it fails at lint time, on
+every path, executed or not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import make_finding
+from tools.reprolint.visitor import FileContext, Rule
+
+_SHIMS = {"search", "execute", "search_many", "execute_many"}
+
+
+class ShimCallRule(Rule):
+    """REP041: no internal module may call a deprecated shim.
+
+    Flags any ``obj.search(...)`` / ``obj.execute(...)`` (and the
+    ``_many`` variants) inside ``src/repro`` — internals must use
+    ``prepare``/``run``/``submit``.  The shim's own body is exempt
+    (a shim delegating is the shim working, not a violation).
+    """
+
+    id = "REP041"
+    name = "shim-call"
+    rationale = (
+        "internal callers of deprecated shims re-entrench the old surface "
+        "and defeat the deprecation-clean CI contract"
+    )
+    scope = ("src/repro/",)
+
+    def check(self, ctx: FileContext):
+        for node in ctx.walk(ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            name = node.func.attr
+            if name not in _SHIMS:
+                continue
+            enclosing = ctx.enclosing_function(node)
+            if enclosing is not None and enclosing.name == name:
+                continue  # the shim's own delegating body
+            yield make_finding(
+                self,
+                ctx,
+                node,
+                ".{}() is a deprecated shim; internal code must use "
+                "prepare()/run()/submit()".format(name),
+            )

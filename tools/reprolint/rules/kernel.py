@@ -1,0 +1,133 @@
+"""REP05x: kernel parity — matrix fast paths stay bitwise-consistent.
+
+The matrix DP kernel is only trusted because every unit's vectorized
+path provably equals its scalar path (tests/test_matrix_kernel.py's
+byte-identity property suite).  These rules keep the *shape* of that
+proof intact for future units: a class that overrides a matrix kernel
+without owning a scalar path has nothing to be byte-identical *to*, and
+a unit feeding on shared slope tiles must say so (``slope_based``) or
+the tile-sharing wavefront will skip it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import make_finding
+from tools.reprolint.visitor import FileContext, Rule
+
+#: Names that mark a class as a compiled-unit subclass when they appear
+#: among its (syntactic) bases.  Direct names only — reprolint does not
+#: resolve imports — so the set lists the whole shipped unit taxonomy.
+_UNIT_BASES = {
+    "CompiledUnit",
+    "SlopeUnit",
+    "LineUnit",
+    "QuantifierUnit",
+    "PositionUnit",
+    "SketchUnit",
+    "UdpUnit",
+    "NestedUnit",
+    "WindowUnit",
+    "AndUnit",
+}
+
+_MATRIX_METHODS = {"score_matrix", "score_matrix_from_slopes"}
+_SCALAR_METHODS = {"score", "score_pairs", "score_ends"}
+
+
+def _unit_classes(ctx: FileContext):
+    for node in ctx.walk(ast.ClassDef):
+        base_names = {
+            base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+            for base in node.bases
+        }
+        if base_names & _UNIT_BASES:
+            yield node
+
+
+def _defined_methods(cls: ast.ClassDef):
+    return {
+        item.name for item in cls.body if isinstance(item, ast.FunctionDef)
+    }
+
+
+def _class_assignments(cls: ast.ClassDef):
+    values = {}
+    for item in cls.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and isinstance(item.value, ast.Constant):
+                    values[target.id] = item.value.value
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            if isinstance(item.value, ast.Constant):
+                values[item.target.id] = item.value.value
+    return values
+
+
+class MatrixParityRule(Rule):
+    """REP051: a matrix-kernel override must own a scalar path.
+
+    A ``CompiledUnit`` subclass overriding ``score_matrix`` /
+    ``score_matrix_from_slopes`` must also define ``score``,
+    ``score_pairs`` or ``score_ends`` in the same class — the scalar
+    twin the byte-identity suite compares the matrix path against.
+    Inheriting the scalar path while overriding the matrix one is how
+    the two silently drift apart.
+    """
+
+    id = "REP051"
+    name = "matrix-parity"
+    rationale = (
+        "a vectorized kernel without a scalar twin in the same class has "
+        "nothing the byte-identity suite can prove it equal to"
+    )
+
+    def check(self, ctx: FileContext):
+        for cls in _unit_classes(ctx):
+            defined = _defined_methods(cls)
+            overridden = defined & _MATRIX_METHODS
+            if overridden and not (defined & _SCALAR_METHODS):
+                yield make_finding(
+                    self,
+                    ctx,
+                    cls,
+                    "{} overrides {} without a matching scalar path "
+                    "(score/score_pairs/score_ends)".format(
+                        cls.name, "/".join(sorted(overridden))
+                    ),
+                    context=cls.name,
+                )
+
+
+class SlopeBasedDeclarationRule(Rule):
+    """REP052: slope-matrix consumers must declare ``slope_based = True``.
+
+    The tile-major wavefront shares one fitted-slope matrix per tile
+    across all layers whose unit declares ``slope_based``; a unit that
+    implements ``score_matrix_from_slopes`` but leaves the flag unset is
+    silently routed through the generic path and never receives the
+    shared slopes it was written for.
+    """
+
+    id = "REP052"
+    name = "slope-based-declaration"
+    rationale = (
+        "score_matrix_from_slopes is only called for units declaring "
+        "slope_based = True; an undeclared implementation is dead code"
+    )
+
+    def check(self, ctx: FileContext):
+        for cls in _unit_classes(ctx):
+            if "score_matrix_from_slopes" not in _defined_methods(cls):
+                continue
+            assignments = _class_assignments(cls)
+            if assignments.get("slope_based") is not True:
+                yield make_finding(
+                    self,
+                    ctx,
+                    cls,
+                    "{} implements score_matrix_from_slopes but does not declare "
+                    "slope_based = True".format(cls.name),
+                    context=cls.name,
+                )

@@ -1,0 +1,272 @@
+"""REP02x: shared-memory lifecycle — no segment may outlive its owner.
+
+``engine/shm.py``'s contract (tests/test_shm.py, test_shm_delta.py) is
+that every ``SharedMemory`` segment is owned by exactly one party — a
+returning publish function, an ``_Attachment`` in the worker store, or a
+``ShmSession`` map — and that ownership is taken *before* anything can
+raise.  These rules encode the acquire/pin discipline statically: a
+segment that never reaches an owner is a ``/dev/shm`` leak; a raw
+``.buf`` memoryview that escapes its function outlives the mapping that
+backs it and dangles the moment the segment closes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.reprolint.findings import make_finding
+from tools.reprolint.visitor import FileContext, Rule, call_name, mentions_name
+
+#: Calls that produce a segment needing an owner.
+_SEGMENT_SOURCES = {"SharedMemory", "_attach_segment"}
+#: Callables that take ownership of a segment passed to them.
+_OWNERSHIP_SINKS = {"_Attachment", "finalize", "register", "_destroy", "_destroy_all"}
+
+
+def _segment_calls(ctx: FileContext):
+    for node in ctx.walk(ast.Call):
+        if call_name(node) in _SEGMENT_SOURCES:
+            yield node
+
+
+def _binding_name(ctx: FileContext, call: ast.Call) -> Optional[str]:
+    """The local name ``x`` when the call is ``x = SharedMemory(...)``."""
+    parent = ctx.parent(call)
+    if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+        target = parent.targets[0]
+        if isinstance(target, ast.Name):
+            return target.id
+    if isinstance(parent, ast.AnnAssign) and isinstance(parent.target, ast.Name):
+        return parent.target.id
+    # try: return shared.SharedMemory(name=name) — returned directly.
+    if isinstance(parent, ast.Return):
+        return None
+    return None
+
+
+def _escapes(scope: ast.AST, name: str) -> bool:
+    """True when the segment bound to ``name`` reaches an owner in ``scope``."""
+    for node in ast.walk(scope):
+        # return segment / return handle, segment / yield segment
+        if isinstance(node, (ast.Return, ast.Yield)) and node.value is not None:
+            if mentions_name(node.value, name):
+                return True
+        # segment.close() / segment.unlink()
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if (
+                node.func.attr in {"close", "unlink"}
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+        # _Attachment(value, segment), weakref.finalize(..., segment),
+        # atexit.register(..., segment), _destroy(segment)
+        if isinstance(node, ast.Call) and call_name(node) in _OWNERSHIP_SINKS:
+            if any(mentions_name(arg, name) for arg in node.args):
+                return True
+        # self._segments[token] = segment / store[token] = segment
+        if isinstance(node, ast.Assign) and mentions_name(node.value, name):
+            for target in node.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    return True
+        # containers that are appended to and later handled
+        if isinstance(node, ast.Call) and call_name(node) == "append":
+            if any(mentions_name(arg, name) for arg in node.args):
+                return True
+    return False
+
+
+class SegmentOwnershipRule(Rule):
+    """REP021: every created/attached segment must reach an owner.
+
+    An owner is: being returned (the caller inherits the obligation), a
+    ``close()``/``unlink()`` call, an ``_Attachment``/``weakref.finalize``
+    / ``atexit.register`` registration, or storage into a session map.
+    A segment that reaches none of these is an unconditional
+    ``/dev/shm`` leak.
+    """
+
+    id = "REP021"
+    name = "segment-ownership"
+    rationale = (
+        "a SharedMemory segment with no owner leaks its /dev/shm mapping "
+        "until interpreter exit; ownership must be taken in the same function"
+    )
+    scope = ("src/",)
+
+    def check(self, ctx: FileContext):
+        for call in _segment_calls(ctx):
+            parent = ctx.parent(call)
+            if isinstance(parent, (ast.Return, ast.Yield)):
+                continue  # ownership transfers to the caller
+            name = _binding_name(ctx, call)
+            scope = ctx.enclosing_function(call) or ctx.tree
+            if name is None:
+                # Not bound and not returned: the segment object is
+                # unreachable the moment the statement ends.
+                if isinstance(parent, ast.Call) and call_name(parent) in _OWNERSHIP_SINKS:
+                    continue
+                yield make_finding(
+                    self,
+                    ctx,
+                    call,
+                    "segment is neither bound nor returned; nothing can ever "
+                    "close or unlink it",
+                )
+                continue
+            if not _escapes(scope, name):
+                yield make_finding(
+                    self,
+                    ctx,
+                    call,
+                    "segment {!r} never reaches close()/finalize/owner storage "
+                    "and is not returned".format(name),
+                )
+
+
+class BufEscapeRule(Rule):
+    """REP022: raw ``.buf`` memoryviews must not escape their function.
+
+    ``segment.buf`` is only valid while the mapping is open.  Returning
+    it, or storing it on ``self``/a module global, detaches its lifetime
+    from the segment's pin — the acquire/pin discipline of
+    ``engine/shm.py`` requires escapes to be numpy views owned by an
+    ``_Attachment`` that also holds the segment.
+    """
+
+    id = "REP022"
+    name = "buf-escape"
+    rationale = (
+        "a raw .buf memoryview dangles when its segment closes; only views "
+        "pinned alongside their segment (e.g. via _Attachment) may escape"
+    )
+    scope = ("src/",)
+
+    _COPIERS = {"bytes", "bytearray"}
+
+    def _contains_buf(self, node: ast.AST) -> bool:
+        """True when ``node`` holds a ``.buf`` read not copied out.
+
+        ``bytes(segment.buf[...])`` is the sanctioned idiom — the copy
+        severs the view from the mapping — so ``.buf`` reached only
+        through a ``bytes``/``bytearray`` call does not count.
+        """
+
+        def scan(current: ast.AST) -> bool:
+            if isinstance(current, ast.Call):
+                name = current.func.id if isinstance(current.func, ast.Name) else None
+                if name in self._COPIERS:
+                    return False
+            if isinstance(current, ast.Attribute) and current.attr == "buf":
+                return True
+            return any(scan(child) for child in ast.iter_child_nodes(current))
+
+        return scan(node)
+
+    def check(self, ctx: FileContext):
+        for node in ctx.walk(ast.Return):
+            if node.value is not None and self._contains_buf(node.value):
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    "raw .buf escapes via return; copy it (bytes(...)) or keep "
+                    "the segment pinned with the view",
+                )
+        for node in ctx.walk(ast.Assign):
+            if not self._contains_buf(node.value):
+                continue
+            for target in node.targets:
+                is_self_attr = (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                )
+                is_module_global = (
+                    isinstance(target, ast.Name)
+                    and ctx.enclosing_function(node) is None
+                )
+                if is_self_attr or is_module_global:
+                    yield make_finding(
+                        self,
+                        ctx,
+                        node,
+                        "raw .buf stored beyond the function; its segment can "
+                        "close underneath the stored view",
+                    )
+
+
+class RaiseAfterAttachRule(Rule):
+    """REP023: no raise between an attach and its ownership transfer.
+
+    A function that attaches a segment and then raises before the
+    segment reaches its owner leaks the mapping — the exact failure
+    fixed in ``attach_collection`` (manifest mismatch) and
+    ``resolve_query`` (corrupt pickle).  A ``raise`` after the attach is
+    only safe inside a try whose handler or finally closes the segment.
+    """
+
+    id = "REP023"
+    name = "raise-after-attach"
+    rationale = (
+        "an exception between attach and ownership transfer leaks the "
+        "mapping; guard the window with try/except-close or try/finally"
+    )
+    scope = ("src/",)
+
+    def _closes(self, nodes: List[ast.stmt], name: str) -> bool:
+        for statement in nodes:
+            for node in ast.walk(statement):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in {"close", "unlink"}
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    return True
+                if isinstance(node, ast.Call) and call_name(node) in {
+                    "_destroy",
+                    "_destroy_all",
+                }:
+                    if any(mentions_name(arg, name) for arg in node.args):
+                        return True
+        return False
+
+    def _guarded(self, ctx: FileContext, node: ast.AST, name: str) -> bool:
+        """Is ``node`` inside a try whose cleanup closes ``name``?"""
+        current = ctx.parent(node)
+        while current is not None:
+            if isinstance(current, ast.Try):
+                cleanup: List[ast.stmt] = list(current.finalbody)
+                for handler in current.handlers:
+                    cleanup.extend(handler.body)
+                if self._closes(cleanup, name):
+                    return True
+            current = ctx.parent(current)
+        return False
+
+    def check(self, ctx: FileContext):
+        for call in _segment_calls(ctx):
+            name = _binding_name(ctx, call)
+            if name is None:
+                continue
+            scope = ctx.enclosing_function(call)
+            if scope is None:
+                continue
+            attach_line = call.lineno
+            for node in ast.walk(scope):
+                if not isinstance(node, ast.Raise):
+                    continue
+                if node.lineno <= attach_line:
+                    continue
+                if self._guarded(ctx, node, name):
+                    continue
+                yield make_finding(
+                    self,
+                    ctx,
+                    node,
+                    "raise after attaching segment {!r} leaks the mapping; close "
+                    "it in an except/finally before propagating".format(name),
+                )

@@ -1,0 +1,28 @@
+"""Fixture harness: run one rule against one file, scope ignored.
+
+The per-rule fixtures under ``tests/fixtures/reprolint`` are excluded
+from normal discovery (they exist to violate the rules), so the test
+suite drives each rule against its bad/good pair through this module:
+``check_fixture`` parses the fixture and runs exactly one rule's
+``check`` on it, bypassing the driver's path-scope filter — fixtures
+prove rule *logic*; scoping is tested separately against real paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from tools.reprolint.findings import Finding
+from tools.reprolint.visitor import FileContext, Rule
+
+
+def run_rule(rule: Rule, source: str, relpath: str = "fixture.py") -> List[Finding]:
+    """All findings ``rule`` produces over ``source``."""
+    return list(rule.check(FileContext(relpath, source)))
+
+
+def check_fixture(rule: Rule, fixture_path, relpath: str = None) -> List[Finding]:
+    """All findings ``rule`` produces over the file at ``fixture_path``."""
+    path = Path(fixture_path)
+    return run_rule(rule, path.read_text(), relpath or path.name)

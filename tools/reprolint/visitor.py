@@ -1,0 +1,235 @@
+"""The AST framework rules are written against.
+
+One :class:`FileContext` is built per file and shared by every rule: it
+parses once, annotates every node with its parent and enclosing-scope
+qualname, collects inline suppression comments, and offers the small
+expression-classification helpers (is this a set expression? does this
+subtree mention name X?) that keep the per-rule checkers short.
+
+A rule is a subclass of :class:`Rule` with a class-level ``id``,
+``rationale`` and ``scope`` (a path-prefix filter), implementing
+:meth:`Rule.check` as a generator of findings.  Rules see plain ast
+nodes — there is no type inference here, deliberately: every rule is a
+*syntactic discipline* chosen so that conforming code is obviously
+conforming (the same philosophy as ruff's bugbear family), and anything
+subtler belongs in the runtime suites the RULES.md catalog points at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: Inline suppression: ``# reprolint: disable=REP011,REP021 -- rationale``.
+#: The rationale after ``--`` is mandatory; a bare disable is itself an
+#: error (reported by the driver), keeping every suppression reviewed.
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Z0-9, ]+?)\s*(?:--\s*(?P<why>.+?))?\s*$"
+)
+
+
+class InlineSuppression:
+    __slots__ = ("line", "rules", "rationale")
+
+    def __init__(self, line: int, rules: Tuple[str, ...], rationale: str):
+        self.line = line
+        self.rules = rules
+        self.rationale = rationale
+
+
+class FileContext:
+    """Parsed file + the node annotations every rule shares."""
+
+    def __init__(self, relpath: str, source: str):
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=relpath)
+        self._parents: Dict[int, ast.AST] = {}
+        self._qualnames: Dict[int, str] = {}
+        self._annotate()
+        self.suppressions: Dict[int, InlineSuppression] = {}
+        self.bad_suppressions: List[int] = []
+        self._collect_suppressions()
+        #: Module-level names bound to set-like values (set()/frozenset()/
+        #: WeakSet()/set literals) — the cheap "type inference" REP011
+        #: uses to catch iteration over module-global registries.
+        self.module_set_names: Set[str] = _module_set_names(self.tree)
+
+    # -- construction ------------------------------------------------------
+    def _annotate(self) -> None:
+        stack: List[str] = []
+
+        def visit(node: ast.AST) -> None:
+            scoped = isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            if scoped:
+                stack.append(node.name)
+            qualname = ".".join(stack)
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+                self._qualnames[id(child)] = qualname
+                visit(child)
+            if scoped:
+                stack.pop()
+
+        self._qualnames[id(self.tree)] = ""
+        visit(self.tree)
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(StringIO(self.source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _DISABLE_RE.search(token.string)
+                if match is None:
+                    continue
+                rules = tuple(
+                    rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+                )
+                rationale = (match.group("why") or "").strip()
+                if not rationale:
+                    self.bad_suppressions.append(token.start[0])
+                    continue
+                self.suppressions[token.start[0]] = InlineSuppression(
+                    token.start[0], rules, rationale
+                )
+        except tokenize.TokenError:  # unterminated strings etc: no inline data
+            pass
+
+    # -- node services -----------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def qualname(self, node: ast.AST) -> str:
+        """Enclosing ``Class.function`` scope of ``node`` ("" at module level)."""
+        return self._qualnames.get(id(node), "")
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parent(current)
+        return None
+
+    def walk(self, kinds=None) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if kinds is None or isinstance(node, kinds):
+                yield node
+
+
+# ---------------------------------------------------------------------------
+# Expression classification helpers
+# ---------------------------------------------------------------------------
+
+#: Callable names that build sets (the attribute form catches WeakSet()).
+_SET_BUILDERS = {"set", "frozenset", "WeakSet"}
+#: Wrappers that preserve the *order* of whatever they are given — seeing
+#: through them keeps ``for x in list(some_set)`` flaggable.
+_ORDER_PRESERVING_WRAPPERS = {"list", "tuple", "enumerate", "reversed", "iter"}
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """The called name for ``f(...)`` or ``obj.f(...)``; None otherwise."""
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def is_set_expression(node: ast.AST, module_set_names: Iterable[str] = ()) -> bool:
+    """True when ``node`` evaluates to an unordered set, syntactically.
+
+    Covers set literals, set comprehensions, ``set(...)`` /
+    ``frozenset(...)`` / ``WeakSet(...)`` calls, names bound to one of
+    those at module level, and any of the above seen through an
+    order-preserving wrapper like ``list(...)``.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in module_set_names:
+        return True
+    name = call_name(node)
+    if name in _SET_BUILDERS:
+        return True
+    if name in _ORDER_PRESERVING_WRAPPERS and isinstance(node, ast.Call) and node.args:
+        return is_set_expression(node.args[0], module_set_names)
+    return False
+
+
+def _module_set_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for statement in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets, value = [statement.target], statement.value
+        if value is None or not is_set_expression(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def mentions_name(node: ast.AST, name: str) -> bool:
+    """True when ``node``'s subtree reads the variable ``name``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == name:
+            return True
+    return False
+
+
+def has_keyword(node: ast.Call, keyword: str, values: Optional[Iterable[str]] = None) -> bool:
+    """True when the call passes ``keyword=`` (optionally one of ``values``)."""
+    for item in node.keywords:
+        if item.arg != keyword:
+            continue
+        if values is None:
+            return True
+        if isinstance(item.value, ast.Constant) and item.value.value in set(values):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Rule base
+# ---------------------------------------------------------------------------
+
+class Rule:
+    """One checker: a rule id, the invariant's rationale, and a scope.
+
+    ``scope`` is a tuple of repo-relative path prefixes; empty means
+    every scanned file.  ``check`` yields findings — use
+    :func:`tools.reprolint.findings.make_finding` so context/snippet
+    (the baseline key) are filled consistently.
+    """
+
+    id: str = "REP000"
+    name: str = "rule"
+    rationale: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        if not self.scope:
+            return True
+        return any(relpath.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: FileContext):
+        raise NotImplementedError
