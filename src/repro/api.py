@@ -65,7 +65,7 @@ QueryLike = Union[str, Node, CompiledQuery]
 #: (everything else is a column array).  Mirrors ``ShapeSearch.__init__``.
 _SESSION_OPTIONS = (
     "engine", "tagger", "workers", "cache", "backend",
-    "quantifier_threshold", "kernel", "generation",
+    "quantifier_threshold", "kernel", "generation", "index", "precision",
 )
 
 
@@ -281,6 +281,18 @@ class TailSearch(PreparedSearch):
         with self._lock:
             return self._revision
 
+    @staticmethod
+    def state_stats() -> dict:
+        """Occupancy of the process-wide retained-DP-state cache.
+
+        Returns ``{"entries", "bytes", "budget", "evictions"}`` for the
+        tail-state cache shared by every TailSearch in this process; see
+        :func:`repro.engine.pipeline.set_tail_state_budget` to bound it.
+        """
+        from repro.engine.pipeline import tail_state_stats
+
+        return tail_state_stats()
+
     # -- the streaming surface -----------------------------------------------
     def append_rows(self, records: Sequence[dict]) -> ResultSet:
         """Append ``records`` to the bound table and refresh the results.
@@ -493,8 +505,14 @@ class ShapeSearch:
     materializes trendlines in this process, ``"worker"`` generates them
     inside the pool workers from the shared table so generation
     parallelizes with scoring, ``"auto"`` (default) picks worker-side on
-    the process backend when no cache is configured.  All are ignored
-    when an explicit ``engine`` is passed.
+    the process backend when no cache is configured.  ``index=True``
+    turns on the persistent shape index — an IndexPrune stage discards
+    candidate trendlines whose pyramid upper bound cannot reach the
+    top-k floor before the DP ever runs them; results stay byte-identical
+    to an unindexed search.  ``precision="float32"`` opts into
+    approximate single-precision scoring (explicitly outside the
+    byte-identity contract).  All are ignored when an explicit
+    ``engine`` is passed.
 
     Sessions own OS resources once a parallel search ran (worker
     processes, dispatcher threads, shared-memory segments): call
@@ -507,12 +525,13 @@ class ShapeSearch:
                  tagger: Optional[EntityTagger] = None,
                  workers: Optional[int] = 1, cache=None, backend: str = "thread",
                  quantifier_threshold: Optional[float] = None,
-                 kernel: str = "matrix", generation: str = "auto"):
+                 kernel: str = "matrix", generation: str = "auto",
+                 index: bool = False, precision: str = "float64"):
         self.table = table
         self.engine = engine if engine is not None else ShapeSearchEngine(
             workers=workers, cache=cache, backend=backend,
             quantifier_threshold=quantifier_threshold, kernel=kernel,
-            generation=generation,
+            generation=generation, index=index, precision=precision,
         )
         self.tagger = tagger
 
@@ -553,7 +572,8 @@ class ShapeSearch:
 
         Session/engine options (``engine``, ``tagger``, ``workers``,
         ``cache``, ``backend``, ``quantifier_threshold``, ``kernel``,
-        ``generation``) are routed to the session; every *other* keyword
+        ``generation``, ``index``, ``precision``) are routed to the
+        session; every *other* keyword
         is a column array — so
         ``ShapeSearch.from_arrays(z=..., x=..., y=..., backend="process",
         workers=4)`` builds a process-backend session, instead of

@@ -14,6 +14,7 @@ import hashlib
 import json
 from typing import (
     Any,
+    Callable,
     Dict,
     Hashable,
     Iterable,
@@ -39,6 +40,28 @@ _NAN_KEY = float("nan")
 
 #: Supported NaN-key policies for :meth:`Table.group_by`.
 NAN_POLICIES = ("coalesce", "drop")
+
+
+def attached_state(obj: Any, name: str, factory: Callable[[], Any]) -> Any:
+    """Lazily attach per-instance engine state to a (immutable) carrier.
+
+    Tables are immutable, which makes them the natural home for caches
+    derived purely from their content — the generation memo, the shape
+    index — without any external registry to invalidate.  Returns the
+    existing attachment or installs ``factory()``; carriers that reject
+    new attributes (``__slots__``-style) just get a fresh, uncached
+    value.  Attachments never pickle (``Table.__getstate__`` whitelists)
+    and a concurrent double-create is benign: one value wins, the other
+    was only ever a cache.
+    """
+    state = getattr(obj, name, None)
+    if state is None:
+        state = factory()
+        try:
+            setattr(obj, name, state)
+        except AttributeError:
+            pass
+    return state
 
 
 def canonical_group_key(value: Any) -> Any:
@@ -67,6 +90,10 @@ class Table:
     #: ``append_rows``), absent until then — always read via ``getattr``.
     _column_digests: Dict[str, "hashlib._Hash"]
     _fingerprint: str
+    #: Shape-index lineage: ``append_rows`` points the appended table at
+    #: the base table's index attachment so extension reuses it — absent
+    #: on tables that were never appended from.
+    _shape_index_base: Dict[Any, Any]
 
     def __init__(self, columns: Dict[str, np.ndarray]) -> None:
         if not columns:
@@ -350,6 +377,13 @@ class Table:
             columns[name] = combined
             tails[name] = tail
         appended = Table(columns)
+        # Share (not copy) this table's shape-index attachment dict with
+        # the appended table: an index built on either side of the append
+        # becomes the extension base for the other, so streaming tails
+        # keep their index across append_rows without retaining the whole
+        # base table.  One level deep by construction — the dict holds
+        # indexes, not further base links.
+        appended._shape_index_base = attached_state(self, "_shape_index_state", dict)
         if incremental:
             base = column_digests(self)
             digests: Dict[str, "hashlib._Hash"] = {}

@@ -191,26 +191,38 @@ class EngineCache:
 
     trendlines: LRUCache = field(default_factory=lambda: LRUCache(capacity=32))
     plans: LRUCache = field(default_factory=lambda: LRUCache(capacity=256))
+    #: Shape indexes (engine/shape_index.py), keyed by table content
+    #: fingerprint + generation inputs — like trendlines, shareable
+    #: across engines because the index is a pure function of content.
+    indexes: LRUCache = field(default_factory=lambda: LRUCache(capacity=16))
 
     @classmethod
-    def with_capacity(cls, trendlines: int = 32, plans: int = 256) -> "EngineCache":
+    def with_capacity(
+        cls, trendlines: int = 32, plans: int = 256, indexes: int = 16
+    ) -> "EngineCache":
         return cls(
-            trendlines=LRUCache(capacity=trendlines), plans=LRUCache(capacity=plans)
+            trendlines=LRUCache(capacity=trendlines),
+            plans=LRUCache(capacity=plans),
+            indexes=LRUCache(capacity=indexes),
         )
 
     @property
     def stats(self) -> CacheStats:
-        """Combined hit/miss accounting across both caches."""
+        """Combined hit/miss accounting across all three caches."""
         combined = CacheStats(
-            hits=self.trendlines.stats.hits + self.plans.stats.hits,
-            misses=self.trendlines.stats.misses + self.plans.stats.misses,
-            evictions=self.trendlines.stats.evictions + self.plans.stats.evictions,
+            hits=self.trendlines.stats.hits + self.plans.stats.hits
+            + self.indexes.stats.hits,
+            misses=self.trendlines.stats.misses + self.plans.stats.misses
+            + self.indexes.stats.misses,
+            evictions=self.trendlines.stats.evictions + self.plans.stats.evictions
+            + self.indexes.stats.evictions,
         )
         return combined
 
     def clear(self) -> None:
         self.trendlines.clear()
         self.plans.clear()
+        self.indexes.clear()
 
 
 def coerce_cache(cache) -> Optional[EngineCache]:

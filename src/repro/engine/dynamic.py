@@ -173,6 +173,40 @@ class TailSolveState:
     trendline: Trendline
     chains: List[Optional[FuzzyRunState]]
 
+    def state_nbytes(self) -> int:
+        """Retained bytes: the DP tables plus the pinned trendline arrays.
+
+        The trendline is counted because the state holds it strongly for
+        the ``trendline_extends`` reuse gate — for eviction-accounting
+        purposes those arrays are retained *by this state*, whether or
+        not other live references share them.
+        """
+        total = 0
+        for state in self.chains:
+            if state is not None:
+                total += state.opt.nbytes + state.split.nbytes
+        trendline = self.trendline
+        for values in (
+            trendline.x,
+            trendline.y,
+            trendline.bin_x,
+            trendline.bin_y,
+            trendline.norm_bin_y,
+        ):
+            total += values.nbytes
+        prefix = trendline.prefix
+        if prefix.stacked is not None:
+            total += prefix.stacked.nbytes
+        else:
+            total += (
+                prefix.count.nbytes
+                + prefix.sx.nbytes
+                + prefix.sy.nbytes
+                + prefix.sxy.nbytes
+                + prefix.sxx.nbytes
+            )
+        return total
+
 
 def solve_query_extend(
     trendline: Trendline,

@@ -38,17 +38,19 @@ from __future__ import annotations
 
 import threading
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.algebra.nodes import Node
-from repro.data.table import Table
+from repro.data.table import Table, attached_state
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import (
     EngineCache,
     canonical_query_text,
     coerce_cache,
     plan_fingerprint,
+    table_fingerprint,
     trendline_cache_key,
 )
 from repro.engine.chains import CompiledQuery, compile_query
@@ -67,6 +69,13 @@ ALGORITHMS = ("dp", "segment-tree", "greedy", "exhaustive")
 
 #: Supported EXTRACT/GROUP placements (see the ``generation`` option).
 GENERATION_MODES = ("auto", "parent", "worker")
+
+#: Supported scoring precisions (see the ``precision`` option).
+PRECISIONS = ("float64", "float32")
+
+#: Engine-local shape-index memo size (rank paths, keyed by collection
+#: identity; the table-attached store covers the execute paths).
+_MAX_ENGINE_INDEXES = 8
 
 #: Driver threads behind the non-blocking submit paths.  Each driver runs
 #: one pipeline execution end to end; shard work still fans out on the
@@ -118,6 +127,11 @@ class ExecutionStats:
     #: Rows the streaming tail consumed in this refresh (0 elsewhere):
     #: the delta the incremental work was proportional to.
     appended_rows: int = 0
+    #: Candidates the IndexPrune stage saw / discarded against the top-k
+    #: floor (both 0 when the stage did not run — index disabled, query
+    #: unbounded, or the collection below the seed threshold).
+    index_candidates: int = 0
+    index_pruned: int = 0
 
 
 class ShapeSearchEngine:
@@ -138,6 +152,8 @@ class ShapeSearchEngine:
         quantifier_threshold: Optional[float] = None,
         kernel: str = "matrix",
         generation: str = "auto",
+        index: bool = False,
+        precision: str = "float64",
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
@@ -148,6 +164,17 @@ class ShapeSearchEngine:
         if kernel not in KERNELS:
             raise ExecutionError(
                 "unknown kernel {!r}; choose from {}".format(kernel, KERNELS)
+            )
+        if precision not in PRECISIONS:
+            raise ExecutionError(
+                "unknown precision {!r}; choose from {}".format(precision, PRECISIONS)
+            )
+        if precision == "float32" and kernel == "loop":
+            raise ExecutionError(
+                "precision='float32' cannot be combined with kernel='loop': the "
+                "loop kernel is the byte-identity oracle and float32 scoring is "
+                "approximate by construction; use kernel='matrix' or keep "
+                "precision='float64'"
             )
         self.algorithm = algorithm
         #: DP transition kernel for ``algorithm="dp"``: ``"matrix"`` (the
@@ -190,8 +217,22 @@ class ShapeSearchEngine:
         #: cannot support worker-side generation (workers=1, process
         #: backend without shm, pruning).
         self.generation = generation
+        #: Opt-in shape index (engine/shape_index.py): prune candidates
+        #: against the running top-k floor before the DP runs.  Exact —
+        #: results stay byte-identical to ``index=False`` on every
+        #: backend × kernel × worker count; queries the index cannot
+        #: bound fall back to the full scan (no IndexPrune plan stage).
+        self.index = bool(index)
+        #: Scoring dtype: ``"float64"`` (exact, the default) or the
+        #: opt-in approximate ``"float32"`` throughput mode (see
+        #: :class:`~repro.engine.pipeline.PrecisionCast`).
+        self.precision = precision
         self.cache: Optional[EngineCache] = coerce_cache(cache)
         self.last_stats = ExecutionStats()
+        #: Rank-path shape indexes: id(collection) -> (id witness,
+        #: collection ref, ShapeIndex).  The collection is held strongly
+        #: so ids cannot recycle under a live entry.
+        self._indexes: "OrderedDict[int, tuple]" = OrderedDict()
         self._pools: dict = {}
         self._pool_lock = threading.Lock()
         #: One-slot box so the lazily created ShmSession is reachable from
@@ -645,6 +686,72 @@ class ShapeSearchEngine:
         from repro.engine.parallel import solve_one
 
         return solve_one(trendline, compiled, self.algorithm, kernel=self.kernel)
+
+    #: Per-table attached shape-index entries kept per store (small: one
+    #: per distinct (params, normalize_y, plan, precision) combination).
+    _MAX_TABLE_INDEXES = 4
+
+    def _shape_index_for(self, trendlines, table=None, index_key=None):
+        """The persistent shape index of one candidate collection.
+
+        Storage tiers, in lookup order:
+
+        * **Table-attached** (execute paths): the index lives on the
+          immutable ``Table`` itself, keyed by the generation inputs
+          (params, normalize_y, push-down plan, precision) — it survives
+          engine restarts and cache evictions, and ``append_rows``
+          lineage lets a new table *extend* its base's index instead of
+          rebuilding (:meth:`~repro.engine.shape_index.ShapeIndex.extended`:
+          only changed/new trendlines are re-summarized, bitwise equal
+          to a fresh build).
+        * **EngineCache.indexes** (when a cache is configured): content
+          fingerprint keyed, shared across engines like the trendline
+          cache.
+        * **Engine-local memo** (rank paths over caller-held
+          collections): keyed by collection identity with an id witness.
+
+        The index is a pure function of the trendlines' prefix bits, so
+        every tier returns bitwise-identical buckets.
+        """
+        from repro.engine.shape_index import ShapeIndex
+
+        if table is not None and index_key is not None:
+            state = attached_state(table, "_shape_index_state", dict)
+            index = state.get(index_key)
+            if index is not None and len(index) == len(trendlines):
+                return index
+            cache_key = None
+            if self.cache is not None:
+                cache_key = (table_fingerprint(table),) + index_key
+                index = self.cache.indexes.get(cache_key)
+                if index is not None and len(index) == len(trendlines):
+                    state[index_key] = index
+                    return index
+            base_state = getattr(table, "_shape_index_base", None)
+            base_index = base_state.get(index_key) if base_state else None
+            if base_index is not None:
+                index = base_index.extended(trendlines)
+            else:
+                index = ShapeIndex.build(trendlines)
+            state[index_key] = index
+            while len(state) > self._MAX_TABLE_INDEXES:
+                state.pop(next(iter(state)))
+            if cache_key is not None:
+                self.cache.indexes.put(cache_key, index)
+            return index
+
+        key = id(trendlines)
+        witness = tuple(id(trendline) for trendline in trendlines)
+        entry = self._indexes.get(key)
+        if entry is not None and entry[0] == witness:
+            self._indexes.move_to_end(key)
+            return entry[2]
+        index = ShapeIndex.build(trendlines)
+        self._indexes[key] = (witness, trendlines, index)
+        self._indexes.move_to_end(key)
+        while len(self._indexes) > _MAX_ENGINE_INDEXES:
+            self._indexes.popitem(last=False)
+        return index
 
 
 def _release_engine_resources(

@@ -602,6 +602,48 @@ def dispatch_tail_scores(
     return [item for shard in shards for item in shard]
 
 
+def index_bounds_range(handle, query_ref, start: int, end: int) -> List[float]:
+    """Candidate upper bounds ``[start, end)`` from a shared shape index.
+
+    The worker half of :func:`dispatch_index_bounds`: the index and the
+    compiled query both resolve against the worker-resident store, and
+    every bound is computed with the default (unbounded) floor — no
+    short-circuit, so the floats cannot depend on evaluation order or on
+    how candidates were sharded.
+    """
+    from repro.engine.shm import resolve_index, resolve_query
+
+    index = resolve_index(handle)
+    compiled = resolve_query(query_ref)
+    return [index.upper_bound(position, compiled) for position in range(start, end)]
+
+
+def dispatch_index_bounds(
+    handle,
+    query_ref,
+    total: int,
+    pool: WorkerPool,
+    chunk_size: Optional[int] = None,
+    control=None,
+):
+    """Shard the IndexPrune bound pass over a published shape index.
+
+    Returns the full ``total``-length float64 bound vector in candidate
+    order.  Workers run the same :meth:`ShapeIndex.upper_bound` over the
+    same attached bucket bytes as the in-process path, so the returned
+    floats are bitwise identical to ``index.upper_bounds(query)`` — the
+    pruning decision cannot depend on the transport.
+    """
+    import numpy as np
+
+    ranges = make_range_chunks(total, pool.workers, chunk_size)
+    rows = [(handle, query_ref, start, end) for start, end in ranges]
+    shards = _run_tasks(pool, index_bounds_range, rows, control)
+    return np.array(
+        [bound for shard in shards for bound in shard], dtype=np.float64
+    )
+
+
 def parallel_rank_ranges(
     handle,
     query,
@@ -793,6 +835,8 @@ class ParallelEngine(ShapeSearchEngine):
         quantifier_threshold: Optional[float] = None,
         kernel: str = "matrix",
         generation: str = "auto",
+        index: bool = False,
+        precision: str = "float64",
     ):
         super().__init__(
             algorithm=algorithm,
@@ -808,4 +852,6 @@ class ParallelEngine(ShapeSearchEngine):
             quantifier_threshold=quantifier_threshold,
             kernel=kernel,
             generation=generation,
+            index=index,
+            precision=precision,
         )

@@ -38,11 +38,12 @@ from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.filters import apply_filters
-from repro.data.table import Table, canonical_group_key
+from repro.data.table import Table, attached_state, canonical_group_key
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import plan_fingerprint
 from repro.engine.pushdown import PushdownPlan, has_required_data, plan_pushdown
-from repro.engine.trendline import Trendline, build_trendline
+from repro.engine.shape_index import MIN_SEED_CANDIDATES, index_supports, prune_candidates
+from repro.engine.trendline import Trendline, build_trendline, cast_trendline
 from repro.errors import DataError
 
 _AGGREGATES = {
@@ -224,14 +225,7 @@ class _GenerationState:
 
 
 def _generation_state(table: Table) -> _GenerationState:
-    state = getattr(table, "_generation_state", None)
-    if state is None:
-        state = _GenerationState()
-        try:
-            table._generation_state = state
-        except AttributeError:  # exotic table subclasses: uncached state
-            pass
-    return state
+    return attached_state(table, "_generation_state", _GenerationState)
 
 
 def _grouping(table: Table, params: VisualParams):
@@ -392,13 +386,69 @@ def generate_score_shard(
 # ---------------------------------------------------------------------------
 
 #: Worker-resident DP state for the suffix re-solve, keyed by
-#: ``(id(compiled), group key)``.  Entries hold the compiled query object
-#: strongly (so the id cannot be recycled while the entry lives) and are
-#: identity-verified on every hit; LRU-bounded because retained tables
-#: are O(k·n) floats per group.
+#: ``(id(compiled), group key)``.  Entries are ``(compiled, state,
+#: nbytes)``: they hold the compiled query object strongly (so the id
+#: cannot be recycled while the entry lives) and are identity-verified
+#: on every hit.  Bounded twice — by entry count and, because a "group"
+#: can be a year-long series whose retained tables are O(k·n) floats, by
+#: total retained bytes (size-based LRU eviction, budget adjustable via
+#: :func:`set_tail_state_budget`, observable via
+#: :func:`tail_state_stats`).
 _TAIL_STATES: "OrderedDict[tuple, tuple]" = OrderedDict()
 _TAIL_STATES_LOCK = threading.Lock()
 _MAX_TAIL_STATES = 128
+_DEFAULT_TAIL_STATE_BUDGET = 64 * 1024 * 1024
+_tail_state_budget = _DEFAULT_TAIL_STATE_BUDGET
+_tail_state_bytes = 0
+_tail_state_evictions = 0
+
+
+def _tail_state_pop_locked(cache_key) -> None:
+    global _tail_state_bytes
+    entry = _TAIL_STATES.pop(cache_key, None)
+    if entry is not None:
+        _tail_state_bytes -= entry[2]
+
+
+def _tail_state_evict_locked() -> None:
+    global _tail_state_bytes, _tail_state_evictions
+    while _TAIL_STATES and (
+        len(_TAIL_STATES) > _MAX_TAIL_STATES or _tail_state_bytes > _tail_state_budget
+    ):
+        _, entry = _TAIL_STATES.popitem(last=False)
+        _tail_state_bytes -= entry[2]
+        _tail_state_evictions += 1
+    if not _TAIL_STATES:
+        # Self-heal against external clears (tests reach into the dict):
+        # an empty store holds zero bytes by definition.
+        _tail_state_bytes = 0
+
+
+def set_tail_state_budget(nbytes: int) -> None:
+    """Cap the bytes of retained streaming DP state (process-wide).
+
+    Evicts least-recently-used states immediately if the new budget is
+    already exceeded.  Eviction is purely a work-skip: an evicted group's
+    next refresh solves cold, byte-identical to the warm path.
+    """
+    global _tail_state_budget
+    nbytes = int(nbytes)
+    if nbytes < 0:
+        raise ValueError("tail state budget must be >= 0 bytes")
+    with _TAIL_STATES_LOCK:
+        _tail_state_budget = nbytes
+        _tail_state_evict_locked()
+
+
+def tail_state_stats() -> dict:
+    """Observability hook: retained-state entries/bytes/budget/evictions."""
+    with _TAIL_STATES_LOCK:
+        return {
+            "entries": len(_TAIL_STATES),
+            "bytes": _tail_state_bytes,
+            "budget": _tail_state_budget,
+            "evictions": _tail_state_evictions,
+        }
 
 
 def _solve_tail_dp(trendline: Trendline, compiled, key, kernel):
@@ -411,19 +461,19 @@ def _solve_tail_dp(trendline: Trendline, compiled, key, kernel):
     """
     from repro.engine.dynamic import solve_query_extend
 
+    global _tail_state_bytes
     cache_key = (id(compiled), key)
     with _TAIL_STATES_LOCK:
         entry = _TAIL_STATES.get(cache_key)
         state = entry[1] if entry is not None and entry[0] is compiled else None
     result, new_state = solve_query_extend(trendline, compiled, state=state, kernel=kernel)
     with _TAIL_STATES_LOCK:
-        if new_state is None:
-            _TAIL_STATES.pop(cache_key, None)
-        else:
-            _TAIL_STATES[cache_key] = (compiled, new_state)
-            _TAIL_STATES.move_to_end(cache_key)
-            while len(_TAIL_STATES) > _MAX_TAIL_STATES:
-                _TAIL_STATES.popitem(last=False)
+        _tail_state_pop_locked(cache_key)
+        if new_state is not None:
+            nbytes = new_state.state_nbytes()
+            _TAIL_STATES[cache_key] = (compiled, new_state, nbytes)
+            _tail_state_bytes += nbytes
+            _tail_state_evict_locked()
     return result
 
 
@@ -473,7 +523,7 @@ def score_tail_groups(
             )
         if trendline is None:
             with _TAIL_STATES_LOCK:
-                _TAIL_STATES.pop((id(compiled), key), None)
+                _tail_state_pop_locked((id(compiled), key))
             out.append((index, key, None, None))
             continue
         if algorithm == "dp":
@@ -699,6 +749,126 @@ class ExtractGroup(Operator):
 
     def detail(self) -> str:
         return "normalize_y={}".format(self.normalize_y)
+
+
+class PrecisionCast(Operator):
+    """Opt-in ``precision="float32"`` scoring: cast candidates once, here.
+
+    Everything downstream — index bounds, DP kernels, merge — then runs
+    on float32 values.  This is an *approximate* throughput mode,
+    excluded from the byte-identity contract by construction (the engine
+    refuses to combine it with the ``kernel="loop"`` oracle).
+    """
+
+    name = "Cast"
+    mode = "float32"
+
+    def run(self, ctx, candidates: Candidates) -> Candidates:
+        return Candidates(
+            trendlines=[
+                cast_trendline(trendline, np.float32)
+                for trendline in candidates.trendlines
+            ]
+        )
+
+
+#: Below this candidate count the index bound pass is not worth shipping
+#: to workers even on the process backend — it is a few (W, W) array ops
+#: per candidate.
+_INDEX_DISPATCH_MIN = 256
+
+
+class IndexPrune(Operator):
+    """Discard candidates the shape index proves cannot enter the top k.
+
+    Runs between candidate materialization and Score: the engine's
+    persistent :class:`~repro.engine.shape_index.ShapeIndex` bounds every
+    candidate, the highest-bounded ``max(k, MIN_SEED_CANDIDATES)`` seeds
+    are scored exactly to establish the top-k floor, and every candidate
+    whose bound falls strictly below the floor is dropped before the DP
+    ever touches it (:func:`~repro.engine.shape_index.prune_candidates`,
+    decisions routed through the
+    :func:`~repro.engine.shape_index.survives_floor` seam).  Exactness:
+    a discarded candidate's true score is strictly below at least k
+    others', and survivors keep their relative positions, so the *(score
+    desc, position asc)* merge selects exactly the full scan's top k.
+
+    On the shm process backend with enough candidates, the bound pass
+    itself is sharded: workers attach the published index zero-copy and
+    evaluate the same function on the same buckets — identical floats,
+    so the prune decisions cannot depend on the transport.
+    """
+
+    name = "IndexPrune"
+    mode = "pyramid"
+
+    def __init__(self, compiled, k: int, workers: int,
+                 table: Optional[Table] = None, index_key: Optional[tuple] = None):
+        self.compiled = compiled
+        self.k = k
+        self.workers = workers
+        self.table = table
+        self.index_key = index_key
+
+    def run(self, ctx, candidates: Candidates) -> Candidates:
+        from repro.engine.parallel import solve_one
+
+        engine = ctx.engine
+        source = candidates.trendlines
+        trendlines = source if isinstance(source, list) else list(source)
+        total = len(trendlines)
+        ctx.stats.index_candidates = total
+        if total <= max(self.k, MIN_SEED_CANDIDATES) or self.k < 1:
+            return candidates
+        index = engine._shape_index_for(
+            source, table=self.table, index_key=self.index_key
+        )
+        bounds = self._dispatched_bounds(ctx, index, total)
+
+        def solve(trendline):
+            return solve_one(
+                trendline, self.compiled, engine.algorithm, kernel=engine.kernel
+            )
+
+        survivors, pruned = prune_candidates(
+            trendlines, index, self.compiled, self.k, solve, bounds=bounds
+        )
+        ctx.stats.index_pruned = pruned
+        if not pruned:
+            return candidates
+        return Candidates(trendlines=[trendlines[i] for i in survivors])
+
+    def _dispatched_bounds(self, ctx, index, total: int):
+        """Worker-evaluated bounds on the shm path, or None for in-process."""
+        engine = ctx.engine
+        if (
+            self.workers <= 1
+            or engine.backend != "process"
+            or not engine.shm
+            or total < _INDEX_DISPATCH_MIN
+        ):
+            return None
+        from repro.engine.parallel import dispatch_index_bounds
+
+        session = engine._shm_session()
+        acquired = session.acquire_index(index, self.compiled)
+        if acquired is None:
+            return None
+        handle, query_ref = acquired
+        try:
+            pool = engine._resolve_pool(self.workers)
+            return dispatch_index_bounds(
+                handle,
+                query_ref,
+                total,
+                pool,
+                chunk_size=engine.chunk_size,
+            )
+        finally:
+            session.unpin(handle, query_ref)
+
+    def detail(self) -> str:
+        return "k={}".format(self.k)
 
 
 class _ScoreBase(Operator):
@@ -996,7 +1166,7 @@ class PhysicalPlan:
         return "\n".join(lines)
 
 
-def _resolve_generation(engine, parallel, use_pruning) -> str:
+def _resolve_generation(engine, parallel, use_pruning, force_parent=False) -> str:
     """Pick the Extract/Group implementation for one execution.
 
     Worker-side generation requires a parallel Score stage whose workers
@@ -1011,12 +1181,15 @@ def _resolve_generation(engine, parallel, use_pruning) -> str:
     transport reuse the published collection segment.  The thread
     backend defaults to parent-side — in-process generation is GIL-bound
     either way, so deferral buys nothing — but honors an explicit
-    ``generation="worker"``.
+    ``generation="worker"``.  ``force_parent`` marks executions whose
+    plan needs the materialized collection in the parent (index pruning,
+    precision casting) regardless of the backend's preference.
     """
     requested = getattr(engine, "generation", "auto")
     capable = (
         parallel
         and not use_pruning
+        and not force_parent
         and (engine.backend == "thread" or (engine.backend == "process" and engine.shm))
     )
     if requested == "parent" or not capable:
@@ -1061,14 +1234,28 @@ def plan_pipeline(
         and is_prunable(compiled)
     )
     parallel = effective > 1
+    cast = getattr(engine, "precision", "float64") == "float32"
+    # Index pruning needs a parent-materialized collection and a query
+    # whose units the pyramid can bound; anything else is the full-scan
+    # fallback, visible as the absence of an IndexPrune line in EXPLAIN.
+    use_index = (
+        getattr(engine, "index", False)
+        and not use_pruning
+        and k >= 1
+        and index_supports(compiled)
+    )
 
     operators: List[Operator] = []
+    index_table: Optional[Table] = None
+    index_key: Optional[tuple] = None
     if trendlines is not None:
         operators.append(PrebuiltScan(trendlines))
         generation = "parent"
     else:
         normalize_y = not query_constrains_y(compiled)
-        generation = _resolve_generation(engine, parallel, use_pruning)
+        generation = _resolve_generation(
+            engine, parallel, use_pruning, force_parent=use_index or cast
+        )
         scan_mode = (
             "shared-memory"
             if generation == "worker" and engine.backend == "process"
@@ -1076,6 +1263,21 @@ def plan_pipeline(
         )
         operators.append(ScanTable(table, params, scan_mode))
         operators.append(ExtractGroup(normalize_y, plan, generation, memo=memo))
+        index_table = table
+        index_key = (
+            params,
+            normalize_y,
+            plan_fingerprint(plan),
+            getattr(engine, "precision", "float64"),
+        )
+    if generation == "parent":
+        if cast:
+            operators.append(PrecisionCast())
+        if use_index:
+            operators.append(
+                IndexPrune(compiled, k, effective, table=index_table,
+                           index_key=index_key)
+            )
 
     score_args = {
         "compiled": compiled,

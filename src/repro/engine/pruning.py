@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.engine.chains import CompiledQuery
 from repro.engine.dynamic import ChainSolution, QueryResult, _finalize, solve_query
 from repro.engine.segment_tree import IncrementalSegmentTree
+from repro.engine.shape_index import survives_floor
 from repro.engine.trendline import Trendline, build_trendline
 from repro.engine.units import INFEASIBLE, MIN_SEGMENT_BINS
 
@@ -177,7 +178,7 @@ def prune_and_rank(
                 tree_upper_bound(candidate.trendline, chain, tree)
                 for chain, tree in zip(query.chains, candidate.trees)
             )
-            if upper < floor:
+            if not survives_floor(upper, floor):
                 candidate.alive = False
                 report.pruned += 1
                 continue

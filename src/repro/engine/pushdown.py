@@ -20,9 +20,24 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.chains import CompiledQuery
+from repro.engine.chains import Chain, CompiledQuery
 from repro.engine.trendline import Trendline
 from repro.engine.units import SlopeUnit
+
+
+def chain_statically_bounded(chain: Chain) -> bool:
+    """Does every unit of ``chain`` have a static score upper bound?
+
+    Slope and line scores never exceed 1.0, so chains built purely from
+    them can be bounded without running any segmentation — the shared
+    gate of :func:`eager_upper_bound` and the shape index's
+    :func:`~repro.engine.shape_index.index_supports`.  Unit types
+    without a static bound (UDPs, windows, AND groups, ...) disqualify
+    the whole chain.
+    """
+    from repro.engine.units import LineUnit
+
+    return all(isinstance(cu.unit, (SlopeUnit, LineUnit)) for cu in chain.units)
 
 
 @dataclass
@@ -128,10 +143,8 @@ def eager_upper_bound(trendline: Trendline, query: CompiledQuery) -> float:
     (bitwise-equal to the scalar slope path), and units shared between
     OR-alternative chains are scored once.
     """
-    from repro.engine.units import LineUnit
-
     for chain in query.chains:
-        if not all(isinstance(cu.unit, (SlopeUnit, LineUnit)) for cu in chain.units):
+        if not chain_statically_bounded(chain):
             return float("inf")
 
     pinned = {}  # id(unit) -> (unit, start bin, end bin)

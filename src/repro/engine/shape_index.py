@@ -1,0 +1,532 @@
+"""Persistent multi-resolution shape index for sublinear top-k (ROADMAP).
+
+Every rank path used to score every candidate trendline — the paper's
+§6.2/§6.3 machinery bounds one trendline at a time, so top-k latency is
+linear in collection size even though most candidates can never enter
+the top k.  This module inverts that structure into a *collection-level*
+index:
+
+* Per trendline, a **pyramid of position buckets**: at each level the
+  bins are cut into ``W`` super-bins of width ``w`` and every bucket
+  ``(a, b)`` summarizes the min/max ``tan⁻¹(fitted slope)`` over *all*
+  segments ``[l, r)`` with ``l`` in super-bin ``a``, ``r−1`` in
+  super-bin ``b`` and at least :data:`~repro.engine.units.MIN_SEGMENT_BINS`
+  bins — computed in one vectorized pass per start super-bin from
+  :meth:`~repro.engine.statistics.PrefixStats.slope_matrix`.  Coarser
+  levels double ``w``; because ``floor(l / 2w) = floor(floor(l / w) / 2)``
+  they derive *exactly* from the finer level by pairwise min/max
+  combines, so the whole pyramid costs one O(n²) sweep.
+
+* Per query, a **coarse max-plus DP over the buckets**: for chains whose
+  units are all statically bounded (the
+  :func:`~repro.engine.pushdown.chain_statically_bounded` gate shared
+  with ``eager_upper_bound``), each unit's Table 5 score over a bucket
+  is bounded by its value at the bucket's atan endpoints — the same
+  endpoint-extreme + flat/θ straddle reasoning as
+  :meth:`SlopeUnit.bounds_from_slopes <repro.engine.units.SlopeUnit.bounds_from_slopes>`
+  and :func:`~repro.engine.bounds.chain_bounds`, but *without* the
+  regression-slack margin: a bucket's interval covers the fitted atan of
+  every admissible segment exactly (the segment itself is one of the
+  aggregated ranges, fitted by the same bit-identical
+  ``PrefixStats._slopes`` algebra), not a blend of node slopes.  A
+  max-plus recurrence over (start super-bin, end super-bin) then bounds
+  the best full segmentation; the query bound is the max over chains,
+  min over levels, clamped to the score range at −1.
+
+**Soundness** (what makes index-pruned runs byte-identical): every
+engine algorithm places each chain as a full cover of ``[0, n)`` with
+per-unit width ≥ ``run_min_length(0, n, m)`` (dp/loop, segment-tree,
+greedy, exhaustive all share that floor), so any true placement maps to
+a bucket path the coarse DP admits — consecutive units share their
+boundary bin, so the next start super-bin is the previous end super-bin
+or its successor — and every per-unit score is ≤ its bucket bound
+(y-location masks only *lower* scores).  Infeasible chains score
+:data:`~repro.engine.units.INFEASIBLE` = −1, which the −1 clamp covers.
+A candidate is discarded only when its bound is **strictly below** the
+running top-k floor (the k-th best of exactly-scored seed candidates),
+so its true score is strictly below at least k other candidates' and it
+cannot appear in the top k under any tie-break; survivors keep their
+relative positions, so the *(score desc, position asc)* shard order —
+and the key-based presentation order — select exactly the unindexed
+run's matches.
+
+Pruning decisions route through one seam — :func:`survives_floor` —
+enforced by reprolint rule REP061: no ad-hoc floor thresholds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.table import canonical_group_key
+from repro.engine import scoring
+from repro.engine.chains import Chain, CompiledQuery
+from repro.engine.trendline import Trendline
+from repro.engine.units import MIN_SEGMENT_BINS, LineUnit, SlopeUnit, run_min_length
+
+#: Target super-bin count of the finest pyramid level.  32² buckets keep
+#: the per-candidate query work trivial (a few (32, 32) array ops per
+#: unit) while still resolving where in the trendline a pattern can live.
+MAX_SUPER_BINS = 32
+
+#: Coarsening stops once a level would have fewer super-bins than this;
+#: trendlines too short to host even the coarsest level are left
+#: unindexed (their entry is None — never pruned, trivially exact).
+MIN_SUPER_BINS = 4
+
+_NEG_INF = -np.inf
+_POS_INF = np.inf
+
+
+def survives_floor(upper_bounds, floor):
+    """THE top-k floor seam: may these bounds still reach the floor?
+
+    Every index pruning decision — scalar or vectorized — is this single
+    comparison: a candidate survives iff its upper bound is ≥ the
+    running top-k floor, i.e. discards are *strict* ``upper < floor``.
+    Strictness is what makes pruning exact under ties: a candidate tied
+    with the floor always survives and competes under the normal
+    tie-break order.  Centralizing the comparison here (reprolint
+    REP061) keeps the discard rule from drifting into ad-hoc thresholds.
+    """
+    return np.greater_equal(upper_bounds, floor)
+
+
+def index_supports(query: CompiledQuery) -> bool:
+    """Can the shape index bound this query? (else: full-scan fallback)
+
+    Requires the fully fuzzy shape :func:`~repro.engine.pruning.is_prunable`
+    demands (no x pins, no iterators — pinned layouts change the DP's
+    piece structure), every chain statically bounded (the
+    :func:`~repro.engine.pushdown.chain_statically_bounded` gate shared
+    with the eager push-down bound), and at least one directional /
+    slope-target unit somewhere — a query of only ``any``/line units
+    bounds every candidate at 1.0, so the planner skips the stage
+    rather than running a vacuous one.
+    """
+    from repro.engine.pruning import is_prunable
+    from repro.engine.pushdown import chain_statically_bounded
+
+    if not is_prunable(query):
+        return False
+    directional = False
+    for chain in query.chains:
+        if not chain_statically_bounded(chain):
+            return False
+        for cu in chain.units:
+            if isinstance(cu.unit, SlopeUnit) and cu.unit.kind in (
+                "up", "down", "flat", "slope"
+            ):
+                directional = True
+    return directional
+
+
+# ---------------------------------------------------------------------------
+# Build: one O(n²) vectorized sweep per trendline
+# ---------------------------------------------------------------------------
+
+
+class TrendlineEntry:
+    """One trendline's pyramid: ``(w, atan min, atan max)`` per level.
+
+    ``levels`` runs fine → coarse; queries iterate it reversed.  Bucket
+    matrices are ``(W, W)`` with ``+inf``/``−inf`` sentinels marking
+    buckets that contain no admissible segment.  ``witness`` identifies
+    the exact bits the entry was built from (canonical group key, bin
+    count, prefix digest) so :meth:`ShapeIndex.extended` can reuse it
+    only when reuse is bitwise free.
+    """
+
+    __slots__ = ("n_bins", "levels", "witness")
+
+    def __init__(self, n_bins: int, levels: List[Tuple[int, np.ndarray, np.ndarray]],
+                 witness: Optional[tuple]):
+        self.n_bins = n_bins
+        self.levels = levels
+        self.witness = witness
+
+    @property
+    def nbytes(self) -> int:
+        return sum(amin.nbytes + amax.nbytes for _w, amin, amax in self.levels)
+
+
+def _prefix_digest(prefix) -> str:
+    """Content digest of a trendline's cumulative statistics.
+
+    The index is a pure function of these bits (every bucket aggregates
+    ``PrefixStats._slopes`` outputs), so two trendlines with equal
+    digests build bitwise-equal entries — the reuse gate of
+    :meth:`ShapeIndex.extended`.  The five arrays are digested in
+    :data:`~repro.engine.statistics.PrefixStats.STACKED_ROWS` order
+    whether or not the stacked block exists, so publishers and
+    reattached copies agree.
+    """
+    if prefix.stacked is not None:
+        block = np.ascontiguousarray(prefix.stacked)
+    else:
+        block = np.ascontiguousarray(
+            np.stack([prefix.count, prefix.sx, prefix.sy, prefix.sxy, prefix.sxx])
+        )
+    digest = hashlib.sha1(block.tobytes())
+    digest.update(str(block.dtype).encode("ascii"))
+    return digest.hexdigest()
+
+
+def _trendline_witness(trendline: Trendline) -> tuple:
+    return (
+        canonical_group_key(trendline.key),
+        trendline.n_bins,
+        _prefix_digest(trendline.prefix),
+    )
+
+
+def _pair_combine(matrix: np.ndarray, fill: float, op) -> np.ndarray:
+    """Exact one-level coarsening: 2×2 block reduce with sentinel padding."""
+    size = matrix.shape[0]
+    if size % 2:
+        matrix = np.pad(matrix, ((0, 1), (0, 1)), constant_values=fill)
+    rows = op(matrix[0::2, :], matrix[1::2, :])
+    return op(rows[:, 0::2], rows[:, 1::2])
+
+
+def _finest_level(trendline: Trendline, w: int, W: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Min/max fitted slope per (start super-bin, end super-bin) bucket.
+
+    One :meth:`PrefixStats.slope_matrix` call per start super-bin (≤ w
+    start rows × n+1 end columns), masked to admissible widths, reduced
+    over rows, then group-reduced over end columns with ``reduceat`` at
+    the super-bin boundaries — O(n²) element work in ~W numpy dispatches.
+    """
+    prefix = trendline.prefix
+    n = trendline.n_bins
+    ends = np.arange(n + 1)
+    smin = np.empty((W, n), dtype=float)
+    smax = np.empty((W, n), dtype=float)
+    for a in range(W):
+        starts = np.arange(a * w, min((a + 1) * w, n))
+        block = np.asarray(prefix.slope_matrix(starts, ends), dtype=float)
+        valid = ends[None, :] - starts[:, None] >= MIN_SEGMENT_BINS
+        # Column r=0 can never end a segment; slicing it off aligns
+        # column i with end bin r = i + 1, whose bucket is i // w.
+        smin[a] = np.where(valid, block, _POS_INF).min(axis=0)[1:]
+        smax[a] = np.where(valid, block, _NEG_INF).max(axis=0)[1:]
+    offsets = np.arange(W) * w
+    bucket_min = np.minimum.reduceat(smin, offsets, axis=1)
+    bucket_max = np.maximum.reduceat(smax, offsets, axis=1)
+    return bucket_min, bucket_max
+
+
+def _atan_buckets(bucket_min: np.ndarray, bucket_max: np.ndarray):
+    """Slope extremes → atan extremes, preserving the ±inf empty sentinels.
+
+    ``arctan`` is (weakly) monotone, including under IEEE rounding, so
+    the atan of the bucket's slope extremes bounds the atan of every
+    aggregated segment's slope — which is what the Table 5 transforms
+    consume.
+    """
+    empty = ~np.isfinite(bucket_min)
+    amin = np.where(empty, _POS_INF, np.arctan(np.where(empty, 0.0, bucket_min)))
+    amax = np.where(empty, _NEG_INF, np.arctan(np.where(empty, 0.0, bucket_max)))
+    return amin, amax
+
+
+def _build_entry(trendline: Trendline) -> Optional[TrendlineEntry]:
+    n = trendline.n_bins
+    w = max(MIN_SEGMENT_BINS, -(-n // MAX_SUPER_BINS))
+    W = -(-n // w)
+    if W < MIN_SUPER_BINS:
+        return None
+    bucket_min, bucket_max = _finest_level(trendline, w, W)
+    levels = [(w, *_atan_buckets(bucket_min, bucket_max))]
+    while (W + 1) // 2 >= MIN_SUPER_BINS:
+        bucket_min = _pair_combine(bucket_min, _POS_INF, np.minimum)
+        bucket_max = _pair_combine(bucket_max, _NEG_INF, np.maximum)
+        w, W = w * 2, (W + 1) // 2
+        levels.append((w, *_atan_buckets(bucket_min, bucket_max)))
+    return TrendlineEntry(n, levels, _trendline_witness(trendline))
+
+
+class ShapeIndex:
+    """The collection-level index: one pyramid entry per candidate.
+
+    Built once per collection (:meth:`build`), extended incrementally
+    across appends (:meth:`extended` — unchanged trendlines keep their
+    entries bit for bit), packable into one flat float64 block for
+    zero-copy shared-memory publication (:meth:`pack` /
+    :meth:`from_packed`).
+    """
+
+    __slots__ = ("entries", "_by_key")
+
+    def __init__(self, entries: List[Optional[TrendlineEntry]]):
+        self.entries = entries
+        self._by_key: Dict[object, TrendlineEntry] = {}
+        for entry in entries:
+            if entry is not None and entry.witness is not None:
+                self._by_key[entry.witness[0]] = entry
+
+    @classmethod
+    def build(cls, trendlines: Sequence[Trendline]) -> "ShapeIndex":
+        return cls([_build_entry(trendline) for trendline in trendlines])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def indexed(self) -> int:
+        """Entries that actually carry a pyramid (others never prune)."""
+        return sum(1 for entry in self.entries if entry is not None)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(entry.nbytes for entry in self.entries if entry is not None)
+
+    # -- incremental extension ---------------------------------------------
+    def extended(self, trendlines: Sequence[Trendline]) -> "ShapeIndex":
+        """The index of ``trendlines``, reusing every bitwise-unchanged entry.
+
+        Matching is by content witness (canonical group key + bin count
+        + prefix digest), not position, so appends that add new groups —
+        or re-generations that drop degenerate ones — still reuse every
+        untouched trendline's pyramid.  An entry is a pure function of
+        the witnessed bits, so the result equals :meth:`build` on the
+        same trendlines bit for bit; reuse is only ever a work-skip.
+        """
+        entries: List[Optional[TrendlineEntry]] = []
+        for trendline in trendlines:
+            witness = _trendline_witness(trendline)
+            previous = self._by_key.get(witness[0])
+            if previous is not None and previous.witness == witness:
+                entries.append(previous)
+            else:
+                entries.append(_build_entry(trendline))
+        return ShapeIndex(entries)
+
+    # -- query-time bounds --------------------------------------------------
+    def upper_bound(
+        self, position: int, query: CompiledQuery, floor: float = _NEG_INF
+    ) -> float:
+        """Upper bound on ``query``'s score for candidate ``position``.
+
+        Levels are consulted coarse → fine, each tightening the bound
+        (min over levels), stopping early once the candidate can no
+        longer reach ``floor`` — the returned value is always a valid
+        upper bound, and the :func:`survives_floor` verdict on it is
+        final.  Unindexed candidates bound at ``+inf`` (never pruned).
+        """
+        entry = self.entries[position]
+        if entry is None:
+            return _POS_INF
+        bound = _POS_INF
+        for w, amin, amax in reversed(entry.levels):
+            level_bound = -1.0
+            shared: dict = {"empty": np.isinf(amin)}
+            for chain in query.chains:
+                level_bound = max(
+                    level_bound,
+                    _chain_level_bound(entry.n_bins, chain, w, amin, amax, shared),
+                )
+            bound = max(-1.0, min(bound, level_bound))
+            if not survives_floor(bound, floor):
+                return float(bound)
+        return float(bound)
+
+    def upper_bounds(
+        self, query: CompiledQuery, floor: float = _NEG_INF
+    ) -> np.ndarray:
+        """Per-candidate upper bounds (vector twin of :meth:`upper_bound`)."""
+        return np.array(
+            [self.upper_bound(i, query, floor) for i in range(len(self.entries))]
+        )
+
+    # -- flat packing (the shared-memory export form) ------------------------
+    def pack(self) -> Tuple[np.ndarray, list]:
+        """Flatten into ``(values, layout)`` for shared-memory publication.
+
+        ``values`` is one contiguous float64 block — per indexed entry,
+        per level, the bucket-min then bucket-max matrices raveled —
+        and ``layout`` the per-entry shape metadata (``None`` for
+        unindexed entries, else ``(n_bins, [(w, W, offset), ...])``).
+        :meth:`from_packed` reconstructs entries as zero-copy views.
+        """
+        parts: List[np.ndarray] = []
+        layout: list = []
+        offset = 0
+        for entry in self.entries:
+            if entry is None:
+                layout.append(None)
+                continue
+            shapes = []
+            for w, amin, amax in entry.levels:
+                shapes.append((w, amin.shape[0], offset))
+                parts.append(np.ascontiguousarray(amin, dtype=np.float64).ravel())
+                parts.append(np.ascontiguousarray(amax, dtype=np.float64).ravel())
+                offset += 2 * amin.size
+            layout.append((entry.n_bins, shapes))
+        values = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=np.float64)
+        )
+        return values, layout
+
+    @classmethod
+    def from_packed(cls, values: np.ndarray, layout: list) -> "ShapeIndex":
+        """Rebuild from :meth:`pack` output without copying bucket data.
+
+        Entries carry no witness (an attached index is a read-only
+        consumer view — extension happens publisher-side and republishes).
+        """
+        entries: List[Optional[TrendlineEntry]] = []
+        for item in layout:
+            if item is None:
+                entries.append(None)
+                continue
+            n_bins, shapes = item
+            levels = []
+            for w, W, offset in shapes:
+                size = W * W
+                amin = values[offset:offset + size].reshape(W, W)
+                amax = values[offset + size:offset + 2 * size].reshape(W, W)
+                levels.append((w, amin, amax))
+            entries.append(TrendlineEntry(n_bins, levels, None))
+        return cls(entries)
+
+
+# ---------------------------------------------------------------------------
+# Per-level chain bound: unit bucket bounds + coarse max-plus DP
+# ---------------------------------------------------------------------------
+
+
+def _unit_upper(unit, amin: np.ndarray, amax: np.ndarray, shared: dict) -> np.ndarray:
+    """(W, W) upper bound on one unit's score over each bucket's segments.
+
+    For up/down the Table 5 score is monotone in the atan, so the
+    endpoint maximum is exact; flat/θ scores additionally peak at 1.0
+    when the bucket's atan interval straddles the target (for a negated
+    flat/θ the peak is a trough, so the endpoint maximum stays exact).
+    ``any``/``empty`` and line units score constants ≤ 1.0.  y-location
+    masks only ever lower scores, so they need no handling in an upper
+    bound.  Empty-bucket sentinels are substituted before the transform
+    and re-masked by the caller.
+    """
+    if not isinstance(unit, SlopeUnit) or unit.kind in ("any", "empty"):
+        if isinstance(unit, SlopeUnit):
+            value = 1.0 if unit.kind == "any" else -1.0
+            value = -value if unit.negated else value
+        else:
+            value = 1.0  # LineUnit (and any future bounded unit): score ≤ 1
+        return np.full(amin.shape, value)
+    empty = shared["empty"]
+    a_lo = shared.get("a_lo")
+    if a_lo is None:
+        a_lo = shared["a_lo"] = np.where(empty, 0.0, amin)
+        shared["a_hi"] = np.where(empty, 0.0, amax)
+    a_hi = shared["a_hi"]
+    score_lo = scoring.pattern_score_from_atan(unit.kind, a_lo, unit.theta)
+    score_hi = scoring.pattern_score_from_atan(unit.kind, a_hi, unit.theta)
+    if unit.negated:
+        score_lo, score_hi = -score_lo, -score_hi
+    upper = np.maximum(score_lo, score_hi)
+    if not unit.negated and unit.kind in ("flat", "slope"):
+        target = 0.0 if unit.kind == "flat" else math.radians(unit.theta)
+        upper = np.where((a_lo < target) & (target < a_hi), 1.0, upper)
+    return upper
+
+
+def _chain_level_bound(
+    n_bins: int,
+    chain: Chain,
+    w: int,
+    amin: np.ndarray,
+    amax: np.ndarray,
+    shared: dict,
+) -> float:
+    """Bound one chain's best full-cover score from one pyramid level.
+
+    Max-plus DP over (start super-bin, end super-bin) bucket bounds:
+    the first unit starts at bin 0 (super-bin 0), the last ends at bin
+    ``n`` (super-bin W−1), and consecutive units share their boundary
+    bin — so the next start super-bin is the previous end super-bin or
+    its successor.  Buckets that are empty, inverted, or too narrow to
+    host the run's minimum segment width are −inf.
+    """
+    W = amin.shape[0]
+    grid = np.arange(W)
+    min_len = run_min_length(0, n_bins, len(chain.units))
+    infeasible = (
+        shared["empty"]
+        | (grid[:, None] > grid[None, :])
+        | ((grid[None, :] - grid[:, None] + 1) * w < min_len)
+    )
+    memo = shared.setdefault("units", {})
+    state: Optional[np.ndarray] = None
+    for cu in chain.units:
+        unit = cu.unit
+        if isinstance(unit, SlopeUnit):
+            key = ("slope", unit.kind, unit.theta, unit.negated)
+        else:
+            key = ("line",)
+        upper = memo.get(key)
+        if upper is None:
+            upper = memo[key] = _unit_upper(unit, amin, amax, shared)
+        weighted = np.where(infeasible, _NEG_INF, cu.weight * upper)
+        if state is None:
+            state = weighted[0, :].copy()
+            continue
+        reach = state.copy()
+        reach[1:] = np.maximum(state[1:], state[:-1])
+        state = np.max(reach[:, None] + weighted, axis=0)
+    return float(state[W - 1])
+
+
+# ---------------------------------------------------------------------------
+# Seeded pruning pass (the IndexPrune operator's core)
+# ---------------------------------------------------------------------------
+
+#: Minimum seed pool: collections at or below this size are never pruned
+#: (scoring them outright is cheaper than bounding them).
+MIN_SEED_CANDIDATES = 16
+
+
+def prune_candidates(
+    trendlines: Sequence[Trendline],
+    index: ShapeIndex,
+    query: CompiledQuery,
+    k: int,
+    solve,
+    bounds: Optional[np.ndarray] = None,
+) -> Tuple[List[int], int]:
+    """Select the candidate positions that can still reach the top k.
+
+    Seeds — the ``max(k, MIN_SEED_CANDIDATES)`` candidates with the
+    highest index bounds (position-ascending on ties) — are scored
+    exactly with ``solve``; the k-th best seed score becomes the floor,
+    and every other candidate is kept iff :func:`survives_floor` says
+    its bound can reach it.  Returns ``(surviving positions ascending,
+    pruned count)``.  ``bounds`` lets the caller supply worker-computed
+    bounds (bitwise the same floats — same function, same published
+    buckets); seeds always survive, so their exact scores are recomputed
+    downstream by the ordinary Score stage and byte-identity needs no
+    score plumbing through this pass.
+    """
+    total = len(trendlines)
+    seed_count = max(int(k), MIN_SEED_CANDIDATES)
+    if total <= seed_count or k < 1:
+        return list(range(total)), 0
+    if bounds is None:
+        bounds = index.upper_bounds(query)
+    else:
+        bounds = np.asarray(bounds, dtype=float)
+    order = sorted(range(total), key=lambda i: (-bounds[i], i))
+    seeds = order[:seed_count]
+    seed_scores = sorted(
+        (float(solve(trendlines[i]).score) for i in seeds), reverse=True
+    )
+    floor = seed_scores[k - 1]
+    keep = survives_floor(bounds, floor)
+    keep[seeds] = True
+    survivors = [i for i in range(total) if keep[i]]
+    return survivors, total - len(survivors)

@@ -142,6 +142,23 @@ class QueryHandle:
 
 
 @dataclass(frozen=True)
+class IndexHandle:
+    """Reference to one published shape index (engine/shape_index.py).
+
+    The packed form is a single float64 payload (every pyramid level's
+    bucket matrices, concatenated) plus a small pickled layout that says
+    how to slice it back into per-trendline entries; like a collection
+    handle it is O(1) in the index size, so an index-bounds task travels
+    as ``(handle, start, end)``.
+    """
+
+    token: str
+    name: str
+    total: int  # float64 elements in the packed payload
+    layout_nbytes: int
+
+
+@dataclass(frozen=True)
 class TableHandle:
     """Manifest of one published table: per-column name, dtype and extent.
 
@@ -288,6 +305,31 @@ def publish_query(query, token: Optional[str] = None) -> Tuple[QueryHandle, "obj
     segment.buf[: len(payload)] = payload
     handle = QueryHandle(
         token=token or uuid.uuid4().hex, name=segment.name, nbytes=len(payload)
+    )
+    return handle, segment
+
+
+def publish_index(index, token: Optional[str] = None) -> Tuple[IndexHandle, "object"]:
+    """Pack a :class:`~repro.engine.shape_index.ShapeIndex` into one segment.
+
+    Same shape as :func:`publish_trendlines`: raw float64 payload first,
+    pickled layout manifest after it.  Workers reattach the bucket
+    matrices as zero-copy views, so the same bytes back every bound on
+    both sides of the process boundary.
+    """
+    shared = _require_shared_memory()
+    values, layout = index.pack()
+    manifest = pickle.dumps(layout, protocol=pickle.HIGHEST_PROTOCOL)
+    total = len(values)
+    segment = shared.SharedMemory(create=True, size=max(8, total * 8 + len(manifest)))
+    view = np.ndarray((total,), dtype=np.float64, buffer=segment.buf)
+    view[:] = values
+    segment.buf[total * 8 : total * 8 + len(manifest)] = manifest
+    handle = IndexHandle(
+        token=token or uuid.uuid4().hex,
+        name=segment.name,
+        total=total,
+        layout_nbytes=len(manifest),
     )
     return handle, segment
 
@@ -453,6 +495,13 @@ def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "objec
                 parts.append(base[position : position + length])
                 position += length
             x, y, bin_x, bin_y, norm_bin_y, count, sx, sy, sxy, sxx = parts
+            # The five prefix arrays are equal-length and packed
+            # consecutively (see _trendline_arrays), so the payload
+            # already holds a (5, bins+1) stacked block — reshape it
+            # zero-copy so the attached PrefixStats keeps the fused
+            # _slopes gather the publisher's original had.
+            prefix_start = position - 5 * len(count)
+            stacked = base[prefix_start:position].reshape(5, len(count))
             trendlines.append(
                 Trendline(
                     key=key,
@@ -461,7 +510,9 @@ def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "objec
                     bin_x=bin_x,
                     bin_y=bin_y,
                     norm_bin_y=norm_bin_y,
-                    prefix=PrefixStats.from_cumulative(count, sx, sy, sxy, sxx),
+                    prefix=PrefixStats.from_cumulative(
+                        count, sx, sy, sxy, sxx, stacked=stacked
+                    ),
                     y_mean=y_mean,
                     y_std=y_std,
                     offset=bin_offset,
@@ -473,7 +524,7 @@ def attach_collection(handle: CollectionHandle) -> Tuple[List[Trendline], "objec
         # mapping leaks for the worker's lifetime.  Every view over the
         # buffer must be dropped first or close() refuses to release the
         # exported memoryview.
-        base = parts = trendlines = None  # noqa: F841
+        base = parts = trendlines = stacked = None  # noqa: F841
         segment.close()
         raise
     return trendlines, segment
@@ -562,6 +613,33 @@ def resolve_query(query):
         return _Attachment(value, None)
 
     return _resolve(query.token, attach)
+
+
+def attach_index(handle: IndexHandle) -> Tuple["object", "object"]:
+    """Rebuild a read-only shape index over the shared payload."""
+    from repro.engine.shape_index import ShapeIndex
+
+    segment = _attach_segment(handle.name)
+    try:
+        values = np.ndarray((handle.total,), dtype=np.float64, buffer=segment.buf)
+        values.flags.writeable = False
+        manifest_start = handle.total * 8
+        layout = pickle.loads(
+            bytes(segment.buf[manifest_start : manifest_start + handle.layout_nbytes])
+        )
+        index = ShapeIndex.from_packed(values, layout)
+    except BaseException:
+        # Same discipline as attach_collection: on failure nobody else
+        # owns the mapping, and every view must be dropped before close().
+        values = index = None  # noqa: F841
+        segment.close()
+        raise
+    return index, segment
+
+
+def resolve_index(handle: IndexHandle):
+    """The worker-resident shape index for ``handle`` (attach on first use)."""
+    return _resolve(handle.token, lambda: _Attachment(*attach_index(handle)))
 
 
 def attach_table_delta(handle: TableDeltaHandle) -> Tuple[Table, None]:
@@ -656,6 +734,9 @@ class ShmSession:
     #: fingerprints every batch — recycle segments instead of filling
     #: /dev/shm.  Evictions defer to the dispatch pins below.
     MAX_TABLES = 8
+    #: Retained index segments (a few bucket matrices per trendline —
+    #: far smaller than a collection, but rebuilt per index key).
+    MAX_INDEXES = 8
     #: Longest delta chain :meth:`acquire_append` will extend before
     #: forcing a fresh full publish: bounds the pickled handle size, the
     #: per-dispatch pin count, and the worker-side resolve depth, and
@@ -668,6 +749,7 @@ class ShmSession:
         self._collections: "OrderedDict[int, CollectionHandle]" = OrderedDict()
         self._queries: "OrderedDict[int, QueryHandle]" = OrderedDict()
         self._tables: "OrderedDict[str, TableHandle]" = OrderedDict()
+        self._indexes: "OrderedDict[int, IndexHandle]" = OrderedDict()
         self._refs: Dict[int, object] = {}  # keeps memo ids stable
         self._witness: Dict[int, tuple] = {}  # element identities at publish
         self._pins: Dict[str, int] = {}  # token -> in-flight dispatch count
@@ -716,6 +798,48 @@ class ShmSession:
                 self._pins[token] = self._pins.get(token, 0) + 1
         _destroy_all(stale)
         return handle, query_ref
+
+    def acquire_index(self, index, compiled) -> Optional[Tuple[IndexHandle, QueryHandle]]:
+        """Publish-or-reuse the index + query handles *and* pin both.
+
+        The IndexPrune dispatch entry point, mirroring :meth:`acquire`'s
+        lock discipline.  Returns ``None`` when the index packs to
+        nothing (every trendline below the pyramid threshold) — the
+        caller then computes bounds in-process.  Pair with :meth:`unpin`.
+        """
+        stale: list = []
+        with self._lock:
+            self._check_open()
+            handle = self._index_locked(index, stale)
+            if handle is None:
+                _destroy_all(stale)
+                return None
+            query_ref = self._query_locked(compiled, stale)
+            for token in (handle.token, query_ref.token):
+                self._pins[token] = self._pins.get(token, 0) + 1
+        _destroy_all(stale)
+        return handle, query_ref
+
+    def _index_locked(self, index, stale: list) -> Optional[IndexHandle]:
+        # A ShapeIndex is immutable once built (extension returns a new
+        # object), so unlike the collection memo a bare id key suffices —
+        # _refs pins the object so its id cannot be recycled.
+        if index.indexed == 0:
+            return None
+        key = id(index)
+        handle = self._indexes.get(key)
+        if handle is None:
+            handle, segment = publish_index(index)
+            self._indexes[key] = handle
+            self._refs[key] = index
+            self._segments[handle.token] = segment
+            _LOCAL[handle.token] = (os.getpid(), index)
+            while len(self._indexes) > self.MAX_INDEXES:
+                old_key, old = self._indexes.popitem(last=False)
+                stale.append(self._drop_locked(old_key, old.token))
+        else:
+            self._indexes.move_to_end(key)
+        return handle
 
     def acquire_generation(
         self, table: Table, compiled, columns: Optional[Sequence[str]] = None
@@ -997,6 +1121,7 @@ class ShmSession:
             self._collections.clear()
             self._queries.clear()
             self._tables.clear()
+            self._indexes.clear()
             self._refs.clear()
             self._witness.clear()
         for token in tokens:

@@ -80,16 +80,29 @@ class PrefixStats:
     intervals ``[l, r)``.
     """
 
-    __slots__ = ("count", "sx", "sy", "sxy", "sxx", "bins")
+    __slots__ = ("count", "sx", "sy", "sxy", "sxx", "bins", "stacked")
+
+    #: Row order of :attr:`stacked` — chosen to match the order the five
+    #: prefix arrays are packed in a shared-memory export, so a worker's
+    #: reattached view of the segment *is* a valid ``stacked`` array.
+    STACKED_ROWS = ("count", "sx", "sy", "sxy", "sxx")
 
     def __init__(self, bin_x_sums, bin_y_sums, bin_xy_sums, bin_xx_sums, bin_counts):
         self.bins = len(bin_counts)
-        zero = np.zeros(1)
-        self.count = np.concatenate([zero, np.cumsum(bin_counts, dtype=float)])
-        self.sx = np.concatenate([zero, np.cumsum(bin_x_sums, dtype=float)])
-        self.sy = np.concatenate([zero, np.cumsum(bin_y_sums, dtype=float)])
-        self.sxy = np.concatenate([zero, np.cumsum(bin_xy_sums, dtype=float)])
-        self.sxx = np.concatenate([zero, np.cumsum(bin_xx_sums, dtype=float)])
+        # All five cumulative arrays live as rows of one (5, bins+1)
+        # block: _slopes then gathers every statistic of a range set in
+        # one fancy-indexing pass instead of five (the DP kernels are
+        # bandwidth-bound at large n, and five separate gathers pay the
+        # numpy dispatch and the index walk five times).
+        stacked = np.empty((5, self.bins + 1))
+        stacked[:, 0] = 0.0
+        np.cumsum(bin_counts, dtype=float, out=stacked[0, 1:])
+        np.cumsum(bin_x_sums, dtype=float, out=stacked[1, 1:])
+        np.cumsum(bin_y_sums, dtype=float, out=stacked[2, 1:])
+        np.cumsum(bin_xy_sums, dtype=float, out=stacked[3, 1:])
+        np.cumsum(bin_xx_sums, dtype=float, out=stacked[4, 1:])
+        self.stacked = stacked
+        self.count, self.sx, self.sy, self.sxy, self.sxx = stacked
 
     @classmethod
     def from_points(cls, x: np.ndarray, y: np.ndarray) -> "PrefixStats":
@@ -99,13 +112,18 @@ class PrefixStats:
         return cls(x, y, x * y, x * x, np.ones(len(x)))
 
     @classmethod
-    def from_cumulative(cls, count, sx, sy, sxy, sxx) -> "PrefixStats":
+    def from_cumulative(cls, count, sx, sy, sxy, sxx, stacked=None) -> "PrefixStats":
         """Adopt already-cumulative arrays without recomputation.
 
         This is the shared-memory reattachment path: the arrays are the
         exact ``prefix[i]`` buffers a publishing process built (length
         ``bins + 1``, leading zero included), typically read-only views
-        over a shared segment, and are shared as-is.
+        over a shared segment, and are shared as-is.  ``stacked``, when
+        given, is the same five arrays as rows of one ``(5, bins + 1)``
+        block (row order :data:`STACKED_ROWS`) — a shared export packs
+        them consecutively, so the publisher's attach path passes a
+        zero-copy reshape and keeps the fused ``_slopes`` gather; when it
+        is ``None`` the per-array gather fallback is used instead.
         """
         self = cls.__new__(cls)
         self.bins = len(count) - 1
@@ -114,6 +132,7 @@ class PrefixStats:
         self.sy = sy
         self.sxy = sxy
         self.sxx = sxx
+        self.stacked = stacked
         return self
 
     @classmethod
@@ -130,6 +149,37 @@ class PrefixStats:
             np.bincount(bin_index, weights=x * x, minlength=bins),
             counts,
         )
+
+    def __getstate__(self):
+        """Pickle the stacked block once, not five row views plus it.
+
+        Default ``__slots__`` pickling would serialize ``stacked`` *and*
+        each named row view as an independent array — double the bytes on
+        the wire and a receiver whose rows no longer alias the block.
+        """
+        if self.stacked is not None:
+            return {"bins": self.bins, "stacked": np.ascontiguousarray(self.stacked)}
+        return {
+            "bins": self.bins,
+            "count": self.count,
+            "sx": self.sx,
+            "sy": self.sy,
+            "sxy": self.sxy,
+            "sxx": self.sxx,
+        }
+
+    def __setstate__(self, state):
+        self.bins = state["bins"]
+        stacked = state.get("stacked")
+        self.stacked = stacked
+        if stacked is not None:
+            self.count, self.sx, self.sy, self.sxy, self.sxx = stacked
+        else:
+            self.count = state["count"]
+            self.sx = state["sx"]
+            self.sy = state["sy"]
+            self.sxy = state["sxy"]
+            self.sxx = state["sxx"]
 
     def extends(self, base: "PrefixStats") -> bool:
         """True when this prefix is a bitwise extension of ``base``.
@@ -206,11 +256,21 @@ class PrefixStats:
         return self._slopes(np.asarray(starts), np.asarray(ends))
 
     def _slopes(self, l, r):
-        n = self.count[r] - self.count[l]
-        sx = self.sx[r] - self.sx[l]
-        sy = self.sy[r] - self.sy[l]
-        sxy = self.sxy[r] - self.sxy[l]
-        sxx = self.sxx[r] - self.sxx[l]
+        if self.stacked is not None:
+            # Fused gather: one fancy-indexing pass per index set pulls
+            # all five statistics at once (rows of the gathered block are
+            # contiguous views, so the arithmetic below is unchanged).
+            # Element-wise this is the same ``prefix[r] - prefix[l]``
+            # subtraction as the per-array path, so values are bitwise
+            # identical either way.
+            gathered = self.stacked[:, r] - self.stacked[:, l]
+            n, sx, sy, sxy, sxx = gathered
+        else:
+            n = self.count[r] - self.count[l]
+            sx = self.sx[r] - self.sx[l]
+            sy = self.sy[r] - self.sy[l]
+            sxy = self.sxy[r] - self.sxy[l]
+            sxx = self.sxx[r] - self.sxx[l]
         # In-place arithmetic: the matrix kernel funnels (splits × ends)
         # tiles through here, where temporaries are megabytes and memory
         # traffic — not flops — is the bottleneck.  Operand order matches

@@ -16,7 +16,7 @@ A :class:`Trendline` holds, for one value of the ``z`` attribute:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -105,6 +105,45 @@ class Trendline:
     def segment_raw(self, l: int, r: int) -> Tuple[np.ndarray, np.ndarray]:
         """Raw (x, y) bin values of ``[l, r)``."""
         return self.bin_x[l:r], self.bin_y[l:r]
+
+
+def cast_trendline(trendline: Trendline, dtype: Any) -> Trendline:
+    """A copy of ``trendline`` with every float array cast to ``dtype``.
+
+    The ``precision="float32"`` mode's workhorse: the cumulative prefix
+    block is cast as one unit (keeping the fused-gather layout) and the
+    cached line-fit prefix is dropped so it rebuilds in the new dtype.
+    Casting float64 statistics to float32 rounds — this is explicitly an
+    approximate representation, never part of the byte-identity
+    contract.  ``dtype=float64`` returns the trendline unchanged.
+    """
+    dtype = np.dtype(dtype)
+    if dtype == np.float64:
+        return trendline
+    prefix = trendline.prefix
+    if prefix.stacked is not None:
+        stacked = np.ascontiguousarray(prefix.stacked, dtype=dtype)
+        cast_prefix = PrefixStats.from_cumulative(*stacked, stacked=stacked)
+    else:
+        cast_prefix = PrefixStats.from_cumulative(
+            prefix.count.astype(dtype),
+            prefix.sx.astype(dtype),
+            prefix.sy.astype(dtype),
+            prefix.sxy.astype(dtype),
+            prefix.sxx.astype(dtype),
+        )
+    return Trendline(
+        key=trendline.key,
+        x=trendline.x.astype(dtype),
+        y=trendline.y.astype(dtype),
+        bin_x=trendline.bin_x.astype(dtype),
+        bin_y=trendline.bin_y.astype(dtype),
+        norm_bin_y=trendline.norm_bin_y.astype(dtype),
+        prefix=cast_prefix,
+        y_mean=trendline.y_mean,
+        y_std=trendline.y_std,
+        offset=trendline.offset,
+    )
 
 
 def trendline_extends(base: Trendline, extended: Trendline) -> bool:

@@ -136,6 +136,24 @@ class ResultSet(Sequence):
         """The underlying match list (a copy-free view; do not mutate)."""
         return self._matches
 
+    @property
+    def candidates_pruned(self) -> int:
+        """Candidates this call discarded without a full DP solve.
+
+        Sums every exact pruning channel the engine ran: the shape
+        index's IndexPrune stage, push-down (b)'s eager discards, and
+        the two-stage collective pruning driver.  0 for synthesized sets
+        (no stats) and for runs where every candidate was scored.
+        """
+        if self.stats is None:
+            return 0
+        pruned = getattr(self.stats, "index_pruned", 0)
+        pruned += getattr(self.stats, "eager_discarded", 0)
+        report = getattr(self.stats, "pruning", None)
+        if report is not None:
+            pruned += report.pruned
+        return pruned
+
     def top(self, n: int) -> "ResultSet":
         """The best ``n`` matches, stats and plan carried along."""
         return self[:n]

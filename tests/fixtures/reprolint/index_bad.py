@@ -1,0 +1,17 @@
+# Fixture: violates the REP061 floor-seam rule.  Parsed, never run.
+import numpy as np  # noqa — never imported
+
+
+def prune_candidates(bounds, floor):
+    """Operator-form floor comparisons outside the seam: two findings."""
+    kept = []
+    for upper in bounds:
+        if upper < floor:  # finding: inline strict discard
+            continue
+        kept.append(upper)
+    return [value for value in kept if value >= floor]  # finding: restated
+
+
+def vectorized_prune(bounds, topk_floor):
+    """Ufunc-form bypass: np.greater_equal spells the same inequality."""
+    return bounds[np.greater_equal(bounds, topk_floor)]  # finding

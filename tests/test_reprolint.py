@@ -38,6 +38,7 @@ CASES = [
     ("REP041", "deprecation", 2),
     ("REP051", "kernel", 1),
     ("REP052", "kernel", 1),
+    ("REP061", "index", 3),
 ]
 
 

@@ -18,6 +18,7 @@ from tools.reprolint.rules.cancellation import (
 )
 from tools.reprolint.rules.deprecation import ShimCallRule
 from tools.reprolint.rules.kernel import MatrixParityRule, SlopeBasedDeclarationRule
+from tools.reprolint.rules.index import FloorSeamRule
 
 ALL_RULES = [
     SetIterationRule(),
@@ -33,6 +34,7 @@ ALL_RULES = [
     ShimCallRule(),
     MatrixParityRule(),
     SlopeBasedDeclarationRule(),
+    FloorSeamRule(),
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
