@@ -5,6 +5,12 @@ variable (default 0.25 so the whole harness completes on a laptop;
 ``REPRO_BENCH_SCALE=1`` reproduces the paper's full workload sizes).
 Each module prints the paper-style rows it regenerates, so running
 ``pytest benchmarks/ --benchmark-only -s`` yields the tables directly.
+
+Measurements land in the ``REPRO_BENCH_JSON`` file via
+:func:`record_result`, which **merges section-by-section**: each module
+owns one top-level section (``index``, ``streaming``, ``artifacts``,
+...), re-running a single module refreshes only its section, and a full
+run regenerates them all side by side in one file.
 """
 
 import json

@@ -66,6 +66,7 @@ QueryLike = Union[str, Node, CompiledQuery]
 _SESSION_OPTIONS = (
     "engine", "tagger", "workers", "cache", "backend",
     "quantifier_threshold", "kernel", "generation", "index", "precision",
+    "store",
 )
 
 
@@ -511,8 +512,12 @@ class ShapeSearch:
     top-k floor before the DP ever runs them; results stay byte-identical
     to an unindexed search.  ``precision="float32"`` opts into
     approximate single-precision scoring (explicitly outside the
-    byte-identity contract).  All are ignored when an explicit
-    ``engine`` is passed.
+    byte-identity contract).  ``store=`` names an artifact-store
+    directory (default: the ``REPRO_ARTIFACT_DIR`` environment
+    variable): shape indexes persist there in a memory-mapped on-disk
+    format, so a fresh process serves ``index=True`` queries without
+    rebuilding — see the README's "Artifact store" section.  All are
+    ignored when an explicit ``engine`` is passed.
 
     Sessions own OS resources once a parallel search ran (worker
     processes, dispatcher threads, shared-memory segments): call
@@ -526,12 +531,14 @@ class ShapeSearch:
                  workers: Optional[int] = 1, cache=None, backend: str = "thread",
                  quantifier_threshold: Optional[float] = None,
                  kernel: str = "matrix", generation: str = "auto",
-                 index: bool = False, precision: str = "float64"):
+                 index: bool = False, precision: str = "float64",
+                 store: Optional[str] = None):
         self.table = table
         self.engine = engine if engine is not None else ShapeSearchEngine(
             workers=workers, cache=cache, backend=backend,
             quantifier_threshold=quantifier_threshold, kernel=kernel,
             generation=generation, index=index, precision=precision,
+            store=store,
         )
         self.tagger = tagger
 
@@ -572,8 +579,8 @@ class ShapeSearch:
 
         Session/engine options (``engine``, ``tagger``, ``workers``,
         ``cache``, ``backend``, ``quantifier_threshold``, ``kernel``,
-        ``generation``, ``index``, ``precision``) are routed to the
-        session; every *other* keyword
+        ``generation``, ``index``, ``precision``, ``store``) are routed
+        to the session; every *other* keyword
         is a column array — so
         ``ShapeSearch.from_arrays(z=..., x=..., y=..., backend="process",
         workers=4)`` builds a process-backend session, instead of

@@ -382,7 +382,11 @@ class Table:
         # becomes the extension base for the other, so streaming tails
         # keep their index across append_rows without retaining the whole
         # base table.  One level deep by construction — the dict holds
-        # indexes, not further base links.
+        # indexes, not further base links.  An engine with an artifact
+        # store (``store=``) persists the delta-extended index under the
+        # appended table's fingerprint, so the lineage survives process
+        # restarts too (repro.engine.artifacts keeps entry witnesses on
+        # disk for exactly this reuse).
         appended._shape_index_base = attached_state(self, "_shape_index_state", dict)
         if incremental:
             base = column_digests(self)

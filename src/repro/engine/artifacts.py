@@ -1,0 +1,202 @@
+"""Memory-mapped on-disk artifact store for shape indexes.
+
+PR 8's shape index dies with the process: every restart repays the
+O(n²)-per-trendline pyramid build before the first ``index=True`` query
+can prune anything.  This module gives the packed index form
+(:meth:`~repro.engine.shape_index.ShapeIndex.pack` — the same flat
+float64 block + layout manifest the shm transport publishes) a
+durable home on disk, so a cold process serves indexed queries at
+``np.memmap`` cost instead of build cost.
+
+**Layout on disk** — one subdirectory per index key under the store
+root (``store=`` on the session/engine, or ``REPRO_ARTIFACT_DIR``),
+named by the SHA-1 of the key's canonical repr:
+
+* ``block.f64`` — the raw packed float64 block, memory-mapped on load.
+* ``layout.pkl`` — pickled ``(layout, witnesses)``: the per-entry shape
+  manifest plus each entry's content witness, so a loaded index keeps
+  the :meth:`~repro.engine.shape_index.ShapeIndex.extended`
+  extend-don't-rebuild contract across restarts.
+* ``manifest.json`` — format version, the table content fingerprint the
+  index was built from, and SHA-1 digests of both payload files.
+
+**Fallback semantics** — :func:`load_index` returns the index or
+``None``, never a wrong index: missing/unreadable files, a format
+version skew, a fingerprint mismatch (the table changed), a truncated
+block, or corrupted payload bytes (digest mismatch) all miss, and the
+caller rebuilds exactly as if no artifact existed.  Writes go through
+temp files + ``os.replace`` so a torn save can never satisfy the
+manifest it describes.
+
+**Mapping lifecycle** (reprolint REP071): every mapping opened by
+:func:`_open_block` must reach an owner — returned inside the loaded
+index (whose entry views keep the mapping alive) or closed by the
+idempotent :func:`_close_block` on a verification failure — with no
+unguarded raise between open and ownership transfer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.shape_index import ShapeIndex
+
+#: On-disk format version: bump on any layout/manifest change so stale
+#: artifacts from older code miss cleanly instead of mis-parsing.
+ARTIFACT_FORMAT = 1
+
+_BLOCK_FILE = "block.f64"
+_LAYOUT_FILE = "layout.pkl"
+_MANIFEST_FILE = "manifest.json"
+
+
+def artifact_name(key) -> str:
+    """Stable directory name for one index key.
+
+    ``key`` is the engine's index key — ``(params, normalize_y,
+    plan_fingerprint, precision)`` — whose components are dataclasses
+    and scalars with deterministic reprs, so two processes over the
+    same query shape agree on the name.  The table fingerprint is *not*
+    part of the name: one artifact per key, verified (and overwritten)
+    against the current table's fingerprint.
+    """
+    return hashlib.sha1(repr(key).encode("utf-8")).hexdigest()
+
+
+def artifact_dir(root, key) -> Path:
+    """The directory one index key persists under."""
+    return Path(root) / artifact_name(key)
+
+
+def _replace_bytes(path: Path, payload: bytes) -> None:
+    """Write-then-rename so readers never observe a half-written file."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)
+
+
+def save_index(root, key, index: ShapeIndex, fingerprint: str) -> Path:
+    """Persist ``index`` under ``key``; returns the artifact directory.
+
+    Saves the packed form plus entry witnesses.  After ``append_rows``
+    the engine saves the *extended* index here — unchanged entries were
+    reused bit for bit in memory, and their persisted witnesses let the
+    next process extend again instead of rebuilding, so the disk tier
+    follows the same delta discipline as the in-memory lineage.
+    Payload files land before the manifest that vouches for them, each
+    via temp-file + ``os.replace``.
+    """
+    values, layout = index.packed()
+    witnesses = [
+        entry.witness if entry is not None else None for entry in index.entries
+    ]
+    directory = artifact_dir(root, key)
+    directory.mkdir(parents=True, exist_ok=True)
+    block = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    payload = block.tobytes()
+    layout_bytes = pickle.dumps(
+        (layout, witnesses), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    manifest = {
+        "format": ARTIFACT_FORMAT,
+        "fingerprint": fingerprint,
+        "count": len(layout),
+        "values_len": int(block.size),
+        "block_sha1": hashlib.sha1(payload).hexdigest(),
+        "layout_sha1": hashlib.sha1(layout_bytes).hexdigest(),
+    }
+    _replace_bytes(directory / _BLOCK_FILE, payload)
+    _replace_bytes(directory / _LAYOUT_FILE, layout_bytes)
+    _replace_bytes(
+        directory / _MANIFEST_FILE,
+        json.dumps(manifest, indent=2, sort_keys=True).encode("ascii"),
+    )
+    return directory
+
+
+def _open_block(path: Path, values_len: int) -> np.ndarray:
+    """Map the packed block read-only (REP071 source).
+
+    A zero-length block needs no mapping (``mmap`` refuses empty files);
+    a file shorter than the manifest's element count makes ``np.memmap``
+    raise, so truncation is caught structurally before any verification.
+    """
+    if values_len == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+
+
+def _close_block(block: np.ndarray) -> None:
+    """Idempotent release of a mapped block (REP071 ownership sink)."""
+    mapping = getattr(block, "_mmap", None)
+    if mapping is not None:
+        mapping.close()
+
+
+def load_index(root, key, fingerprint: str) -> Optional[ShapeIndex]:
+    """The persisted index for ``key``, or ``None`` — never a wrong index.
+
+    Verification order: manifest readable and well-formed, format
+    version current, fingerprint equal to the *current* table's content
+    fingerprint, layout bytes digest-clean, block mappable at the
+    manifest's length (truncation fails here) and digest-clean.  Any
+    miss returns ``None`` so the caller rebuilds; a block that was
+    mapped before the miss is closed first.  On success the returned
+    index's entries are zero-copy views over the mapping — near-zero
+    cold start, one sequential read for the digest check.
+    """
+    directory = artifact_dir(root, key)
+    try:
+        manifest = json.loads((directory / _MANIFEST_FILE).read_text("ascii"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        return None
+    if manifest.get("fingerprint") != fingerprint:
+        return None
+    try:
+        values_len = int(manifest["values_len"])
+        count = int(manifest["count"])
+        block_sha1 = manifest["block_sha1"]
+        layout_sha1 = manifest["layout_sha1"]
+    except (KeyError, TypeError, ValueError):
+        return None
+    try:
+        layout_bytes = (directory / _LAYOUT_FILE).read_bytes()
+    except OSError:
+        return None
+    if hashlib.sha1(layout_bytes).hexdigest() != layout_sha1:
+        return None
+    try:
+        layout, witnesses = pickle.loads(layout_bytes)
+    except Exception:
+        return None
+    if not isinstance(layout, list) or len(layout) != count:
+        return None
+    if not isinstance(witnesses, list) or len(witnesses) != count:
+        return None
+    try:
+        block = _open_block(directory / _BLOCK_FILE, values_len)
+    except (OSError, ValueError):
+        return None
+    try:
+        digest = hashlib.sha1()
+        digest.update(block)
+        if digest.hexdigest() != block_sha1:
+            _close_block(block)
+            return None
+        index = ShapeIndex.from_packed(block, layout, witnesses=witnesses)
+    except Exception:
+        _close_block(block)
+        return None
+    return index

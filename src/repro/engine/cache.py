@@ -194,6 +194,11 @@ class EngineCache:
     #: Shape indexes (engine/shape_index.py), keyed by table content
     #: fingerprint + generation inputs — like trendlines, shareable
     #: across engines because the index is a pure function of content.
+    #: When the engine is configured with an artifact store (``store=``),
+    #: this LRU is the hot tier above the memory-mapped disk tier
+    #: (repro.engine.artifacts): an eviction here costs a verified
+    #: ``np.memmap`` load, not a rebuild, and an entry loaded from disk
+    #: is promoted back through this cache on first use.
     indexes: LRUCache = field(default_factory=lambda: LRUCache(capacity=16))
 
     @classmethod

@@ -36,6 +36,7 @@ progress).  ``execute``/``execute_many`` remain as deprecated shims.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from collections import OrderedDict
@@ -132,6 +133,15 @@ class ExecutionStats:
     #: unbounded, or the collection below the seed threshold).
     index_candidates: int = 0
     index_pruned: int = 0
+    #: Where IndexPrune's index came from: ``"memory"`` (table-attached
+    #: or cache hit), ``"disk"`` (memory-mapped artifact store), or
+    #: ``"built"`` (fresh build / lineage extension); None when the
+    #: stage did not bound anything this call.
+    index_source: Optional[str] = None
+    #: How the bound pass ran: ``"dispatched"`` (sharded to pool workers
+    #: over the published index) or ``"inline"``; None when the stage
+    #: did not bound anything this call.
+    index_bounds: Optional[str] = None
 
 
 class ShapeSearchEngine:
@@ -154,6 +164,8 @@ class ShapeSearchEngine:
         generation: str = "auto",
         index: bool = False,
         precision: str = "float64",
+        store: Optional[str] = None,
+        index_dispatch_min: Optional[int] = None,
     ):
         if algorithm not in ALGORITHMS:
             raise ExecutionError(
@@ -227,6 +239,33 @@ class ShapeSearchEngine:
         #: opt-in approximate ``"float32"`` throughput mode (see
         #: :class:`~repro.engine.pipeline.PrecisionCast`).
         self.precision = precision
+        #: Artifact store directory (repro.engine.artifacts): shape
+        #: indexes persist here in the packed memmap form and survive
+        #: process restarts.  Defaults to ``REPRO_ARTIFACT_DIR`` when
+        #: set; None disables the disk tier.
+        if store is None:
+            store = os.environ.get("REPRO_ARTIFACT_DIR") or None
+        self.store: Optional[str] = str(store) if store else None
+        #: Candidate count at which the IndexPrune bound pass ships to
+        #: pool workers instead of running inline (pipeline.
+        #: INDEX_DISPATCH_MIN default, ``REPRO_INDEX_DISPATCH_MIN`` env
+        #: override, explicit argument wins) — resolved once here so
+        #: every stage of a session sees one gate.
+        if index_dispatch_min is None:
+            from repro.engine.pipeline import INDEX_DISPATCH_MIN
+
+            configured = os.environ.get("REPRO_INDEX_DISPATCH_MIN", "")
+            try:
+                index_dispatch_min = (
+                    int(configured) if configured else INDEX_DISPATCH_MIN
+                )
+            except ValueError:
+                raise ExecutionError(
+                    "REPRO_INDEX_DISPATCH_MIN must be an integer, got {!r}".format(
+                        configured
+                    )
+                )
+        self.index_dispatch_min = max(0, int(index_dispatch_min))
         self.cache: Optional[EngineCache] = coerce_cache(cache)
         self.last_stats = ExecutionStats()
         #: Rank-path shape indexes: id(collection) -> (id witness,
@@ -694,6 +733,9 @@ class ShapeSearchEngine:
     def _shape_index_for(self, trendlines, table=None, index_key=None):
         """The persistent shape index of one candidate collection.
 
+        Returns ``(index, source)`` where ``source`` names the tier that
+        supplied it — ``"memory"``, ``"disk"`` or ``"built"`` — surfaced
+        through ``ExecutionStats.index_source`` and the rendered plan.
         Storage tiers, in lookup order:
 
         * **Table-attached** (execute paths): the index lives on the
@@ -707,6 +749,12 @@ class ShapeSearchEngine:
         * **EngineCache.indexes** (when a cache is configured): content
           fingerprint keyed, shared across engines like the trendline
           cache.
+        * **Artifact store** (when ``store`` is configured): the packed
+          form memory-mapped from disk (repro.engine.artifacts),
+          verified against the table's content fingerprint — the tier
+          that survives process restarts.  Built/extended indexes are
+          saved back here, so an append persists its delta-extended
+          index for the next process.
         * **Engine-local memo** (rank paths over caller-held
           collections): keyed by collection identity with an id witness.
 
@@ -719,39 +767,63 @@ class ShapeSearchEngine:
             state = attached_state(table, "_shape_index_state", dict)
             index = state.get(index_key)
             if index is not None and len(index) == len(trendlines):
-                return index
+                return index, "memory"
             cache_key = None
             if self.cache is not None:
                 cache_key = (table_fingerprint(table),) + index_key
                 index = self.cache.indexes.get(cache_key)
                 if index is not None and len(index) == len(trendlines):
                     state[index_key] = index
-                    return index
-            base_state = getattr(table, "_shape_index_base", None)
-            base_index = base_state.get(index_key) if base_state else None
-            if base_index is not None:
-                index = base_index.extended(trendlines)
-            else:
-                index = ShapeIndex.build(trendlines)
+                    return index, "memory"
+            source = "built"
+            index = None
+            if self.store is not None:
+                from repro.engine.artifacts import load_index
+
+                index = load_index(
+                    self.store, index_key, table_fingerprint(table)
+                )
+                if index is not None and len(index) == len(trendlines):
+                    source = "disk"
+                else:
+                    index = None
+            if index is None:
+                base_state = getattr(table, "_shape_index_base", None)
+                base_index = base_state.get(index_key) if base_state else None
+                if base_index is not None:
+                    index = base_index.extended(trendlines)
+                else:
+                    index = ShapeIndex.build(trendlines)
             state[index_key] = index
             while len(state) > self._MAX_TABLE_INDEXES:
                 state.pop(next(iter(state)))
             if cache_key is not None:
                 self.cache.indexes.put(cache_key, index)
-            return index
+            if self.store is not None and source == "built":
+                from repro.engine.artifacts import save_index
+
+                try:
+                    save_index(
+                        self.store, index_key, index, table_fingerprint(table)
+                    )
+                except OSError:
+                    # An unwritable store never fails a query; the next
+                    # process rebuilds exactly as without a store.
+                    pass
+            return index, source
 
         key = id(trendlines)
         witness = tuple(id(trendline) for trendline in trendlines)
         entry = self._indexes.get(key)
         if entry is not None and entry[0] == witness:
             self._indexes.move_to_end(key)
-            return entry[2]
+            return entry[2], "memory"
         index = ShapeIndex.build(trendlines)
         self._indexes[key] = (witness, trendlines, index)
         self._indexes.move_to_end(key)
         while len(self._indexes) > _MAX_ENGINE_INDEXES:
             self._indexes.popitem(last=False)
-        return index
+        return index, "built"
 
 
 def _release_engine_resources(

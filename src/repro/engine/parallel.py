@@ -602,12 +602,15 @@ def dispatch_tail_scores(
     return [item for shard in shards for item in shard]
 
 
-def index_bounds_range(handle, query_ref, start: int, end: int) -> List[float]:
+def index_bounds_range(handle, query_ref, start: int, end: int):
     """Candidate upper bounds ``[start, end)`` from a shared shape index.
 
     The worker half of :func:`dispatch_index_bounds`: the index and the
     compiled query both resolve against the worker-resident store, and
-    every bound is computed with the default (unbounded) floor — no
+    the shard runs the block-batched kernel
+    (:meth:`~repro.engine.shape_index.ShapeIndex.upper_bounds_range`)
+    over zero-copy views of the attached block with the default
+    (unbounded) floor — the same kernel as the in-process path, no
     short-circuit, so the floats cannot depend on evaluation order or on
     how candidates were sharded.
     """
@@ -615,7 +618,7 @@ def index_bounds_range(handle, query_ref, start: int, end: int) -> List[float]:
 
     index = resolve_index(handle)
     compiled = resolve_query(query_ref)
-    return [index.upper_bound(position, compiled) for position in range(start, end)]
+    return index.upper_bounds_range(compiled, start, end)
 
 
 def dispatch_index_bounds(
@@ -629,8 +632,8 @@ def dispatch_index_bounds(
     """Shard the IndexPrune bound pass over a published shape index.
 
     Returns the full ``total``-length float64 bound vector in candidate
-    order.  Workers run the same :meth:`ShapeIndex.upper_bound` over the
-    same attached bucket bytes as the in-process path, so the returned
+    order.  Workers run the same block-batched kernel over the same
+    attached bucket bytes as the in-process path, so the returned
     floats are bitwise identical to ``index.upper_bounds(query)`` — the
     pruning decision cannot depend on the transport.
     """
@@ -639,8 +642,10 @@ def dispatch_index_bounds(
     ranges = make_range_chunks(total, pool.workers, chunk_size)
     rows = [(handle, query_ref, start, end) for start, end in ranges]
     shards = _run_tasks(pool, index_bounds_range, rows, control)
-    return np.array(
-        [bound for shard in shards for bound in shard], dtype=np.float64
+    if not shards:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(
+        [np.asarray(shard, dtype=np.float64) for shard in shards]
     )
 
 

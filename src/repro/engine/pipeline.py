@@ -773,9 +773,12 @@ class PrecisionCast(Operator):
 
 
 #: Below this candidate count the index bound pass is not worth shipping
-#: to workers even on the process backend — it is a few (W, W) array ops
-#: per candidate.
-_INDEX_DISPATCH_MIN = 256
+#: to workers even on the process backend — with the block-batched
+#: kernel it is a handful of array ops over the whole collection.  The
+#: default of the engine's ``index_dispatch_min`` option; override per
+#: engine or via the ``REPRO_INDEX_DISPATCH_MIN`` environment variable
+#: (resolved once at engine construction).
+INDEX_DISPATCH_MIN = 256
 
 
 class IndexPrune(Operator):
@@ -809,6 +812,9 @@ class IndexPrune(Operator):
         self.workers = workers
         self.table = table
         self.index_key = index_key
+        #: Which tier supplied the index on the last run ("memory" |
+        #: "disk" | "built"), rendered into the explained plan.
+        self.index_source: Optional[str] = None
 
     def run(self, ctx, candidates: Candidates) -> Candidates:
         from repro.engine.parallel import solve_one
@@ -820,10 +826,13 @@ class IndexPrune(Operator):
         ctx.stats.index_candidates = total
         if total <= max(self.k, MIN_SEED_CANDIDATES) or self.k < 1:
             return candidates
-        index = engine._shape_index_for(
+        index, index_source = engine._shape_index_for(
             source, table=self.table, index_key=self.index_key
         )
+        self.index_source = index_source
+        ctx.stats.index_source = index_source
         bounds = self._dispatched_bounds(ctx, index, total)
+        ctx.stats.index_bounds = "dispatched" if bounds is not None else "inline"
 
         def solve(trendline):
             return solve_one(
@@ -845,7 +854,7 @@ class IndexPrune(Operator):
             self.workers <= 1
             or engine.backend != "process"
             or not engine.shm
-            or total < _INDEX_DISPATCH_MIN
+            or total < getattr(engine, "index_dispatch_min", INDEX_DISPATCH_MIN)
         ):
             return None
         from repro.engine.parallel import dispatch_index_bounds
@@ -868,7 +877,9 @@ class IndexPrune(Operator):
             session.unpin(handle, query_ref)
 
     def detail(self) -> str:
-        return "k={}".format(self.k)
+        if self.index_source is None:
+            return "k={}".format(self.k)
+        return "k={} source={}".format(self.k, self.index_source)
 
 
 class _ScoreBase(Operator):

@@ -92,6 +92,11 @@ def survives_floor(upper_bounds, floor):
     with the floor always survives and competes under the normal
     tie-break order.  Centralizing the comparison here (reprolint
     REP061) keeps the discard rule from drifting into ad-hoc thresholds.
+
+    Vectorized inputs of any shape are fine, including the empty
+    candidate vector: ``survives_floor(np.zeros(0), floor)`` is an empty
+    boolean array — no candidates, no verdicts — so callers iterating
+    the verdict never special-case an empty collection.
     """
     return np.greater_equal(upper_bounds, floor)
 
@@ -256,14 +261,18 @@ class ShapeIndex:
     Built once per collection (:meth:`build`), extended incrementally
     across appends (:meth:`extended` — unchanged trendlines keep their
     entries bit for bit), packable into one flat float64 block for
-    zero-copy shared-memory publication (:meth:`pack` /
-    :meth:`from_packed`).
+    zero-copy shared-memory publication and on-disk persistence
+    (:meth:`pack` / :meth:`packed` / :meth:`from_packed` — the same
+    layout a worker attaches over shm, ``engine/artifacts.py`` memory-maps
+    from disk).
     """
 
-    __slots__ = ("entries", "_by_key")
+    __slots__ = ("entries", "_by_key", "_packed", "_tile_memo")
 
     def __init__(self, entries: List[Optional[TrendlineEntry]]):
         self.entries = entries
+        self._packed: Optional[Tuple[np.ndarray, list]] = None
+        self._tile_memo: Dict[Tuple[int, int], list] = {}
         self._by_key: Dict[object, TrendlineEntry] = {}
         for entry in entries:
             if entry is not None and entry.witness is not None:
@@ -338,12 +347,87 @@ class ShapeIndex:
     def upper_bounds(
         self, query: CompiledQuery, floor: float = _NEG_INF
     ) -> np.ndarray:
-        """Per-candidate upper bounds (vector twin of :meth:`upper_bound`)."""
-        return np.array(
-            [self.upper_bound(i, query, floor) for i in range(len(self.entries))]
-        )
+        """Per-candidate upper bounds (block-batched twin of :meth:`upper_bound`).
 
-    # -- flat packing (the shared-memory export form) ------------------------
+        One coarse max-plus DP per pyramid level across *all* candidates
+        at once: same-shaped levels are stacked into ``(candidates, W,
+        W)`` tiles over the packed block (zero-copy strided views when
+        the block is contiguous — the shm and memmap forms always are)
+        and the recurrence runs on ``(candidates, W)`` state tiles, so
+        there is no per-candidate Python dispatch.  Bitwise-equal to the
+        retained scalar oracle: every max/min/clamp mirrors
+        :meth:`upper_bound` operation for operation, including the
+        per-candidate coarse-level early-exit freeze when ``floor`` is
+        bounded.  Unindexed entries bound at ``+inf`` (never pruned);
+        an empty index returns a well-formed empty float64 vector.
+        """
+        return self.upper_bounds_range(query, 0, len(self.entries), floor)
+
+    def upper_bounds_range(
+        self, query: CompiledQuery, start: int, end: int,
+        floor: float = _NEG_INF,
+    ) -> np.ndarray:
+        """Bounds for candidate positions ``[start, end)`` — the shard form.
+
+        ``dispatch_index_bounds`` workers call this over their range of
+        the attached index; the DP is per-candidate independent, so
+        sharding never changes a float and the concatenated shards equal
+        the in-process :meth:`upper_bounds` bit for bit.
+        """
+        count = max(0, end - start)
+        out = np.full(count, _POS_INF, dtype=np.float64)
+        for n_bins, positions, levels in self._tiles(start, end):
+            out[positions] = _batched_level_bounds(n_bins, levels, query, floor)
+        return out
+
+    def _tiles(self, start: int, end: int) -> list:
+        """Stacked per-level tiles of ``[start, end)``, grouped by ``n_bins``.
+
+        The pyramid's level shapes are a pure function of ``n_bins``, so
+        grouping by it makes every group's levels stackable.  Tiles are
+        views (or one-time gathers) over the packed block and carry no
+        query state, so they are memoized per range — repeated queries
+        and the deterministic worker shard ranges reuse them.
+        """
+        key = (start, end)
+        tiles = self._tile_memo.get(key)
+        if tiles is None:
+            values, layout = self.packed()
+            groups: Dict[int, List[int]] = {}
+            for local in range(max(0, end - start)):
+                item = layout[start + local]
+                if item is not None:
+                    groups.setdefault(item[0], []).append(local)
+            tiles = []
+            for n_bins, locals_ in groups.items():
+                shapes = layout[start + locals_[0]][1]
+                levels = []
+                for depth, (w, W, _offset) in enumerate(shapes):
+                    offsets = np.fromiter(
+                        (layout[start + local][1][depth][2] for local in locals_),
+                        dtype=np.int64, count=len(locals_),
+                    )
+                    amin, amax = _gather_level(values, offsets, W)
+                    levels.append((w, amin, amax))
+                tiles.append((n_bins, np.asarray(locals_, dtype=np.intp), levels))
+            if len(self._tile_memo) >= _MAX_TILE_MEMO:
+                self._tile_memo.clear()
+            self._tile_memo[key] = tiles
+        return tiles
+
+    # -- flat packing (the shared-memory and on-disk export form) ------------
+    def packed(self) -> Tuple[np.ndarray, list]:
+        """The packed ``(values, layout)`` form, computed once and memoized.
+
+        Shared by the batched bound kernel, shm publication and the
+        artifact store; indexes reconstructed by :meth:`from_packed`
+        (attached segments, memory-mapped artifacts) keep their source
+        block here zero-copy instead of repacking.
+        """
+        if self._packed is None:
+            self._packed = self.pack()
+        return self._packed
+
     def pack(self) -> Tuple[np.ndarray, list]:
         """Flatten into ``(values, layout)`` for shared-memory publication.
 
@@ -373,14 +457,20 @@ class ShapeIndex:
         return values, layout
 
     @classmethod
-    def from_packed(cls, values: np.ndarray, layout: list) -> "ShapeIndex":
+    def from_packed(
+        cls, values: np.ndarray, layout: list,
+        witnesses: Optional[Sequence[Optional[tuple]]] = None,
+    ) -> "ShapeIndex":
         """Rebuild from :meth:`pack` output without copying bucket data.
 
-        Entries carry no witness (an attached index is a read-only
-        consumer view — extension happens publisher-side and republishes).
+        By default entries carry no witness (an attached shm index is a
+        read-only consumer view — extension happens publisher-side and
+        republishes).  The artifact store passes the persisted
+        ``witnesses`` back in so a memory-mapped index keeps the
+        :meth:`extended` reuse contract across process restarts.
         """
         entries: List[Optional[TrendlineEntry]] = []
-        for item in layout:
+        for position, item in enumerate(layout):
             if item is None:
                 entries.append(None)
                 continue
@@ -391,8 +481,11 @@ class ShapeIndex:
                 amin = values[offset:offset + size].reshape(W, W)
                 amax = values[offset + size:offset + 2 * size].reshape(W, W)
                 levels.append((w, amin, amax))
-            entries.append(TrendlineEntry(n_bins, levels, None))
-        return cls(entries)
+            witness = witnesses[position] if witnesses is not None else None
+            entries.append(TrendlineEntry(n_bins, levels, witness))
+        index = cls(entries)
+        index._packed = (values, layout)
+        return index
 
 
 # ---------------------------------------------------------------------------
@@ -480,6 +573,138 @@ def _chain_level_bound(
         reach[1:] = np.maximum(state[1:], state[:-1])
         state = np.max(reach[:, None] + weighted, axis=0)
     return float(state[W - 1])
+
+
+# ---------------------------------------------------------------------------
+# Block-batched bounds: the same DP, one pass per level over all candidates
+# ---------------------------------------------------------------------------
+
+#: Cap on memoized tile sets per index: the full range plus the handful
+#: of deterministic worker shard ranges; cleared wholesale if a caller
+#: somehow produces more (correctness never depends on the memo).
+_MAX_TILE_MEMO = 64
+
+
+def _gather_level(values: np.ndarray, offsets: np.ndarray, W: int):
+    """Stack one pyramid level across candidates: ``(C, W, W)`` min/max tiles.
+
+    When the packed block is contiguous and the candidates' level blocks
+    are evenly strided (always true for a full-collection pack, an
+    attached shm block, or a memory-mapped artifact), the stack is a
+    zero-copy ``as_strided`` view; otherwise one fancy-index gather
+    copies exactly the needed buckets.  Either way the floats are the
+    packed bytes, untouched.
+    """
+    size = W * W
+    span = 2 * size
+    count = len(offsets)
+    flat = None
+    if count == 1:
+        first = int(offsets[0])
+        flat = values[first:first + span][None, :]
+    else:
+        steps = np.diff(offsets)
+        step = int(steps[0])
+        if (
+            values.ndim == 1
+            and values.strides == (values.itemsize,)
+            and step > 0
+            and bool((steps == step).all())
+            and int(offsets[-1]) + span <= values.shape[0]
+        ):
+            flat = np.lib.stride_tricks.as_strided(
+                values[int(offsets[0]):],
+                shape=(count, span),
+                strides=(step * values.itemsize, values.itemsize),
+                writeable=False,
+            )
+    if flat is None:
+        gather = offsets[:, None] + np.arange(span)[None, :]
+        flat = np.asarray(values)[gather]
+    amin = flat[:, :size].reshape(count, W, W)
+    amax = flat[:, size:].reshape(count, W, W)
+    return amin, amax
+
+
+def _batched_chain_bound(
+    n_bins: int,
+    chain: Chain,
+    w: int,
+    amin: np.ndarray,
+    amax: np.ndarray,
+    shared: dict,
+) -> np.ndarray:
+    """:func:`_chain_level_bound` across a ``(C, W, W)`` candidate tile.
+
+    The recurrence is per-candidate independent, so running it on
+    ``(C, W)`` state tiles is the scalar DP replicated along axis 0 —
+    the same ufuncs reduce the same elements, so every chain bound is
+    the scalar oracle's float bit for bit.  :func:`_unit_upper` is
+    shape-agnostic and shared verbatim (memoized per level in
+    ``shared`` exactly like the scalar path).
+    """
+    W = amin.shape[1]
+    grid = np.arange(W)
+    min_len = run_min_length(0, n_bins, len(chain.units))
+    infeasible = (
+        shared["empty"]
+        | (grid[:, None] > grid[None, :])
+        | ((grid[None, :] - grid[:, None] + 1) * w < min_len)
+    )
+    memo = shared.setdefault("units", {})
+    state: Optional[np.ndarray] = None
+    for cu in chain.units:
+        unit = cu.unit
+        if isinstance(unit, SlopeUnit):
+            key = ("slope", unit.kind, unit.theta, unit.negated)
+        else:
+            key = ("line",)
+        upper = memo.get(key)
+        if upper is None:
+            upper = memo[key] = _unit_upper(unit, amin, amax, shared)
+        weighted = np.where(infeasible, _NEG_INF, cu.weight * upper)
+        if state is None:
+            state = weighted[:, 0, :].copy()
+            continue
+        reach = state.copy()
+        reach[:, 1:] = np.maximum(state[:, 1:], state[:, :-1])
+        state = np.max(reach[:, :, None] + weighted, axis=1)
+    return state[:, W - 1]
+
+
+def _batched_level_bounds(
+    n_bins: int,
+    levels: list,
+    query: CompiledQuery,
+    floor: float,
+) -> np.ndarray:
+    """:meth:`ShapeIndex.upper_bound`'s level loop across a candidate group.
+
+    Mirrors the scalar loop decision for decision: levels coarse → fine,
+    chain max / level min / −1 clamp spelled as the scalar ``max``/``min``
+    (``b if b > a else a`` elementwise — bitwise the same picks), and the
+    bounded-``floor`` early exit becomes an ``alive`` mask freeze: a
+    candidate that fails :func:`survives_floor` at a coarse level keeps
+    that level's bound, exactly the float the scalar early return yields.
+    """
+    count = levels[0][1].shape[0]
+    bound = np.full(count, _POS_INF)
+    alive = np.ones(count, dtype=bool)
+    for w, amin, amax in reversed(levels):
+        shared = {"empty": np.isinf(amin)}
+        level_bound = np.full(count, -1.0)
+        for chain in query.chains:
+            chain_bound = _batched_chain_bound(n_bins, chain, w, amin, amax, shared)
+            level_bound = np.where(
+                chain_bound > level_bound, chain_bound, level_bound
+            )
+        tightened = np.where(level_bound < bound, level_bound, bound)
+        tightened = np.where(tightened > -1.0, tightened, -1.0)
+        bound = np.where(alive, tightened, bound)
+        alive = alive & survives_floor(bound, floor)
+        if not alive.any():
+            break
+    return bound
 
 
 # ---------------------------------------------------------------------------

@@ -154,6 +154,20 @@ class ResultSet(Sequence):
             pruned += report.pruned
         return pruned
 
+    @property
+    def index_source(self) -> Optional[str]:
+        """Where this call's shape index came from, if IndexPrune bounded.
+
+        ``"memory"`` (table-attached or cache hit), ``"disk"`` (loaded
+        from the memory-mapped artifact store), ``"built"`` (fresh build
+        or append-lineage extension), or None when the stage did not
+        bound anything — index disabled, query unboundable, collection
+        below the seed threshold, or a synthesized set without stats.
+        """
+        if self.stats is None:
+            return None
+        return getattr(self.stats, "index_source", None)
+
     def top(self, n: int) -> "ResultSet":
         """The best ``n`` matches, stats and plan carried along."""
         return self[:n]

@@ -1,0 +1,32 @@
+# Fixture: violates the REP071 mapping-lifecycle rule.  Parsed, never run.
+import numpy as np
+
+from somewhere import _close_block  # noqa — fixtures are never imported
+
+
+def leak_unbound(path, values_len):
+    np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))  # REP071
+
+
+def leak_no_owner(path, values_len, expected_sha1):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))  # REP071
+    digest = compute_sha1(block)
+    return digest == expected_sha1  # mapping never closed, wrapped, or returned
+
+
+def raise_after_open(path, values_len, manifest):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+    if manifest["count"] < 0:
+        raise ValueError("negative count")  # REP071: leaks the open mapping
+    return block
+
+
+def raise_in_unrelated_guard(path, values_len):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+    try:
+        validate(block)
+    except KeyError:
+        pass  # handler does not close the mapping
+    if block.shape[0] != values_len:
+        raise RuntimeError("shape drift")  # REP071: still unguarded
+    return block

@@ -1,0 +1,37 @@
+# Fixture: the conforming twin of artifacts_bad.py — the open/verify/own
+# idioms the REP071 rule must accept.
+import numpy as np
+
+from somewhere import ShapeIndex, _close_block  # noqa — never imported
+
+
+def open_block(path, values_len):
+    if values_len == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+
+
+def verify_then_serve(path, values_len, layout, expected_sha1):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+    if compute_sha1(block) != expected_sha1:
+        _close_block(block)  # verification miss releases the mapping
+        return None
+    return ShapeIndex.from_packed(block, layout)  # index owns the views
+
+
+def open_guarded(path, values_len, manifest):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+    try:
+        if manifest["count"] < 0:
+            raise ValueError("negative count")
+    except BaseException:
+        _close_block(block)  # the raise window is guarded
+        raise
+    return block
+
+
+def close_explicitly(path, values_len):
+    block = np.memmap(path, dtype=np.float64, mode="r", shape=(values_len,))
+    total = float(block.sum())
+    block._mmap.close()
+    return total

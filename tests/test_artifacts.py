@@ -1,0 +1,344 @@
+"""Artifact store + block-batched bounds: round-trip, parity, fallbacks.
+
+Two contracts pinned here:
+
+* **Bitwise fidelity** — an index saved to the artifact store and
+  memory-mapped back is the in-memory index bit for bit (packed block,
+  layout, witnesses, every query bound), and the block-batched
+  ``upper_bounds`` kernel equals the retained scalar ``upper_bound``
+  oracle float for float across randomized collections, queries and
+  floors.
+
+* **Never a wrong index** — every way an artifact can be bad (missing,
+  corrupted, truncated, version-skewed, built from a different table)
+  makes ``load_index`` miss, and the engine degrades to a rebuild whose
+  results are byte-identical to a storeless run.
+"""
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.algebra import builder as q
+from repro.api import ShapeSearch
+from repro.data.table import Table
+from repro.data.visual_params import VisualParams
+from repro.engine.artifacts import (
+    ARTIFACT_FORMAT,
+    artifact_dir,
+    load_index,
+    save_index,
+)
+from repro.engine.cache import table_fingerprint
+from repro.engine.executor import ShapeSearchEngine
+from repro.engine.shape_index import ShapeIndex, survives_floor
+
+from tests.conftest import make_trendline
+from tests.test_shape_index import _signature, _smooth_table
+
+UP_DOWN = q.concat(q.up(), q.down())
+PARAMS = VisualParams(z="z", x="x", y="y")
+
+QUERIES = [
+    q.concat(q.up(), q.down()),
+    q.concat(q.down(), q.flat(), q.up()),
+    q.up(),
+    q.concat(q.up(sharp=True), q.down()),
+]
+
+
+def _random_collection(rng, count=30):
+    """Trendlines with varied bin counts, including unindexable ones."""
+    choices = [9, 24, 24, 40, 64, 130]
+    trendlines = []
+    for index in range(count):
+        bins = choices[int(rng.integers(len(choices)))]
+        y = rng.normal(0, 1, bins).cumsum()
+        trendlines.append(make_trendline(y, key="t{:03d}".format(index)))
+    return trendlines
+
+
+def _compiled(node):
+    return ShapeSearchEngine()._compile(node)
+
+
+class TestBatchedBoundsParity:
+    """upper_bounds == the scalar upper_bound oracle, float for float."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_parity(self, seed):
+        rng = np.random.default_rng(seed)
+        index = ShapeIndex.build(_random_collection(rng))
+        for node in QUERIES:
+            compiled = _compiled(node)
+            scalar = np.array(
+                [
+                    index.upper_bound(i, compiled)
+                    for i in range(len(index.entries))
+                ]
+            )
+            batched = index.upper_bounds(compiled)
+            assert batched.dtype == np.float64
+            assert batched.tobytes() == scalar.tobytes()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_floored_parity_freezes_like_early_exit(self, seed):
+        # With a bounded floor the scalar oracle stops at the first
+        # coarse level that fails survives_floor; the batched kernel's
+        # alive-mask freeze must return the same coarse float.
+        rng = np.random.default_rng(100 + seed)
+        index = ShapeIndex.build(_random_collection(rng))
+        compiled = _compiled(UP_DOWN)
+        finite = index.upper_bounds(compiled)
+        finite = finite[np.isfinite(finite)]
+        for floor in (-1.0, float(np.median(finite)), 2.0):
+            scalar = np.array(
+                [
+                    index.upper_bound(i, compiled, floor)
+                    for i in range(len(index.entries))
+                ]
+            )
+            batched = index.upper_bounds(compiled, floor)
+            assert batched.tobytes() == scalar.tobytes()
+
+    def test_shards_concatenate_to_full_pass(self):
+        rng = np.random.default_rng(7)
+        index = ShapeIndex.build(_random_collection(rng, count=41))
+        compiled = _compiled(UP_DOWN)
+        full = index.upper_bounds(compiled)
+        parts = [
+            index.upper_bounds_range(compiled, start, end)
+            for start, end in [(0, 13), (13, 14), (14, 41)]
+        ]
+        assert np.concatenate(parts).tobytes() == full.tobytes()
+
+    def test_empty_index_bounds_are_well_formed(self):
+        bounds = ShapeIndex.build([]).upper_bounds(_compiled(UP_DOWN))
+        assert bounds.dtype == np.float64
+        assert bounds.shape == (0,)
+
+    def test_unindexable_entries_bound_at_inf(self):
+        short = [make_trendline(np.arange(5.0), key="s")]
+        bounds = ShapeIndex.build(short).upper_bounds(_compiled(UP_DOWN))
+        assert bounds.dtype == np.float64
+        assert np.isposinf(bounds).all()
+
+    def test_survives_floor_empty_candidates(self):
+        verdict = survives_floor(np.zeros(0), 0.5)
+        assert verdict.dtype == bool
+        assert verdict.shape == (0,)
+
+
+KEY = ("params-repr", True, None, "float64")
+
+
+class TestArtifactRoundTrip:
+    """save → load is the in-memory index, bit for bit."""
+
+    def _index(self, seed=0, count=30):
+        return ShapeIndex.build(
+            _random_collection(np.random.default_rng(seed), count)
+        )
+
+    def test_bitwise_round_trip(self, tmp_path):
+        index = self._index()
+        save_index(tmp_path, KEY, index, "fp")
+        loaded = load_index(tmp_path, KEY, "fp")
+        assert loaded is not None
+        values, layout = index.packed()
+        lvalues, llayout = loaded.packed()
+        assert np.asarray(lvalues).tobytes() == values.tobytes()
+        assert llayout == layout
+        witnesses = [
+            entry.witness if entry is not None else None
+            for entry in index.entries
+        ]
+        assert [
+            entry.witness if entry is not None else None
+            for entry in loaded.entries
+        ] == witnesses
+        compiled = _compiled(UP_DOWN)
+        assert (
+            loaded.upper_bounds(compiled).tobytes()
+            == index.upper_bounds(compiled).tobytes()
+        )
+
+    def test_loaded_index_extends_like_lineage(self, tmp_path):
+        # Persisted witnesses keep extend-don't-rebuild alive across the
+        # save/load boundary: unchanged trendlines reuse the mapped
+        # entries by object, and the result equals a fresh build bitwise.
+        rng = np.random.default_rng(3)
+        base = _random_collection(rng, count=12)
+        save_index(tmp_path, KEY, ShapeIndex.build(base), "fp")
+        loaded = load_index(tmp_path, KEY, "fp")
+        grown = base + _random_collection(np.random.default_rng(4), count=4)
+        extended = loaded.extended(grown)
+        fresh = ShapeIndex.build(grown)
+        assert extended.pack()[0].tobytes() == fresh.pack()[0].tobytes()
+        reused = sum(
+            1
+            for old, new in zip(loaded.entries, extended.entries)
+            if old is not None and old is new
+        )
+        assert reused > 0
+
+    def test_empty_index_round_trip(self, tmp_path):
+        save_index(tmp_path, KEY, ShapeIndex.build([]), "fp")
+        loaded = load_index(tmp_path, KEY, "fp")
+        assert loaded is not None
+        assert len(loaded) == 0
+
+
+class TestArtifactFallbacks:
+    """Every bad-artifact path misses; none ever serves wrong buckets."""
+
+    def _saved(self, tmp_path):
+        index = ShapeIndex.build(
+            _random_collection(np.random.default_rng(1), 20)
+        )
+        save_index(tmp_path, KEY, index, "fp")
+        return artifact_dir(tmp_path, KEY)
+
+    def test_missing_artifact(self, tmp_path):
+        assert load_index(tmp_path, ("other",), "fp") is None
+
+    def test_fingerprint_mismatch(self, tmp_path):
+        self._saved(tmp_path)
+        assert load_index(tmp_path, KEY, "other-table") is None
+
+    def test_version_skew(self, tmp_path):
+        directory = self._saved(tmp_path)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        manifest["format"] = ARTIFACT_FORMAT + 1
+        (directory / "manifest.json").write_text(json.dumps(manifest))
+        assert load_index(tmp_path, KEY, "fp") is None
+
+    def test_block_corruption(self, tmp_path):
+        directory = self._saved(tmp_path)
+        path = directory / "block.f64"
+        payload = bytearray(path.read_bytes())
+        payload[len(payload) // 2] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        assert load_index(tmp_path, KEY, "fp") is None
+
+    def test_block_truncation(self, tmp_path):
+        directory = self._saved(tmp_path)
+        path = directory / "block.f64"
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        assert load_index(tmp_path, KEY, "fp") is None
+
+    def test_layout_corruption(self, tmp_path):
+        directory = self._saved(tmp_path)
+        path = directory / "layout.pkl"
+        payload = bytearray(path.read_bytes())
+        payload[-1] ^= 0xFF
+        path.write_bytes(bytes(payload))
+        assert load_index(tmp_path, KEY, "fp") is None
+
+    def test_unreadable_manifest(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "manifest.json").write_text("{not json")
+        assert load_index(tmp_path, KEY, "fp") is None
+
+    def test_layout_hash_mismatch_from_swapped_pickle(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "layout.pkl").write_bytes(
+            pickle.dumps(([], []), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert load_index(tmp_path, KEY, "fp") is None
+
+
+class TestEngineDiskTier:
+    """store= end to end: cold processes serve from disk, corruption rebuilds."""
+
+    def test_cold_session_serves_from_disk(self, tmp_path):
+        table = _smooth_table()
+        baseline = ShapeSearchEngine().run(table, PARAMS, UP_DOWN, k=5)
+
+        store = str(tmp_path / "artifacts")
+        warm = ShapeSearchEngine(index=True, store=store)
+        first = warm.run(table, PARAMS, UP_DOWN, k=5)
+        assert first.stats.index_source == "built"
+        assert _signature(baseline) == _signature(first)
+
+        # A fresh engine over a freshly rebuilt table: nothing shared in
+        # memory (no table-attached state, no cache, no lineage) — the
+        # artifact is the only way to avoid a rebuild.
+        cold_table = _smooth_table()
+        assert not hasattr(cold_table, "_shape_index_state")
+        cold = ShapeSearchEngine(index=True, store=store)
+        served = cold.run(cold_table, PARAMS, UP_DOWN, k=5)
+        assert served.stats.index_source == "disk"
+        assert served.stats.index_bounds == "inline"
+        assert "source=disk" in served.plan
+        assert _signature(baseline) == _signature(served)
+
+    def test_corrupt_store_degrades_to_rebuild(self, tmp_path):
+        table = _smooth_table()
+        store = str(tmp_path / "artifacts")
+        ShapeSearchEngine(index=True, store=store).run(
+            table, PARAMS, UP_DOWN, k=5
+        )
+        for root, _dirs, files in os.walk(store):
+            for name in files:
+                if name == "block.f64":
+                    path = os.path.join(root, name)
+                    payload = bytearray(open(path, "rb").read())
+                    payload[0] ^= 0xFF
+                    open(path, "wb").write(bytes(payload))
+        baseline = ShapeSearchEngine().run(_smooth_table(), PARAMS, UP_DOWN, k=5)
+        cold = ShapeSearchEngine(index=True, store=store)
+        rebuilt = cold.run(_smooth_table(), PARAMS, UP_DOWN, k=5)
+        assert rebuilt.stats.index_source == "built"
+        assert _signature(baseline) == _signature(rebuilt)
+
+    def test_append_persists_extended_index(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        table = _smooth_table()
+        engine = ShapeSearchEngine(index=True, store=store)
+        engine.run(table, PARAMS, UP_DOWN, k=5)
+
+        delta = [
+            {"z": "g000", "x": 24.0 + i, "y": float(i)} for i in range(4)
+        ]
+        appended = table.append_rows(delta)
+        grown = engine.run(appended, PARAMS, UP_DOWN, k=5)
+        assert grown.stats.index_source == "built"  # lineage extension
+
+        # The extended index was persisted under the appended table's
+        # fingerprint: a cold session over the same appended content is
+        # served from disk.
+        cold_table = table.append_rows(delta)
+        assert table_fingerprint(cold_table) == table_fingerprint(appended)
+        cold = ShapeSearchEngine(index=True, store=store)
+        served = cold.run(cold_table, PARAMS, UP_DOWN, k=5)
+        assert served.stats.index_source == "disk"
+        assert _signature(served) == _signature(grown)
+
+    def test_unwritable_store_never_fails_a_query(self, tmp_path):
+        table = _smooth_table()
+        baseline = ShapeSearchEngine().run(table, PARAMS, UP_DOWN, k=5)
+        blocked = tmp_path / "blocked"
+        blocked.mkdir()
+        blocked.chmod(0o500)
+        try:
+            engine = ShapeSearchEngine(index=True, store=str(blocked))
+            result = engine.run(table, PARAMS, UP_DOWN, k=5)
+        finally:
+            blocked.chmod(0o700)
+        assert _signature(baseline) == _signature(result)
+
+    def test_session_store_option_and_env_default(self, tmp_path, monkeypatch):
+        store = str(tmp_path / "via-option")
+        with ShapeSearch(_smooth_table(), index=True, store=store) as session:
+            session.prepare(UP_DOWN, z="z", x="x", y="y").run(k=5)
+        assert os.path.isdir(store)
+        env_store = str(tmp_path / "via-env")
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", env_store)
+        assert ShapeSearchEngine().store == env_store
+        monkeypatch.delenv("REPRO_ARTIFACT_DIR")
+        assert ShapeSearchEngine().store is None

@@ -39,6 +39,7 @@ CASES = [
     ("REP051", "kernel", 1),
     ("REP052", "kernel", 1),
     ("REP061", "index", 3),
+    ("REP071", "artifacts", 4),
 ]
 
 

@@ -125,17 +125,39 @@ class TestIndexIdentity:
             assert engine.last_stats.index_pruned > 0
 
     def test_shm_dispatched_bounds_identity(self):
-        # Above _INDEX_DISPATCH_MIN candidates the bound pass itself is
+        # Above INDEX_DISPATCH_MIN candidates the bound pass itself is
         # sharded over the pool against the published index; the floats
         # (and therefore the pruning decision and the ranked output)
         # must match the in-process path bit for bit.
         trendlines = _smooth_collection(count=280, hit_every=29)
-        assert len(trendlines) >= pipeline._INDEX_DISPATCH_MIN
+        assert len(trendlines) >= pipeline.INDEX_DISPATCH_MIN
         full = ShapeSearchEngine().rank(trendlines, UP_DOWN, k=5)
         with ShapeSearchEngine(workers=2, backend="process", index=True) as engine:
             indexed = engine.rank(trendlines, UP_DOWN, k=5)
             assert _signature(full) == _signature(indexed)
             assert engine.last_stats.index_pruned > 0
+            assert engine.last_stats.index_bounds == "dispatched"
+
+    def test_dispatch_gate_option_and_env(self, monkeypatch):
+        # The gate is a named engine option: an explicit argument wins,
+        # the environment override is resolved at construction time.
+        engine = ShapeSearchEngine(index_dispatch_min=17)
+        assert engine.index_dispatch_min == 17
+        monkeypatch.setenv("REPRO_INDEX_DISPATCH_MIN", "99")
+        assert ShapeSearchEngine().index_dispatch_min == 99
+        assert ShapeSearchEngine(index_dispatch_min=5).index_dispatch_min == 5
+        monkeypatch.delenv("REPRO_INDEX_DISPATCH_MIN")
+        assert ShapeSearchEngine().index_dispatch_min == pipeline.INDEX_DISPATCH_MIN
+        monkeypatch.setenv("REPRO_INDEX_DISPATCH_MIN", "not-a-number")
+        with pytest.raises(ExecutionError):
+            ShapeSearchEngine()
+
+    def test_inline_bounds_path_recorded(self):
+        trendlines = _smooth_collection()
+        with ShapeSearchEngine(index=True) as engine:
+            engine.rank(trendlines, UP_DOWN, k=5)
+            assert engine.last_stats.index_bounds == "inline"
+            assert engine.last_stats.index_source in ("memory", "built")
 
     def test_execute_identity_and_stats(self):
         table = _smooth_table()

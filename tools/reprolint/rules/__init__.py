@@ -19,6 +19,7 @@ from tools.reprolint.rules.cancellation import (
 from tools.reprolint.rules.deprecation import ShimCallRule
 from tools.reprolint.rules.kernel import MatrixParityRule, SlopeBasedDeclarationRule
 from tools.reprolint.rules.index import FloorSeamRule
+from tools.reprolint.rules.artifacts import MappingLifecycleRule
 
 ALL_RULES = [
     SetIterationRule(),
@@ -35,6 +36,7 @@ ALL_RULES = [
     MatrixParityRule(),
     SlopeBasedDeclarationRule(),
     FloorSeamRule(),
+    MappingLifecycleRule(),
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}
