@@ -1,0 +1,91 @@
+"""Serving demo: the session API over a socket — publish, search, stream.
+
+Starts the multi-tenant server on an ephemeral local port, publishes
+the stock dataset once (addressed by content fingerprint), then walks
+the wire surface:
+
+* ``POST /v1/search`` — blocking top-k over HTTP, cold then warm: the
+  second identical request is served from the cross-request result
+  cache without running Score at all;
+* WebSocket ``/v1/submit`` — the same search streamed, with per-shard
+  progress frames arriving before the final result;
+* ``GET /v1/stats`` — admission counters, per-endpoint latency
+  percentiles, and cache hit rates.
+
+Run with::
+
+    python examples/serving_demo.py
+"""
+
+import time
+
+from repro.datasets import stock_dataset
+from repro.serving import (
+    ServingClient,
+    ShapeServingApp,
+    TenantQuota,
+    start_in_thread,
+)
+
+#: The double-top screen: rise, fall, rise again, fall again.
+QUERY = "[p=up][p=down][p=up][p=down]"
+
+
+def main() -> None:
+    table, planted = stock_dataset(n_stocks=40, length=120)
+    app = ShapeServingApp(quota=TenantQuota(rate=None, max_inflight=8))
+    with start_in_thread(app) as handle:
+        host, port = handle.address
+        print("serving on http://{}:{}".format(host, port))
+        with ServingClient(host, port, tenant="demo") as client:
+            fingerprint = client.publish_columns(
+                **{name: table.column(name) for name in table.column_names}
+            )
+            print("published {} rows as {}...".format(len(table), fingerprint[:16]))
+
+            print()
+            print("Double-top screen over HTTP: {}".format(QUERY))
+            started = time.perf_counter()
+            cold = client.search(fingerprint, QUERY, "symbol", "day", "price", k=4)
+            cold_ms = (time.perf_counter() - started) * 1000.0
+            for match in cold["result"]["matches"]:
+                print("   {:<10} score {:.3f}".format(match["key"], match["score"]))
+            print("   planted double-tops: {}".format(", ".join(planted["double-top"])))
+
+            started = time.perf_counter()
+            warm = client.search(fingerprint, QUERY, "symbol", "day", "price", k=4)
+            warm_ms = (time.perf_counter() - started) * 1000.0
+            print("   cold {:.1f} ms ({} cache), warm {:.1f} ms ({} cache)".format(
+                cold_ms, cold["cache"] or "no", warm_ms, warm["cache"] or "no"
+            ))
+
+            print()
+            print("The same search streamed over the WebSocket surface:")
+            with client.open_stream() as stream:
+                sid = stream.submit(
+                    fingerprint, "[p=down][p=up]", "symbol", "day", "price", k=3
+                )
+                progress = 0
+                for frame in stream.frames(sid):
+                    if frame["type"] == "progress":
+                        progress += 1
+                    elif frame["type"] == "result":
+                        print("   {} progress frame(s), then {} matches".format(
+                            progress, len(frame["result"]["matches"])
+                        ))
+
+            print()
+            stats = client.stats()
+            admission = stats["admission"]
+            cache = stats["result_cache"]
+            print("GET /v1/stats: {} admitted, {} inflight, cache hit rate {:.2f}".format(
+                admission["admitted"], admission["inflight"], cache["hit_rate"]
+            ))
+            for endpoint, numbers in sorted(stats["endpoints"].items()):
+                print("   {:<18} n={:<3} p50 {:6.2f} ms  p99 {:6.2f} ms".format(
+                    endpoint, numbers["count"], numbers["p50_ms"], numbers["p99_ms"]
+                ))
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,13 @@ Quickstart::
 """
 
 from repro.algebra.printer import to_regex
-from repro.api import PreparedSearch, ShapeSearch, TailSearch, parse_query
+from repro.api import (
+    PreparedSearch,
+    SessionRegistry,
+    ShapeSearch,
+    TailSearch,
+    parse_query,
+)
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.cache import CacheStats, EngineCache, LRUCache
@@ -47,6 +53,7 @@ __all__ = [
     "ShapeSearch",
     "PreparedSearch",
     "TailSearch",
+    "SessionRegistry",
     "ResultSet",
     "SearchFuture",
     "ExecutionControl",

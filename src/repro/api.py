@@ -799,6 +799,14 @@ class ShapeSearch:
             self.engine.last_stats = results[-1].stats
         return results
 
+    # -- identity -------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The bound table's content fingerprint (the registry address)."""
+        from repro.engine.cache import table_fingerprint
+
+        return table_fingerprint(self.table)
+
     # -- inspection -----------------------------------------------------------
     def explain(self, query: QueryLike) -> str:
         """The canonical regex form of a query — the correction panel view."""
@@ -831,3 +839,134 @@ class ShapeSearch:
             bin_width=bin_width,
         )
         return prepared.explain_plan(k=k, workers=workers)
+
+
+class SessionRegistry:
+    """A bounded, fingerprint-addressed pool of open sessions.
+
+    The serving layer's table tier: clients ``POST /v1/tables`` a table
+    *once*, the registry opens a :class:`ShapeSearch` session over it,
+    and every later request addresses the session by the table's content
+    fingerprint — requests never re-ship data the server already holds.
+    Publishing the same content twice (any client, any process restart
+    of the *client*) resolves to the same fingerprint and reuses the
+    resident session, caches and all.
+
+    The pool is LRU-bounded at ``capacity`` sessions because each one
+    may own real OS resources (worker processes, shared-memory segments,
+    mapped artifacts).  An evicted session is :meth:`ShapeSearch.close`\\ d
+    and each registered eviction hook is called as ``hook(fingerprint,
+    session)`` *after* the close — the serving layer hooks artifact-store
+    GC (:func:`repro.engine.artifacts.prune`) here, so disk follows the
+    same budget discipline as memory.  Hook errors are swallowed:
+    eviction is a background concern and must not fail the publish that
+    triggered it.
+
+    ``session_options`` are the keyword arguments every opened session
+    is constructed with (``workers=``, ``backend=``, ``index=``,
+    ``store=`` ...), fixed at registry construction so all tenants get
+    the same engine configuration.
+    """
+
+    def __init__(self, capacity: int = 8, **session_options) -> None:
+        if capacity < 1:
+            raise ValueError(
+                "registry capacity must be >= 1, got {}".format(capacity)
+            )
+        self.capacity = capacity
+        self.session_options = dict(session_options)
+        from collections import OrderedDict
+
+        self._sessions: "OrderedDict[str, ShapeSearch]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._evict_hooks: list = []
+        self._closed = False
+
+    # -- eviction -------------------------------------------------------------
+    def add_evict_hook(self, hook) -> None:
+        """Call ``hook(fingerprint, session)`` after each eviction/close."""
+        if hook not in self._evict_hooks:
+            self._evict_hooks.append(hook)
+
+    def _run_evictions(self, evicted) -> None:
+        for fingerprint, session in evicted:
+            try:
+                session.close()
+            except Exception:
+                pass
+            for hook in self._evict_hooks:
+                try:
+                    hook(fingerprint, session)
+                except Exception:
+                    pass
+
+    # -- the registry surface -------------------------------------------------
+    def publish(self, table: Table) -> str:
+        """Register ``table`` (idempotent); returns its fingerprint address.
+
+        Re-publishing resident content is a cheap promote-to-front; new
+        content opens a session with the registry's ``session_options``
+        and may evict the least-recently-used session to stay within
+        ``capacity``.
+        """
+        from repro.engine.cache import table_fingerprint
+
+        fingerprint = table_fingerprint(table)
+        evicted = []
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("session registry is closed")
+            if fingerprint in self._sessions:
+                self._sessions.move_to_end(fingerprint)
+                return fingerprint
+            self._sessions[fingerprint] = ShapeSearch(
+                table, **self.session_options
+            )
+            while len(self._sessions) > self.capacity:
+                evicted.append(self._sessions.popitem(last=False))
+        self._run_evictions(evicted)
+        return fingerprint
+
+    def get(self, fingerprint: str) -> ShapeSearch:
+        """The session holding ``fingerprint``; :class:`DataError` if absent.
+
+        A lookup promotes the session (it is in use), mirroring
+        :class:`~repro.engine.cache.LRUCache` recency semantics.
+        """
+        with self._lock:
+            session = self._sessions.get(fingerprint)
+            if session is not None:
+                self._sessions.move_to_end(fingerprint)
+        if session is None:
+            raise DataError(
+                "unknown table fingerprint {!r}: publish the table first "
+                "(POST /v1/tables)".format(fingerprint)
+            )
+        return session
+
+    def fingerprints(self) -> List[str]:
+        """Resident fingerprints, least- to most-recently used."""
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._sessions
+
+    def close(self) -> None:
+        """Evict (and close) every session; further publishes raise."""
+        with self._lock:
+            self._closed = True
+            evicted = list(self._sessions.items())
+            self._sessions.clear()
+        self._run_evictions(evicted)
+
+    def __enter__(self) -> "SessionRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -41,12 +41,17 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
+# reprolint: disable=REP014 -- artifact GC compares file mtimes to a wall clock on eviction paths, never inside scoring
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.engine.shape_index import ShapeIndex
+from repro.errors import ExecutionError
 
 #: On-disk format version: bump on any layout/manifest change so stale
 #: artifacts from older code miss cleanly instead of mis-parsing.
@@ -200,3 +205,151 @@ def load_index(root, key, fingerprint: str) -> Optional[ShapeIndex]:
         _close_block(block)
         return None
     return index
+
+
+# ---------------------------------------------------------------------------
+# Store garbage collection
+# ---------------------------------------------------------------------------
+
+#: Environment knob for the store's byte budget: when set,
+#: :func:`artifact_budget` parses it and the serving layer prunes the
+#: store to this size on every table eviction.  Unset/empty: no budget.
+ARTIFACT_BUDGET_ENV = "REPRO_ARTIFACT_BUDGET"
+
+
+def artifact_budget() -> Optional[int]:
+    """The ``REPRO_ARTIFACT_BUDGET`` byte budget, or None when unset.
+
+    Malformed values raise :class:`~repro.errors.ExecutionError` loudly
+    (the same policy as ``REPRO_INDEX_DISPATCH_MIN``) — a typo'd budget
+    silently pruning nothing, or everything, is worse than failing.
+    """
+    configured = os.environ.get(ARTIFACT_BUDGET_ENV, "")
+    if not configured:
+        return None
+    try:
+        budget = int(configured)
+    except ValueError:
+        raise ExecutionError(
+            "{} must be an integer byte budget, got {!r}".format(
+                ARTIFACT_BUDGET_ENV, configured
+            )
+        )
+    if budget < 0:
+        raise ExecutionError(
+            "{} must be >= 0, got {}".format(ARTIFACT_BUDGET_ENV, budget)
+        )
+    return budget
+
+
+@dataclass
+class PruneReport:
+    """What one :func:`prune` pass did (inspected by tests and /v1/stats)."""
+
+    #: Artifact directories examined (well-formed entries only).
+    examined: int = 0
+    #: Directories removed, oldest-first.
+    removed: int = 0
+    #: Bytes freed by the removals.
+    freed_bytes: int = 0
+    #: Bytes still resident after the pass.
+    kept_bytes: int = 0
+    #: Directory names removed (artifact_name hashes, for logging).
+    removed_names: List[str] = field(default_factory=list)
+
+
+def _entry_size(directory: Path) -> int:
+    total = 0
+    try:
+        for item in directory.iterdir():
+            try:
+                total += item.stat().st_size
+            except OSError:
+                continue
+    except OSError:
+        return 0
+    return total
+
+
+def _entry_mtime(directory: Path) -> float:
+    """Recency of one artifact entry: its manifest's mtime.
+
+    ``save_index`` writes the manifest last, so the manifest mtime is the
+    entry's last-written time; a directory without a readable manifest
+    (torn save, foreign debris) reports 0.0 and is first in line to go.
+    """
+    try:
+        return (directory / _MANIFEST_FILE).stat().st_mtime
+    except OSError:
+        return 0.0
+
+
+def prune(
+    root,
+    max_bytes: Optional[int] = None,
+    max_age_s: Optional[float] = None,
+) -> PruneReport:
+    """Evict cold artifact entries: LRU by mtime, bounded by bytes and age.
+
+    The store grows one entry per distinct (params, normalize_y, plan,
+    precision) key and nothing ever removed them before this.  A prune
+    pass walks the store root, drops every entry older than
+    ``max_age_s`` (by manifest mtime), then removes oldest-first until
+    the resident total fits ``max_bytes``.  Both limits optional; with
+    neither, the pass only measures.  Removal is best-effort per entry
+    (a concurrently-held memmap on another platform, or a permission
+    error, skips that entry rather than failing the pass) and never
+    touches files outside well-formed artifact directories.
+
+    The serving layer calls this from its table-eviction hook with the
+    :data:`ARTIFACT_BUDGET_ENV` budget; deployments can also run it from
+    cron over a shared store.
+    """
+    report = PruneReport()
+    store = Path(root)
+    try:
+        candidates = [entry for entry in store.iterdir() if entry.is_dir()]
+    except OSError:
+        return report
+    entries = []
+    for directory in candidates:
+        if not (directory / _MANIFEST_FILE).exists() and not (
+            directory / _BLOCK_FILE
+        ).exists():
+            continue  # not ours: never delete foreign directories
+        entries.append((_entry_mtime(directory), _entry_size(directory), directory))
+    entries.sort(key=lambda item: (item[0], item[2].name))
+    report.examined = len(entries)
+    total = sum(size for _mtime, size, _directory in entries)
+    now = time.time()
+    survivors = []
+    for mtime, size, directory in entries:
+        expired = max_age_s is not None and (now - mtime) > max_age_s
+        if expired:
+            if _remove_entry(directory):
+                report.removed += 1
+                report.freed_bytes += size
+                report.removed_names.append(directory.name)
+                total -= size
+                continue
+        survivors.append((mtime, size, directory))
+    if max_bytes is not None:
+        for mtime, size, directory in survivors:
+            if total <= max_bytes:
+                break
+            if _remove_entry(directory):
+                report.removed += 1
+                report.freed_bytes += size
+                report.removed_names.append(directory.name)
+                total -= size
+    report.kept_bytes = total
+    return report
+
+
+def _remove_entry(directory: Path) -> bool:
+    """Remove one artifact directory; False when the OS refuses."""
+    try:
+        shutil.rmtree(directory)
+        return True
+    except OSError:
+        return False

@@ -35,6 +35,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Resident cost of the current entries (only maintained by caches
+    #: constructed with a ``max_bytes`` budget; 0 otherwise).
+    bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -57,16 +60,30 @@ class LRUCache:
     ``get`` promotes the entry to most-recently-used; ``put`` evicts the
     oldest entry once ``capacity`` is exceeded.  All operations take an
     internal lock so concurrent searches on one session are safe.
+
+    ``max_bytes`` adds an optional *cost budget* on top of the entry
+    count: every ``put`` may carry a ``cost`` (bytes, typically), the
+    cache tracks the resident total (``stats.bytes``) and evicts
+    least-recently-used entries until the total fits.  An entry whose
+    own cost exceeds the whole budget is not admitted at all (caching it
+    would evict everything else for a value too big to keep).  The
+    serving layer's cross-request result cache is the primary consumer.
     """
 
     _MISSING = object()
 
-    def __init__(self, capacity: int = 64):
+    def __init__(self, capacity: int = 64, max_bytes: Optional[int] = None):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1, got {}".format(capacity))
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                "cache max_bytes must be >= 1 or None, got {}".format(max_bytes)
+            )
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: key -> (value, cost); cost is 0 for budget-less puts.
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
         self._lock = threading.Lock()
         self._evict_listeners: list = []
 
@@ -92,24 +109,39 @@ class LRUCache:
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Value for ``key`` (counted as hit/miss), or ``default``."""
         with self._lock:
-            value = self._entries.get(key, self._MISSING)
-            if value is self._MISSING:
+            entry = self._entries.get(key, self._MISSING)
+            if entry is self._MISSING:
                 self.stats.misses += 1
                 return default
             self._entries.move_to_end(key)
             self.stats.hits += 1
-            return value
+            return entry[0]
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+    def put(self, key: Hashable, value: Any, cost: int = 0) -> None:
+        """Insert/overwrite ``key``, evicting LRU entries when over budget.
+
+        ``cost`` only matters for caches constructed with ``max_bytes``:
+        entries are evicted oldest-first until both the entry count and
+        the resident cost fit.  A single entry costing more than the
+        whole budget is rejected (the cache is left as it was).
+        """
+        cost = max(0, int(cost))
         evicted = []
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-            self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                evicted.append(self._entries.popitem(last=False)[1])
+            if self.max_bytes is not None and cost > self.max_bytes:
+                return
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.stats.bytes -= previous[1]
+            self._entries[key] = (value, cost)
+            self.stats.bytes += cost
+            while len(self._entries) > self.capacity or (
+                self.max_bytes is not None and self.stats.bytes > self.max_bytes
+            ):
+                dropped_value, dropped_cost = self._entries.popitem(last=False)[1]
+                self.stats.bytes -= dropped_cost
                 self.stats.evictions += 1
+                evicted.append(dropped_value)
         for dropped in evicted:
             for listener in self._evict_listeners:
                 listener(dropped)
@@ -117,6 +149,7 @@ class LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self.stats.bytes = 0
 
 
 def table_fingerprint(table: Table) -> str:

@@ -21,6 +21,17 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional, Tuple
 
+#: Well-known cancellation reason codes.  ``CANCEL_USER`` is the default
+#: (an explicit ``future.cancel()``); ``CANCEL_SHED`` marks a load-shed
+#: by the serving layer's admission controller (the client sees an
+#: ``overloaded`` frame, not a generic cancel); ``CANCEL_SHUTDOWN``
+#: marks a teardown sweep (engine/server close).  The reason is carried
+#: on the control, not the exception type, so every path that already
+#: handles :class:`~repro.errors.SearchCancelled` keeps working.
+CANCEL_USER = "user"
+CANCEL_SHED = "shed"
+CANCEL_SHUTDOWN = "shutdown"
+
 
 class ExecutionControl:
     """Shared state between one in-flight execution and its observers.
@@ -36,7 +47,10 @@ class ExecutionControl:
     swallowed (the search must not fail because its observer did).
     """
 
-    __slots__ = ("_cancelled", "_lock", "_progress", "total", "completed", "dropped")
+    __slots__ = (
+        "_cancelled", "_lock", "_progress", "_cancel_reason",
+        "total", "completed", "dropped",
+    )
 
     def __init__(
         self, progress: Optional[Callable[[int, Optional[int]], None]] = None
@@ -44,6 +58,7 @@ class ExecutionControl:
         self._cancelled = threading.Event()
         self._lock = threading.Lock()
         self._progress = progress
+        self._cancel_reason: Optional[str] = None
         #: Shards the Score stage planned (None until it begins).
         self.total: Optional[int] = None
         #: Shards whose results are in.
@@ -53,14 +68,31 @@ class ExecutionControl:
         self.dropped = 0
 
     # -- cancellation ------------------------------------------------------
-    def cancel(self) -> None:
-        """Request cooperative cancellation (idempotent, thread-safe)."""
+    def cancel(self, reason: str = CANCEL_USER) -> None:
+        """Request cooperative cancellation (idempotent, thread-safe).
+
+        ``reason`` is a short code recorded on first cancel (later calls
+        never overwrite it): :data:`CANCEL_USER` for explicit cancels,
+        :data:`CANCEL_SHED` when an admission controller load-sheds the
+        execution, :data:`CANCEL_SHUTDOWN` for teardown sweeps.  Read it
+        back via :attr:`cancel_reason` — the serving layer maps ``shed``
+        to an ``overloaded`` response instead of a generic cancel.
+        """
+        with self._lock:
+            if self._cancel_reason is None:
+                self._cancel_reason = str(reason)
         self._cancelled.set()
 
     @property
     def cancelled(self) -> bool:
         """True once :meth:`cancel` has been called."""
         return self._cancelled.is_set()
+
+    @property
+    def cancel_reason(self) -> Optional[str]:
+        """The first :meth:`cancel` call's reason code (None before)."""
+        with self._lock:
+            return self._cancel_reason
 
     # -- progress (driven by the Score stage) ------------------------------
     def begin(self, total: int) -> None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -77,6 +78,25 @@ PRECISIONS = ("float64", "float32")
 #: Engine-local shape-index memo size (rank paths, keyed by collection
 #: identity; the table-attached store covers the execute paths).
 _MAX_ENGINE_INDEXES = 8
+
+#: Artifact stores already warned about (abspath -> True): an unwritable
+#: store means every fresh process silently repays the index build, so
+#: the first failed save warns loudly — once, not per query.
+_WARNED_STORES: dict = {}
+
+
+def _warn_unwritable_store(store: str, exc: OSError) -> None:
+    resolved = os.path.abspath(store)
+    if resolved in _WARNED_STORES:
+        return
+    _WARNED_STORES[resolved] = True
+    warnings.warn(
+        "artifact store {!r} is not writable ({}); shape indexes will be "
+        "rebuilt on every process start until the store is fixed "
+        "(ExecutionStats.index_reason == 'store-unwritable')".format(store, exc),
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 #: Driver threads behind the non-blocking submit paths.  Each driver runs
 #: one pipeline execution end to end; shard work still fans out on the
@@ -142,6 +162,16 @@ class ExecutionStats:
     #: over the published index) or ``"inline"``; None when the stage
     #: did not bound anything this call.
     index_bounds: Optional[str] = None
+    #: Why the index had to be built when ``index_source == "built"``:
+    #: ``"no-store"`` (no artifact store configured), ``"store-miss"``
+    #: (store configured but held no usable artifact for this key —
+    #: first run, stale fingerprint, or corrupt/unreadable entry),
+    #: ``"store-unwritable"`` (built *and* the save back to the store
+    #: failed, so the next process will rebuild again; also warned once
+    #: per store), or ``"rank-path"`` (caller-held collection, no table
+    #: to key a persistent artifact on).  None when the index came from
+    #: memory or disk.
+    index_reason: Optional[str] = None
 
 
 class ShapeSearchEngine:
@@ -733,10 +763,16 @@ class ShapeSearchEngine:
     def _shape_index_for(self, trendlines, table=None, index_key=None):
         """The persistent shape index of one candidate collection.
 
-        Returns ``(index, source)`` where ``source`` names the tier that
-        supplied it — ``"memory"``, ``"disk"`` or ``"built"`` — surfaced
-        through ``ExecutionStats.index_source`` and the rendered plan.
-        Storage tiers, in lookup order:
+        Returns ``(index, source, reason)`` where ``source`` names the
+        tier that supplied it — ``"memory"``, ``"disk"`` or ``"built"``
+        — surfaced through ``ExecutionStats.index_source`` and the
+        rendered plan, and ``reason`` says *why* a build was necessary
+        when ``source == "built"`` (``ExecutionStats.index_reason``;
+        None for the other tiers).  A configured store that rejects the
+        save-back (unwritable directory, a file squatting on the path,
+        disk full) additionally warns **once per store** — silently
+        rebuilding on every process start is the failure mode this
+        surfaces.  Storage tiers, in lookup order:
 
         * **Table-attached** (execute paths): the index lives on the
           immutable ``Table`` itself, keyed by the generation inputs
@@ -767,15 +803,16 @@ class ShapeSearchEngine:
             state = attached_state(table, "_shape_index_state", dict)
             index = state.get(index_key)
             if index is not None and len(index) == len(trendlines):
-                return index, "memory"
+                return index, "memory", None
             cache_key = None
             if self.cache is not None:
                 cache_key = (table_fingerprint(table),) + index_key
                 index = self.cache.indexes.get(cache_key)
                 if index is not None and len(index) == len(trendlines):
                     state[index_key] = index
-                    return index, "memory"
+                    return index, "memory", None
             source = "built"
+            reason = "no-store" if self.store is None else "store-miss"
             index = None
             if self.store is not None:
                 from repro.engine.artifacts import load_index
@@ -784,7 +821,7 @@ class ShapeSearchEngine:
                     self.store, index_key, table_fingerprint(table)
                 )
                 if index is not None and len(index) == len(trendlines):
-                    source = "disk"
+                    source, reason = "disk", None
                 else:
                     index = None
             if index is None:
@@ -806,24 +843,26 @@ class ShapeSearchEngine:
                     save_index(
                         self.store, index_key, index, table_fingerprint(table)
                     )
-                except OSError:
-                    # An unwritable store never fails a query; the next
-                    # process rebuilds exactly as without a store.
-                    pass
-            return index, source
+                except OSError as exc:
+                    # An unwritable store never fails a query — but it
+                    # does mean every fresh process silently repays the
+                    # build, so say so (once per store) and record why.
+                    reason = "store-unwritable"
+                    _warn_unwritable_store(self.store, exc)
+            return index, source, reason
 
         key = id(trendlines)
         witness = tuple(id(trendline) for trendline in trendlines)
         entry = self._indexes.get(key)
         if entry is not None and entry[0] == witness:
             self._indexes.move_to_end(key)
-            return entry[2], "memory"
+            return entry[2], "memory", None
         index = ShapeIndex.build(trendlines)
         self._indexes[key] = (witness, trendlines, index)
         self._indexes.move_to_end(key)
         while len(self._indexes) > _MAX_ENGINE_INDEXES:
             self._indexes.popitem(last=False)
-        return index, "built"
+        return index, "built", "rank-path"
 
 
 def _release_engine_resources(

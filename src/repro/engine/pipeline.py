@@ -826,11 +826,12 @@ class IndexPrune(Operator):
         ctx.stats.index_candidates = total
         if total <= max(self.k, MIN_SEED_CANDIDATES) or self.k < 1:
             return candidates
-        index, index_source = engine._shape_index_for(
+        index, index_source, index_reason = engine._shape_index_for(
             source, table=self.table, index_key=self.index_key
         )
         self.index_source = index_source
         ctx.stats.index_source = index_source
+        ctx.stats.index_reason = index_reason
         bounds = self._dispatched_bounds(ctx, index, total)
         ctx.stats.index_bounds = "dispatched" if bounds is not None else "inline"
 

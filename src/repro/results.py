@@ -310,7 +310,7 @@ class SearchFuture:
         callback(self)
 
     # -- resolution --------------------------------------------------------
-    def cancel(self) -> bool:
+    def cancel(self, reason: str = "user") -> bool:
         """Request cooperative cancellation.
 
         Returns True when the request was registered before the search
@@ -318,18 +318,35 @@ class SearchFuture:
         result already landed (it stands).  A future whose driver has
         not started yet resolves as cancelled immediately — it is not
         waiting on any in-flight work.
+
+        ``reason`` is the cancellation reason code recorded on the
+        execution's control (see
+        :data:`repro.engine.control.CANCEL_USER` /
+        :data:`~repro.engine.control.CANCEL_SHED` /
+        :data:`~repro.engine.control.CANCEL_SHUTDOWN`); read it back via
+        :attr:`cancel_reason` to distinguish a user cancel from a
+        load-shed or a shutdown sweep.
         """
         with self._lock:
             if self._done.is_set():
                 return False
             self._cancel_requested = True
             started = self._started
-        self._control.cancel()
+        self._control.cancel(reason=reason)
         if not started:
             self._finish(
-                exception=SearchCancelled("search cancelled before dispatch")
+                exception=SearchCancelled(
+                    "search cancelled before dispatch (reason={})".format(
+                        self._control.cancel_reason or reason
+                    )
+                )
             )
         return True
+
+    @property
+    def cancel_reason(self) -> Optional[str]:
+        """Reason code of the first cancel request (None when never cancelled)."""
+        return self._control.cancel_reason
 
     def result(self, timeout: Optional[float] = None) -> ResultSet:
         """Block for the ResultSet; raise what the execution raised.

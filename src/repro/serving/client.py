@@ -1,0 +1,270 @@
+"""A synchronous client for the serving API (tests, benchmarks, demos).
+
+HTTP endpoints ride :mod:`http.client`; the streaming surface opens a
+raw socket, performs the RFC 6455 handshake, and reuses the *server's*
+frame codec (:mod:`repro.serving.ws`) with client-side masking — the
+codec is exercised from both directions by construction.
+
+Every error response raises :class:`ServingError` carrying the HTTP
+status and the wire error code, so callers branch on
+``exc.code == "overloaded"`` instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.serving.protocol import json_dumps
+from repro.serving.ws import OP_CLOSE, OP_PING, OP_PONG, FrameParser, encode_frame
+
+_WS_GUID_KEY_BYTES = 16
+
+
+class ServingError(Exception):
+    """An error response from the server (status + wire code attached)."""
+
+    def __init__(self, status: int, code: str, message: str = "") -> None:
+        super().__init__("{} {}: {}".format(status, code, message or "(no message)"))
+        self.status = status
+        self.code = code
+
+
+class ServingClient:
+    """One tenant's synchronous view of a running server."""
+
+    def __init__(
+        self, host: str, port: int, tenant: str = "default",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        """One round trip; raises :class:`ServingError` on any non-200."""
+        payload = json_dumps(body) if body is not None else None
+        headers = {"X-Tenant": self.tenant}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # A dropped keep-alive connection gets one fresh retry.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status != 200:
+            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            raise ServingError(
+                response.status, error.get("code", "unknown"),
+                error.get("message", ""),
+            )
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the API surface -----------------------------------------------------
+    def publish_columns(self, **columns) -> str:
+        """Publish a table as column arrays; returns its fingerprint."""
+        coerced = {
+            name: values.tolist() if hasattr(values, "tolist") else list(values)
+            for name, values in columns.items()
+        }
+        return self.request("POST", "/v1/tables", {"columns": coerced})["fingerprint"]
+
+    def publish_records(self, records: Sequence[dict]) -> str:
+        return self.request(
+            "POST", "/v1/tables", {"records": list(records)}
+        )["fingerprint"]
+
+    def prepare(self, table: str, query: str, z: str, x: str, y: str,
+                k: int = 10, **extra) -> dict:
+        body = {"table": table, "query": query, "z": z, "x": x, "y": y, "k": k}
+        body.update(extra)
+        return self.request("POST", "/v1/prepare", body)
+
+    def search(self, table: str, query: str, z: str, x: str, y: str,
+               k: int = 10, **extra) -> dict:
+        """Blocking top-k: ``{"cache": "result"|None, "result": {...}}``."""
+        body = {"table": table, "query": query, "z": z, "x": x, "y": y, "k": k}
+        body.update(extra)
+        return self.request("POST", "/v1/search", body)
+
+    def stats(self) -> dict:
+        return self.request("GET", "/v1/stats")
+
+    def open_stream(self) -> "StreamingSearch":
+        """Open the WebSocket surface (one connection, many searches)."""
+        return StreamingSearch(
+            self.host, self.port, tenant=self.tenant, timeout=self.timeout
+        )
+
+
+class StreamingSearch:
+    """A synchronous WebSocket session against ``/v1/submit``.
+
+    :meth:`submit` sends one search message and returns its id;
+    :meth:`frames` iterates server frames as dicts until the given
+    search terminates; :meth:`result` drives that loop and returns the
+    final result envelope (raising :class:`ServingError` for ``error``
+    frames).  Frames for *other* concurrently submitted searches are
+    buffered, so interleaved submissions on one connection work.
+    """
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._parser = FrameParser()
+        self._buffered: Dict[Any, List[dict]] = {}
+        self._loose: List[dict] = []
+        self._next_id = 0
+        self.tenant = tenant
+        key_bytes = os.urandom(_WS_GUID_KEY_BYTES)
+        import base64
+
+        key = base64.b64encode(key_bytes).decode("ascii")
+        handshake = (
+            "GET /v1/submit HTTP/1.1\r\n"
+            "Host: {}:{}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            "Sec-WebSocket-Key: {}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "X-Tenant: {}\r\n\r\n".format(host, port, key, tenant)
+        )
+        self._sock.sendall(handshake.encode("latin-1"))
+        response = b""
+        while b"\r\n\r\n" not in response:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed during websocket handshake")
+            response += chunk
+        head, _sep, rest = response.partition(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n", 1)[0]:
+            raise ConnectionError(
+                "websocket handshake refused: {!r}".format(head[:120])
+            )
+        if rest:
+            self._feed(rest)
+
+    # -- sending -------------------------------------------------------------
+    def _send_json(self, obj: dict) -> None:
+        frame = encode_frame(json_dumps(obj), mask=os.urandom(4))
+        self._sock.sendall(frame)
+
+    def submit(self, table: str, query: str, z: str, x: str, y: str,
+               k: int = 10, search_id: Optional[Any] = None, **extra) -> Any:
+        """Send one search; returns the id its frames will carry."""
+        if search_id is None:
+            self._next_id += 1
+            search_id = self._next_id
+        message = {
+            "type": "search", "id": search_id, "table": table, "query": query,
+            "z": z, "x": x, "y": y, "k": k,
+        }
+        message.update(extra)
+        self._send_json(message)
+        return search_id
+
+    def cancel(self, search_id: Any) -> None:
+        self._send_json({"type": "cancel", "id": search_id})
+
+    # -- receiving -----------------------------------------------------------
+    def _feed(self, data: bytes) -> None:
+        for opcode, payload in self._parser.feed(data):
+            if opcode == OP_PING:
+                self._sock.sendall(
+                    encode_frame(payload, opcode=OP_PONG, mask=os.urandom(4))
+                )
+                continue
+            if opcode in (OP_PONG,):
+                continue
+            if opcode == OP_CLOSE:
+                raise ConnectionError("server closed the websocket")
+            frame = json.loads(payload.decode("utf-8"))
+            sid = frame.get("id")
+            if sid is None:
+                self._loose.append(frame)
+            else:
+                self._buffered.setdefault(sid, []).append(frame)
+
+    def _recv_some(self) -> None:
+        data = self._sock.recv(65536)
+        if not data:
+            raise ConnectionError("server closed the websocket")
+        self._feed(data)
+
+    def next_frame(self, search_id: Any) -> dict:
+        """The next frame addressed to ``search_id`` (blocking)."""
+        while True:
+            queued = self._buffered.get(search_id)
+            if queued:
+                return queued.pop(0)
+            self._recv_some()
+
+    def frames(self, search_id: Any) -> Iterator[dict]:
+        """Frames for one search, ending after its terminal frame."""
+        while True:
+            frame = self.next_frame(search_id)
+            yield frame
+            if frame.get("type") in ("result", "error", "cancelled"):
+                return
+
+    def result(self, search_id: Any) -> dict:
+        """Drain to the terminal frame; return it (or raise on error)."""
+        for frame in self.frames(search_id):
+            if frame.get("type") == "error":
+                raise ServingError(0, frame.get("code", "unknown"),
+                                   frame.get("message", ""))
+            if frame.get("type") in ("result", "cancelled"):
+                return frame
+        raise ConnectionError("stream ended without a terminal frame")
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(
+                encode_frame(b"\x03\xe8", opcode=OP_CLOSE, mask=os.urandom(4))
+            )
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StreamingSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,147 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for the API.
+
+Not a general web server: fixed endpoints, JSON bodies, keep-alive, and
+the single ``Upgrade: websocket`` handshake ``/v1/submit`` needs.  The
+parser is strict about what it accepts (requests it cannot parse close
+the connection) and bounded (``MAX_BODY`` caps the request body so one
+client cannot balloon server memory).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Iterable, Optional, Tuple
+
+#: Largest accepted request body; publishing a table dominates sizing.
+MAX_BODY = 64 * 1024 * 1024
+
+#: Stream buffer limit for ``asyncio.start_server`` (header lines only;
+#: bodies are read with ``readexactly`` and bounded by MAX_BODY).
+STREAM_LIMIT = 1 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    101: "Switching Protocols",
+}
+
+
+class HTTPRequest:
+    """One parsed request: method, path, lower-cased headers, raw body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        """The body as a JSON object; raises ``ValueError`` otherwise."""
+        payload = json.loads(self.body.decode("utf-8")) if self.body else {}
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+    def __repr__(self) -> str:
+        return "HTTPRequest({} {}, {} byte body)".format(
+            self.method, self.path, len(self.body)
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[HTTPRequest]:
+    """Parse one request off the stream; None on EOF / unparseable input.
+
+    The head (request line + headers) is read up to the blank line; a
+    ``Content-Length`` body follows via ``readexactly``.  Chunked bodies
+    are not supported (no client of this API sends them) and oversized
+    bodies return None, closing the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        ConnectionError,
+    ):
+        return None
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _sep, value = line.partition(":")
+        if not _sep:
+            return None
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        return None
+    if length < 0 or length > MAX_BODY:
+        return None
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    path = target.split("?", 1)[0]
+    return HTTPRequest(method.upper(), path, headers, body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    extra_headers: Iterable[Tuple[str, str]] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response, Content-Length framed."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        "HTTP/1.1 {} {}".format(status, reason),
+        "Content-Type: {}".format(content_type),
+        "Content-Length: {}".format(len(body)),
+        "Connection: {}".format("keep-alive" if keep_alive else "close"),
+    ]
+    for name, value in extra_headers:
+        lines.append("{}: {}".format(name, value))
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def switching_protocols(accept: str) -> bytes:
+    """The 101 response completing a WebSocket handshake."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        "Sec-WebSocket-Accept: {}\r\n\r\n".format(accept)
+    ).encode("latin-1")

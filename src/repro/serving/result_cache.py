@@ -1,0 +1,83 @@
+"""The cross-request result cache: whole responses, addressed by content.
+
+The engine's own caches (trendlines, plans, indexes) make a repeated
+search *cheap*; this cache makes it *free*.  The key is everything that
+determines the bytes of a response —
+
+    (table content fingerprint, canonical query text, VisualParams,
+     k, precision)
+
+— all content-addressed or value-typed, so two clients phrasing the same
+question differently (``"up then down"`` vs ``"[p=up][p=down]"``) hit
+one entry, and *any* change to the data, the query, or the requested
+precision misses by construction.  Values are the canonical JSON bytes
+of :func:`repro.serving.protocol.result_payload`: a hit is written to
+the socket as-is, byte-identical to the cold execution that populated
+it, with no Score stage, no serialization, no engine involvement.
+
+Storage is the engine's :class:`~repro.engine.cache.LRUCache` with its
+``max_bytes`` cost budget — entry count and resident bytes both bound
+the cache, and hit/miss/bytes accounting feeds ``/v1/stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.data.visual_params import VisualParams
+from repro.engine.cache import CacheStats, LRUCache
+
+#: Defaults: plenty for an interactive exploration session, small next
+#: to one resident table.
+DEFAULT_CAPACITY = 256
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+
+
+class ResultCache:
+    """LRU + bytes-budget cache of serialized search responses."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self._cache = LRUCache(capacity=capacity, max_bytes=max_bytes)
+
+    @staticmethod
+    def key(
+        fingerprint: str,
+        canonical_query: str,
+        params: VisualParams,
+        k: int,
+        precision: str,
+    ) -> Tuple:
+        """The response-determining tuple (hashable: params is frozen)."""
+        return (fingerprint, canonical_query, params, int(k), precision)
+
+    def get(self, key: Tuple) -> Optional[bytes]:
+        """Cached response bytes, or None (counted as hit/miss)."""
+        return self._cache.get(key)
+
+    def put(self, key: Tuple, payload: bytes) -> None:
+        """Admit one serialized response; cost is its byte length."""
+        self._cache.put(key, payload, cost=len(payload))
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    def snapshot(self) -> dict:
+        stats = self._cache.stats
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache.capacity,
+            "bytes": stats.bytes,
+            "max_bytes": self._cache.max_bytes,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "evictions": stats.evictions,
+        }

@@ -1,0 +1,138 @@
+"""Socket lifecycle: the asyncio listener and a threaded test harness.
+
+:class:`ShapeSearchServer` owns ``asyncio.start_server`` around one
+:class:`~repro.serving.app.ShapeServingApp`; :func:`start_in_thread`
+runs a complete server on a private event loop in a daemon thread and
+hands back a :class:`ServerHandle` — the form tests, benchmarks and the
+demo use, since their callers are synchronous.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.serving.app import ShapeServingApp
+from repro.serving.http import STREAM_LIMIT
+
+
+class ShapeSearchServer:
+    """One listening socket in the caller's event loop."""
+
+    def __init__(
+        self,
+        app: Optional[ShapeServingApp] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.app = app if app is not None else ShapeServingApp()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — the return value (and
+        :attr:`address`) is how callers learn which.
+        """
+        self._server = await asyncio.start_server(
+            self.app.handle_connection, self.host, self.port,
+            limit=STREAM_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, shed inflight work, close every session."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.app.close()
+
+
+class ServerHandle:
+    """A running server on its own daemon thread (synchronous callers).
+
+    ``handle.address`` is the bound ``(host, port)``; :meth:`stop`
+    shuts the loop down and joins the thread.  Usable as a context
+    manager so tests cannot leak servers.
+    """
+
+    def __init__(self, server: ShapeSearchServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self._server = server
+        self._loop = loop
+        self._thread = thread
+        self.address = server.address
+        self.app = server.app
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_thread(
+    app: Optional[ShapeServingApp] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+) -> ServerHandle:
+    """Start a server on a fresh event loop in a daemon thread.
+
+    Blocks until the socket is bound (so ``handle.address`` is always
+    valid) or raises whatever ``start`` raised.
+    """
+    server = ShapeSearchServer(app=app, host=host, port=port)
+    loop = asyncio.new_event_loop()
+    bound = threading.Event()
+    failure: list = []
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            try:
+                await server.start()
+            except Exception as exc:
+                failure.append(exc)
+            finally:
+                bound.set()
+
+        loop.run_until_complete(boot())
+        if not failure:
+            loop.run_forever()
+        loop.close()
+
+    thread = threading.Thread(target=runner, name="shapesearch-serving", daemon=True)
+    thread.start()
+    if not bound.wait(timeout):
+        raise TimeoutError("server failed to bind within {}s".format(timeout))
+    if failure:
+        raise failure[0]
+    return ServerHandle(server, loop, thread)

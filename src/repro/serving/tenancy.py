@@ -1,0 +1,268 @@
+"""Per-tenant admission control: token buckets, inflight caps, shedding.
+
+The serving contract is *fail fast, never hang*: a request the server
+cannot take on right now is refused with a reason code (mapped to HTTP
+429) while already-admitted work keeps its resources.  Two gates apply
+in order:
+
+1. **Rate** — a per-tenant :class:`TokenBucket` (``rate`` requests/s,
+   ``burst`` capacity) absorbs interactive bursts and refuses sustained
+   floods with ``"rate_limited"``.
+2. **Inflight** — a per-tenant and a global concurrent-search cap.  A
+   full cap refuses with ``"overloaded"`` *and* sheds: every registered
+   execution still queued behind the engine's dispatcher (not started)
+   is cancelled with ``reason="shed"`` — the
+   :class:`~repro.engine.control.ExecutionControl` seam the engine
+   already honors — so the dispatcher drains to work that clients are
+   actually waiting on instead of a backlog nobody will read.
+
+The wall clock is injected (``clock=``, monotonic seconds) so tests
+drive refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.control import CANCEL_SHED, CANCEL_SHUTDOWN
+
+
+class TokenBucket:
+    """The classic leaky counter: ``rate`` tokens/s up to ``burst``.
+
+    ``try_acquire`` never blocks — it answers whether one token was
+    available *now*, refilling lazily from the injected clock.  A
+    ``rate`` of 0 disables refill (the initial burst is all there is);
+    ``None`` disables the bucket entirely (always admits).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock", "_lock")
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate < 0:
+            raise ValueError("rate must be >= 0 or None, got {}".format(rate))
+        if burst < 1:
+            raise ValueError("burst must be >= 1, got {}".format(burst))
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled to the current clock)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            return min(self.burst, self._tokens + max(0.0, now - self._last) * self.rate)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant may do concurrently and per second.
+
+    ``rate=None`` disables rate limiting; ``max_inflight`` caps the
+    tenant's concurrent searches (admitted but unresolved).
+    """
+
+    rate: Optional[float] = 50.0
+    burst: float = 100.0
+    max_inflight: int = 8
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the controller exposes on ``/v1/stats``."""
+
+    admitted: int = 0
+    rate_limited: int = 0
+    overloaded: int = 0
+    shed: int = 0
+
+
+class AdmissionController:
+    """The gate every search passes before touching the engine.
+
+    Lifecycle per request: :meth:`admit` (reserves an inflight slot or
+    returns the refusal code), :meth:`attach` (registers the live
+    :class:`~repro.results.SearchFuture` so shedding and shutdown can
+    reach it), :meth:`finish` (releases the slot).  ``finish`` must run
+    exactly once per successful ``admit`` — the server does it in a
+    ``finally``.
+    """
+
+    def __init__(
+        self,
+        quota: TenantQuota = TenantQuota(),
+        max_inflight: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                "max_inflight must be >= 1, got {}".format(max_inflight)
+            )
+        self.default_quota = quota
+        self.max_inflight = max_inflight
+        self._clock = clock
+        #: Per-tenant quota overrides (tenant name -> TenantQuota).
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight: Dict[str, int] = {}
+        self._total_inflight = 0
+        #: Registration order doubles as shed order (oldest first).
+        self._futures: List[Tuple[str, object]] = []
+        self._lock = threading.Lock()
+        self.stats = AdmissionStats()
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Override one tenant's quota (takes effect on the next admit)."""
+        with self._lock:
+            self._quotas[tenant] = quota
+            self._buckets.pop(tenant, None)
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        with self._lock:
+            return self._quotas.get(tenant, self.default_quota)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            quota = self._quotas.get(tenant, self.default_quota)
+            bucket = TokenBucket(quota.rate, quota.burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    # -- the admission gate --------------------------------------------------
+    def admit(self, tenant: str) -> Optional[str]:
+        """Reserve an inflight slot; ``None`` on success, else the code.
+
+        ``"rate_limited"``: the tenant's bucket is empty.
+        ``"overloaded"``: the tenant's or the global inflight cap is
+        full — queued executions are shed before refusing, so capacity
+        recovers without operator action.
+        """
+        with self._lock:
+            bucket = self._bucket(tenant)
+            quota = self._quotas.get(tenant, self.default_quota)
+        if not bucket.try_acquire():
+            with self._lock:
+                self.stats.rate_limited += 1
+            return "rate_limited"
+        with self._lock:
+            inflight = self._inflight.get(tenant, 0)
+            if inflight >= quota.max_inflight or self._total_inflight >= self.max_inflight:
+                self.stats.overloaded += 1
+                overloaded = True
+            else:
+                self._inflight[tenant] = inflight + 1
+                self._total_inflight += 1
+                self.stats.admitted += 1
+                overloaded = False
+        if overloaded:
+            self.shed_queued()
+            return "overloaded"
+        return None
+
+    def attach(self, tenant: str, future) -> None:
+        """Register an admitted execution for shed/shutdown sweeps."""
+        with self._lock:
+            self._futures.append((tenant, future))
+
+    def finish(self, tenant: str, future=None) -> None:
+        """Release the slot reserved by a successful :meth:`admit`."""
+        with self._lock:
+            remaining = self._inflight.get(tenant, 0) - 1
+            if remaining > 0:
+                self._inflight[tenant] = remaining
+            else:
+                self._inflight.pop(tenant, None)
+            if self._total_inflight > 0:
+                self._total_inflight -= 1
+            if future is not None:
+                self._futures = [
+                    entry for entry in self._futures if entry[1] is not future
+                ]
+
+    # -- load shedding -------------------------------------------------------
+    def shed_queued(self) -> int:
+        """Cancel registered executions the engine has not started yet.
+
+        Shedding targets *queued* work — futures still waiting behind
+        the dispatcher — with ``reason="shed"``; running shards finish
+        cooperatively (the pool stays warm and deterministic), and the
+        shed client gets a terminal ``overloaded`` response instead of
+        an unbounded wait.  Returns how many were shed.
+        """
+        with self._lock:
+            targets = [
+                (tenant, future)
+                for tenant, future in self._futures
+                if not future.running() and not future.done()
+            ]
+        shed = 0
+        for _tenant, future in targets:
+            if future.cancel(reason=CANCEL_SHED):
+                shed += 1
+        if shed:
+            with self._lock:
+                self.stats.shed += shed
+        return shed
+
+    def sweep(self, reason: str = CANCEL_SHUTDOWN) -> int:
+        """Cancel *every* registered execution (server shutdown)."""
+        with self._lock:
+            targets = list(self._futures)
+        swept = 0
+        for _tenant, future in targets:
+            if future.cancel(reason=reason):
+                swept += 1
+        return swept
+
+    # -- observation ---------------------------------------------------------
+    @property
+    def total_inflight(self) -> int:
+        with self._lock:
+            return self._total_inflight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": self._total_inflight,
+                "max_inflight": self.max_inflight,
+                # Attached executions the engine has actually started —
+                # the complement (inflight - running) is queued work a
+                # shed sweep would cancel.
+                "running": sum(
+                    1 for _tenant, future in self._futures if future.running()
+                ),
+                "tenants": dict(self._inflight),
+                "admitted": self.stats.admitted,
+                "rate_limited": self.stats.rate_limited,
+                "overloaded": self.stats.overloaded,
+                "shed": self.stats.shed,
+            }

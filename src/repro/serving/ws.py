@@ -1,0 +1,242 @@
+"""RFC 6455 WebSocket: a pure frame codec plus one async wrapper.
+
+The codec — :func:`accept_key`, :func:`encode_frame`,
+:class:`FrameParser` — is synchronous, allocation-light, and shared by
+both sides of the wire: the asyncio server wraps it in
+:class:`WebSocketConnection`, and the synchronous test/bench client
+(:mod:`repro.serving.client`) drives the very same functions over a
+plain socket.  One implementation, exercised from both directions, is
+the cheapest correctness argument a hand-rolled protocol gets.
+
+Supported surface: FIN-fragmented text/binary messages, masked
+client-to-server frames (unmasking is vectorized over the repeated
+4-byte key), ping/pong, and close.  Extensions and subprotocols are
+refused by omission.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Largest accepted message after reassembly (matches the HTTP cap).
+MAX_MESSAGE = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The peer violated the framing rules; the connection must close."""
+
+
+def accept_key(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a handshake ``key``."""
+    digest = hashlib.sha1((key + _GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(
+    payload: bytes, opcode: int = OP_TEXT, mask: Optional[bytes] = None,
+    fin: bool = True,
+) -> bytes:
+    """Serialize one frame; ``mask`` (4 bytes) for client-to-server."""
+    head = bytearray()
+    head.append((0x80 if fin else 0) | (opcode & 0x0F))
+    mask_bit = 0x80 if mask is not None else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack(">H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack(">Q", length)
+    if mask is not None:
+        if len(mask) != 4:
+            raise ProtocolError("mask key must be exactly 4 bytes")
+        head += mask
+        payload = _apply_mask(payload, mask)
+    return bytes(head) + payload
+
+
+def _apply_mask(data: bytes, key: bytes) -> bytes:
+    """XOR ``data`` with the repeating 4-byte ``key`` (self-inverse)."""
+    if not data:
+        return data
+    repeated = (key * (len(data) // 4 + 1))[: len(data)]
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(repeated, "little")
+    ).to_bytes(len(data), "little")
+
+
+class FrameParser:
+    """Incremental frame decoder: feed bytes, collect complete messages.
+
+    :meth:`feed` returns ``(opcode, payload)`` pairs for every message
+    completed by the new bytes — control frames immediately, data frames
+    after FIN reassembles any continuation fragments.  State between
+    calls is just the byte buffer and the pending fragment, so a parser
+    instance serves one connection for its lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._fragments: List[bytes] = []
+        self._fragment_opcode: Optional[int] = None
+
+    def feed(self, data: bytes) -> List[Tuple[int, bytes]]:
+        self._buffer += data
+        messages: List[Tuple[int, bytes]] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return messages
+            fin, opcode, payload = frame
+            if opcode in (OP_CLOSE, OP_PING, OP_PONG):
+                if not fin:
+                    raise ProtocolError("control frames must not fragment")
+                messages.append((opcode, payload))
+                continue
+            if opcode == OP_CONT:
+                if self._fragment_opcode is None:
+                    raise ProtocolError("continuation without a message")
+            else:
+                if self._fragment_opcode is not None:
+                    raise ProtocolError("new message interleaved mid-fragment")
+                self._fragment_opcode = opcode
+            self._fragments.append(payload)
+            if sum(len(part) for part in self._fragments) > MAX_MESSAGE:
+                raise ProtocolError("message exceeds the size cap")
+            if fin:
+                whole = b"".join(self._fragments)
+                messages.append((self._fragment_opcode, whole))
+                self._fragments = []
+                self._fragment_opcode = None
+
+    def _next_frame(self) -> Optional[Tuple[bool, int, bytes]]:
+        buffer = self._buffer
+        if len(buffer) < 2:
+            return None
+        first, second = buffer[0], buffer[1]
+        fin = bool(first & 0x80)
+        if first & 0x70:
+            raise ProtocolError("reserved bits set (no extensions negotiated)")
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buffer) < offset + 2:
+                return None
+            (length,) = struct.unpack_from(">H", buffer, offset)
+            offset += 2
+        elif length == 127:
+            if len(buffer) < offset + 8:
+                return None
+            (length,) = struct.unpack_from(">Q", buffer, offset)
+            offset += 8
+        if length > MAX_MESSAGE:
+            raise ProtocolError("frame exceeds the size cap")
+        key = b""
+        if masked:
+            if len(buffer) < offset + 4:
+                return None
+            key = bytes(buffer[offset:offset + 4])
+            offset += 4
+        if len(buffer) < offset + length:
+            return None
+        payload = bytes(buffer[offset:offset + length])
+        del buffer[: offset + length]
+        if masked:
+            payload = _apply_mask(payload, key)
+        return fin, opcode, payload
+
+
+def iter_messages(parser: FrameParser, data: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Convenience wrapper: ``parser.feed`` as an iterator."""
+    return iter(parser.feed(data))
+
+
+class WebSocketConnection:
+    """Server side of one accepted WebSocket, over asyncio streams.
+
+    ``send_json``/``send`` are safe from concurrent tasks (an internal
+    lock serializes frame writes — progress frames from several inflight
+    searches interleave at frame granularity, never inside one).
+    :meth:`recv` answers pings transparently and returns ``None`` once
+    the peer closes or the transport drops.
+    """
+
+    def __init__(self, reader, writer) -> None:
+        import asyncio
+
+        self._reader = reader
+        self._writer = writer
+        self._parser = FrameParser()
+        self._send_lock = asyncio.Lock()
+        self._pending: List[Tuple[int, bytes]] = []
+        self.closed = False
+
+    async def send(self, payload: bytes, opcode: int = OP_TEXT) -> None:
+        async with self._send_lock:
+            if self.closed:
+                return
+            self._writer.write(encode_frame(payload, opcode=opcode))
+            try:
+                await self._writer.drain()
+            except ConnectionError:
+                self.closed = True
+
+    async def send_json(self, obj) -> None:
+        from repro.serving.protocol import json_dumps
+
+        await self.send(json_dumps(obj), opcode=OP_TEXT)
+
+    async def recv(self) -> Optional[bytes]:
+        """The next data message's payload, or ``None`` on close/EOF."""
+        while True:
+            while self._pending:
+                opcode, payload = self._pending.pop(0)
+                if opcode == OP_CLOSE:
+                    await self.close()
+                    return None
+                if opcode == OP_PING:
+                    await self.send(payload, opcode=OP_PONG)
+                    continue
+                if opcode == OP_PONG:
+                    continue
+                return payload
+            try:
+                data = await self._reader.read(65536)
+            except ConnectionError:
+                data = b""
+            if not data:
+                self.closed = True
+                return None
+            try:
+                self._pending.extend(self._parser.feed(data))
+            except ProtocolError:
+                await self.close(code=1002)
+                return None
+
+    async def close(self, code: int = 1000) -> None:
+        async with self._send_lock:
+            if not self.closed:
+                self.closed = True
+                try:
+                    self._writer.write(
+                        encode_frame(struct.pack(">H", code), opcode=OP_CLOSE)
+                    )
+                    await self._writer.drain()
+                except ConnectionError:
+                    pass

@@ -1,0 +1,29 @@
+"""REP081 bad fixture: blocking calls inside serving coroutines."""
+
+import time
+from pathlib import Path
+
+
+async def handle_search(engine, request):
+    time.sleep(0.1)  # REP081: stalls the event loop
+    return engine.run(request.table, request.params, request.query)  # REP081
+
+
+async def handle_tables(request):
+    with open("/tmp/upload.json", "rb") as handle:  # REP081: sync file I/O
+        payload = handle.read()
+    return payload
+
+
+async def handle_artifact(path):
+    return Path(path).read_text("utf-8")  # REP081: sync file I/O
+
+
+async def handle_pool(worker_pool, shards):
+    return worker_pool.run(shards)  # REP081: blocking pool entry point
+
+
+async def handle_bare_sleep():
+    from time import sleep
+
+    sleep(1)  # REP081: bare sleep is still time.sleep

@@ -1,0 +1,56 @@
+"""REP081 good fixture: the conforming shapes of serving coroutines."""
+
+import asyncio
+import functools
+import time
+
+
+def _publish_sync(registry, body):
+    # Sync helper: file I/O and blocking work are legal here — it runs
+    # on the executor, not the event loop.
+    with open(body["path"], "rb") as handle:
+        payload = handle.read()
+    return registry.publish(payload)
+
+
+async def handle_tables(registry, request):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _publish_sync, registry, request.json())
+
+
+async def handle_search(prepared, k):
+    loop = asyncio.get_running_loop()
+    future = await loop.run_in_executor(None, functools.partial(prepared.submit, k=k))
+    event = asyncio.Event()
+    future.add_done_callback(lambda _f: loop.call_soon_threadsafe(event.set))
+    await event.wait()
+    # .result() after the bridge observed resolution cannot block, and
+    # is deliberately outside REP081's reach.
+    return future.result(timeout=0)
+
+
+async def handle_backoff():
+    await asyncio.sleep(0.1)
+
+
+async def handle_latency(stats):
+    started = time.monotonic()  # reading a clock is fine; sleeping is not
+    await asyncio.sleep(0)
+    stats.record(time.monotonic() - started)
+
+
+def blocking_outside_coroutines(engine, table, params, query):
+    # Blocking run is the *synchronous* API's entry point; only inside
+    # async def is it a finding.
+    time.sleep(0)
+    return engine.run(table, params, query)
+
+
+async def nested_sync_helper_is_exempt(items):
+    def transform(item):
+        # nearest enclosing function is sync: executor-destined code.
+        with open(item, "rb") as handle:
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return [await loop.run_in_executor(None, transform, item) for item in items]

@@ -27,13 +27,17 @@ from repro.api import ShapeSearch
 from repro.data.table import Table
 from repro.data.visual_params import VisualParams
 from repro.engine.artifacts import (
+    ARTIFACT_BUDGET_ENV,
     ARTIFACT_FORMAT,
+    artifact_budget,
     artifact_dir,
     load_index,
+    prune,
     save_index,
 )
 from repro.engine.cache import table_fingerprint
 from repro.engine.executor import ShapeSearchEngine
+from repro.errors import ExecutionError
 from repro.engine.shape_index import ShapeIndex, survives_floor
 
 from tests.conftest import make_trendline
@@ -342,3 +346,148 @@ class TestEngineDiskTier:
         assert ShapeSearchEngine().store == env_store
         monkeypatch.delenv("REPRO_ARTIFACT_DIR")
         assert ShapeSearchEngine().store is None
+
+
+class TestPruneAndBudget:
+    """Artifact GC: the byte/age prune pass and its env-var budget knob."""
+
+    def _store_with_entries(self, tmp_path, count=3):
+        """A store holding `count` entries with strictly increasing mtimes."""
+        store = tmp_path / "artifacts"
+        rng = np.random.default_rng(7)
+        names = []
+        for index in range(count):
+            shape_index = ShapeIndex.build(_random_collection(rng, count=12))
+            key = ("params-{:02d}".format(index), True, None, "float64")
+            path = save_index(store, key, shape_index, "fp{:02d}".format(index))
+            names.append(os.path.basename(path))
+            # Strictly order recency without sleeping: backdate earlier
+            # entries' manifests (save_index writes the manifest last).
+            manifest = os.path.join(path, "manifest.json")
+            stamp = 1_000_000 + index * 1000
+            os.utime(manifest, (stamp, stamp))
+        return store, names
+
+    def test_budget_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(ARTIFACT_BUDGET_ENV, raising=False)
+        assert artifact_budget() is None
+        monkeypatch.setenv(ARTIFACT_BUDGET_ENV, "1048576")
+        assert artifact_budget() == 1048576
+        monkeypatch.setenv(ARTIFACT_BUDGET_ENV, "lots")
+        with pytest.raises(ExecutionError):
+            artifact_budget()
+        monkeypatch.setenv(ARTIFACT_BUDGET_ENV, "-1")
+        with pytest.raises(ExecutionError):
+            artifact_budget()
+
+    def test_measure_only_pass_removes_nothing(self, tmp_path):
+        store, names = self._store_with_entries(tmp_path)
+        report = prune(store)
+        assert report.examined == len(names)
+        assert report.removed == 0 and report.freed_bytes == 0
+        assert report.kept_bytes > 0
+        assert sorted(os.listdir(store)) == sorted(names)
+
+    def test_bytes_budget_evicts_oldest_first(self, tmp_path):
+        store, names = self._store_with_entries(tmp_path)
+        sizes = {
+            name: sum(
+                entry.stat().st_size for entry in (store / name).iterdir()
+            )
+            for name in names
+        }
+        total = sum(sizes.values())
+        # Budget for exactly the newest two entries: the oldest must go.
+        budget = total - sizes[names[0]]
+        report = prune(store, max_bytes=budget)
+        assert report.removed == 1
+        assert report.removed_names == [names[0]]
+        assert report.kept_bytes <= budget
+        assert sorted(os.listdir(store)) == sorted(names[1:])
+
+    def test_zero_budget_clears_the_store(self, tmp_path):
+        store, names = self._store_with_entries(tmp_path)
+        report = prune(store, max_bytes=0)
+        assert report.removed == len(names)
+        assert report.kept_bytes == 0
+        assert os.listdir(store) == []
+
+    def test_age_limit_drops_expired_entries(self, tmp_path):
+        store, names = self._store_with_entries(tmp_path)
+        # All manifests are backdated to ~1970+11.5 days; one hour of
+        # allowed age expires every entry.
+        report = prune(store, max_age_s=3600.0)
+        assert report.removed == len(names)
+        assert os.listdir(store) == []
+
+    def test_foreign_directories_are_never_touched(self, tmp_path):
+        store, _names = self._store_with_entries(tmp_path)
+        foreign = store / "not-an-artifact"
+        foreign.mkdir()
+        (foreign / "precious.txt").write_text("user data")
+        report = prune(store, max_bytes=0)
+        assert "not-an-artifact" not in report.removed_names
+        assert (foreign / "precious.txt").read_text() == "user data"
+
+    def test_missing_root_is_a_quiet_no_op(self, tmp_path):
+        report = prune(tmp_path / "never-created")
+        assert report.examined == 0 and report.removed == 0
+
+
+class TestIndexReason:
+    """ExecutionStats.index_reason: why a build happened, stated explicitly."""
+
+    def test_no_store_configured(self):
+        _res, stats = ShapeSearchEngine(index=True).execute_with_stats(
+            _smooth_table(), PARAMS, UP_DOWN, k=5
+        )
+        assert stats.index_source == "built"
+        assert stats.index_reason == "no-store"
+
+    def test_store_miss_then_disk_hit_clears_reason(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        _res, cold = ShapeSearchEngine(index=True, store=store).execute_with_stats(
+            _smooth_table(), PARAMS, UP_DOWN, k=5
+        )
+        assert cold.index_source == "built"
+        assert cold.index_reason == "store-miss"
+        _res, warm = ShapeSearchEngine(index=True, store=store).execute_with_stats(
+            _smooth_table(), PARAMS, UP_DOWN, k=5
+        )
+        assert warm.index_source == "disk"
+        assert warm.index_reason is None
+
+    def test_unwritable_store_reason_and_single_warning(self, tmp_path, monkeypatch):
+        from repro.engine import executor as executor_module
+
+        monkeypatch.setattr(executor_module, "_WARNED_STORES", {})
+        # A regular file where the store root should be: every save
+        # raises NotADirectoryError, even when the suite runs as root
+        # (which a permission-bit store would not).
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")
+        engine = ShapeSearchEngine(index=True, store=str(blocked))
+        with pytest.warns(RuntimeWarning, match="store-unwritable"):
+            _res, stats = engine.execute_with_stats(
+                _smooth_table(), PARAMS, UP_DOWN, k=5
+            )
+        assert stats.index_source == "built"
+        assert stats.index_reason == "store-unwritable"
+        # Second query against the same store: reason persists but the
+        # warning fires once per store, not once per query.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            _res, again = engine.execute_with_stats(
+                _smooth_table(), PARAMS, UP_DOWN, k=5
+            )
+        assert again.index_reason == "store-unwritable"
+
+    def test_memory_source_has_no_reason(self):
+        engine = ShapeSearchEngine(index=True)
+        table = _smooth_table()
+        engine.run(table, PARAMS, UP_DOWN, k=5)
+        _res, stats = engine.execute_with_stats(table, PARAMS, UP_DOWN, k=5)
+        assert stats.index_source == "memory"
+        assert stats.index_reason is None

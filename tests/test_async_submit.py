@@ -348,3 +348,128 @@ class TestEngineClose:
         prepared.submit(k=1).result(timeout=60)
         session.close()
         assert len(prepared.run(k=1)) > 0
+
+
+class TestSubmitStorm:
+    """Serving-shaped load: N tenants x M queries with randomized cancels.
+
+    The serving layer multiplexes every tenant's searches over per-table
+    sessions and sheds load by cancelling queued futures; these tests pin
+    the session-API guarantees it leans on — no cross-tenant bleed under
+    interleaved submits, cancelled futures always resolve, post-cancel
+    reruns are byte-identical, and the worker pool is reused rather than
+    rebuilt across the storm.
+    """
+
+    QUERIES = ["[p=up][p=down]", "[p=down][p=up]", "[p=up]", "[p=down]"]
+
+    def test_multi_tenant_storm_randomized_cancels_no_bleed(self):
+        # One session per tenant over tenant-specific data (distinct
+        # seeds), exactly the registry's model.  Reference signatures
+        # come from fresh single-query sessions so any bleed between
+        # concurrently storming tenants shows up as a signature diff.
+        tenants = ["alpha", "beta", "gamma"]
+        tables = {
+            name: _table(groups=8, seed=index + 10)
+            for index, name in enumerate(tenants)
+        }
+        reference = {}
+        for name in tenants:
+            with ShapeSearch(tables[name]) as clean:
+                for query in self.QUERIES:
+                    results = clean.prepare(
+                        query, z="z", x="x", y="y"
+                    ).run(k=3)
+                    reference[name, query] = _sig(results)
+
+        rng = np.random.default_rng(2024)
+        sessions = {
+            name: ShapeSearch(tables[name], workers=2) for name in tenants
+        }
+        try:
+            prepared = {
+                (name, query): sessions[name].prepare(
+                    query, z="z", x="x", y="y"
+                )
+                for name in tenants
+                for query in self.QUERIES
+            }
+            inflight = []
+            for repeat in range(3):
+                for name in tenants:
+                    for query in self.QUERIES:
+                        future = prepared[name, query].submit(k=3)
+                        wants_cancel = bool(rng.random() < 0.35)
+                        if wants_cancel:
+                            future.cancel()
+                        inflight.append((name, query, future, wants_cancel))
+
+            outcomes = {"completed": 0, "cancelled": 0}
+            for name, query, future, wants_cancel in inflight:
+                try:
+                    results = future.result(timeout=120)
+                except SearchCancelled:
+                    assert wants_cancel  # only requested cancels cancel
+                    outcomes["cancelled"] += 1
+                else:
+                    assert _sig(results) == reference[name, query]
+                    outcomes["completed"] += 1
+            assert outcomes["completed"] > 0  # the storm did real work
+            assert outcomes["cancelled"] > 0  # ... and real cancels
+
+            # Post-cancel reruns on the stormed sessions stay
+            # byte-identical to the clean references.
+            for name in tenants:
+                for query in self.QUERIES:
+                    rerun = prepared[name, query].run(k=3)
+                    assert _sig(rerun) == reference[name, query]
+        finally:
+            for session in sessions.values():
+                session.close()
+
+    def test_gated_cancel_storm_reuses_pool(self):
+        # Deterministic cancels: a gated UDP holds every shard, half the
+        # futures are cancelled while provably incomplete, then the gate
+        # opens.  Survivors finish with real results, cancelled futures
+        # raise, and the engine's worker pool is the same object before
+        # and after the storm (serving keeps sessions hot; a cancel that
+        # poisoned the pool would rebuild it per request).
+        gate = threading.Event()
+
+        def blocking(values, slope):
+            assert gate.wait(timeout=60)
+            return 0.5
+
+        with ShapeSearch(_table(groups=6), workers=2) as session:
+            session.engine.chunk_size = 1  # one shard per group
+            warm = session.prepare("[p=up]", z="z", x="x", y="y")
+            warm.run(k=2)  # builds the pool
+            pools_before = dict(session.engine._pools)
+            assert pools_before
+            with temporary_udp("storm_gate", blocking):
+                prepared = session.prepare(
+                    "[p=udp:storm_gate]", z="z", x="x", y="y"
+                )
+                futures = [prepared.submit(k=2) for _ in range(6)]
+                doomed = futures[1::2]
+                for future in doomed:
+                    future.cancel()
+                gate.set()
+                for future in futures:
+                    if future in doomed:
+                        # Every shard was gate-blocked when the cancel
+                        # landed, so the cancel always wins — whether
+                        # the future resolved before the gate opened
+                        # (never started) or at the next checkpoint.
+                        with pytest.raises(SearchCancelled):
+                            future.result(timeout=120)
+                        assert future.cancelled()
+                    else:
+                        assert len(future.result(timeout=120)) > 0
+            pools_after = dict(session.engine._pools)
+            assert set(pools_after) == set(pools_before)
+            for key, pool in pools_before.items():
+                assert pools_after[key] is pool
+            # The surviving pool still serves: rerun byte-identical to a
+            # pre-storm run of the same plain query.
+            assert _sig(warm.run(k=2)) == _sig(warm.run(k=2))

@@ -265,3 +265,57 @@ class TestEngineIntegration:
         _, stats = engine.execute_with_stats(table, params, query, k=2)
         assert engine.cache is None
         assert not stats.trendline_cache_hit and not stats.plan_cache_hit
+
+
+class TestBytesBudget:
+    """LRUCache with a byte budget: cost-tracked entries and eviction."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=2, max_bytes=0)
+        with pytest.raises(ValueError):
+            LRUCache(capacity=2, max_bytes=-1)
+
+    def test_cost_is_tracked_and_released(self):
+        cache = LRUCache(capacity=8, max_bytes=100)
+        cache.put("a", "x", cost=40)
+        cache.put("b", "y", cost=40)
+        assert cache.stats.bytes == 80
+        cache.put("c", "z", cost=40)  # evicts "a", the LRU entry
+        assert cache.stats.bytes == 80
+        assert cache.get("a") is None
+        assert cache.get("b") == "y"
+        assert cache.get("c") == "z"
+
+    def test_oversized_entry_is_rejected_outright(self):
+        cache = LRUCache(capacity=8, max_bytes=100)
+        cache.put("small", "x", cost=10)
+        cache.put("huge", "y", cost=101)  # can never fit: dropped, no eviction
+        assert cache.get("huge") is None
+        assert cache.get("small") == "x"
+        assert cache.stats.bytes == 10
+
+    def test_overwrite_adjusts_accounting(self):
+        cache = LRUCache(capacity=8, max_bytes=100)
+        cache.put("k", "v1", cost=60)
+        cache.put("k", "v2", cost=20)
+        assert cache.stats.bytes == 20
+        assert cache.get("k") == "v2"
+
+    def test_recency_decides_the_victim(self):
+        cache = LRUCache(capacity=8, max_bytes=90)
+        cache.put("a", 1, cost=30)
+        cache.put("b", 2, cost=30)
+        cache.put("c", 3, cost=30)
+        assert cache.get("a") == 1  # promote "a"; "b" is now the LRU
+        cache.put("d", 4, cost=30)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3 and cache.get("d") == 4
+
+    def test_clear_resets_bytes(self):
+        cache = LRUCache(capacity=8, max_bytes=100)
+        cache.put("a", "x", cost=75)
+        cache.clear()
+        assert cache.stats.bytes == 0
+        cache.put("b", "y", cost=100)  # the full budget is available again
+        assert cache.get("b") == "y"

@@ -40,6 +40,7 @@ CASES = [
     ("REP052", "kernel", 1),
     ("REP061", "index", 3),
     ("REP071", "artifacts", 4),
+    ("REP081", "serving", 5),
 ]
 
 
@@ -86,6 +87,9 @@ class TestRuleFixtures:
         assert not determinism.applies("src/repro/data/table.py")
         assert RULES_BY_ID["REP033"].applies("src/repro/serve.py")
         assert RULES_BY_ID["REP051"].applies("anything/anywhere.py")
+        assert RULES_BY_ID["REP081"].applies("src/repro/serving/app.py")
+        assert not RULES_BY_ID["REP081"].applies("src/repro/engine/executor.py")
+        assert not RULES_BY_ID["REP081"].applies("tests/test_serving.py")
 
 
 class TestInlineSuppression:

@@ -20,6 +20,7 @@ from tools.reprolint.rules.deprecation import ShimCallRule
 from tools.reprolint.rules.kernel import MatrixParityRule, SlopeBasedDeclarationRule
 from tools.reprolint.rules.index import FloorSeamRule
 from tools.reprolint.rules.artifacts import MappingLifecycleRule
+from tools.reprolint.rules.serving import AsyncBlockingCallRule
 
 ALL_RULES = [
     SetIterationRule(),
@@ -37,6 +38,7 @@ ALL_RULES = [
     SlopeBasedDeclarationRule(),
     FloorSeamRule(),
     MappingLifecycleRule(),
+    AsyncBlockingCallRule(),
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

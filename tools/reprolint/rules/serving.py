@@ -1,0 +1,112 @@
+"""REP08x: the serving layer's async discipline.
+
+The serving package (`src/repro/serving/`) multiplexes every client over
+one asyncio event loop; a single blocking call inside a coroutine stalls
+*all* tenants at once — progress frames freeze, keep-alive requests
+queue, and the admission controller cannot even refuse new work.  The
+app's contract (documented in :mod:`repro.serving.app`) is that
+CPU-bound session work runs on the executor and engine executions are
+awaited through the SearchFuture→asyncio bridge; this family makes the
+blocking-call side of that contract a static check.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.findings import make_finding
+from tools.reprolint.visitor import FileContext, Rule, call_name
+
+_SERVING = ("src/repro/serving/",)
+
+
+class AsyncBlockingCallRule(Rule):
+    """REP081: no blocking calls inside ``async def`` in serving code.
+
+    Flags, when the *nearest* enclosing function is a coroutine:
+
+    * ``time.sleep(...)`` (and bare ``sleep(...)``) — stalls the loop;
+      use ``await asyncio.sleep(...)``.
+    * ``open(...)`` and Path I/O methods (``read_text``/``write_text``/
+      ``read_bytes``/``write_bytes``) — file I/O belongs in a sync
+      helper dispatched via ``run_in_executor``.
+    * ``.run(...)`` on engine/pool/prepared receivers — the blocking
+      execution entry points; coroutines go through ``submit()`` and
+      await the bridged future.
+
+    Deliberately *not* flagged: ``future.result(...)`` — the app calls
+    it only after the done-callback bridge observed resolution, when it
+    cannot block.  Sync helpers nested inside a coroutine are exempt
+    (they run on the executor), which is why only the nearest enclosing
+    function decides.
+    """
+
+    id = "REP081"
+    name = "blocking-call-in-async-handler"
+    rationale = (
+        "one blocking call inside a coroutine stalls every tenant on the "
+        "event loop; serving handlers must await executor-dispatched work"
+    )
+    scope = _SERVING
+
+    #: ``.run(...)`` receivers that name the blocking execution surface.
+    _RUN_RECEIVERS = ("engine", "pool", "prepared", "subprocess")
+    _PATH_IO = {"read_text", "write_text", "read_bytes", "write_bytes"}
+
+    @staticmethod
+    def _receiver_name(node: ast.Call) -> str:
+        """Terminal name of the call's receiver: ``a.b.pool.run`` -> ``pool``."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return ""
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id
+        if isinstance(value, ast.Attribute):
+            return value.attr
+        return ""
+
+    def _classify(self, node: ast.Call) -> str:
+        name = call_name(node)
+        func = node.func
+        if isinstance(func, ast.Name):
+            if name == "open":
+                return (
+                    "open() inside a coroutine blocks the event loop; do the "
+                    "file I/O in a sync helper via run_in_executor"
+                )
+            if name == "sleep":
+                return (
+                    "sleep() inside a coroutine stalls every connection; use "
+                    "await asyncio.sleep(...)"
+                )
+            return ""
+        if isinstance(func, ast.Attribute):
+            receiver = self._receiver_name(node)
+            if name == "sleep" and receiver == "time":
+                return (
+                    "time.sleep() inside a coroutine stalls every connection; "
+                    "use await asyncio.sleep(...)"
+                )
+            if name in self._PATH_IO:
+                return (
+                    ".{}() is synchronous file I/O; dispatch it via "
+                    "run_in_executor".format(name)
+                )
+            if name == "run" and any(
+                marker in receiver.lower() for marker in self._RUN_RECEIVERS
+            ):
+                return (
+                    "blocking .run() on {!r} inside a coroutine; submit() and "
+                    "await the bridged future instead".format(receiver)
+                )
+        return ""
+
+    def check(self, ctx: FileContext):
+        for node in ctx.walk(ast.Call):
+            enclosing = ctx.enclosing_function(node)
+            if not isinstance(enclosing, ast.AsyncFunctionDef):
+                continue
+            message = self._classify(node)
+            if message:
+                yield make_finding(self, ctx, node, message)
