@@ -36,7 +36,7 @@ shims over the prepared path.
 from __future__ import annotations
 
 import threading
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -862,6 +862,15 @@ class SessionRegistry:
     eviction is a background concern and must not fail the publish that
     triggered it.
 
+    Requests that *use* a session hold a lease: :meth:`checkout`
+    increments the session's refcount (and promotes it), :meth:`release`
+    decrements it.  Evicting a leased session — a concurrent
+    :meth:`publish` pushing it out, or :meth:`close` — defers the
+    :meth:`ShapeSearch.close` until the last lease is released, so an
+    in-flight search never has its worker pools or shared-memory
+    segments torn down underneath it.  :meth:`get` is the lease-free
+    lookup for direct library use where the caller owns the lifecycle.
+
     ``session_options`` are the keyword arguments every opened session
     is constructed with (``workers=``, ``backend=``, ``index=``,
     ``store=`` ...), fixed at registry construction so all tenants get
@@ -881,6 +890,11 @@ class SessionRegistry:
         self._lock = threading.Lock()
         self._evict_hooks: list = []
         self._closed = False
+        #: Live leases per session (id(session) -> count); a session is
+        #: only closed when its count is zero.
+        self._refs: Dict[int, int] = {}
+        #: Sessions evicted while leased, awaiting their last release.
+        self._draining: List[Tuple[str, ShapeSearch]] = []
 
     # -- eviction -------------------------------------------------------------
     def add_evict_hook(self, hook) -> None:
@@ -899,6 +913,19 @@ class SessionRegistry:
                     hook(fingerprint, session)
                 except Exception:
                     pass
+
+    def _evict_or_drain(self, fingerprint: str, session: ShapeSearch, evicted) -> None:
+        """Route one evicted session: close now, or park until released.
+
+        Caller holds ``self._lock``.  A leased session moves to the
+        drain list (closed by the final :meth:`release`); an idle one is
+        appended to ``evicted`` for the caller to close outside the
+        lock.
+        """
+        if self._refs.get(id(session), 0) > 0:
+            self._draining.append((fingerprint, session))
+        else:
+            evicted.append((fingerprint, session))
 
     # -- the registry surface -------------------------------------------------
     def publish(self, table: Table) -> str:
@@ -923,7 +950,7 @@ class SessionRegistry:
                 table, **self.session_options
             )
             while len(self._sessions) > self.capacity:
-                evicted.append(self._sessions.popitem(last=False))
+                self._evict_or_drain(*self._sessions.popitem(last=False), evicted)
         self._run_evictions(evicted)
         return fingerprint
 
@@ -944,6 +971,54 @@ class SessionRegistry:
             )
         return session
 
+    # -- leases ---------------------------------------------------------------
+    def checkout(self, fingerprint: str) -> ShapeSearch:
+        """Like :meth:`get`, but the session is leased until :meth:`release`.
+
+        While at least one lease is live, a concurrent eviction (LRU
+        pressure from :meth:`publish`, or :meth:`close`) defers the
+        session close instead of tearing down worker pools and shared
+        memory under an in-flight search.  Every successful checkout
+        must be paired with exactly one :meth:`release`.
+        """
+        with self._lock:
+            session = self._sessions.get(fingerprint)
+            if session is not None:
+                self._sessions.move_to_end(fingerprint)
+                key = id(session)
+                self._refs[key] = self._refs.get(key, 0) + 1
+        if session is None:
+            raise DataError(
+                "unknown table fingerprint {!r}: publish the table first "
+                "(POST /v1/tables)".format(fingerprint)
+            )
+        return session
+
+    def release(self, session: Optional[ShapeSearch]) -> None:
+        """Drop one lease; closes the session if it was evicted meanwhile.
+
+        ``None`` is accepted (and ignored) so callers can release
+        unconditionally in a ``finally``.
+        """
+        if session is None:
+            return
+        to_close: List[Tuple[str, ShapeSearch]] = []
+        with self._lock:
+            key = id(session)
+            remaining = self._refs.get(key, 0) - 1
+            if remaining > 0:
+                self._refs[key] = remaining
+            else:
+                self._refs.pop(key, None)
+                to_close = [
+                    entry for entry in self._draining if entry[1] is session
+                ]
+                if to_close:
+                    self._draining = [
+                        entry for entry in self._draining if entry[1] is not session
+                    ]
+        self._run_evictions(to_close)
+
     def fingerprints(self) -> List[str]:
         """Resident fingerprints, least- to most-recently used."""
         with self._lock:
@@ -958,10 +1033,17 @@ class SessionRegistry:
             return fingerprint in self._sessions
 
     def close(self) -> None:
-        """Evict (and close) every session; further publishes raise."""
+        """Evict (and close) every session; further publishes raise.
+
+        Leased sessions drain first: their close runs when the last
+        :meth:`release` lands, not while a search may still be using
+        them.
+        """
+        evicted: List[Tuple[str, ShapeSearch]] = []
         with self._lock:
             self._closed = True
-            evicted = list(self._sessions.items())
+            for fingerprint, session in list(self._sessions.items()):
+                self._evict_or_drain(fingerprint, session, evicted)
             self._sessions.clear()
         self._run_evictions(evicted)
 

@@ -212,7 +212,11 @@ class ShapeServingApp:
         self, request: http.HTTPRequest, writer: asyncio.StreamWriter
     ) -> bool:
         handler = self._route(request)
-        started = self.stats.begin(request.path)
+        # Only routed paths get their own stats entry; everything else
+        # shares one fixed label so arbitrary 404 paths cannot grow the
+        # per-endpoint table without bound.
+        endpoint = request.path if handler is not None else "other"
+        started = self.stats.begin(endpoint)
         status = 500
         try:
             if handler is None:
@@ -232,7 +236,7 @@ class ShapeServingApp:
             status, payload = error_response(exc)
             body = json_dumps(payload)
         finally:
-            self.stats.end(request.path, started, error=status >= 400)
+            self.stats.end(endpoint, started, error=status >= 400)
         keep_alive = request.keep_alive
         writer.write(
             http.response_bytes(status, body, keep_alive=keep_alive)
@@ -275,13 +279,16 @@ class ShapeServingApp:
         return 200, json_dumps(payload)
 
     def _prepare_payload_sync(self, body: dict) -> dict:
-        prepared, k, _key, fingerprint = self._prepare_search_sync(body)
-        return {
-            "table": fingerprint,
-            "query": prepared.explain(),
-            "plan": prepared.explain_plan(k=k),
-            "k": k,
-        }
+        prepared, k, _key, fingerprint, session = self._prepare_search_sync(body)
+        try:
+            return {
+                "table": fingerprint,
+                "query": prepared.explain(),
+                "plan": prepared.explain_plan(k=k),
+                "k": k,
+            }
+        finally:
+            self.registry.release(session)
 
     async def _handle_search(self, request: http.HTTPRequest) -> Tuple[int, bytes]:
         body = request.json()
@@ -307,19 +314,36 @@ class ShapeServingApp:
         return exc
 
     # -- the shared search core ---------------------------------------------
+    async def _release_session(self, session) -> None:
+        """Drop a session lease off-loop.
+
+        The last release of an evicted session runs its deferred
+        :meth:`ShapeSearch.close` (worker pools, shared memory) — real
+        blocking work, so it goes through the executor like every other
+        engine call.
+        """
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.registry.release, session)
+
     def _prepare_search_sync(self, body: dict):
-        """Resolve (prepared, k, cache key, fingerprint) for one request.
+        """Resolve (prepared, k, cache key, fingerprint, session) for one request.
 
         Runs on the executor: registry lookup, query parse + compile
         (through the session's plan cache), and the response-determining
         cache key.  Raises :class:`RequestError` 404 for fingerprints
         never published (or already evicted).
+
+        The returned session is **checked out** of the registry — the
+        lease keeps a concurrent publish/close from tearing it down
+        mid-search — and the caller must ``registry.release(session)``
+        exactly once when done with it (on error the lease is released
+        here before the exception propagates).
         """
         fingerprint = body.get("table")
         if not isinstance(fingerprint, str) or not fingerprint:
             raise DataError("request field 'table' must be a fingerprint string")
         try:
-            session = self.registry.get(fingerprint)
+            session = self.registry.checkout(fingerprint)
         except DataError:
             raise RequestError(
                 404, "unknown_table",
@@ -327,19 +351,23 @@ class ShapeServingApp:
                     fingerprint
                 ),
             )
-        query = body.get("query")
-        if not isinstance(query, str) or not query:
-            raise DataError("request field 'query' must be a non-empty string")
-        params = params_from_body(body)
-        k = search_k(body)
-        prepared = session.prepare(
-            query, z=params.z, x=params.x, y=params.y, filters=params.filters,
-            aggregate=params.aggregate, bin_width=params.bin_width,
-        )
-        key = ResultCache.key(
-            fingerprint, prepared.explain(), params, k, session.engine.precision
-        )
-        return prepared, k, key, fingerprint
+        try:
+            query = body.get("query")
+            if not isinstance(query, str) or not query:
+                raise DataError("request field 'query' must be a non-empty string")
+            params = params_from_body(body)
+            k = search_k(body)
+            prepared = session.prepare(
+                query, z=params.z, x=params.x, y=params.y, filters=params.filters,
+                aggregate=params.aggregate, bin_width=params.bin_width,
+            )
+            key = ResultCache.key(
+                fingerprint, prepared.explain(), params, k, session.engine.precision
+            )
+        except BaseException:
+            self.registry.release(session)
+            raise
+        return prepared, k, key, fingerprint, session
 
     async def _search(
         self, body: dict, tenant: str, progress=None
@@ -354,32 +382,35 @@ class ShapeServingApp:
         annotated with whether it was a load-shed.
         """
         loop = asyncio.get_running_loop()
-        prepared, k, key, _fingerprint = await loop.run_in_executor(
+        prepared, k, key, _fingerprint, session = await loop.run_in_executor(
             None, self._prepare_search_sync, body
         )
-        cached = self.result_cache.get(key)
-        if cached is not None:
-            return "result", cached
-        code = self.admission.admit(tenant)
-        if code is not None:
-            raise Overloaded(code)
-        future = None
         try:
-            future = await loop.run_in_executor(
-                None, functools.partial(prepared.submit, k=k, progress=progress)
-            )
-            self.admission.attach(tenant, future)
-            await _await_future(future)
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                return "result", cached
+            code = self.admission.admit(tenant)
+            if code is not None:
+                raise Overloaded(code)
+            future = None
             try:
-                results = future.result(timeout=0)
-            except SearchCancelled as exc:
-                exc._shed = future.cancel_reason == CANCEL_SHED
-                raise
+                future = await loop.run_in_executor(
+                    None, functools.partial(prepared.submit, k=k, progress=progress)
+                )
+                self.admission.attach(tenant, future)
+                await _await_future(future)
+                try:
+                    results = future.result(timeout=0)
+                except SearchCancelled as exc:
+                    exc._shed = future.cancel_reason == CANCEL_SHED
+                    raise
+            finally:
+                self.admission.finish(tenant, future)
+            payload = json_dumps(result_payload(results))
+            self.result_cache.put(key, payload)
+            return None, payload
         finally:
-            self.admission.finish(tenant, future)
-        payload = json_dumps(result_payload(results))
-        self.result_cache.put(key, payload)
-        return None, payload
+            await self._release_session(session)
 
     # -- WebSocket -----------------------------------------------------------
     async def _handle_ws(
@@ -392,8 +423,14 @@ class ShapeServingApp:
 
         Client messages are JSON texts: ``{"type": "search", "id": ...,
         "table": ..., "query": ..., "z"/"x"/"y": ..., "k": ...}`` starts
-        a search (many may run concurrently on one connection);
+        a search (many may run concurrently on one connection, each
+        under a distinct id — reusing an id still active on the
+        connection is refused with an ``error`` frame);
         ``{"type": "cancel", "id": ...}`` cooperatively cancels one.
+        A cancel racing ahead of its search's engine submission is
+        remembered and applied at submit; cancels for ids that are
+        unknown or already finished are ignored, so neither map can
+        grow past the connection's concurrently active searches.
         The server streams ``progress`` frames per completed shard and
         terminates every search with exactly one ``result``, ``error``,
         or ``cancelled`` frame — a refused or shed search gets its
@@ -432,6 +469,20 @@ class ShapeServingApp:
                     continue
                 mtype = message.get("type")
                 if mtype == "search":
+                    sid = message.get("id")
+                    if sid in searches:
+                        await conn.send_json({
+                            "code": "bad_request",
+                            "id": sid,
+                            "message": "search id {!r} is already active on "
+                                       "this connection".format(sid),
+                            "type": "error",
+                        })
+                        continue
+                    # Claim the id now (value None until the engine
+                    # future exists) so a racing cancel has somewhere to
+                    # land and a duplicate submit is refused.
+                    searches[sid] = None
                     tenant = message.get("tenant") or header_tenant or "default"
                     task = asyncio.ensure_future(self._ws_search(
                         conn, message, tenant, searches, cancelled_early
@@ -440,11 +491,15 @@ class ShapeServingApp:
                     task.add_done_callback(tasks.discard)
                 elif mtype == "cancel":
                     sid = message.get("id")
-                    future = searches.get(sid)
-                    if future is not None:
-                        future.cancel(reason=CANCEL_USER)
-                    else:
-                        cancelled_early.add(sid)
+                    if sid in searches:
+                        future = searches[sid]
+                        if future is not None:
+                            future.cancel(reason=CANCEL_USER)
+                        else:
+                            cancelled_early.add(sid)
+                    # else: unknown or already-finished id — nothing to
+                    # cancel, and remembering it would only leak (or
+                    # shoot down a later search reusing the id).
                 elif mtype == "ping":
                     await conn.send_json({"type": "pong"})
                 else:
@@ -466,29 +521,56 @@ class ShapeServingApp:
         self, conn: "ws.WebSocketConnection", message: dict, tenant: str,
         searches: dict, cancelled_early: set,
     ) -> None:
+        """One search task: run it, release its id, send its terminal frame.
+
+        The id bookkeeping (``searches`` entry, any pending early
+        cancel) is cleared *before* the terminal frame is written, so a
+        client that saw the terminal frame can immediately reuse the id
+        without racing this task's teardown.
+        """
         sid = message.get("id")
         endpoint = "WS /v1/submit"
         started = self.stats.begin(endpoint)
-        error = False
+        error = True
+        terminal = None
         try:
-            loop = asyncio.get_running_loop()
             try:
-                prepared, k, key, _fingerprint = await loop.run_in_executor(
-                    None, self._prepare_search_sync, message
+                error, terminal = await self._ws_search_run(
+                    conn, message, tenant, sid, searches, cancelled_early
                 )
             except Exception as exc:
-                error = True
-                await self._send_ws_error(conn, sid, exc)
-                return
+                error, terminal = True, self._ws_error_frame(sid, exc)
+        finally:
+            searches.pop(sid, None)
+            cancelled_early.discard(sid)
+            self.stats.end(endpoint, started, error=error)
+        if terminal is not None:
+            await conn.send(terminal)
+
+    async def _ws_search_run(
+        self, conn: "ws.WebSocketConnection", message: dict, tenant: str,
+        sid, searches: dict, cancelled_early: set,
+    ) -> Tuple[bool, Optional[bytes]]:
+        """The search itself; returns ``(is_error, terminal frame bytes)``.
+
+        Sends ``accepted``/``progress`` frames inline but leaves the
+        terminal frame to the caller, which sends it only after the
+        connection's id bookkeeping for ``sid`` is released.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            prepared, k, key, _fingerprint, session = await loop.run_in_executor(
+                None, self._prepare_search_sync, message
+            )
+        except Exception as exc:
+            return True, self._ws_error_frame(sid, exc)
+        try:
             cached = self.result_cache.get(key)
             if cached is not None:
-                await conn.send(_result_envelope(cached, "result", sid=sid))
-                return
+                return False, _result_envelope(cached, "result", sid=sid)
             code = self.admission.admit(tenant)
             if code is not None:
-                error = True
-                await conn.send_json({"code": code, "id": sid, "type": "error"})
-                return
+                return True, json_dumps({"code": code, "id": sid, "type": "error"})
             updates: asyncio.Queue = asyncio.Queue()
 
             def on_progress(completed, total):
@@ -523,32 +605,26 @@ class ShapeServingApp:
                 except SearchCancelled:
                     reason = future.cancel_reason or CANCEL_USER
                     if reason == CANCEL_SHED:
-                        error = True
-                        await conn.send_json({
+                        return True, json_dumps({
                             "code": "overloaded", "id": sid, "type": "error",
                         })
-                    else:
-                        await conn.send_json({
-                            "id": sid, "reason": reason, "type": "cancelled",
-                        })
-                    return
+                    return False, json_dumps({
+                        "id": sid, "reason": reason, "type": "cancelled",
+                    })
                 except Exception as exc:
-                    error = True
-                    await self._send_ws_error(conn, sid, exc)
-                    return
+                    return True, self._ws_error_frame(sid, exc)
             finally:
                 self.admission.finish(tenant, future)
-                searches.pop(sid, None)
             payload = json_dumps(result_payload(results))
             self.result_cache.put(key, payload)
-            await conn.send(_result_envelope(payload, None, sid=sid))
+            return False, _result_envelope(payload, None, sid=sid)
         finally:
-            self.stats.end(endpoint, started, error=error)
+            await self._release_session(session)
 
-    async def _send_ws_error(self, conn, sid, exc: BaseException) -> None:
+    def _ws_error_frame(self, sid, exc: BaseException) -> bytes:
         _status, payload = error_response(exc)
         body = payload["error"]
-        await conn.send_json({
+        return json_dumps({
             "code": body["code"], "id": sid, "message": body["message"],
             "type": "error",
         })

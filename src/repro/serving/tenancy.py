@@ -9,12 +9,20 @@ in order:
    ``burst`` capacity) absorbs interactive bursts and refuses sustained
    floods with ``"rate_limited"``.
 2. **Inflight** — a per-tenant and a global concurrent-search cap.  A
-   full cap refuses with ``"overloaded"`` *and* sheds: every registered
-   execution still queued behind the engine's dispatcher (not started)
-   is cancelled with ``reason="shed"`` — the
+   full cap refuses with ``"overloaded"`` *and* sheds: registered
+   executions still queued behind the engine's dispatcher (not started)
+   are cancelled with ``reason="shed"`` — the
    :class:`~repro.engine.control.ExecutionControl` seam the engine
    already honors — so the dispatcher drains to work that clients are
-   actually waiting on instead of a backlog nobody will read.
+   actually waiting on instead of a backlog nobody will read.  Shedding
+   respects tenant isolation: only a *global*-cap refusal sheds across
+   tenants; a tenant exceeding its own ``max_inflight`` sheds only its
+   own queued work, never another tenant's.
+
+The inflight gates run *before* the rate gate, so a refused-as-
+overloaded request does not consume a rate token — a well-behaved
+tenant's bucket stays full through an overload episode and admits work
+the moment capacity frees up.
 
 The wall clock is injected (``clock=``, monotonic seconds) so tests
 drive refill deterministically.
@@ -161,32 +169,30 @@ class AdmissionController:
     def admit(self, tenant: str) -> Optional[str]:
         """Reserve an inflight slot; ``None`` on success, else the code.
 
-        ``"rate_limited"``: the tenant's bucket is empty.
         ``"overloaded"``: the tenant's or the global inflight cap is
-        full — queued executions are shed before refusing, so capacity
-        recovers without operator action.
+        full — checked first, so the refusal costs no rate token.  A
+        global-cap refusal sheds queued executions of every tenant (the
+        whole server is saturated); a per-tenant-cap refusal sheds only
+        that tenant's queued executions, so one tenant over its own
+        quota never cancels another tenant's admitted work.
+        ``"rate_limited"``: the tenant's bucket is empty.
         """
         with self._lock:
-            bucket = self._bucket(tenant)
             quota = self._quotas.get(tenant, self.default_quota)
-        if not bucket.try_acquire():
-            with self._lock:
-                self.stats.rate_limited += 1
-            return "rate_limited"
-        with self._lock:
             inflight = self._inflight.get(tenant, 0)
-            if inflight >= quota.max_inflight or self._total_inflight >= self.max_inflight:
-                self.stats.overloaded += 1
-                overloaded = True
-            else:
+            tenant_full = inflight >= quota.max_inflight
+            global_full = self._total_inflight >= self.max_inflight
+            if not tenant_full and not global_full:
+                if not self._bucket(tenant).try_acquire():
+                    self.stats.rate_limited += 1
+                    return "rate_limited"
                 self._inflight[tenant] = inflight + 1
                 self._total_inflight += 1
                 self.stats.admitted += 1
-                overloaded = False
-        if overloaded:
-            self.shed_queued()
-            return "overloaded"
-        return None
+                return None
+            self.stats.overloaded += 1
+        self.shed_queued(tenant=None if global_full else tenant)
+        return "overloaded"
 
     def attach(self, tenant: str, future) -> None:
         """Register an admitted execution for shed/shutdown sweeps."""
@@ -209,20 +215,24 @@ class AdmissionController:
                 ]
 
     # -- load shedding -------------------------------------------------------
-    def shed_queued(self) -> int:
+    def shed_queued(self, tenant: Optional[str] = None) -> int:
         """Cancel registered executions the engine has not started yet.
 
         Shedding targets *queued* work — futures still waiting behind
         the dispatcher — with ``reason="shed"``; running shards finish
         cooperatively (the pool stays warm and deterministic), and the
         shed client gets a terminal ``overloaded`` response instead of
-        an unbounded wait.  Returns how many were shed.
+        an unbounded wait.  With ``tenant`` the sweep is scoped to that
+        tenant's queued futures (the per-tenant-cap refusal path);
+        ``None`` sheds across all tenants (the global-cap path).
+        Returns how many were shed.
         """
         with self._lock:
             targets = [
-                (tenant, future)
-                for tenant, future in self._futures
-                if not future.running() and not future.done()
+                (owner, future)
+                for owner, future in self._futures
+                if (tenant is None or owner == tenant)
+                and not future.running() and not future.done()
             ]
         shed = 0
         for _tenant, future in targets:

@@ -314,6 +314,50 @@ class TestAdmissionController:
         assert not running.done()  # running work is never shed
         assert control.snapshot()["shed"] == 1
 
+    def test_tenant_cap_refusal_sheds_only_that_tenant(self):
+        # Tenant "a" exceeding its *own* cap must not cancel tenant
+        # "b"'s admitted queued work: isolation means one tenant's
+        # overload never becomes another's cancellation.
+        control = self._controller(max_inflight=10)
+        queued_a, queued_b = _FakeFuture(), _FakeFuture()
+        control.admit("a")
+        control.attach("a", queued_a)
+        control.admit("a")  # tenant cap (2) now full
+        control.admit("b")
+        control.attach("b", queued_b)
+        assert control.admit("a") == "overloaded"
+        assert queued_a.done() and queued_a.cancel_reason == "shed"
+        assert not queued_b.done()
+        assert control.snapshot()["shed"] == 1
+
+    def test_global_cap_refusal_sheds_across_tenants(self):
+        control = self._controller()  # global cap 3
+        queued = _FakeFuture()
+        control.admit("a")
+        control.attach("a", queued)
+        control.admit("a")
+        control.admit("b")  # global cap now full
+        assert control.admit("c") == "overloaded"
+        assert queued.done() and queued.cancel_reason == "shed"
+
+    def test_overload_refusal_consumes_no_rate_token(self):
+        # Caps are checked before the bucket: a sustained overload must
+        # not drain the tenant's tokens, or it would be rate_limited the
+        # moment capacity frees up.
+        clock = _FakeClock()
+        control = AdmissionController(
+            quota=TenantQuota(rate=0.0, burst=2.0, max_inflight=1),
+            clock=clock,
+        )
+        assert control.admit("a") is None  # first token
+        for _ in range(5):
+            assert control.admit("a") == "overloaded"
+        control.finish("a")
+        assert control.admit("a") is None  # second token survived the storm
+        control.finish("a")
+        assert control.admit("a") == "rate_limited"  # bucket genuinely empty
+        assert control.snapshot()["overloaded"] == 5
+
     def test_sweep_cancels_everything(self):
         control = self._controller()
         futures = [_FakeFuture(running=True), _FakeFuture()]
@@ -370,6 +414,50 @@ class TestSessionRegistry:
         with SessionRegistry() as registry:
             with pytest.raises(DataError, match="publish the table first"):
                 registry.get("no-such-fingerprint")
+            with pytest.raises(DataError, match="publish the table first"):
+                registry.checkout("no-such-fingerprint")
+
+    def test_eviction_of_leased_session_defers_close(self):
+        evicted = []
+        with SessionRegistry(capacity=1) as registry:
+            registry.add_evict_hook(lambda fp, session: evicted.append(fp))
+            first = registry.publish(self._table(seed=1))
+            session = registry.checkout(first)
+            registry.publish(self._table(seed=2))  # evicts first, leased
+            assert first not in registry
+            assert evicted == []  # close deferred: the lease is live
+            # The leased session still serves work mid-drain.
+            results = session.prepare("[p=up]", z="z", x="x", y="y").run(k=2)
+            assert len(results) >= 0
+            registry.release(session)
+            assert evicted == [first]
+
+    def test_nested_leases_close_on_last_release(self):
+        evicted = []
+        with SessionRegistry(capacity=1) as registry:
+            registry.add_evict_hook(lambda fp, session: evicted.append(fp))
+            first = registry.publish(self._table(seed=1))
+            session = registry.checkout(first)
+            assert registry.checkout(first) is session
+            registry.publish(self._table(seed=2))
+            registry.release(session)
+            assert evicted == []  # one lease still live
+            registry.release(session)
+            assert evicted == [first]
+        registry.release(None)  # tolerated, for unconditional finallys
+
+    def test_close_drains_leased_sessions(self):
+        evicted = []
+        registry = SessionRegistry(capacity=2)
+        registry.add_evict_hook(lambda fp, session: evicted.append(fp))
+        fingerprint = registry.publish(self._table(seed=1))
+        session = registry.checkout(fingerprint)
+        registry.close()
+        assert evicted == []  # shutdown waits for the in-flight lease
+        with pytest.raises(ExecutionError):
+            registry.publish(self._table(seed=2))
+        registry.release(session)
+        assert evicted == [fingerprint]
 
     def test_close_evicts_all_and_blocks_publish(self):
         evicted = []
@@ -657,6 +745,59 @@ class TestServerEndToEnd:
                 with pytest.raises(ServingError) as excinfo:
                     stream.result(sid)
                 assert excinfo.value.code == "unknown_table"
+
+    def test_ws_duplicate_active_search_id_is_rejected(self):
+        gate = threading.Event()
+
+        def blocking(values, slope):
+            assert gate.wait(timeout=60)
+            return 0.5
+
+        with _serving() as (handle, client):
+            fingerprint = client.publish_columns(**_columns(groups=2))
+            with temporary_udp("serve_dup", blocking):
+                with client.open_stream() as stream:
+                    sid = stream.submit(
+                        fingerprint, "[p=udp:serve_dup]", "z", "x", "y",
+                        k=2, search_id="dup",
+                    )
+                    assert stream.next_frame(sid)["type"] == "accepted"
+                    # Reusing an id that is still active collides with
+                    # the running search's registration: refused.
+                    stream.submit(
+                        fingerprint, "[p=udp:serve_dup]", "z", "x", "y",
+                        k=2, search_id="dup",
+                    )
+                    while True:  # progress frames may interleave
+                        frame = stream.next_frame(sid)
+                        if frame["type"] != "progress":
+                            break
+                    assert frame["type"] == "error"
+                    assert frame["code"] == "bad_request"
+                    assert "already active" in frame["message"]
+                    gate.set()
+                    terminal = stream.result(sid)  # survivor unaffected
+                    assert terminal["type"] == "result"
+                    # After the terminal frame the id is free again.
+                    stream.submit(
+                        fingerprint, "[p=udp:serve_dup]", "z", "x", "y",
+                        k=2, search_id="dup",
+                    )
+                    assert stream.result(sid)["type"] == "result"
+
+    def test_unrouted_paths_share_one_stats_entry(self):
+        # Unique 404 paths must not each grow a stats entry (unbounded
+        # memory for an unauthenticated scanner): they pool under
+        # "other" and routed endpoints keep their own labels.
+        with _serving() as (handle, client):
+            for index in range(8):
+                with pytest.raises(ServingError):
+                    client.request("GET", "/v2/scan-{}".format(index))
+            endpoints = handle.app.stats.snapshot()
+            assert "other" in endpoints
+            assert endpoints["other"]["count"] == 8
+            assert endpoints["other"]["errors"] == 8
+            assert not any(name.startswith("/v2/") for name in endpoints)
 
     def test_stats_endpoint_shape(self):
         with _serving() as (handle, client):
